@@ -1,0 +1,51 @@
+//===- bench/BenchUtil.h - shared bench helpers ------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries. Every
+/// binary prints the paper artifact it regenerates, the configuration,
+/// and a rendered table; CBSVM_RUNS controls the median-of-N repetition
+/// count (the paper uses 10; the default here is 3 to keep the full
+/// bench sweep interactive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BENCH_BENCHUTIL_H
+#define CBSVM_BENCH_BENCHUTIL_H
+
+#include "experiments/Experiments.h"
+#include "profiling/OverlapMetric.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+
+namespace cbs::bench {
+
+inline void printHeader(const char *Artifact, const char *Description) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s — %s\n", Artifact, Description);
+  std::printf("Arnold & Grove, \"Collecting and Exploiting High-Accuracy "
+              "Call Graph\nProfiles in Virtual Machines\" (CGO 2005) — CBSVM "
+              "reproduction\n");
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+/// "overhead/accuracy" cell in the Table 2 style.
+inline std::string cell(const exp::AccuracyCell &C) {
+  return TablePrinter::formatDouble(C.OverheadPct, 1) + "/" +
+         TablePrinter::formatDouble(C.AccuracyPct, 0);
+}
+
+inline const char *personalityName(vm::Personality Pers) {
+  return Pers == vm::Personality::JikesRVM ? "Jikes RVM" : "J9";
+}
+
+} // namespace cbs::bench
+
+#endif // CBSVM_BENCH_BENCHUTIL_H

@@ -1,0 +1,182 @@
+//===- bench/figure5_inlining_speedup.cpp - Figure 5 reproduction --------------===//
+//
+// Part of the CBSVM project.
+//
+// Figure 5: percentage speedup from profile-directed inlining using the
+// timer-only baseline profile vs counter-based sampling, in steady
+// state (warmup window discarded, throughput measured over the second
+// window — the paper's "second minute").
+//
+//  Left graph (Jikes RVM personality): both configurations drive the
+//  paper's *new* inliner (§5.1); the baseline is the same inliner with
+//  no profile data. Paper landmarks: inlining matters most for mtrt,
+//  jess, mpegaudio; cbs beats timer-only most clearly on javac (the
+//  most complex benchmark); no benchmark is degraded.
+//
+//  Right graph (J9 personality): dynamic heuristics (§5.2) over the
+//  static-heuristics-only baseline. Paper landmarks: cbs gives +8.7% on
+//  mtrt and ~1% on most others; with timer-quality profiles the dynamic
+//  heuristics *hurt* most benchmarks; dynamic heuristics also reduce
+//  compile time (~9% on average).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Statistics.h"
+
+using namespace cbs;
+using namespace cbs::bench;
+
+int main() {
+  printHeader("Figure 5",
+              "Speedup of profile-directed inlining: timer-only vs cbs");
+
+  opt::NewJikesOracle NewInliner;
+  opt::J9Oracle J9Dynamic;
+  opt::J9Oracle::Params StaticParams;
+  StaticParams.UseDynamic = false;
+  opt::J9Oracle J9Static(StaticParams);
+
+  // --- Left: Jikes RVM -----------------------------------------------------
+  {
+    std::printf("--- Jikes RVM personality: new inliner, speedup over "
+                "no-profile inlining ---\n");
+    TablePrinter TP;
+    TP.setHeader({"Benchmark", "timer-only %", "cbs %", "recompiles",
+                  "compile Mcyc (cbs)"});
+    std::vector<double> TimerAll, CBSAll;
+    for (const wl::WorkloadInfo &W : wl::suite()) {
+      bc::Program P = W.Build(wl::InputSize::Steady, 1);
+
+      exp::SpeedupOptions Base;
+      Base.Pers = vm::Personality::JikesRVM;
+      Base.Oracle = &NewInliner; // Static decisions from an empty DCG.
+      Base.Prof.Kind = vm::ProfilerKind::None;
+      exp::ThroughputResult BaseR = exp::measureThroughput(P, Base);
+
+      exp::SpeedupOptions Timer = Base;
+      Timer.Prof = exp::baseProfiler(vm::Personality::JikesRVM);
+      exp::ThroughputResult TimerR = exp::measureThroughput(P, Timer);
+
+      exp::SpeedupOptions CBS = Base;
+      CBS.Prof = exp::chosenCBS(vm::Personality::JikesRVM);
+      exp::ThroughputResult CBSR = exp::measureThroughput(P, CBS);
+
+      double TimerPct = exp::speedupPercent(TimerR, BaseR);
+      double CBSPct = exp::speedupPercent(CBSR, BaseR);
+      TimerAll.push_back(TimerPct);
+      CBSAll.push_back(CBSPct);
+      TP.addRow({W.Name, TablePrinter::formatDouble(TimerPct, 1),
+                 TablePrinter::formatDouble(CBSPct, 1),
+                 std::to_string(CBSR.Recompilations),
+                 TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)});
+    }
+    TP.addSeparator();
+    TP.addRow({"Average", TablePrinter::formatDouble(mean(TimerAll), 1),
+               TablePrinter::formatDouble(mean(CBSAll), 1), "", ""});
+    std::fputs(TP.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  // --- Right: J9 -------------------------------------------------------------
+  {
+    std::printf("--- J9 personality: dynamic heuristics, speedup over "
+                "static-only heuristics ---\n");
+    TablePrinter TP;
+    TP.setHeader({"Benchmark", "timer-only %", "cbs %",
+                  "compile Mcyc static", "compile Mcyc cbs"});
+    std::vector<double> TimerAll, CBSAll, CompileDelta;
+    for (const wl::WorkloadInfo &W : wl::suite()) {
+      bc::Program P = W.Build(wl::InputSize::Steady, 1);
+
+      exp::SpeedupOptions Base;
+      Base.Pers = vm::Personality::J9;
+      Base.Oracle = &J9Static;
+      Base.Prof.Kind = vm::ProfilerKind::None;
+      exp::ThroughputResult BaseR = exp::measureThroughput(P, Base);
+
+      exp::SpeedupOptions Timer = Base;
+      Timer.Prof = exp::baseProfiler(vm::Personality::J9);
+      Timer.Oracle = &J9Dynamic;
+      exp::ThroughputResult TimerR = exp::measureThroughput(P, Timer);
+
+      exp::SpeedupOptions CBS = Base;
+      CBS.Prof = exp::chosenCBS(vm::Personality::J9);
+      CBS.Oracle = &J9Dynamic;
+      exp::ThroughputResult CBSR = exp::measureThroughput(P, CBS);
+
+      double TimerPct = exp::speedupPercent(TimerR, BaseR);
+      double CBSPct = exp::speedupPercent(CBSR, BaseR);
+      TimerAll.push_back(TimerPct);
+      CBSAll.push_back(CBSPct);
+      if (BaseR.CompileCycles > 0)
+        CompileDelta.push_back(100.0 *
+                               (static_cast<double>(CBSR.CompileCycles) /
+                                    BaseR.CompileCycles -
+                                1.0));
+      TP.addRow({W.Name, TablePrinter::formatDouble(TimerPct, 1),
+                 TablePrinter::formatDouble(CBSPct, 1),
+                 TablePrinter::formatDouble(BaseR.CompileCycles / 1e6, 1),
+                 TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)});
+    }
+    TP.addSeparator();
+    TP.addRow({"Average", TablePrinter::formatDouble(mean(TimerAll), 1),
+               TablePrinter::formatDouble(mean(CBSAll), 1), "", ""});
+    std::fputs(TP.render().c_str(), stdout);
+    std::printf("\nAOS compile-cycle change (hot methods only), "
+                "dynamic(cbs) vs static-only: %.1f%%\n",
+                mean(CompileDelta));
+  }
+
+  // --- §6.3's compile-time claim, measured the way J9 compiles ---------
+  // J9 JIT-compiles *every* executed method, so "dynamic heuristics
+  // reduce compilation time by 9%" is a whole-program statement: total
+  // compile cost over all methods under the dynamic plan vs the
+  // static-only plan. The AOS numbers above only cover the few hot
+  // methods it recompiles (where profile-enabled guarded inlining can
+  // even add work); this is the faithful comparison.
+  {
+    std::printf("\n--- whole-program compile cost: dynamic(cbs profile) "
+                "vs static-only plans ---\n");
+    TablePrinter TP;
+    TP.setHeader({"Benchmark", "static Mcyc", "dynamic Mcyc", "change %"});
+    vm::CostModel Costs;
+    std::vector<double> Deltas;
+    for (const wl::WorkloadInfo &W : wl::suite()) {
+      bc::Program P = W.Build(wl::InputSize::Small, 1);
+      // Mature cbs profile from a full small-input run.
+      vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::J9, 1);
+      Config.Profiler = exp::chosenCBS(vm::Personality::J9);
+      vm::VirtualMachine VM(P, Config);
+      VM.run();
+
+      opt::InlinePlan StaticPlan =
+          J9Static.plan(P, prof::DynamicCallGraph());
+      opt::InlinePlan DynPlan = J9Dynamic.plan(P, VM.profile());
+
+      auto totalCompile = [&](const opt::InlinePlan &Plan) {
+        uint64_t Total = 0;
+        for (bc::MethodId M = 0; M != P.numMethods(); ++M)
+          Total += opt::compileMethod(P, M, 2, Plan, Costs)
+                       .CompileCostCycles;
+        return Total;
+      };
+      uint64_t StaticCost = totalCompile(StaticPlan);
+      uint64_t DynCost = totalCompile(DynPlan);
+      double Delta =
+          100.0 * (static_cast<double>(DynCost) / StaticCost - 1.0);
+      Deltas.push_back(Delta);
+      TP.addRow({W.Name, TablePrinter::formatDouble(StaticCost / 1e6, 1),
+                 TablePrinter::formatDouble(DynCost / 1e6, 1),
+                 TablePrinter::formatDouble(Delta, 1)});
+    }
+    TP.addSeparator();
+    TP.addRow({"Average", "", "",
+               TablePrinter::formatDouble(mean(Deltas), 1)});
+    std::fputs(TP.render().c_str(), stdout);
+    std::printf("\npaper landmark: dynamic heuristics reduced compilation "
+                "time ~9%% on average.\n");
+  }
+  return 0;
+}

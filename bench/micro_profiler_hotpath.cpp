@@ -1,0 +1,108 @@
+//===- bench/micro_profiler_hotpath.cpp - host-time microbenchmarks ------------===//
+//
+// Part of the CBSVM project.
+//
+// Google-benchmark microbenchmarks of the profiler hot paths as *host*
+// code: the Figure 3 countdown, the DCG update, the stack walk, and
+// whole-VM interpretation throughput. These measure the reproduction's
+// own implementation cost (not modelled cycles) — useful when tuning
+// the simulator, and a sanity check that the disarmed fast path really
+// is a single compare.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CounterBasedSampler.h"
+#include "profiling/DynamicCallGraph.h"
+#include "profiling/OverlapMetric.h"
+#include "vm/StackWalker.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cbs;
+
+static void BM_CBSArmedEvent(benchmark::State &State) {
+  prof::CBSParams Params;
+  Params.Stride = 3;
+  Params.SamplesPerTick = 1u << 30; // Never disarm.
+  prof::CounterBasedSampler CBS(Params);
+  RandomEngine RNG(1);
+  CBS.onTimerTick(RNG);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CBS.onInvocationEvent());
+}
+BENCHMARK(BM_CBSArmedEvent);
+
+static void BM_CBSWindowCycle(benchmark::State &State) {
+  prof::CBSParams Params;
+  Params.Stride = static_cast<uint32_t>(State.range(0));
+  Params.SamplesPerTick = 16;
+  prof::CounterBasedSampler CBS(Params);
+  RandomEngine RNG(1);
+  for (auto _ : State) {
+    CBS.onTimerTick(RNG);
+    while (CBS.armed())
+      benchmark::DoNotOptimize(CBS.onInvocationEvent());
+  }
+}
+BENCHMARK(BM_CBSWindowCycle)->Arg(1)->Arg(3)->Arg(7)->Arg(31);
+
+static void BM_DCGAddSample(benchmark::State &State) {
+  prof::DynamicCallGraph DCG;
+  uint32_t Site = 0;
+  for (auto _ : State) {
+    DCG.addSample({Site, Site % 37});
+    Site = (Site + 1) & 1023;
+  }
+  benchmark::DoNotOptimize(DCG.totalWeight());
+}
+BENCHMARK(BM_DCGAddSample);
+
+static void BM_OverlapMetric(benchmark::State &State) {
+  RandomEngine RNG(7);
+  prof::DynamicCallGraph A, B;
+  for (int I = 0; I != 1000; ++I) {
+    prof::CallEdge E{static_cast<uint32_t>(RNG.nextBelow(512)),
+                     static_cast<uint32_t>(RNG.nextBelow(64))};
+    A.addSample(E, RNG.nextBelow(100) + 1);
+    if (RNG.nextBool(0.7))
+      B.addSample(E, RNG.nextBelow(100) + 1);
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(prof::overlap(A, B));
+}
+BENCHMARK(BM_OverlapMetric);
+
+static void BM_InterpreterThroughput(benchmark::State &State) {
+  bc::Program P = wl::buildJess(wl::InputSize::Steady, 1);
+  vm::VMConfig Config;
+  vm::VirtualMachine VM(P, Config);
+  VM.run(1'000'000); // Warm the code cache.
+  for (auto _ : State) {
+    uint64_t Before = VM.stats().Instructions;
+    VM.run(1'000'000);
+    benchmark::DoNotOptimize(VM.stats().Instructions - Before);
+  }
+  State.SetItemsProcessed(State.iterations() * 1'000'000);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+static void BM_InterpreterWithCBS(benchmark::State &State) {
+  bc::Program P = wl::buildJess(wl::InputSize::Steady, 1);
+  vm::VMConfig Config;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  Config.Profiler.CBS.Stride = 3;
+  Config.Profiler.CBS.SamplesPerTick = 16;
+  vm::VirtualMachine VM(P, Config);
+  VM.run(1'000'000);
+  for (auto _ : State) {
+    uint64_t Before = VM.stats().Instructions;
+    VM.run(1'000'000);
+    benchmark::DoNotOptimize(VM.stats().Instructions - Before);
+  }
+  State.SetItemsProcessed(State.iterations() * 1'000'000);
+}
+BENCHMARK(BM_InterpreterWithCBS);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+//===- bench/table3_per_benchmark.cpp - Table 3 reproduction -------------------===//
+//
+// Part of the CBSVM project.
+//
+// Table 3: per-benchmark overhead and accuracy breakdown, small and
+// large inputs, for both VM personalities. "Base" is each VM's
+// baseline profiler (Jikes RVM: the timer sampler; J9: CBS with
+// Stride=1, Samples=1 — §6.2 notes J9 has no timer DCG profiler), and
+// "CBS" is the chosen knee configuration (Jikes: Stride=3, Samples=16;
+// J9: Stride=7, Samples=16).
+//
+// Paper landmarks: average small-input accuracy ~26% (base) vs ~55%
+// (CBS) on Jikes; large inputs profile better than small; CBS matches
+// or beats base nearly everywhere (compress-large being the paper's
+// noted exception); overhead stays within noise for all benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Statistics.h"
+
+using namespace cbs;
+using namespace cbs::bench;
+
+int main() {
+  unsigned Runs = exp::envRuns(3);
+  printHeader("Table 3", "Per-benchmark overhead and accuracy breakdown");
+  std::printf("runs per cell: %u (CBSVM_RUNS)\n\n", Runs);
+
+  for (vm::Personality Pers :
+       {vm::Personality::JikesRVM, vm::Personality::J9}) {
+    std::printf("--- %s personality ---\n", personalityName(Pers));
+    vm::ProfilerOptions Base = exp::baseProfiler(Pers);
+    vm::ProfilerOptions CBS = exp::chosenCBS(Pers);
+    std::printf("base = %s; cbs = Stride=%u, Samples=%u\n",
+                Pers == vm::Personality::JikesRVM ? "timer sampling"
+                                                  : "CBS(1,1)",
+                CBS.CBS.Stride, CBS.CBS.SamplesPerTick);
+
+    TablePrinter TP;
+    TP.setHeader({"Benchmark", "Base ovh%", "Base acc", "CBS ovh%",
+                  "CBS acc"});
+    for (wl::InputSize Size :
+         {wl::InputSize::Small, wl::InputSize::Large}) {
+      std::vector<double> BaseAcc, CBSAcc, BaseOvh, CBSOvh;
+      for (const wl::WorkloadInfo &W : wl::suite()) {
+        exp::AccuracyCell BaseCell =
+            exp::measureAccuracyMedian(W, Size, Pers, Base, Runs, 1);
+        exp::AccuracyCell CBSCell =
+            exp::measureAccuracyMedian(W, Size, Pers, CBS, Runs, 1);
+        TP.addRow({std::string(W.Name) + "-" + wl::inputSizeName(Size),
+                   TablePrinter::formatDouble(BaseCell.OverheadPct, 2),
+                   TablePrinter::formatDouble(BaseCell.AccuracyPct, 0),
+                   TablePrinter::formatDouble(CBSCell.OverheadPct, 2),
+                   TablePrinter::formatDouble(CBSCell.AccuracyPct, 0)});
+        BaseAcc.push_back(BaseCell.AccuracyPct);
+        CBSAcc.push_back(CBSCell.AccuracyPct);
+        BaseOvh.push_back(BaseCell.OverheadPct);
+        CBSOvh.push_back(CBSCell.OverheadPct);
+      }
+      TP.addRow({std::string("Average ") + wl::inputSizeName(Size),
+                 TablePrinter::formatDouble(mean(BaseOvh), 2),
+                 TablePrinter::formatDouble(mean(BaseAcc), 0),
+                 TablePrinter::formatDouble(mean(CBSOvh), 2),
+                 TablePrinter::formatDouble(mean(CBSAcc), 0)});
+      TP.addSeparator();
+    }
+    std::fputs(TP.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf("paper landmarks (Jikes): small avg 26 (base) vs 55 (cbs); "
+              "large avg 50 vs 69;\nJ9: small 27 vs 51, large 46 vs 74; "
+              "overhead < ~0.5%% everywhere.\n");
+  return 0;
+}

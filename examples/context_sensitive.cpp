@@ -1,0 +1,53 @@
+//===- examples/context_sensitive.cpp - CCT profiling demo ---------------------===//
+//
+// Part of the CBSVM project.
+//
+// The paper notes CBS "is easily extensible to context-sensitive
+// profiling" (§1): instead of recording just the top caller→callee pair
+// per sample, record the whole walked stack into a calling context
+// tree. This example profiles the kawa workload (deep recursive
+// evaluation) both ways and shows what the flat DCG cannot express:
+// the same callee reached through different contexts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiments.h"
+
+#include <cstdio>
+
+using namespace cbs;
+
+int main() {
+  bc::Program P = wl::buildKawa(wl::InputSize::Small, 1);
+
+  vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+  Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
+  Config.Profiler.ContextSensitive = true;
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+
+  const prof::CallingContextTree &CCT = VM.contextTree();
+  const prof::DynamicCallGraph &Flat = VM.profile();
+
+  std::printf("samples:          %llu\n",
+              static_cast<unsigned long long>(VM.stats().SamplesTaken));
+  std::printf("flat DCG edges:   %zu\n", Flat.numEdges());
+  std::printf("CCT nodes:        %zu (max depth %zu)\n", CCT.numNodes(),
+              CCT.maxDepth());
+  std::printf("\nThe CCT needs more nodes than the DCG has edges exactly "
+              "when the same\nedge occurs under multiple calling contexts "
+              "— kawa's recursive evaluator\nreaches Literal::eval both "
+              "directly from a form and nested under\nApplication/IfExpr "
+              "frames.\n\n");
+
+  // Projections: the context-insensitive view is recoverable.
+  prof::DynamicCallGraph Projected = CCT.projectLeafEdges();
+  std::printf("projectLeafEdges() total weight %llu == flat profile "
+              "weight %llu\n",
+              static_cast<unsigned long long>(Projected.totalWeight()),
+              static_cast<unsigned long long>(Flat.totalWeight()));
+
+  std::printf("\ntop of the calling context tree:\n%s\n",
+              CCT.str(P, 24).c_str());
+  return 0;
+}

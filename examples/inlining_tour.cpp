@@ -1,0 +1,121 @@
+//===- examples/inlining_tour.cpp - profile-directed inlining tour -------------===//
+//
+// Part of the CBSVM project.
+//
+// Walks the full feedback loop of the paper: run a workload under CBS,
+// build inline plans with each of the three oracles from the collected
+// profile, show what they decide at an interesting call site, and
+// measure the steady-state effect of each plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aos/AdaptiveSystem.h"
+#include "bytecode/Printer.h"
+#include "experiments/Experiments.h"
+#include "opt/Compiler.h"
+
+#include <cstdio>
+
+using namespace cbs;
+
+static const char *kindName(opt::InlineDecision::Kind K) {
+  switch (K) {
+  case opt::InlineDecision::Kind::None:
+    return "leave as a call";
+  case opt::InlineDecision::Kind::Direct:
+    return "inline directly";
+  case opt::InlineDecision::Kind::Guarded:
+    return "guarded inline";
+  }
+  return "?";
+}
+
+int main() {
+  // jess: a rule engine with one hot virtual site whose receiver
+  // distribution is skewed 44/25/12/6/6/6.
+  bc::Program P = wl::buildJess(wl::InputSize::Small, 1);
+
+  // Step 1: profile with counter-based sampling.
+  vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+  Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  const prof::DynamicCallGraph &DCG = VM.profile();
+  std::printf("profiled %llu samples over %llu ticks\n\n",
+              static_cast<unsigned long long>(VM.stats().SamplesTaken),
+              static_cast<unsigned long long>(VM.stats().TimerTicks));
+  std::printf("%s\n", DCG.str(P, 10).c_str());
+
+  // Step 2: find the hot virtual site (the rule-matching dispatch).
+  bc::SiteId HotVirtual = bc::InvalidSiteId;
+  uint64_t BestWeight = 0;
+  for (bc::SiteId S = 0; S != P.numSites(); ++S) {
+    const bc::SiteInfo &Info = P.site(S);
+    const bc::Instruction &I = P.method(Info.Caller).Code[Info.PC];
+    if (I.Op != bc::Opcode::InvokeVirtual)
+      continue;
+    uint64_t W = 0;
+    for (const auto &[Edge, Weight] : DCG.siteDistribution(S))
+      W += Weight;
+    if (W > BestWeight) {
+      BestWeight = W;
+      HotVirtual = S;
+    }
+  }
+  std::printf("hot virtual site: site %u in %s, distribution:\n",
+              HotVirtual, P.qualifiedName(P.site(HotVirtual).Caller).c_str());
+  for (const auto &[Edge, Weight] : DCG.siteDistribution(HotVirtual))
+    std::printf("  -> %-14s %6.1f%%\n", P.qualifiedName(Edge.Callee).c_str(),
+                100.0 * Weight / BestWeight);
+
+  // Step 3: what does each oracle decide there?
+  opt::OldJikesOracle Old;
+  opt::NewJikesOracle New;
+  opt::J9Oracle J9;
+  std::printf("\noracle decisions at that site:\n");
+  for (const opt::InlineOracle *O :
+       std::initializer_list<const opt::InlineOracle *>{&Old, &New, &J9}) {
+    opt::InlinePlan Plan = O->plan(P, DCG);
+    const opt::InlineDecision *D = Plan.decisionFor(HotVirtual);
+    std::printf("  %-10s: %s", O->name(),
+                D ? kindName(D->K) : "leave as a call");
+    if (D && D->K == opt::InlineDecision::Kind::Guarded) {
+      std::printf(" of");
+      for (const opt::GuardedTarget &GT : D->Guarded)
+        std::printf(" %s", P.qualifiedName(GT.Target).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Step 4: show the rewritten code for the hottest method under the
+  // new inliner.
+  {
+    opt::InlinePlan Plan = New.plan(P, DCG);
+    bc::MethodId Caller = P.site(HotVirtual).Caller;
+    opt::InlineResult R = opt::inlineMethod(P, Caller, Plan);
+    std::printf("\n%s after inlining: %zu -> %zu instructions, %u bodies "
+                "spliced\n",
+                P.qualifiedName(Caller).c_str(),
+                P.method(Caller).Code.size(), R.Code.size(),
+                R.InlinedBodies);
+  }
+
+  // Step 5: steady-state effect of each oracle's plan.
+  std::printf("\nsteady-state throughput by oracle (vs trivial-only "
+              "plans):\n");
+  bc::Program Steady = wl::buildJess(wl::InputSize::Steady, 1);
+  exp::SpeedupOptions Base;
+  Base.Prof = exp::chosenCBS(vm::Personality::JikesRVM);
+  Base.Oracle = nullptr;
+  exp::ThroughputResult BaseR = exp::measureThroughput(Steady, Base);
+  for (const opt::InlineOracle *O :
+       std::initializer_list<const opt::InlineOracle *>{&Old, &New, &J9}) {
+    exp::SpeedupOptions Opts = Base;
+    Opts.Oracle = O;
+    exp::ThroughputResult R = exp::measureThroughput(Steady, Opts);
+    std::printf("  %-10s: %+5.1f%%  (%llu recompilations)\n", O->name(),
+                exp::speedupPercent(R, BaseR),
+                static_cast<unsigned long long>(R.Recompilations));
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- aos/AdaptiveSystem.cpp - Adaptive optimization ------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aos/AdaptiveSystem.h"
+
+using namespace cbs;
+using namespace cbs::aos;
+
+AdaptiveSystem::AdaptiveSystem(const opt::InlineOracle *Oracle,
+                               AOSConfig Config)
+    : Oracle(Oracle), Config(Config) {}
+
+const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
+  if (HavePlan && PlanAgeTicks < Config.PlanRefreshTicks)
+    return Plan;
+  static const opt::TrivialOracle Trivial;
+  const opt::InlineOracle &O = Oracle ? *Oracle : Trivial;
+  Plan = O.plan(VM.program(), VM.profile());
+  HavePlan = true;
+  PlanAgeTicks = 0;
+  ++PlanGeneration;
+  ++Stats.PlansComputed;
+  return Plan;
+}
+
+void AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
+                                  bc::MethodId Method) {
+  if (PerMethod.empty())
+    PerMethod.resize(VM.program().numMethods());
+
+  vm::CodeCache &Cache = VM.codeCache();
+  int Level = Cache.activeLevel(Method);
+  uint32_t Samples = VM.methodTickSamples()[Method];
+
+  int NextLevel;
+  bool IsReopt = false;
+  if (Level < 1 && Samples >= Config.Level1Samples) {
+    NextLevel = 1;
+  } else if (Level < 2 && Samples >= Config.Level2Samples) {
+    NextLevel = 2;
+  } else if (Level == 2 &&
+             PerMethod[Method].Reopts < Config.MaxReoptsPerMethod &&
+             PlanGeneration >= PerMethod[Method].CompiledGeneration +
+                                   Config.ReoptPlanGenerations &&
+             Samples >= 2 * Config.Level2Samples) {
+    // The method was optimized against an earlier (possibly immature)
+    // profile and is still hot: re-optimize with the current plan.
+    NextLevel = 2;
+    IsReopt = true;
+  } else {
+    return;
+  }
+
+  // Cost-benefit check: estimated remaining time in this method,
+  // assuming it keeps its observed share of the tick samples, must pay
+  // for the compile. Estimated remaining cycles ~ samples * period
+  // (what has been observed so far is the AOS's standard predictor of
+  // the future).
+  double EstimatedRemaining =
+      static_cast<double>(Samples) *
+      static_cast<double>(VM.config().TimerPeriodCycles);
+  double CompileCost =
+      VM.config().Costs.CompileCostPerByte[NextLevel] *
+      static_cast<double>(VM.program().method(Method).sizeBytes());
+  if (EstimatedRemaining < Config.CostBenefitFactor * CompileCost)
+    return;
+
+  vm::CompiledMethod CM =
+      opt::compileMethod(VM.program(), Method, NextLevel, currentPlan(VM),
+                         VM.config().Costs, Config.Compile);
+  VM.installCompiled(std::move(CM));
+  PerMethod[Method].CompiledGeneration = PlanGeneration;
+  ++Stats.Recompilations;
+  if (IsReopt) {
+    ++PerMethod[Method].Reopts;
+    ++Stats.Reoptimizations;
+  } else if (NextLevel == 1) {
+    ++Stats.PromotionsToL1;
+  } else {
+    ++Stats.PromotionsToL2;
+  }
+}
+
+void AdaptiveSystem::onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) {
+  ++Stats.Ticks;
+  ++PlanAgeTicks;
+  // The sampled method is the promotion candidate this tick (plus, on a
+  // real system, its callers; the plan covers their sites when they in
+  // turn get hot).
+  for (uint32_t I = 0; I < Config.MaxRecompilesPerTick; ++I) {
+    uint64_t Before = Stats.Recompilations;
+    maybePromote(VM, Top);
+    if (Stats.Recompilations == Before)
+      break;
+  }
+}

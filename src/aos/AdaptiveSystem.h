@@ -1,0 +1,101 @@
+//===- aos/AdaptiveSystem.h - Adaptive optimization -------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive optimization system (Arnold et al.'s Jikes RVM AOS,
+/// simplified): timer-tick samples identify hot methods; methods whose
+/// sample counts cross level thresholds are recompiled at higher
+/// optimization levels with an inline plan computed by the configured
+/// oracle from the *current* dynamic call graph. This is the client
+/// that turns profile accuracy into performance (§6.3): a profiler that
+/// converges faster hands the oracle a better DCG at recompilation
+/// time.
+///
+/// The controller implements a simplified cost-benefit rule: a method
+/// is promoted when its estimated remaining execution time (sample
+/// count × timer period, assuming the program keeps behaving as
+/// observed) exceeds the modelled compile cost at the next level by a
+/// configurable factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_AOS_ADAPTIVESYSTEM_H
+#define CBSVM_AOS_ADAPTIVESYSTEM_H
+
+#include "opt/Compiler.h"
+#include "opt/InlineOracle.h"
+#include "vm/VirtualMachine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cbs::aos {
+
+struct AOSConfig {
+  /// Tick samples a method needs before promotion to level 1 / 2.
+  uint32_t Level1Samples = 2;
+  uint32_t Level2Samples = 8;
+  /// Benefit factor: promote only when estimated remaining cycles in
+  /// the method exceed Factor × compile cost of the next level.
+  double CostBenefitFactor = 1.0;
+  /// Recompute the inline plan at most every this many ticks (plans
+  /// are whole-program and moderately expensive to build).
+  uint32_t PlanRefreshTicks = 4;
+  /// Cap on promotions processed per tick (compile queue backpressure).
+  uint32_t MaxRecompilesPerTick = 4;
+  /// A method already at the top level may be *re*-optimized when the
+  /// inline plan has advanced this many generations since it was last
+  /// compiled — early recompilations happen against immature profiles,
+  /// and the modelled VMs keep re-optimizing as profiles mature.
+  uint32_t ReoptPlanGenerations = 2;
+  /// Bound on same-level reoptimizations per method.
+  uint32_t MaxReoptsPerMethod = 2;
+  opt::CompileOptions Compile;
+};
+
+struct AOSStats {
+  uint64_t Ticks = 0;
+  uint64_t Recompilations = 0;
+  uint64_t PlansComputed = 0;
+  uint64_t PromotionsToL1 = 0;
+  uint64_t PromotionsToL2 = 0;
+  uint64_t Reoptimizations = 0;
+};
+
+/// Attach with VirtualMachine::setClient. \p Oracle must outlive the
+/// system and may be null (no profile-directed inlining: methods are
+/// recompiled with the trivial plan only).
+class AdaptiveSystem : public vm::VMClient {
+public:
+  AdaptiveSystem(const opt::InlineOracle *Oracle, AOSConfig Config = {});
+
+  void onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) override;
+
+  const AOSStats &stats() const { return Stats; }
+
+private:
+  void maybePromote(vm::VirtualMachine &VM, bc::MethodId Method);
+  const opt::InlinePlan &currentPlan(vm::VirtualMachine &VM);
+
+  const opt::InlineOracle *Oracle;
+  AOSConfig Config;
+  AOSStats Stats;
+
+  opt::InlinePlan Plan;
+  uint64_t PlanAgeTicks = 0;
+  uint64_t PlanGeneration = 0;
+  bool HavePlan = false;
+
+  struct MethodState {
+    uint64_t CompiledGeneration = 0;
+    uint32_t Reopts = 0;
+  };
+  std::vector<MethodState> PerMethod;
+};
+
+} // namespace cbs::aos
+
+#endif // CBSVM_AOS_ADAPTIVESYSTEM_H

@@ -1,0 +1,172 @@
+//===- bytecode/Builder.h - Program construction API ------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder / MethodBuilder: the API for constructing verified
+/// programs. Methods are declared first (so calls can reference them,
+/// including mutual recursion) and defined with a MethodBuilder that
+/// supports forward branch labels. Call instructions get program-unique
+/// site ids at emit time; `ProgramBuilder::finish` resolves the class
+/// hierarchy and freezes the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_BUILDER_H
+#define CBSVM_BYTECODE_BUILDER_H
+
+#include "bytecode/Program.h"
+
+#include <memory>
+
+namespace cbs::bc {
+
+class ProgramBuilder;
+
+/// A forward-referenceable branch target inside one method.
+struct Label {
+  uint32_t Index = ~0u;
+};
+
+/// Builds the body of one previously declared method. Emit methods
+/// append exactly one instruction each and return *this for chaining.
+class MethodBuilder {
+public:
+  // Integer stack/local operations.
+  MethodBuilder &iconst(int64_t V);
+  MethodBuilder &iload(uint32_t Slot);
+  MethodBuilder &istore(uint32_t Slot);
+  MethodBuilder &iinc(uint32_t Slot, int32_t Delta);
+  MethodBuilder &iadd();
+  MethodBuilder &isub();
+  MethodBuilder &imul();
+  MethodBuilder &idiv();
+  MethodBuilder &irem();
+  MethodBuilder &ineg();
+  MethodBuilder &iand();
+  MethodBuilder &ior();
+  MethodBuilder &ixor();
+  MethodBuilder &ishl();
+  MethodBuilder &ishr();
+
+  // Control flow.
+  Label newLabel();
+  /// Binds \p L to the next emitted instruction.
+  MethodBuilder &bind(Label L);
+  MethodBuilder &jump(Label L);
+  MethodBuilder &ifEq(Label L);
+  MethodBuilder &ifNe(Label L);
+  MethodBuilder &ifLt(Label L);
+  MethodBuilder &ifLe(Label L);
+  MethodBuilder &ifGt(Label L);
+  MethodBuilder &ifGe(Label L);
+  MethodBuilder &ifICmpEq(Label L);
+  MethodBuilder &ifICmpNe(Label L);
+  MethodBuilder &ifICmpLt(Label L);
+  MethodBuilder &ifICmpGe(Label L);
+
+  // Objects.
+  MethodBuilder &newObject(ClassId Class);
+  MethodBuilder &getField(uint32_t Index);
+  MethodBuilder &putField(uint32_t Index);
+  MethodBuilder &aload(uint32_t Slot);
+  MethodBuilder &astore(uint32_t Slot);
+  MethodBuilder &aconstNull();
+  MethodBuilder &classEq(ClassId Class);
+
+  // Calls. Argument counts come from the callee declaration / selector.
+  MethodBuilder &invokeStatic(MethodId Callee);
+  MethodBuilder &invokeVirtual(SelectorId Selector);
+
+  // Returns and miscellany.
+  MethodBuilder &ret();
+  MethodBuilder &iret();
+  MethodBuilder &aret();
+  MethodBuilder &work(int32_t Cycles);
+  MethodBuilder &print();
+  MethodBuilder &halt();
+  MethodBuilder &nop();
+  /// Starts a new thread running \p Target (static, argumentless, void).
+  MethodBuilder &spawn(MethodId Target);
+
+  /// Index of the next instruction to be emitted.
+  uint32_t nextPC() const;
+
+  /// Patches labels, computes NumLocals, appends a trailing `return` to
+  /// void methods whose code does not already end in one, and installs
+  /// the body. The builder must not be used afterwards.
+  void finish();
+
+private:
+  friend class ProgramBuilder;
+  MethodBuilder(ProgramBuilder &PB, MethodId Id) : PB(PB), Id(Id) {}
+
+  MethodBuilder &emit(Opcode Op, int32_t A = 0, int32_t B = 0);
+  MethodBuilder &emitBranch(Opcode Op, Label L);
+
+  ProgramBuilder &PB;
+  MethodId Id;
+  std::vector<Instruction> Code;
+  /// Bound pc per label index; ~0u while unbound.
+  std::vector<uint32_t> LabelPCs;
+  /// (instruction index, label index) pairs awaiting patch.
+  std::vector<std::pair<uint32_t, uint32_t>> Fixups;
+  uint32_t MaxSlot = 0;
+  bool Finished = false;
+};
+
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  /// Adds a class; \p Super must already exist or be InvalidClassId.
+  ClassId addClass(std::string Name, ClassId Super = InvalidClassId,
+                   uint32_t NumOwnFields = 0);
+
+  /// Interns a virtual-dispatch selector. \p NumArgs includes the
+  /// receiver.
+  SelectorId addSelector(std::string Name, uint32_t NumArgs);
+
+  /// Declares a static method so calls can reference it before its body
+  /// exists. \p ArgKinds may be empty.
+  MethodId declareStatic(std::string Name, std::vector<ValKind> ArgKinds = {},
+                         bool HasResult = false,
+                         ValKind ResultKind = ValKind::Int);
+
+  /// Declares a virtual method implementing \p Selector on \p Class.
+  /// The signature is the selector's: receiver Ref plus \p ExtraKinds
+  /// (which must have selectorNumArgs - 1 entries; defaults to all Int).
+  MethodId declareVirtual(ClassId Class, SelectorId Selector,
+                          std::string Name = "",
+                          std::vector<ValKind> ExtraKinds = {},
+                          bool HasResult = false,
+                          ValKind ResultKind = ValKind::Int);
+
+  /// Starts defining the body of \p Id. Each method may be defined once.
+  MethodBuilder defineMethod(MethodId Id);
+
+  const Method &methodInfo(MethodId Id) const;
+  ClassHierarchy &hierarchy() { return Hierarchy; }
+
+  /// Freezes the program with \p Entry as the main method. All declared
+  /// methods must have been defined.
+  Program finish(MethodId Entry);
+
+private:
+  friend class MethodBuilder;
+
+  SiteId allocateSite(MethodId Caller, uint32_t PC);
+  void installBody(MethodId Id, std::vector<Instruction> Code,
+                   uint32_t NumLocals);
+
+  ClassHierarchy Hierarchy;
+  std::vector<Method> Methods;
+  std::vector<bool> Defined;
+  std::vector<SiteInfo> Sites;
+};
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_BUILDER_H

@@ -1,0 +1,93 @@
+//===- bytecode/ClassHierarchy.cpp - Classes and vtables ------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/ClassHierarchy.h"
+
+#include <cassert>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+ClassId ClassHierarchy::addClass(std::string Name, ClassId Super,
+                                 uint32_t NumOwnFields) {
+  assert((Super == InvalidClassId || Super < Classes.size()) &&
+         "superclass must be added first");
+  ClassType C;
+  C.Id = static_cast<ClassId>(Classes.size());
+  C.Name = std::move(Name);
+  C.Super = Super;
+  C.NumFields =
+      NumOwnFields + (Super == InvalidClassId ? 0 : Classes[Super].NumFields);
+  Classes.push_back(std::move(C));
+  return Classes.back().Id;
+}
+
+SelectorId ClassHierarchy::addSelector(std::string Name, uint32_t NumArgs) {
+  assert(NumArgs >= 1 && "selector arg count includes the receiver");
+  SelectorNames.push_back(std::move(Name));
+  SelectorArgs.push_back(NumArgs);
+  return static_cast<SelectorId>(SelectorNames.size() - 1);
+}
+
+void ClassHierarchy::setImplementation(ClassId Class, SelectorId Selector,
+                                       MethodId Method) {
+  assert(Class < Classes.size() && "unknown class");
+  assert(Selector < SelectorNames.size() && "unknown selector");
+  Overrides.push_back({Class, Selector, Method});
+}
+
+void ClassHierarchy::resolve() {
+  // Classes are appended after their superclass (enforced in addClass),
+  // so a single forward pass sees each superclass resolved first.
+  for (ClassType &C : Classes) {
+    C.VTable.assign(SelectorNames.size(), InvalidMethodId);
+    if (C.Super != InvalidClassId)
+      C.VTable = Classes[C.Super].VTable;
+    C.VTable.resize(SelectorNames.size(), InvalidMethodId);
+    for (const Override &O : Overrides)
+      if (O.Class == C.Id)
+        C.VTable[O.Selector] = O.Method;
+  }
+}
+
+bool ClassHierarchy::derivesFrom(ClassId Sub, ClassId Ancestor) const {
+  for (ClassId C = Sub; C != InvalidClassId; C = Classes[C].Super)
+    if (C == Ancestor)
+      return true;
+  return false;
+}
+
+const ClassType &ClassHierarchy::classOf(ClassId Id) const {
+  assert(Id < Classes.size() && "unknown class");
+  return Classes[Id];
+}
+
+const std::string &ClassHierarchy::selectorName(SelectorId Id) const {
+  assert(Id < SelectorNames.size() && "unknown selector");
+  return SelectorNames[Id];
+}
+
+uint32_t ClassHierarchy::selectorNumArgs(SelectorId Id) const {
+  assert(Id < SelectorArgs.size() && "unknown selector");
+  return SelectorArgs[Id];
+}
+
+MethodId ClassHierarchy::lookup(ClassId Class, SelectorId Selector) const {
+  const ClassType &C = classOf(Class);
+  assert(!C.VTable.empty() && "hierarchy not resolved");
+  if (Selector >= C.VTable.size())
+    return InvalidMethodId;
+  return C.VTable[Selector];
+}
+
+std::vector<ClassId> ClassHierarchy::receiversOf(SelectorId Selector,
+                                                 MethodId Method) const {
+  std::vector<ClassId> Result;
+  for (const ClassType &C : Classes)
+    if (Selector < C.VTable.size() && C.VTable[Selector] == Method)
+      Result.push_back(C.Id);
+  return Result;
+}

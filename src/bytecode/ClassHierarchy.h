@@ -1,0 +1,90 @@
+//===- bytecode/ClassHierarchy.h - Classes and vtables ----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-inheritance class hierarchy with per-class virtual dispatch
+/// tables indexed by selector id. Dispatch tables are fully resolved at
+/// Program finalization: a class's table starts as a copy of its
+/// superclass's and is overlaid with its own overrides, so the
+/// interpreter's invokevirtual is a single array lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_CLASSHIERARCHY_H
+#define CBSVM_BYTECODE_CLASSHIERARCHY_H
+
+#include "bytecode/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace cbs::bc {
+
+struct ClassType {
+  ClassId Id = InvalidClassId;
+  std::string Name;
+  ClassId Super = InvalidClassId;
+  /// Total field count including inherited fields.
+  uint32_t NumFields = 0;
+  /// Resolved dispatch table, indexed by SelectorId. InvalidMethodId for
+  /// selectors the class does not understand.
+  std::vector<MethodId> VTable;
+};
+
+class ClassHierarchy {
+public:
+  /// Adds a class. \p Super must already exist (or be InvalidClassId for
+  /// a root class). \p NumOwnFields is the count of fields added beyond
+  /// the superclass's.
+  ClassId addClass(std::string Name, ClassId Super, uint32_t NumOwnFields);
+
+  /// Interns a dispatch selector with the given argument count
+  /// (including the receiver).
+  SelectorId addSelector(std::string Name, uint32_t NumArgs);
+
+  /// Records that \p Class implements \p Selector with \p Method.
+  /// Effective tables are built by resolve().
+  void setImplementation(ClassId Class, SelectorId Selector, MethodId Method);
+
+  /// Builds the resolved per-class dispatch tables. Called by
+  /// ProgramBuilder::finish; callable repeatedly.
+  void resolve();
+
+  /// True if \p Sub equals \p Ancestor or transitively derives from it.
+  bool derivesFrom(ClassId Sub, ClassId Ancestor) const;
+
+  const ClassType &classOf(ClassId Id) const;
+  size_t numClasses() const { return Classes.size(); }
+  size_t numSelectors() const { return SelectorNames.size(); }
+  const std::string &selectorName(SelectorId Id) const;
+  uint32_t selectorNumArgs(SelectorId Id) const;
+
+  /// Resolved dispatch: the method \p Class runs for \p Selector, or
+  /// InvalidMethodId. Valid after resolve().
+  MethodId lookup(ClassId Class, SelectorId Selector) const;
+
+  /// All classes whose resolved table maps \p Selector to \p Method
+  /// (i.e. the receiver classes that would dispatch to it). Valid after
+  /// resolve(). Used by guarded inlining to pick guard classes.
+  std::vector<ClassId> receiversOf(SelectorId Selector,
+                                   MethodId Method) const;
+
+private:
+  struct Override {
+    ClassId Class;
+    SelectorId Selector;
+    MethodId Method;
+  };
+
+  std::vector<ClassType> Classes;
+  std::vector<std::string> SelectorNames;
+  std::vector<uint32_t> SelectorArgs;
+  std::vector<Override> Overrides;
+};
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_CLASSHIERARCHY_H

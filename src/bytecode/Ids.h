@@ -1,0 +1,51 @@
+//===- bytecode/Ids.h - Entity identifiers ----------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer identifiers for program entities. All cross-references inside a
+/// Program use these ids rather than pointers, which keeps programs
+/// relocatable (the inliner and optimizer copy code freely) and makes the
+/// dynamic call graph a map over small integer keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_IDS_H
+#define CBSVM_BYTECODE_IDS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace cbs::bc {
+
+/// Identifies a method within a Program.
+using MethodId = uint32_t;
+/// Identifies a class within a Program's hierarchy.
+using ClassId = uint32_t;
+/// Identifies a virtual-dispatch selector (method name + arity).
+using SelectorId = uint32_t;
+/// Identifies a call site. Site ids are unique across the whole Program
+/// and survive inlining: a call instruction copied into another method
+/// keeps its original site id, which is how the profiler attributes
+/// guard-fallback calls to the right source site.
+using SiteId = uint32_t;
+
+inline constexpr MethodId InvalidMethodId =
+    std::numeric_limits<MethodId>::max();
+inline constexpr ClassId InvalidClassId = std::numeric_limits<ClassId>::max();
+inline constexpr SelectorId InvalidSelectorId =
+    std::numeric_limits<SelectorId>::max();
+inline constexpr SiteId InvalidSiteId = std::numeric_limits<SiteId>::max();
+
+/// The kind of a runtime value; the verifier enforces kind discipline so
+/// the interpreter can store everything in untyped 64-bit slots.
+enum class ValKind : uint8_t {
+  Int, ///< 64-bit signed integer.
+  Ref, ///< Heap reference (0 is null).
+};
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_IDS_H

@@ -1,0 +1,62 @@
+//===- bytecode/Method.h - Method representation ----------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A method: name, signature, owning class (for virtual methods), and a
+/// flat instruction vector. Branch operands are instruction indices into
+/// `Code`. Methods never change after Program finalization; the
+/// optimizer/inliner produce separate CompiledMethod versions (see
+/// vm/CompiledMethod.h) rather than mutating the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_METHOD_H
+#define CBSVM_BYTECODE_METHOD_H
+
+#include "bytecode/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace cbs::bc {
+
+struct Method {
+  MethodId Id = InvalidMethodId;
+  std::string Name;
+
+  /// Owning class for virtual methods, InvalidClassId for static ones.
+  ClassId Owner = InvalidClassId;
+  /// Dispatch selector for virtual methods, InvalidSelectorId otherwise.
+  SelectorId Selector = InvalidSelectorId;
+
+  /// Argument kinds; for virtual methods ArgKinds[0] is the receiver and
+  /// always Ref. Arguments occupy locals [0, ArgKinds.size()).
+  std::vector<ValKind> ArgKinds;
+  /// Kind of the returned value; empty optional encoded as HasResult.
+  bool HasResult = false;
+  ValKind ResultKind = ValKind::Int;
+
+  /// Number of local variable slots (>= ArgKinds.size()).
+  uint32_t NumLocals = 0;
+
+  std::vector<Instruction> Code;
+
+  bool isVirtual() const { return Selector != InvalidSelectorId; }
+  uint32_t numArgs() const { return static_cast<uint32_t>(ArgKinds.size()); }
+
+  /// Modelled bytecode size in bytes; the unit of the paper's inlining
+  /// size thresholds and of Table 1's "Size (K)" column.
+  uint32_t sizeBytes() const {
+    uint32_t Total = 0;
+    for (const Instruction &I : Code)
+      Total += opcodeSizeBytes(I.Op);
+    return Total;
+  }
+};
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_METHOD_H

@@ -1,0 +1,188 @@
+//===- bytecode/Opcode.cpp - Instruction set ------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Opcode.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+
+const char *bc::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::ILoad:
+    return "iload";
+  case Opcode::IStore:
+    return "istore";
+  case Opcode::IInc:
+    return "iinc";
+  case Opcode::IAdd:
+    return "iadd";
+  case Opcode::ISub:
+    return "isub";
+  case Opcode::IMul:
+    return "imul";
+  case Opcode::IDiv:
+    return "idiv";
+  case Opcode::IRem:
+    return "irem";
+  case Opcode::INeg:
+    return "ineg";
+  case Opcode::IAnd:
+    return "iand";
+  case Opcode::IOr:
+    return "ior";
+  case Opcode::IXor:
+    return "ixor";
+  case Opcode::IShl:
+    return "ishl";
+  case Opcode::IShr:
+    return "ishr";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::IfEq:
+    return "ifeq";
+  case Opcode::IfNe:
+    return "ifne";
+  case Opcode::IfLt:
+    return "iflt";
+  case Opcode::IfLe:
+    return "ifle";
+  case Opcode::IfGt:
+    return "ifgt";
+  case Opcode::IfGe:
+    return "ifge";
+  case Opcode::IfICmpEq:
+    return "if_icmpeq";
+  case Opcode::IfICmpNe:
+    return "if_icmpne";
+  case Opcode::IfICmpLt:
+    return "if_icmplt";
+  case Opcode::IfICmpGe:
+    return "if_icmpge";
+  case Opcode::New:
+    return "new";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::AConstNull:
+    return "aconst_null";
+  case Opcode::ClassEq:
+    return "classeq";
+  case Opcode::InvokeStatic:
+    return "invokestatic";
+  case Opcode::InvokeVirtual:
+    return "invokevirtual";
+  case Opcode::Return:
+    return "return";
+  case Opcode::IReturn:
+    return "ireturn";
+  case Opcode::AReturn:
+    return "areturn";
+  case Opcode::Work:
+    return "work";
+  case Opcode::Print:
+    return "print";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Spawn:
+    return "spawn";
+  }
+  cbsUnreachable("unknown opcode");
+}
+
+bool bc::isBranch(Opcode Op) {
+  return Op == Opcode::Goto || isConditionalBranch(Op);
+}
+
+bool bc::isConditionalBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool bc::isCall(Opcode Op) {
+  return Op == Opcode::InvokeStatic || Op == Opcode::InvokeVirtual;
+}
+
+bool bc::isReturn(Opcode Op) {
+  return Op == Opcode::Return || Op == Opcode::IReturn ||
+         Op == Opcode::AReturn;
+}
+
+unsigned bc::opcodeSizeBytes(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::INeg:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+  case Opcode::AConstNull:
+  case Opcode::Return:
+  case Opcode::IReturn:
+  case Opcode::AReturn:
+  case Opcode::Print:
+  case Opcode::Halt:
+    return 1;
+  case Opcode::IConst:
+  case Opcode::ILoad:
+  case Opcode::IStore:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::Work:
+    return 2;
+  case Opcode::IInc:
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+  case Opcode::New:
+  case Opcode::ClassEq:
+    return 3;
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeVirtual:
+  case Opcode::Spawn:
+    return 3;
+  }
+  cbsUnreachable("unknown opcode");
+}

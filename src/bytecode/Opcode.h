@@ -1,0 +1,112 @@
+//===- bytecode/Opcode.h - Instruction set ----------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CBSVM instruction set: a small JVM-like operand-stack ISA with
+/// integer arithmetic, object fields, static and virtual calls, and an
+/// abstract `Work` instruction that models a stretch of non-call
+/// computation (the getfield/putfield runs of the paper's Figure 1)
+/// without paying host interpretation cost per modelled instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_OPCODE_H
+#define CBSVM_BYTECODE_OPCODE_H
+
+#include <cstdint>
+
+namespace cbs::bc {
+
+enum class Opcode : uint8_t {
+  Nop,
+
+  // Integer stack/local operations. A = immediate or slot.
+  IConst, ///< push A
+  ILoad,  ///< push locals[A]
+  IStore, ///< locals[A] = pop
+  IInc,   ///< locals[A] += B (no stack traffic)
+
+  // Integer arithmetic; binary ops pop (rhs, lhs) and push the result.
+  IAdd,
+  ISub,
+  IMul,
+  IDiv, ///< traps on division by zero
+  IRem, ///< traps on division by zero
+  INeg,
+  IAnd,
+  IOr,
+  IXor,
+  IShl, ///< shift count masked to 63
+  IShr, ///< arithmetic shift, count masked to 63
+
+  // Control flow. A = target instruction index.
+  Goto,
+  IfEq, ///< pop v; branch if v == 0
+  IfNe,
+  IfLt,
+  IfLe,
+  IfGt,
+  IfGe,
+  IfICmpEq, ///< pop rhs, lhs; branch if lhs == rhs
+  IfICmpNe,
+  IfICmpLt,
+  IfICmpGe,
+
+  // Objects and fields.
+  New,        ///< A = ClassId; push new reference
+  GetField,   ///< A = field index; pop ref, push field value
+  PutField,   ///< A = field index; pop value, pop ref
+  ALoad,      ///< push locals[A] (reference)
+  AStore,     ///< locals[A] = pop (reference)
+  AConstNull, ///< push null
+  ClassEq,    ///< A = ClassId; pop ref, push 1 if exact class match else 0
+
+  // Calls. A = MethodId (static) or SelectorId (virtual); B = arg count
+  // including the receiver for virtual calls. Instruction::Site carries
+  // the program-unique call site id.
+  InvokeStatic,
+  InvokeVirtual,
+
+  // Returns.
+  Return,  ///< return void
+  IReturn, ///< pop int, return it
+  AReturn, ///< pop ref, return it
+
+  // Modelled computation and observation.
+  Work,  ///< charge A cycles of non-call computation (A >= 1)
+  Print, ///< pop int, append to the VM output log (observable effect)
+  Halt,  ///< stop the whole virtual machine
+
+  /// A = MethodId of a static, argumentless, void method: starts a new
+  /// green thread executing it. Used by the multithreaded workloads
+  /// (jbb, mtrt); the paper's J9 implementation motivates thread-local
+  /// sampling counters, which this exercises.
+  Spawn,
+};
+
+/// Returns a stable mnemonic, e.g. "invokevirtual".
+const char *opcodeName(Opcode Op);
+
+/// True for Goto and all conditional branches.
+bool isBranch(Opcode Op);
+
+/// True for conditional branches only.
+bool isConditionalBranch(Opcode Op);
+
+/// True for InvokeStatic / InvokeVirtual.
+bool isCall(Opcode Op);
+
+/// True for Return / IReturn / AReturn.
+bool isReturn(Opcode Op);
+
+/// Modelled encoded size in bytes of one instruction; the sum over a
+/// method is its "bytecode size", the quantity the paper's inliner
+/// thresholds are expressed in.
+unsigned opcodeSizeBytes(Opcode Op);
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_OPCODE_H

@@ -1,0 +1,92 @@
+//===- bytecode/Printer.cpp - Disassembler --------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Printer.h"
+
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+std::string bc::printInstruction(const Program &P, const Instruction &I) {
+  std::ostringstream OS;
+  OS << opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::IConst:
+  case Opcode::ILoad:
+  case Opcode::IStore:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::Work:
+    OS << ' ' << I.A;
+    break;
+  case Opcode::IInc:
+    OS << ' ' << I.A << ' ' << I.B;
+    break;
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+    OS << " -> " << I.A;
+    break;
+  case Opcode::New:
+  case Opcode::ClassEq:
+    OS << ' ' << P.hierarchy().classOf(static_cast<ClassId>(I.A)).Name;
+    break;
+  case Opcode::InvokeStatic:
+    OS << ' ' << P.qualifiedName(static_cast<MethodId>(I.A)) << " (site "
+       << I.Site << ')';
+    break;
+  case Opcode::InvokeVirtual:
+    OS << ' ' << P.hierarchy().selectorName(static_cast<SelectorId>(I.A))
+       << "/" << I.B << " (site " << I.Site << ')';
+    break;
+  case Opcode::Spawn:
+    OS << ' ' << P.qualifiedName(static_cast<MethodId>(I.A));
+    break;
+  default:
+    break;
+  }
+  return OS.str();
+}
+
+std::string bc::printCode(const Program &P, MethodId Id,
+                          const std::vector<Instruction> &Code) {
+  std::ostringstream OS;
+  OS << P.qualifiedName(Id) << ":\n";
+  for (size_t PC = 0, E = Code.size(); PC != E; ++PC)
+    OS << "  " << PC << ": " << printInstruction(P, Code[PC]) << '\n';
+  return OS.str();
+}
+
+std::string bc::printMethod(const Program &P, MethodId Id) {
+  const Method &M = P.method(Id);
+  std::ostringstream OS;
+  OS << (M.isVirtual() ? "virtual " : "static ") << P.qualifiedName(Id) << '/'
+     << M.numArgs() << " locals=" << M.NumLocals
+     << " size=" << M.sizeBytes() << "B\n";
+  OS << printCode(P, Id, M.Code);
+  return OS.str();
+}
+
+std::string bc::printProgram(const Program &P) {
+  std::ostringstream OS;
+  OS << "program: " << P.numMethods() << " methods, "
+     << P.hierarchy().numClasses() << " classes, " << P.numSites()
+     << " call sites, " << P.totalSizeBytes() << " bytecode bytes\n";
+  for (size_t I = 0, E = P.numMethods(); I != E; ++I)
+    OS << printMethod(P, static_cast<MethodId>(I));
+  return OS.str();
+}

@@ -1,0 +1,39 @@
+//===- bytecode/Printer.h - Disassembler ------------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of methods and programs, used in examples, test
+/// failure messages, and when debugging generated workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_PRINTER_H
+#define CBSVM_BYTECODE_PRINTER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+
+namespace cbs::bc {
+
+/// Disassembles one instruction, resolving method/class/selector names
+/// through \p P.
+std::string printInstruction(const Program &P, const Instruction &I);
+
+/// Disassembles an arbitrary body attributed to \p Id (works for
+/// compiled variants too).
+std::string printCode(const Program &P, MethodId Id,
+                      const std::vector<Instruction> &Code);
+
+/// Disassembles a method's original body with its signature header.
+std::string printMethod(const Program &P, MethodId Id);
+
+/// Disassembles the entire program.
+std::string printProgram(const Program &P);
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_PRINTER_H

@@ -1,0 +1,24 @@
+//===- bytecode/Program.cpp - Whole-program container ---------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Program.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+
+std::string Program::qualifiedName(MethodId Id) const {
+  const Method &M = method(Id);
+  if (M.Owner == InvalidClassId)
+    return M.Name;
+  return Hierarchy.classOf(M.Owner).Name + "::" + M.Name;
+}
+
+uint64_t Program::totalSizeBytes() const {
+  uint64_t Total = 0;
+  for (const Method &M : Methods)
+    Total += M.sizeBytes();
+  return Total;
+}

@@ -1,0 +1,69 @@
+//===- bytecode/Program.h - Whole-program container -------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program owns the class hierarchy, all methods, and the call-site
+/// table. Programs are immutable once finished by ProgramBuilder; the VM
+/// layers compiled method versions on top without touching the original
+/// bytecode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_PROGRAM_H
+#define CBSVM_BYTECODE_PROGRAM_H
+
+#include "bytecode/ClassHierarchy.h"
+#include "bytecode/Method.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace cbs::bc {
+
+/// Where a call site syntactically lives: its declaring method and the
+/// instruction index within that method's original code.
+struct SiteInfo {
+  MethodId Caller = InvalidMethodId;
+  uint32_t PC = 0;
+};
+
+class Program {
+public:
+  const Method &method(MethodId Id) const {
+    assert(Id < Methods.size() && "unknown method");
+    return Methods[Id];
+  }
+  size_t numMethods() const { return Methods.size(); }
+
+  const ClassHierarchy &hierarchy() const { return Hierarchy; }
+
+  MethodId entryMethod() const { return Entry; }
+
+  const SiteInfo &site(SiteId Id) const {
+    assert(Id < Sites.size() && "unknown call site");
+    return Sites[Id];
+  }
+  size_t numSites() const { return Sites.size(); }
+
+  /// Human-readable "Class::name" or plain name for static methods.
+  std::string qualifiedName(MethodId Id) const;
+
+  /// Total modelled bytecode bytes over all methods.
+  uint64_t totalSizeBytes() const;
+
+private:
+  friend class ProgramBuilder;
+
+  ClassHierarchy Hierarchy;
+  std::vector<Method> Methods;
+  std::vector<SiteInfo> Sites;
+  MethodId Entry = InvalidMethodId;
+};
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_PROGRAM_H

@@ -1,0 +1,452 @@
+//===- bytecode/Verifier.cpp - Structural bytecode verifier ---------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Verifier.h"
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+std::string VerifyResult::str() const {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    Out += E;
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Abstract value kind: the verifier's lattice. Conflict is the top
+/// element produced by merging Int with Ref (or anything with Uninit);
+/// it is an error only when consumed.
+enum class AK : uint8_t { Uninit, Int, Ref, Conflict };
+
+AK fromValKind(ValKind K) { return K == ValKind::Int ? AK::Int : AK::Ref; }
+
+AK mergeKind(AK L, AK R) {
+  if (L == R)
+    return L;
+  return AK::Conflict;
+}
+
+struct AbsState {
+  std::vector<AK> Stack;
+  std::vector<AK> Locals;
+};
+
+/// Merges \p In into \p Out; returns true if \p Out changed. Returns
+/// std::nullopt on depth mismatch (a hard verification error).
+std::optional<bool> mergeState(AbsState &Out, const AbsState &In) {
+  if (Out.Stack.size() != In.Stack.size())
+    return std::nullopt;
+  bool Changed = false;
+  for (size_t I = 0, E = Out.Stack.size(); I != E; ++I) {
+    AK Merged = mergeKind(Out.Stack[I], In.Stack[I]);
+    if (Merged != Out.Stack[I]) {
+      Out.Stack[I] = Merged;
+      Changed = true;
+    }
+  }
+  for (size_t I = 0, E = Out.Locals.size(); I != E; ++I) {
+    AK Merged = mergeKind(Out.Locals[I], In.Locals[I]);
+    if (Merged != Out.Locals[I]) {
+      Out.Locals[I] = Merged;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Per-selector signature derived from implementations; used to type
+/// invokevirtual sites.
+struct SelectorSig {
+  bool Known = false;
+  std::vector<ValKind> ArgKinds;
+  bool HasResult = false;
+  ValKind ResultKind = ValKind::Int;
+};
+
+class MethodVerifier {
+public:
+  MethodVerifier(const Program &P, const Method &M,
+                 const std::vector<Instruction> &Code, uint32_t NumLocals,
+                 const std::vector<SelectorSig> &Sigs,
+                 std::vector<std::string> &Errors)
+      : P(P), M(M), Code(Code), NumLocals(NumLocals), Sigs(Sigs),
+        Errors(Errors) {}
+
+  void run();
+
+private:
+  void error(uint32_t PC, const std::string &Message) {
+    std::ostringstream OS;
+    OS << "method '" << M.Name << "' pc " << PC << " ("
+       << (PC < Code.size() ? opcodeName(Code[PC].Op) : "<end>")
+       << "): " << Message;
+    Errors.push_back(OS.str());
+  }
+
+  bool pop(AbsState &S, AK Expected, uint32_t PC, const char *What);
+  void flowTo(uint32_t Target, const AbsState &S, uint32_t FromPC);
+  /// Interprets the instruction at \p PC; returns false if control does
+  /// not fall through to PC+1.
+  bool step(uint32_t PC, AbsState &S);
+
+  const Program &P;
+  const Method &M;
+  const std::vector<Instruction> &Code;
+  uint32_t NumLocals;
+  const std::vector<SelectorSig> &Sigs;
+  std::vector<std::string> &Errors;
+
+  std::vector<std::optional<AbsState>> InStates;
+  std::deque<uint32_t> Worklist;
+};
+
+bool MethodVerifier::pop(AbsState &S, AK Expected, uint32_t PC,
+                         const char *What) {
+  if (S.Stack.empty()) {
+    error(PC, std::string("operand stack underflow while popping ") + What);
+    return false;
+  }
+  AK Got = S.Stack.back();
+  S.Stack.pop_back();
+  if (Got == Expected)
+    return true;
+  if (Got == AK::Conflict) {
+    error(PC, std::string("use of merged value of conflicting kinds as ") +
+                  What);
+    return false;
+  }
+  error(PC, std::string("expected ") +
+                (Expected == AK::Int ? "int" : "ref") + " operand for " +
+                What);
+  return false;
+}
+
+void MethodVerifier::flowTo(uint32_t Target, const AbsState &S,
+                            uint32_t FromPC) {
+  if (Target >= Code.size()) {
+    error(FromPC, "control flows past the end of the method");
+    return;
+  }
+  if (!InStates[Target]) {
+    InStates[Target] = S;
+    Worklist.push_back(Target);
+    return;
+  }
+  std::optional<bool> Changed = mergeState(*InStates[Target], S);
+  if (!Changed) {
+    error(FromPC, "operand stack depth mismatch at merge point");
+    return;
+  }
+  if (*Changed)
+    Worklist.push_back(Target);
+}
+
+bool MethodVerifier::step(uint32_t PC, AbsState &S) {
+  const Instruction &I = Code[PC];
+  switch (I.Op) {
+  case Opcode::Nop:
+    return true;
+  case Opcode::IConst:
+    S.Stack.push_back(AK::Int);
+    return true;
+  case Opcode::ILoad:
+  case Opcode::ALoad: {
+    if (static_cast<uint32_t>(I.A) >= NumLocals) {
+      error(PC, "local slot out of range");
+      return true;
+    }
+    AK Want = I.Op == Opcode::ILoad ? AK::Int : AK::Ref;
+    AK Got = S.Locals[I.A];
+    if (Got == AK::Uninit)
+      error(PC, "load from uninitialized local");
+    else if (Got != Want && Got != AK::Conflict)
+      error(PC, "local holds a value of the wrong kind");
+    else if (Got == AK::Conflict)
+      error(PC, "load from local with conflicting kinds across paths");
+    S.Stack.push_back(Want);
+    return true;
+  }
+  case Opcode::IStore:
+  case Opcode::AStore: {
+    if (static_cast<uint32_t>(I.A) >= NumLocals) {
+      error(PC, "local slot out of range");
+      return true;
+    }
+    AK Want = I.Op == Opcode::IStore ? AK::Int : AK::Ref;
+    pop(S, Want, PC, "store");
+    S.Locals[I.A] = Want;
+    return true;
+  }
+  case Opcode::IInc: {
+    if (static_cast<uint32_t>(I.A) >= NumLocals) {
+      error(PC, "local slot out of range");
+      return true;
+    }
+    if (S.Locals[I.A] != AK::Int)
+      error(PC, "iinc on a non-int local");
+    return true;
+  }
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+    pop(S, AK::Int, PC, "rhs");
+    pop(S, AK::Int, PC, "lhs");
+    S.Stack.push_back(AK::Int);
+    return true;
+  case Opcode::INeg:
+    pop(S, AK::Int, PC, "operand");
+    S.Stack.push_back(AK::Int);
+    return true;
+  case Opcode::Goto:
+    flowTo(static_cast<uint32_t>(I.A), S, PC);
+    return false;
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+    pop(S, AK::Int, PC, "condition");
+    flowTo(static_cast<uint32_t>(I.A), S, PC);
+    return true;
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+    pop(S, AK::Int, PC, "rhs");
+    pop(S, AK::Int, PC, "lhs");
+    flowTo(static_cast<uint32_t>(I.A), S, PC);
+    return true;
+  case Opcode::New:
+    if (static_cast<uint32_t>(I.A) >= P.hierarchy().numClasses())
+      error(PC, "new of an unknown class");
+    S.Stack.push_back(AK::Ref);
+    return true;
+  case Opcode::GetField:
+    pop(S, AK::Ref, PC, "receiver");
+    S.Stack.push_back(AK::Int);
+    return true;
+  case Opcode::PutField:
+    pop(S, AK::Int, PC, "field value");
+    pop(S, AK::Ref, PC, "receiver");
+    return true;
+  case Opcode::AConstNull:
+    S.Stack.push_back(AK::Ref);
+    return true;
+  case Opcode::ClassEq:
+    if (static_cast<uint32_t>(I.A) >= P.hierarchy().numClasses())
+      error(PC, "classeq against an unknown class");
+    pop(S, AK::Ref, PC, "receiver");
+    S.Stack.push_back(AK::Int);
+    return true;
+  case Opcode::InvokeStatic: {
+    if (static_cast<uint32_t>(I.A) >= P.numMethods()) {
+      error(PC, "call to an unknown method");
+      return true;
+    }
+    const Method &Callee = P.method(static_cast<MethodId>(I.A));
+    if (Callee.isVirtual())
+      error(PC, "invokestatic targets a virtual method");
+    if (static_cast<uint32_t>(I.B) != Callee.numArgs())
+      error(PC, "call arity does not match the callee signature");
+    for (size_t ArgIdx = Callee.ArgKinds.size(); ArgIdx-- > 0;)
+      pop(S, fromValKind(Callee.ArgKinds[ArgIdx]), PC, "argument");
+    if (Callee.HasResult)
+      S.Stack.push_back(fromValKind(Callee.ResultKind));
+    return true;
+  }
+  case Opcode::InvokeVirtual: {
+    if (static_cast<uint32_t>(I.A) >= Sigs.size()) {
+      error(PC, "call through an unknown selector");
+      return true;
+    }
+    const SelectorSig &Sig = Sigs[I.A];
+    if (!Sig.Known) {
+      error(PC, "call through a selector with no implementations");
+      return true;
+    }
+    if (static_cast<uint32_t>(I.B) != Sig.ArgKinds.size())
+      error(PC, "call arity does not match the selector signature");
+    for (size_t ArgIdx = Sig.ArgKinds.size(); ArgIdx-- > 0;)
+      pop(S, fromValKind(Sig.ArgKinds[ArgIdx]), PC, "argument");
+    if (Sig.HasResult)
+      S.Stack.push_back(fromValKind(Sig.ResultKind));
+    return true;
+  }
+  case Opcode::Return:
+    if (M.HasResult)
+      error(PC, "void return from a method that declares a result");
+    return false;
+  case Opcode::IReturn:
+    if (!M.HasResult || M.ResultKind != ValKind::Int)
+      error(PC, "ireturn from a method that does not return an int");
+    pop(S, AK::Int, PC, "return value");
+    return false;
+  case Opcode::AReturn:
+    if (!M.HasResult || M.ResultKind != ValKind::Ref)
+      error(PC, "areturn from a method that does not return a ref");
+    pop(S, AK::Ref, PC, "return value");
+    return false;
+  case Opcode::Work:
+    if (I.A < 1)
+      error(PC, "work must model at least one cycle");
+    return true;
+  case Opcode::Print:
+    pop(S, AK::Int, PC, "printed value");
+    return true;
+  case Opcode::Halt:
+    return false;
+  case Opcode::Spawn: {
+    if (static_cast<uint32_t>(I.A) >= P.numMethods()) {
+      error(PC, "spawn of an unknown method");
+      return true;
+    }
+    const Method &Callee = P.method(static_cast<MethodId>(I.A));
+    if (Callee.isVirtual() || Callee.numArgs() != 0 || Callee.HasResult)
+      error(PC, "spawn target must be static, argumentless, and void");
+    return true;
+  }
+  }
+  error(PC, "unknown opcode");
+  return true;
+}
+
+void MethodVerifier::run() {
+  if (Code.empty()) {
+    error(0, "method has no body");
+    return;
+  }
+  if (NumLocals < M.numArgs()) {
+    error(0, "fewer locals than arguments");
+    return;
+  }
+  if (M.isVirtual() &&
+      (M.ArgKinds.empty() || M.ArgKinds[0] != ValKind::Ref)) {
+    error(0, "virtual method receiver must be a ref");
+    return;
+  }
+
+  // Pre-pass: every branch target must be in range (flowTo also checks,
+  // but unreachable branches should be diagnosed too).
+  for (uint32_t PC = 0, E = static_cast<uint32_t>(Code.size()); PC != E; ++PC)
+    if (isBranch(Code[PC].Op) &&
+        (Code[PC].A < 0 || static_cast<size_t>(Code[PC].A) >= Code.size()))
+      error(PC, "branch target out of range");
+
+  AbsState Entry;
+  Entry.Locals.assign(NumLocals, AK::Uninit);
+  for (size_t I = 0, E = M.ArgKinds.size(); I != E; ++I)
+    Entry.Locals[I] = fromValKind(M.ArgKinds[I]);
+
+  InStates.assign(Code.size(), std::nullopt);
+  InStates[0] = Entry;
+  Worklist.push_back(0);
+
+  size_t ErrorsAtStart = Errors.size();
+  while (!Worklist.empty()) {
+    // Cascading diagnostics from a broken method are noise; stop early.
+    if (Errors.size() > ErrorsAtStart + 8)
+      break;
+    uint32_t PC = Worklist.front();
+    Worklist.pop_front();
+    AbsState S = *InStates[PC];
+    if (step(PC, S)) {
+      if (PC + 1 >= Code.size()) {
+        error(PC, "control falls off the end of the method");
+        continue;
+      }
+      flowTo(PC + 1, S, PC);
+    }
+  }
+}
+
+std::vector<SelectorSig> collectSelectorSigs(const Program &P,
+                                             std::vector<std::string> &Errors) {
+  std::vector<SelectorSig> Sigs(P.hierarchy().numSelectors());
+  for (size_t MI = 0, ME = P.numMethods(); MI != ME; ++MI) {
+    const Method &M = P.method(static_cast<MethodId>(MI));
+    if (!M.isVirtual())
+      continue;
+    SelectorSig &Sig = Sigs[M.Selector];
+    if (!Sig.Known) {
+      Sig.Known = true;
+      Sig.ArgKinds = M.ArgKinds;
+      Sig.HasResult = M.HasResult;
+      Sig.ResultKind = M.ResultKind;
+      continue;
+    }
+    if (Sig.ArgKinds != M.ArgKinds || Sig.HasResult != M.HasResult ||
+        (Sig.HasResult && Sig.ResultKind != M.ResultKind))
+      Errors.push_back("selector '" +
+                       P.hierarchy().selectorName(M.Selector) +
+                       "' has implementations with mismatched signatures");
+  }
+  return Sigs;
+}
+
+} // namespace
+
+VerifyResult bc::verifyMethodBody(const Program &P, MethodId Id,
+                                  const std::vector<Instruction> &Code,
+                                  uint32_t NumLocals) {
+  VerifyResult Result;
+  std::vector<SelectorSig> Sigs = collectSelectorSigs(P, Result.Errors);
+  MethodVerifier MV(P, P.method(Id), Code, NumLocals, Sigs, Result.Errors);
+  MV.run();
+  return Result;
+}
+
+VerifyResult bc::verifyProgram(const Program &P) {
+  VerifyResult Result;
+  std::vector<SelectorSig> Sigs = collectSelectorSigs(P, Result.Errors);
+
+  // Entry method must be static and parameterless: the VM invokes it with
+  // an empty frame.
+  const Method &Entry = P.method(P.entryMethod());
+  if (Entry.isVirtual() || Entry.numArgs() != 0)
+    Result.Errors.push_back("entry method '" + Entry.Name +
+                            "' must be static with no arguments");
+
+  // Call-site table integrity: every call instruction carries a site id
+  // that maps back to exactly this (method, pc).
+  for (size_t MI = 0, ME = P.numMethods(); MI != ME; ++MI) {
+    const Method &M = P.method(static_cast<MethodId>(MI));
+    for (uint32_t PC = 0, E = static_cast<uint32_t>(M.Code.size()); PC != E;
+         ++PC) {
+      const Instruction &I = M.Code[PC];
+      if (!isCall(I.Op))
+        continue;
+      if (I.Site >= P.numSites()) {
+        Result.Errors.push_back("method '" + M.Name +
+                                "': call with an unknown site id");
+        continue;
+      }
+      const SiteInfo &Info = P.site(I.Site);
+      if (Info.Caller != M.Id || Info.PC != PC)
+        Result.Errors.push_back("method '" + M.Name +
+                                "': call site table mismatch");
+    }
+    MethodVerifier MV(P, M, M.Code, M.NumLocals, Sigs, Result.Errors);
+    MV.run();
+  }
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- bytecode/Verifier.h - Structural bytecode verifier -------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural verifier in the style of the JVM's: abstract
+/// interpretation of operand-stack depth and value kinds over each
+/// method, plus whole-program checks (entry signature, selector
+/// signature consistency, call-site table integrity). The interpreter
+/// assumes verified code, which is what lets it run untyped 64-bit
+/// slots at full speed; every program the workload suite or the inliner
+/// produces is routed through the verifier in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_BYTECODE_VERIFIER_H
+#define CBSVM_BYTECODE_VERIFIER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace cbs::bc {
+
+/// Outcome of verification; empty Errors means the program is valid.
+struct VerifyResult {
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+  /// All messages joined with newlines (for test failure output).
+  std::string str() const;
+};
+
+/// Verifies a whole program. Never mutates it.
+VerifyResult verifyProgram(const Program &P);
+
+/// Verifies one method against \p P (used by the inliner's unit tests to
+/// check freshly generated bodies before they are installed).
+/// \p Code/NumLocals may describe a compiled variant of P.method(Id).
+VerifyResult verifyMethodBody(const Program &P, MethodId Id,
+                              const std::vector<Instruction> &Code,
+                              uint32_t NumLocals);
+
+} // namespace cbs::bc
+
+#endif // CBSVM_BYTECODE_VERIFIER_H

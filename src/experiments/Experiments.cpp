@@ -1,0 +1,228 @@
+//===- experiments/Experiments.cpp - Experiment harness ----------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiments.h"
+
+#include "opt/Compiler.h"
+#include "opt/InlineOracle.h"
+#include "profiling/OverlapMetric.h"
+#include "support/ErrorHandling.h"
+#include "support/Statistics.h"
+
+#include <cstdlib>
+
+using namespace cbs;
+using namespace cbs::exp;
+
+unsigned exp::envRuns(unsigned Default) {
+  if (const char *Env = std::getenv("CBSVM_RUNS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V >= 1 && V <= 1000)
+      return static_cast<unsigned>(V);
+  }
+  return Default;
+}
+
+vm::VMConfig exp::jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
+                                uint64_t Seed) {
+  vm::VMConfig Config;
+  Config.Pers = Pers;
+  Config.Seed = Seed;
+  Config.JITLevel = 0;
+  // Safety net: accuracy runs must terminate. Generously above any
+  // benchmark's large-input run time.
+  Config.MaxCycles = 4'000'000'000ull;
+
+  // Trivial inlining only (§6.2's "low level of optimization ... so
+  // that trivial methods would be inlined, but all other calls
+  // remain").
+  auto Plan = std::make_shared<opt::InlinePlan>(
+      opt::TrivialOracle().plan(P, prof::DynamicCallGraph()));
+  opt::CompileOptions CO;
+  CO.RunOptimizer = false;
+  Config.CompileHook = opt::makeCompileHook(std::move(Plan), Config.Costs, CO);
+  return Config;
+}
+
+PerfectProfile exp::runPerfect(const bc::Program &P, vm::Personality Pers,
+                               uint64_t Seed) {
+  vm::VMConfig Config = jitOnlyConfig(P, Pers, Seed);
+  Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+  Config.Profiler.ChargeExhaustiveCounters = false;
+
+  vm::VirtualMachine VM(P, Config);
+  vm::RunState State = VM.run();
+  if (State == vm::RunState::Trapped)
+    reportFatalError("perfect run trapped: " + VM.trapMessage());
+
+  PerfectProfile Perfect;
+  Perfect.DCG = VM.profile();
+  Perfect.BaseCycles = VM.stats().Cycles;
+  Perfect.Instructions = VM.stats().Instructions;
+  Perfect.Calls = VM.stats().CallsExecuted;
+  Perfect.MethodsExecuted = VM.methodsExecuted();
+  Perfect.Output = VM.output();
+  return Perfect;
+}
+
+AccuracyCell exp::measureAccuracy(const bc::Program &P, vm::Personality Pers,
+                                  const vm::ProfilerOptions &Prof,
+                                  const PerfectProfile &Perfect,
+                                  uint64_t Seed) {
+  vm::VMConfig Config = jitOnlyConfig(P, Pers, Seed);
+  Config.Profiler = Prof;
+
+  vm::VirtualMachine VM(P, Config);
+  vm::RunState State = VM.run();
+  if (State == vm::RunState::Trapped)
+    reportFatalError("profiled run trapped: " + VM.trapMessage());
+
+  AccuracyCell Cell;
+  Cell.OverheadPct =
+      100.0 *
+      (static_cast<double>(VM.stats().Cycles) -
+       static_cast<double>(Perfect.BaseCycles)) /
+      static_cast<double>(Perfect.BaseCycles);
+  Cell.AccuracyPct = prof::accuracy(VM.profile(), Perfect.DCG);
+  Cell.SamplesTaken = VM.stats().SamplesTaken;
+  return Cell;
+}
+
+AccuracyCell exp::measureAccuracyMedian(const wl::WorkloadInfo &W,
+                                        wl::InputSize Size,
+                                        vm::Personality Pers,
+                                        const vm::ProfilerOptions &Prof,
+                                        unsigned Runs, uint64_t BaseSeed) {
+  std::vector<double> Overheads, Accuracies;
+  uint64_t Samples = 0;
+  for (unsigned R = 0; R != Runs; ++R) {
+    uint64_t Seed = BaseSeed + R;
+    bc::Program P = W.Build(Size, Seed);
+    PerfectProfile Perfect = runPerfect(P, Pers, Seed);
+    AccuracyCell Cell = measureAccuracy(P, Pers, Prof, Perfect, Seed);
+    Overheads.push_back(Cell.OverheadPct);
+    Accuracies.push_back(Cell.AccuracyPct);
+    Samples += Cell.SamplesTaken;
+  }
+  AccuracyCell Median;
+  Median.OverheadPct = median(Overheads);
+  Median.AccuracyPct = median(Accuracies);
+  Median.SamplesTaken = Samples / std::max(1u, Runs);
+  return Median;
+}
+
+SweepResult exp::runSweep(
+    vm::Personality Pers,
+    const std::vector<const wl::WorkloadInfo *> &Workloads,
+    wl::InputSize Size, std::vector<uint32_t> Strides,
+    std::vector<uint32_t> SamplesPerTick, unsigned Runs, uint64_t BaseSeed) {
+  SweepResult Result;
+  Result.Strides = std::move(Strides);
+  Result.SamplesPerTick = std::move(SamplesPerTick);
+  Result.Cells.assign(Result.SamplesPerTick.size(),
+                      std::vector<AccuracyCell>(Result.Strides.size()));
+
+  // Per-cell, per-seed accumulation of the benchmark averages.
+  size_t NumCells = Result.SamplesPerTick.size() * Result.Strides.size();
+  std::vector<std::vector<double>> OverheadBySeed(NumCells),
+      AccuracyBySeed(NumCells);
+
+  for (unsigned R = 0; R != Runs; ++R) {
+    uint64_t Seed = BaseSeed + R;
+    std::vector<double> OverheadSum(NumCells, 0), AccuracySum(NumCells, 0);
+    for (const wl::WorkloadInfo *W : Workloads) {
+      bc::Program P = W->Build(Size, Seed);
+      PerfectProfile Perfect = runPerfect(P, Pers, Seed);
+      for (size_t SI = 0; SI != Result.SamplesPerTick.size(); ++SI) {
+        for (size_t TI = 0; TI != Result.Strides.size(); ++TI) {
+          vm::ProfilerOptions Prof;
+          Prof.Kind = vm::ProfilerKind::CBS;
+          Prof.CBS.Stride = Result.Strides[TI];
+          Prof.CBS.SamplesPerTick = Result.SamplesPerTick[SI];
+          AccuracyCell Cell =
+              measureAccuracy(P, Pers, Prof, Perfect, Seed);
+          size_t Idx = SI * Result.Strides.size() + TI;
+          OverheadSum[Idx] += Cell.OverheadPct;
+          AccuracySum[Idx] += Cell.AccuracyPct;
+        }
+      }
+    }
+    for (size_t Idx = 0; Idx != NumCells; ++Idx) {
+      OverheadBySeed[Idx].push_back(OverheadSum[Idx] /
+                                    static_cast<double>(Workloads.size()));
+      AccuracyBySeed[Idx].push_back(AccuracySum[Idx] /
+                                    static_cast<double>(Workloads.size()));
+    }
+  }
+
+  for (size_t SI = 0; SI != Result.SamplesPerTick.size(); ++SI)
+    for (size_t TI = 0; TI != Result.Strides.size(); ++TI) {
+      size_t Idx = SI * Result.Strides.size() + TI;
+      Result.Cells[SI][TI].OverheadPct = median(OverheadBySeed[Idx]);
+      Result.Cells[SI][TI].AccuracyPct = median(AccuracyBySeed[Idx]);
+    }
+  return Result;
+}
+
+vm::ProfilerOptions exp::chosenCBS(vm::Personality Pers) {
+  vm::ProfilerOptions Prof;
+  Prof.Kind = vm::ProfilerKind::CBS;
+  Prof.CBS.Stride = Pers == vm::Personality::JikesRVM ? 3 : 7;
+  Prof.CBS.SamplesPerTick = 16;
+  return Prof;
+}
+
+vm::ProfilerOptions exp::baseProfiler(vm::Personality Pers) {
+  vm::ProfilerOptions Prof;
+  if (Pers == vm::Personality::JikesRVM) {
+    Prof.Kind = vm::ProfilerKind::Timer;
+  } else {
+    Prof.Kind = vm::ProfilerKind::CBS;
+    Prof.CBS.Stride = 1;
+    Prof.CBS.SamplesPerTick = 1;
+  }
+  return Prof;
+}
+
+ThroughputResult exp::measureThroughput(const bc::Program &P,
+                                        const SpeedupOptions &Options) {
+  vm::VMConfig Config = jitOnlyConfig(P, Options.Pers, Options.Seed);
+  Config.Profiler = Options.Prof;
+  Config.MaxCycles = UINT64_MAX;
+
+  vm::VirtualMachine VM(P, Config);
+  aos::AdaptiveSystem AOS(Options.Oracle, Options.AOS);
+  VM.setClient(&AOS);
+
+  vm::RunState State = VM.run(Options.WarmupCycles);
+  if (State == vm::RunState::Trapped)
+    reportFatalError("throughput warmup trapped: " + VM.trapMessage());
+
+  uint64_t CyclesBefore = VM.stats().Cycles;
+  uint64_t InstrBefore = VM.stats().Instructions;
+  State = VM.run(Options.MeasureCycles);
+  if (State == vm::RunState::Trapped)
+    reportFatalError("throughput measure trapped: " + VM.trapMessage());
+
+  ThroughputResult Result;
+  uint64_t DeltaCycles = VM.stats().Cycles - CyclesBefore;
+  uint64_t DeltaInstr = VM.stats().Instructions - InstrBefore;
+  Result.Throughput = DeltaCycles == 0
+                          ? 0.0
+                          : static_cast<double>(DeltaInstr) /
+                                static_cast<double>(DeltaCycles);
+  Result.CompileCycles = VM.stats().CompileCycles;
+  Result.Recompilations = AOS.stats().Recompilations;
+  Result.Stats = VM.stats();
+  return Result;
+}
+
+double exp::speedupPercent(const ThroughputResult &Test,
+                           const ThroughputResult &Base) {
+  if (Base.Throughput == 0)
+    return 0;
+  return 100.0 * (Test.Throughput / Base.Throughput - 1.0);
+}

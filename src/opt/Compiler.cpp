@@ -1,0 +1,60 @@
+//===- opt/Compiler.cpp - The compile pipeline --------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Compiler.h"
+
+#include "bytecode/Program.h"
+#include "opt/Optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cbs;
+using namespace cbs::opt;
+
+vm::CompiledMethod opt::compileMethod(const bc::Program &P, bc::MethodId Id,
+                                      int Level, const InlinePlan &Plan,
+                                      const vm::CostModel &Costs,
+                                      const CompileOptions &Options) {
+  assert(Level >= 0 && Level <= 2 && "optimization level out of range");
+  InlineResult Inlined = inlineMethod(P, Id, Plan, Options.Inliner);
+
+  // Compile cost is charged on the *post-inlining, pre-optimization*
+  // size: this is the unit the downstream optimizations must process —
+  // §1's "large increases in ... compilation time (as downstream
+  // optimizations process the large compilation units created by
+  // inlining)". Sizing on the optimized output would make over-inlining
+  // look free whenever the optimizer can fold the spliced bodies.
+  uint64_t SizeBytes = 0;
+  for (const bc::Instruction &I : Inlined.Code)
+    SizeBytes += bc::opcodeSizeBytes(I.Op);
+
+  if (Options.RunOptimizer)
+    optimizeCode(P, Inlined.Code, Level);
+
+  vm::CompiledMethod CM;
+  CM.Id = Id;
+  CM.Level = static_cast<uint8_t>(Level);
+  CM.ScaleQ8 =
+      static_cast<uint16_t>(std::lround(Costs.LevelScale[Level] * 256.0));
+  CM.NumLocals = Inlined.NumLocals;
+  CM.Code = std::move(Inlined.Code);
+  CM.InlinedBodies = Inlined.InlinedBodies;
+  CM.CompileCostCycles = static_cast<uint64_t>(
+      std::llround(Costs.CompileCostPerByte[Level] *
+                   static_cast<double>(SizeBytes)));
+  return CM;
+}
+
+std::function<vm::CompiledMethod(const bc::Program &, bc::MethodId, int)>
+opt::makeCompileHook(std::shared_ptr<const InlinePlan> Plan,
+                     vm::CostModel Costs, CompileOptions Options) {
+  return [Plan = std::move(Plan), Costs,
+          Options](const bc::Program &P, bc::MethodId Id,
+                   int Level) -> vm::CompiledMethod {
+    return compileMethod(P, Id, Level, *Plan, Costs, Options);
+  };
+}

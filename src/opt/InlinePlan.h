@@ -1,0 +1,62 @@
+//===- opt/InlinePlan.h - Per-site inlining decisions -----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface between inline oracles (policy) and the bytecode
+/// inliner (mechanism): a map from call site to decision. Oracles build
+/// plans from the dynamic call graph; the inliner applies them when a
+/// method is (re)compiled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_OPT_INLINEPLAN_H
+#define CBSVM_OPT_INLINEPLAN_H
+
+#include "bytecode/Ids.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace cbs::opt {
+
+/// One predicted target of a guarded (virtual) inline: the callee body
+/// to splice plus the receiver classes whose dispatch reaches it (the
+/// guard tests).
+struct GuardedTarget {
+  bc::MethodId Target = bc::InvalidMethodId;
+  std::vector<bc::ClassId> GuardClasses;
+};
+
+struct InlineDecision {
+  enum class Kind : uint8_t {
+    None,    ///< leave the call alone
+    Direct,  ///< replace the call with the (single, safe) target's body
+    Guarded, ///< class-test guards with an unmodified fallback call
+  };
+
+  Kind K = Kind::None;
+  /// Direct: the callee (the static target, or the unique CHA target of
+  /// a devirtualized monomorphic virtual call).
+  bc::MethodId Target = bc::InvalidMethodId;
+  /// Guarded: predicted targets in priority order.
+  std::vector<GuardedTarget> Guarded;
+};
+
+struct InlinePlan {
+  std::unordered_map<bc::SiteId, InlineDecision> Decisions;
+
+  const InlineDecision *decisionFor(bc::SiteId Site) const {
+    auto It = Decisions.find(Site);
+    return It == Decisions.end() ? nullptr : &It->second;
+  }
+
+  size_t size() const { return Decisions.size(); }
+};
+
+} // namespace cbs::opt
+
+#endif // CBSVM_OPT_INLINEPLAN_H

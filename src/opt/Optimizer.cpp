@@ -1,0 +1,41 @@
+//===- opt/Optimizer.cpp - Pass pipeline -------------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+
+#include "opt/Passes.h"
+
+#include <cassert>
+
+using namespace cbs;
+using namespace cbs::opt;
+
+OptimizerStats opt::optimizeCode(const bc::Program &P,
+                                 std::vector<bc::Instruction> &Code,
+                                 int Level) {
+  assert(Level >= 0 && Level <= 2 && "optimization level out of range");
+  OptimizerStats Stats;
+  if (Level == 0)
+    return Stats;
+
+  unsigned MaxRounds = Level == 1 ? 2 : 4;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    bool Changed = false;
+    Changed |= foldConstants(P, Code);
+    Changed |= propagateLocalConstants(P, Code);
+    Changed |= foldConstants(P, Code);
+    Changed |= removeDeadStores(P, Code);
+    Changed |= simplifyBranches(P, Code);
+    Changed |= removeUnreachable(P, Code);
+    Changed |= fuseWork(P, Code);
+    Changed |= removeNops(P, Code);
+    ++Stats.RoundsRun;
+    Stats.AnyChange |= Changed;
+    if (!Changed)
+      break;
+  }
+  return Stats;
+}

@@ -1,0 +1,35 @@
+//===- opt/Optimizer.h - Pass pipeline --------------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the optimization passes appropriate for a compilation level over
+/// a method body. Level 0 performs no optimization (matching the
+/// paper's baseline configuration where only trivial inlining runs);
+/// levels 1 and 2 run increasingly many rounds of the full pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_OPT_OPTIMIZER_H
+#define CBSVM_OPT_OPTIMIZER_H
+
+#include "bytecode/Program.h"
+
+#include <vector>
+
+namespace cbs::opt {
+
+struct OptimizerStats {
+  unsigned RoundsRun = 0;
+  bool AnyChange = false;
+};
+
+/// Optimizes \p Code (a body of a method of \p P) in place at \p Level.
+OptimizerStats optimizeCode(const bc::Program &P,
+                            std::vector<bc::Instruction> &Code, int Level);
+
+} // namespace cbs::opt
+
+#endif // CBSVM_OPT_OPTIMIZER_H

@@ -1,0 +1,63 @@
+//===- opt/Passes.h - Bytecode optimization passes --------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer passes that give inlining its *indirect* benefit (the
+/// paper's §1: small methods restrict the scope of optimization; once
+/// bodies are spliced into the caller, these passes can fold across the
+/// former call boundary). Each pass is semantics-preserving — the test
+/// suite checks this by differential execution against unoptimized
+/// code — and is expressed over the flat instruction vector:
+///
+///  - foldConstants: IConst/IConst/binop → IConst; constant conditions
+///    → Goto/fall-through. Trapping division by a constant zero is
+///    never folded.
+///  - propagateLocalConstants: per-block tracking of locals holding
+///    known constants (inlined arguments, typically) rewrites ILoad
+///    into IConst.
+///  - simplifyBranches: collapses goto→goto chains and gotos to the
+///    next instruction.
+///  - removeUnreachable: nops out instructions no path reaches.
+///  - fuseWork: merges adjacent Work instructions (code-size, not
+///    cycle, savings).
+///  - removeNops: compacts nops away, remapping branch targets.
+///
+/// All passes return true if they changed the code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_OPT_PASSES_H
+#define CBSVM_OPT_PASSES_H
+
+#include "bytecode/Program.h"
+
+#include <vector>
+
+namespace cbs::opt {
+
+bool foldConstants(const bc::Program &P, std::vector<bc::Instruction> &Code);
+bool propagateLocalConstants(const bc::Program &P,
+                             std::vector<bc::Instruction> &Code);
+bool simplifyBranches(const bc::Program &P,
+                      std::vector<bc::Instruction> &Code);
+bool removeUnreachable(const bc::Program &P,
+                       std::vector<bc::Instruction> &Code);
+bool fuseWork(const bc::Program &P, std::vector<bc::Instruction> &Code);
+bool removeNops(const bc::Program &P, std::vector<bc::Instruction> &Code);
+
+/// Removes stores to locals that are never read anywhere in the method,
+/// when the stored value comes from an adjacent side-effect-free
+/// producer. This is what cleans up spilled-then-constant-propagated
+/// inlined arguments.
+bool removeDeadStores(const bc::Program &P,
+                      std::vector<bc::Instruction> &Code);
+
+/// Marks every instruction that is the target of some branch.
+std::vector<bool> computeBranchTargets(const std::vector<bc::Instruction> &Code);
+
+} // namespace cbs::opt
+
+#endif // CBSVM_OPT_PASSES_H

@@ -1,0 +1,72 @@
+//===- profiling/AllocationProfile.cpp - CBS beyond call graphs -----------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/AllocationProfile.h"
+
+#include "bytecode/Program.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+void AllocationProfile::addSample(bc::ClassId Class, uint64_t Count) {
+  if (Class >= Weights.size())
+    Weights.resize(Class + 1, 0);
+  Weights[Class] += Count;
+  Total += Count;
+}
+
+double AllocationProfile::fraction(bc::ClassId Class) const {
+  if (Total == 0)
+    return 0;
+  return static_cast<double>(weight(Class)) / static_cast<double>(Total);
+}
+
+std::vector<std::pair<bc::ClassId, uint64_t>>
+AllocationProfile::sorted() const {
+  std::vector<std::pair<bc::ClassId, uint64_t>> Result;
+  for (bc::ClassId C = 0; C != Weights.size(); ++C)
+    if (Weights[C] != 0)
+      Result.emplace_back(C, Weights[C]);
+  std::sort(Result.begin(), Result.end(), [](const auto &L, const auto &R) {
+    if (L.second != R.second)
+      return L.second > R.second;
+    return L.first < R.first;
+  });
+  return Result;
+}
+
+double AllocationProfile::overlapWith(const AllocationProfile &Other) const {
+  if (empty() && Other.empty())
+    return 100.0;
+  if (empty() || Other.empty())
+    return 0.0;
+  double Sum = 0;
+  size_t N = std::max(Weights.size(), Other.Weights.size());
+  for (bc::ClassId C = 0; C != N; ++C) {
+    double A = 100.0 * fraction(C);
+    double B = 100.0 * Other.fraction(C);
+    Sum += std::min(A, B);
+  }
+  return Sum;
+}
+
+std::string AllocationProfile::str(const bc::Program &P,
+                                   size_t MaxRows) const {
+  std::ostringstream OS;
+  OS << "allocation profile: total weight " << Total << '\n';
+  size_t Shown = 0;
+  for (const auto &[Class, Weight] : sorted()) {
+    if (Shown++ == MaxRows)
+      break;
+    OS << "  " << P.hierarchy().classOf(Class).Name << "  " << Weight
+       << " (" << static_cast<int>(fraction(Class) * 1000) / 10.0
+       << "%)\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,71 @@
+//===- profiling/AllocationProfile.h - CBS beyond call graphs ----*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §8: "Although this paper focused on the use of the new mechanism for
+/// collecting a dynamic call graph, the sampling technique is fairly
+/// general. It could be applied any time it is desirable to use low
+/// overhead timer-based sampling to collect frequency-based profile
+/// data."
+///
+/// This is that generalization, concretely: a per-class allocation
+/// histogram collected by running the same CounterBasedSampler state
+/// machine over *allocation events* instead of invocation events (the
+/// armed check overloads the allocator's existing heap-frontier test
+/// the same way the call sampler overloads the method-entry check).
+/// Clients: pretenuring decisions, per-class heap budgeting, allocation
+/// site inlining.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_ALLOCATIONPROFILE_H
+#define CBSVM_PROFILING_ALLOCATIONPROFILE_H
+
+#include "bytecode/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbs::bc {
+class Program;
+}
+
+namespace cbs::prof {
+
+/// A weighted per-class allocation histogram.
+class AllocationProfile {
+public:
+  void addSample(bc::ClassId Class, uint64_t Count = 1);
+
+  uint64_t weight(bc::ClassId Class) const {
+    return Class < Weights.size() ? Weights[Class] : 0;
+  }
+  uint64_t totalWeight() const { return Total; }
+  bool empty() const { return Total == 0; }
+
+  /// Share of all sampled allocations attributed to \p Class.
+  double fraction(bc::ClassId Class) const;
+
+  /// Classes sorted by weight, heaviest first (zero-weight classes are
+  /// omitted).
+  std::vector<std::pair<bc::ClassId, uint64_t>> sorted() const;
+
+  /// The overlap metric of §6.2 applied to histograms: sum over classes
+  /// of min(percentage in *this, percentage in Other), in [0, 100].
+  double overlapWith(const AllocationProfile &Other) const;
+
+  /// Human-readable dump resolving class names via \p P.
+  std::string str(const bc::Program &P, size_t MaxRows = 16) const;
+
+private:
+  std::vector<uint64_t> Weights;
+  uint64_t Total = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_ALLOCATIONPROFILE_H

@@ -1,0 +1,51 @@
+//===- profiling/CallEdge.h - Dynamic call graph edges ----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A call edge as defined in §2 of the paper: a triple (caller, call
+/// site, callee). Because site ids are program-unique, the caller is
+/// implied by the site and the runtime key is just (site, callee).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_CALLEDGE_H
+#define CBSVM_PROFILING_CALLEDGE_H
+
+#include "bytecode/Ids.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace cbs::prof {
+
+struct CallEdge {
+  bc::SiteId Site = bc::InvalidSiteId;
+  bc::MethodId Callee = bc::InvalidMethodId;
+
+  friend bool operator==(const CallEdge &L, const CallEdge &R) {
+    return L.Site == R.Site && L.Callee == R.Callee;
+  }
+  friend bool operator<(const CallEdge &L, const CallEdge &R) {
+    if (L.Site != R.Site)
+      return L.Site < R.Site;
+    return L.Callee < R.Callee;
+  }
+};
+
+struct CallEdgeHash {
+  size_t operator()(const CallEdge &E) const {
+    uint64_t Key =
+        (static_cast<uint64_t>(E.Site) << 32) | static_cast<uint64_t>(E.Callee);
+    // SplitMix64 finalizer: cheap and well mixed.
+    Key = (Key ^ (Key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Key = (Key ^ (Key >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(Key ^ (Key >> 31));
+  }
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_CALLEDGE_H

@@ -1,0 +1,100 @@
+//===- profiling/CallingContextTree.cpp - Context-sensitive DCG -----------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CallingContextTree.h"
+
+#include "bytecode/Program.h"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+uint32_t CallingContextTree::findOrAddChild(uint32_t Parent, PathStep Step) {
+  for (uint32_t Child : Nodes[Parent].Children) {
+    const PathStep &S = Nodes[Child].Step;
+    if (S.Site == Step.Site && S.Method == Step.Method)
+      return Child;
+  }
+  Node N;
+  N.Step = Step;
+  N.Parent = Parent;
+  Nodes.push_back(N);
+  uint32_t Id = static_cast<uint32_t>(Nodes.size() - 1);
+  Nodes[Parent].Children.push_back(Id);
+  return Id;
+}
+
+void CallingContextTree::addPath(const std::vector<PathStep> &Path,
+                                 uint64_t Count) {
+  assert(!Path.empty() && "empty sample path");
+  uint32_t Cursor = 0;
+  for (const PathStep &Step : Path) {
+    Cursor = findOrAddChild(Cursor, Step);
+    Nodes[Cursor].TraverseWeight += Count;
+  }
+  Nodes[Cursor].LeafWeight += Count;
+  Total += Count;
+}
+
+size_t CallingContextTree::maxDepth() const {
+  size_t Max = 0;
+  // Node depth equals parent depth + 1; nodes are appended after their
+  // parents, so one forward pass suffices.
+  std::vector<size_t> Depth(Nodes.size(), 0);
+  for (size_t I = 1, E = Nodes.size(); I != E; ++I) {
+    Depth[I] = Depth[Nodes[I].Parent] + 1;
+    Max = std::max(Max, Depth[I]);
+  }
+  return Max;
+}
+
+DynamicCallGraph CallingContextTree::projectLeafEdges() const {
+  DynamicCallGraph DCG;
+  for (size_t I = 1, E = Nodes.size(); I != E; ++I) {
+    const Node &N = Nodes[I];
+    if (N.LeafWeight == 0 || N.Step.Site == bc::InvalidSiteId)
+      continue;
+    DCG.addSample({N.Step.Site, N.Step.Method}, N.LeafWeight);
+  }
+  return DCG;
+}
+
+DynamicCallGraph CallingContextTree::projectAllEdges() const {
+  DynamicCallGraph DCG;
+  for (size_t I = 1, E = Nodes.size(); I != E; ++I) {
+    const Node &N = Nodes[I];
+    if (N.Step.Site == bc::InvalidSiteId)
+      continue;
+    DCG.addSample({N.Step.Site, N.Step.Method}, N.TraverseWeight);
+  }
+  return DCG;
+}
+
+std::string CallingContextTree::str(const bc::Program &P,
+                                    size_t MaxNodes) const {
+  std::ostringstream OS;
+  OS << "CCT: " << numNodes() << " nodes, total weight " << Total << '\n';
+  size_t Shown = 0;
+  std::function<void(uint32_t, unsigned)> Dump = [&](uint32_t Id,
+                                                     unsigned Depth) {
+    if (Shown >= MaxNodes)
+      return;
+    if (Id != 0) {
+      ++Shown;
+      OS << std::string(2 * Depth, ' ')
+         << P.qualifiedName(Nodes[Id].Step.Method) << " leaf="
+         << Nodes[Id].LeafWeight << " through=" << Nodes[Id].TraverseWeight
+         << '\n';
+    }
+    for (uint32_t Child : Nodes[Id].Children)
+      Dump(Child, Id == 0 ? Depth : Depth + 1);
+  };
+  Dump(0, 0);
+  return OS.str();
+}

@@ -1,0 +1,86 @@
+//===- profiling/CallingContextTree.h - Context-sensitive DCG ---*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A calling context tree (Ammons/Ball/Larus; used by Whaley's sampler,
+/// paper §3.3). The paper claims CBS "is easily extensible to
+/// context-sensitive profiling" (§1): instead of recording only the top
+/// caller→callee pair per sample, the full walked stack is inserted as a
+/// root-to-leaf path. The tree can be projected back onto a
+/// context-insensitive DCG, which tests use to show the extension loses
+/// no information.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_CALLINGCONTEXTTREE_H
+#define CBSVM_PROFILING_CALLINGCONTEXTTREE_H
+
+#include "profiling/DynamicCallGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace cbs::prof {
+
+/// One stack entry of a sample path: the call site in the caller and
+/// the method it entered.
+struct PathStep {
+  bc::SiteId Site = bc::InvalidSiteId;
+  bc::MethodId Method = bc::InvalidMethodId;
+};
+
+class CallingContextTree {
+public:
+  CallingContextTree() { Nodes.push_back({}); } // Root (synthetic).
+
+  /// Inserts one sampled stack, outermost frame first. Increments the
+  /// weight of the leaf node (the sampled execution context). The first
+  /// step's Site may be InvalidSiteId (thread entry method).
+  void addPath(const std::vector<PathStep> &Path, uint64_t Count = 1);
+
+  /// Number of nodes excluding the synthetic root.
+  size_t numNodes() const { return Nodes.size() - 1; }
+
+  /// Total sample weight.
+  uint64_t totalWeight() const { return Total; }
+
+  /// Maximum depth over all nodes (root = 0).
+  size_t maxDepth() const;
+
+  /// Projects the tree onto a context-insensitive DCG: each tree edge
+  /// (site, callee) contributes the subtree-leaf weights that passed
+  /// through it... more precisely, each sampled path contributes its
+  /// leaf edge once, matching what the context-insensitive sampler
+  /// would have recorded for the same sample.
+  DynamicCallGraph projectLeafEdges() const;
+
+  /// Projects *every* edge of every sampled path (a calling-context
+  /// tree built from full stack walks contains strictly more
+  /// information than leaf edges; this recovers the "edges seen on any
+  /// sampled stack" view, weighted by traversal counts).
+  DynamicCallGraph projectAllEdges() const;
+
+  /// Human-readable dump (depth-first), at most \p MaxNodes rows.
+  std::string str(const bc::Program &P, size_t MaxNodes = 64) const;
+
+private:
+  struct Node {
+    PathStep Step;
+    uint64_t LeafWeight = 0;    ///< samples whose stack ends here
+    uint64_t TraverseWeight = 0; ///< samples whose stack passes through
+    uint32_t Parent = 0;
+    std::vector<uint32_t> Children;
+  };
+
+  uint32_t findOrAddChild(uint32_t Parent, PathStep Step);
+
+  std::vector<Node> Nodes;
+  uint64_t Total = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_CALLINGCONTEXTTREE_H

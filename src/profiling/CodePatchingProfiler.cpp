@@ -1,0 +1,82 @@
+//===- profiling/CodePatchingProfiler.cpp - Suganuma baseline -------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CodePatchingProfiler.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+void CodePatchingProfiler::onMethodPromoted(bc::MethodId Method,
+                                            uint64_t NowCycles) {
+  assert(Method < States.size() && "unknown method");
+  if (States[Method] != State::Unpromoted)
+    return;
+  States[Method] = State::Listening;
+  PerMethod[Method].InstallCycles = NowCycles;
+  PerMethod[Method].Remaining = Params.SamplesPerMethod;
+  ++Instrumented;
+}
+
+void CodePatchingProfiler::onListenedEntry(bc::MethodId Method, CallEdge Edge,
+                                           uint64_t NowCycles,
+                                           DynamicCallGraph &Repo) {
+  assert(isListening(Method) && "entry into a method without a listener");
+  ++ListenerRuns;
+  MethodState &MS = PerMethod[Method];
+  bool Found = false;
+  for (auto &[E, Count] : MS.Edges)
+    if (E == Edge) {
+      ++Count;
+      Found = true;
+      break;
+    }
+  if (!Found)
+    MS.Edges.emplace_back(Edge, 1);
+
+  if (--MS.Remaining == 0)
+    flushMethod(Method, NowCycles, Repo);
+}
+
+void CodePatchingProfiler::flushMethod(bc::MethodId Method,
+                                       uint64_t NowCycles,
+                                       DynamicCallGraph &Repo) {
+  MethodState &MS = PerMethod[Method];
+  States[Method] = State::Done;
+
+  uint32_t Collected = 0;
+  for (const auto &[E, Count] : MS.Edges)
+    Collected += Count;
+  if (Collected == 0)
+    return;
+
+  // Frequency correction: the listening window collected `Collected`
+  // entries over `Elapsed` cycles, i.e. the method executes at
+  // Collected / Elapsed entries per cycle. Scale edge weights so that
+  // methods instrumented over short windows (hot methods) weigh more
+  // than methods that needed a long window to fill their quota.
+  uint64_t Elapsed = NowCycles > MS.InstallCycles
+                         ? NowCycles - MS.InstallCycles
+                         : 1;
+  double RatePerKCycle =
+      1000.0 * static_cast<double>(Collected) / static_cast<double>(Elapsed);
+  for (const auto &[E, Count] : MS.Edges) {
+    double Weight = static_cast<double>(Count) * RatePerKCycle;
+    uint64_t Rounded = static_cast<uint64_t>(std::llround(Weight));
+    Repo.addSample(E, Rounded == 0 ? 1 : Rounded);
+  }
+  MS.Edges.clear();
+}
+
+void CodePatchingProfiler::flushIncomplete(uint64_t NowCycles,
+                                           DynamicCallGraph &Repo) {
+  for (bc::MethodId M = 0, E = static_cast<bc::MethodId>(States.size());
+       M != E; ++M)
+    if (States[M] == State::Listening)
+      flushMethod(M, NowCycles, Repo);
+}

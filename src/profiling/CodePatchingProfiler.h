@@ -1,0 +1,90 @@
+//===- profiling/CodePatchingProfiler.h - Suganuma baseline -----*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code-patching / dynamic-instrumentation baseline of §3.2
+/// (Suganuma et al., IBM DK): a method is not profiled until it reaches
+/// a certain level of optimization; then a listener is installed in its
+/// prologue which records the caller→callee relationship on every entry
+/// until a fixed number of samples have been collected, after which the
+/// listener patches itself out. The elapsed time over the listening
+/// window yields an invocation-frequency estimate, which is used to
+/// weight the method's edges in the repository (otherwise every
+/// instrumented method would contribute exactly the same sample count
+/// regardless of how hot it is).
+///
+/// This is a pure state machine like CounterBasedSampler; the VM feeds
+/// it promotion and entry events and charges the modelled listener cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_CODEPATCHINGPROFILER_H
+#define CBSVM_PROFILING_CODEPATCHINGPROFILER_H
+
+#include "profiling/DynamicCallGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cbs::prof {
+
+struct CodePatchingParams {
+  /// Samples collected per instrumented method before the listener
+  /// uninstalls itself.
+  uint32_t SamplesPerMethod = 64;
+};
+
+class CodePatchingProfiler {
+public:
+  CodePatchingProfiler(size_t NumMethods, CodePatchingParams Params = {})
+      : Params(Params), States(NumMethods, State::Unpromoted),
+        PerMethod(NumMethods) {}
+
+  /// The adaptive system promoted \p Method to an optimized level:
+  /// install its prologue listener.
+  void onMethodPromoted(bc::MethodId Method, uint64_t NowCycles);
+
+  /// True while \p Method has an installed listener (the VM charges the
+  /// listener execution cost on such entries).
+  bool isListening(bc::MethodId Method) const {
+    return States[Method] == State::Listening;
+  }
+
+  /// An entry into a listening method along \p Edge. When the sample
+  /// quota is reached the listener uninstalls and the method's edges are
+  /// flushed into \p Repo with frequency-corrected weights.
+  void onListenedEntry(bc::MethodId Method, CallEdge Edge,
+                       uint64_t NowCycles, DynamicCallGraph &Repo);
+
+  /// Flushes listening methods that never reached their quota (end of
+  /// run), using the final cycle count for the rate estimate.
+  void flushIncomplete(uint64_t NowCycles, DynamicCallGraph &Repo);
+
+  uint64_t methodsInstrumented() const { return Instrumented; }
+  uint64_t listenerExecutions() const { return ListenerRuns; }
+
+private:
+  enum class State : uint8_t { Unpromoted, Listening, Done };
+
+  struct MethodState {
+    uint64_t InstallCycles = 0;
+    uint32_t Remaining = 0;
+    std::vector<std::pair<CallEdge, uint32_t>> Edges;
+  };
+
+  void flushMethod(bc::MethodId Method, uint64_t NowCycles,
+                   DynamicCallGraph &Repo);
+
+  CodePatchingParams Params;
+  std::vector<State> States;
+  std::vector<MethodState> PerMethod;
+  uint64_t Instrumented = 0;
+  uint64_t ListenerRuns = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_CODEPATCHINGPROFILER_H

@@ -1,0 +1,53 @@
+//===- profiling/CounterBasedSampler.cpp - The paper's CBS ----------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CounterBasedSampler.h"
+
+using namespace cbs;
+using namespace cbs::prof;
+
+uint32_t CounterBasedSampler::pickInitialSkip(RandomEngine &RNG) {
+  switch (Params.Skip) {
+  case SkipPolicy::Fixed:
+    return Params.Stride;
+  case SkipPolicy::RoundRobin: {
+    uint32_t Skip = RoundRobinNext;
+    RoundRobinNext = RoundRobinNext % Params.Stride + 1;
+    return Skip;
+  }
+  case SkipPolicy::Random:
+    return static_cast<uint32_t>(RNG.nextBelow(Params.Stride)) + 1;
+  }
+  return Params.Stride;
+}
+
+void CounterBasedSampler::onTimerTick(RandomEngine &RNG) {
+  if (Armed) {
+    // The previous window has not collected all its samples yet; the
+    // paper's mechanism simply leaves the flag set. Count it so
+    // experiments can report saturation.
+    ++OverlappingWindows;
+    return;
+  }
+  Armed = true;
+  SkippedInvocations = pickInitialSkip(RNG);
+  SamplesThisTick = Params.SamplesPerTick;
+}
+
+bool CounterBasedSampler::onInvocationEvent() {
+  assert(Armed && "invocation event delivered to a disarmed sampler");
+  ++ArmedEvents;
+  // Figure 3: skippedInvocations--; if zero, sample and reset.
+  if (--SkippedInvocations != 0)
+    return false;
+  SkippedInvocations = Params.Stride;
+  ++SamplesTaken;
+  if (--SamplesThisTick == 0) {
+    Armed = false; // profilingEnabledByTimer = FALSE
+    SamplesThisTick = Params.SamplesPerTick;
+  }
+  return true;
+}

@@ -1,0 +1,96 @@
+//===- profiling/CounterBasedSampler.h - The paper's CBS --------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counter-based sampling (CBS): the paper's primary contribution
+/// (§4, Figures 2 and 3). A timer interrupt arms a profiling window;
+/// while armed, every STRIDE-th invocation event is sampled until
+/// SAMPLES_PER_TIMER_INTERRUPT samples have been taken, then the window
+/// disarms until the next tick.
+///
+/// This class is the pure per-thread state machine — exactly the
+/// pseudocode of Figure 3 — with no VM dependencies, so its sampling
+/// positions are unit-testable instruction by instruction. The VM maps
+/// its events onto it: prologue/epilogue yieldpoints in the Jikes RVM
+/// personality, method-entry checks in the J9 personality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_COUNTERBASEDSAMPLER_H
+#define CBSVM_PROFILING_COUNTERBASEDSAMPLER_H
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cbs::prof {
+
+/// How the initial value of skippedInvocations is chosen when a window
+/// opens (§4: "the timer mechanism can select the initial value ... via
+/// either a pseudo-random number generator or a round-robin approach").
+enum class SkipPolicy : uint8_t {
+  Fixed,      ///< always STRIDE (the naive choice; biased — see ablation)
+  RoundRobin, ///< cycles 1, 2, ..., STRIDE, 1, ...
+  Random,     ///< uniform in [1, STRIDE]
+};
+
+struct CBSParams {
+  /// The sampling stride i: every i-th call in the window is sampled.
+  uint32_t Stride = 1;
+  /// N: samples taken per timer interrupt.
+  uint32_t SamplesPerTick = 1;
+  SkipPolicy Skip = SkipPolicy::Random;
+};
+
+class CounterBasedSampler {
+public:
+  explicit CounterBasedSampler(CBSParams Params = {}) : Params(Params) {
+    assert(Params.Stride >= 1 && "stride must be at least 1");
+    assert(Params.SamplesPerTick >= 1 && "need at least one sample");
+  }
+
+  const CBSParams &params() const { return Params; }
+
+  /// The timer interrupt: opens (re-opens) the profiling window. Matches
+  /// the paper's `profilingEnabledByTimer = true` plus initial-skip
+  /// selection. \p RNG is consulted only under SkipPolicy::Random.
+  void onTimerTick(RandomEngine &RNG);
+
+  /// True while the window is armed (profilingEnabledByTimer).
+  bool armed() const { return Armed; }
+
+  /// An invocation event while armed. Returns true if this event must be
+  /// sampled (the caller then walks the stack and records the edge).
+  /// Implements the countdown of Figure 3, including self-disarm after
+  /// the last sample. Must only be called while armed().
+  bool onInvocationEvent();
+
+  /// Total samples signalled since construction.
+  uint64_t samplesTaken() const { return SamplesTaken; }
+  /// Total armed invocation events observed (sampled or skipped);
+  /// the quantity the overhead model charges counter updates for.
+  uint64_t armedEvents() const { return ArmedEvents; }
+  /// Number of timer ticks that found the previous window still open
+  /// (low call rate relative to Stride * SamplesPerTick).
+  uint64_t overlappingWindows() const { return OverlappingWindows; }
+
+private:
+  uint32_t pickInitialSkip(RandomEngine &RNG);
+
+  CBSParams Params;
+  bool Armed = false;
+  uint32_t SkippedInvocations = 0;
+  uint32_t SamplesThisTick = 0;
+  uint32_t RoundRobinNext = 1;
+  uint64_t SamplesTaken = 0;
+  uint64_t ArmedEvents = 0;
+  uint64_t OverlappingWindows = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_COUNTERBASEDSAMPLER_H

@@ -1,0 +1,105 @@
+//===- profiling/DynamicCallGraph.cpp - Weighted call graph ---------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/DynamicCallGraph.h"
+
+#include "bytecode/Program.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+void DynamicCallGraph::addSample(CallEdge Edge, uint64_t Count) {
+  Weights[Edge] += Count;
+  Total += Count;
+}
+
+uint64_t DynamicCallGraph::weight(CallEdge Edge) const {
+  auto It = Weights.find(Edge);
+  return It == Weights.end() ? 0 : It->second;
+}
+
+double DynamicCallGraph::fraction(CallEdge Edge) const {
+  if (Total == 0)
+    return 0;
+  return static_cast<double>(weight(Edge)) / static_cast<double>(Total);
+}
+
+std::vector<std::pair<CallEdge, uint64_t>>
+DynamicCallGraph::siteDistribution(bc::SiteId Site) const {
+  std::vector<std::pair<CallEdge, uint64_t>> Result;
+  for (const auto &[Edge, Weight] : Weights)
+    if (Edge.Site == Site)
+      Result.emplace_back(Edge, Weight);
+  std::sort(Result.begin(), Result.end(), [](const auto &L, const auto &R) {
+    if (L.second != R.second)
+      return L.second > R.second;
+    return L.first < R.first;
+  });
+  return Result;
+}
+
+std::vector<std::pair<CallEdge, uint64_t>>
+DynamicCallGraph::sortedEdges() const {
+  std::vector<std::pair<CallEdge, uint64_t>> Result(Weights.begin(),
+                                                    Weights.end());
+  std::sort(Result.begin(), Result.end(), [](const auto &L, const auto &R) {
+    return L.first < R.first;
+  });
+  return Result;
+}
+
+void DynamicCallGraph::merge(const DynamicCallGraph &Other) {
+  for (const auto &[Edge, Weight] : Other.Weights)
+    addSample(Edge, Weight);
+}
+
+void DynamicCallGraph::decay(double Factor) {
+  assert(Factor > 0 && Factor < 1 && "decay factor must be in (0, 1)");
+  Total = 0;
+  for (auto It = Weights.begin(); It != Weights.end();) {
+    uint64_t Decayed =
+        static_cast<uint64_t>(static_cast<double>(It->second) * Factor);
+    if (Decayed == 0) {
+      It = Weights.erase(It);
+      continue;
+    }
+    It->second = Decayed;
+    Total += Decayed;
+    ++It;
+  }
+}
+
+void DynamicCallGraph::clear() {
+  Weights.clear();
+  Total = 0;
+}
+
+std::string DynamicCallGraph::str(const bc::Program &P,
+                                  size_t MaxEdges) const {
+  auto Edges = sortedEdges();
+  std::sort(Edges.begin(), Edges.end(), [](const auto &L, const auto &R) {
+    if (L.second != R.second)
+      return L.second > R.second;
+    return L.first < R.first;
+  });
+  std::ostringstream OS;
+  OS << "DCG: " << Edges.size() << " edges, total weight " << Total << '\n';
+  size_t Shown = 0;
+  for (const auto &[Edge, Weight] : Edges) {
+    if (Shown++ == MaxEdges) {
+      OS << "  ... (" << (Edges.size() - MaxEdges) << " more)\n";
+      break;
+    }
+    const bc::SiteInfo &Site = P.site(Edge.Site);
+    OS << "  " << P.qualifiedName(Site.Caller) << "@" << Site.PC << " -> "
+       << P.qualifiedName(Edge.Callee) << "  " << Weight << " ("
+       << static_cast<int>(fraction(Edge) * 1000) / 10.0 << "%)\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,89 @@
+//===- profiling/DynamicCallGraph.h - Weighted call graph -------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic call graph (DCG): call edges with observed weights. This
+/// is both the profile repository that samplers update online and the
+/// input the inline oracles consume. Weights are raw counts (samples or
+/// exhaustive executions); the overlap metric and the oracles normalize
+/// as needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_DYNAMICCALLGRAPH_H
+#define CBSVM_PROFILING_DYNAMICCALLGRAPH_H
+
+#include "profiling/CallEdge.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cbs::bc {
+class Program;
+}
+
+namespace cbs::prof {
+
+class DynamicCallGraph {
+public:
+  /// Adds \p Count observations of \p Edge.
+  void addSample(CallEdge Edge, uint64_t Count = 1);
+
+  /// Raw weight of \p Edge (0 if absent).
+  uint64_t weight(CallEdge Edge) const;
+
+  /// Sum of all edge weights.
+  uint64_t totalWeight() const { return Total; }
+
+  /// Number of distinct edges observed.
+  size_t numEdges() const { return Weights.size(); }
+
+  bool empty() const { return Weights.empty(); }
+
+  /// Edge weight as a fraction of the total (0 if the graph is empty).
+  double fraction(CallEdge Edge) const;
+
+  /// All edges at \p Site with their weights, heaviest first. This is
+  /// the per-site receiver distribution the new inliner's 40% rule
+  /// inspects.
+  std::vector<std::pair<CallEdge, uint64_t>>
+  siteDistribution(bc::SiteId Site) const;
+
+  /// All edges sorted heaviest first.
+  std::vector<std::pair<CallEdge, uint64_t>> sortedEdges() const;
+
+  /// Merges \p Other into this graph.
+  void merge(const DynamicCallGraph &Other);
+
+  /// Exponentially decays every edge weight by \p Factor in (0, 1);
+  /// edges whose weight rounds to zero are dropped. Jikes RVM's AOS
+  /// periodically decays its sample data so the profile tracks *recent*
+  /// behaviour — without decay, a long-lived profile is dominated by
+  /// history and adapts slowly to phase changes.
+  void decay(double Factor);
+
+  /// Removes all edges and weights.
+  void clear();
+
+  /// Deterministic iteration for metrics: edges in sorted key order.
+  template <typename Fn> void forEachEdge(Fn &&Callback) const {
+    for (const auto &[Edge, Weight] : sortedEdges())
+      Callback(Edge, Weight);
+  }
+
+  /// Human-readable dump resolving names through \p P, heaviest first,
+  /// at most \p MaxEdges rows.
+  std::string str(const bc::Program &P, size_t MaxEdges = 32) const;
+
+private:
+  std::unordered_map<CallEdge, uint64_t, CallEdgeHash> Weights;
+  uint64_t Total = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_DYNAMICCALLGRAPH_H

@@ -1,0 +1,100 @@
+//===- profiling/Metrics.cpp - additional accuracy metrics ----------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace {
+
+std::vector<std::pair<CallEdge, uint64_t>>
+topEdges(const DynamicCallGraph &DCG, size_t N) {
+  auto Edges = DCG.sortedEdges();
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const auto &L, const auto &R) {
+                     return L.second > R.second;
+                   });
+  if (Edges.size() > N)
+    Edges.resize(N);
+  return Edges;
+}
+
+} // namespace
+
+double prof::hotEdgeCoverage(const DynamicCallGraph &Sampled,
+                             const DynamicCallGraph &Perfect, size_t N) {
+  auto Hot = topEdges(Perfect, N);
+  if (Hot.empty())
+    return 1.0;
+  size_t Found = 0;
+  for (const auto &[Edge, Weight] : Hot)
+    if (Sampled.weight(Edge) > 0)
+      ++Found;
+  return static_cast<double>(Found) / static_cast<double>(Hot.size());
+}
+
+double prof::hotOrderAgreement(const DynamicCallGraph &Sampled,
+                               const DynamicCallGraph &Perfect, size_t N) {
+  auto Hot = topEdges(Perfect, N);
+  double Score = 0;
+  size_t Pairs = 0;
+  for (size_t I = 0; I != Hot.size(); ++I)
+    for (size_t J = I + 1; J != Hot.size(); ++J) {
+      if (Hot[I].second == Hot[J].second)
+        continue; // True tie: no order to agree with.
+      ++Pairs;
+      uint64_t SI = Sampled.weight(Hot[I].first);
+      uint64_t SJ = Sampled.weight(Hot[J].first);
+      // Hot is sorted descending, so truth says I > J.
+      if (SI > SJ)
+        Score += 1.0;
+      else if (SI == SJ)
+        Score += 0.5;
+    }
+  if (Pairs == 0)
+    return 1.0;
+  return Score / static_cast<double>(Pairs);
+}
+
+double prof::siteDistributionError(const DynamicCallGraph &Sampled,
+                                   const DynamicCallGraph &Perfect) {
+  std::set<bc::SiteId> Sites;
+  Perfect.forEachEdge(
+      [&](CallEdge E, uint64_t) { Sites.insert(E.Site); });
+  if (Sites.empty())
+    return 0.0;
+
+  double TotalError = 0;
+  for (bc::SiteId Site : Sites) {
+    auto PerfectDist = Perfect.siteDistribution(Site);
+    auto SampledDist = Sampled.siteDistribution(Site);
+    uint64_t PerfectTotal = 0, SampledTotal = 0;
+    for (const auto &[E, W] : PerfectDist)
+      PerfectTotal += W;
+    for (const auto &[E, W] : SampledDist)
+      SampledTotal += W;
+    if (SampledTotal == 0) {
+      TotalError += 2.0; // Site never sampled: maximal distance.
+      continue;
+    }
+    std::map<CallEdge, double> Delta;
+    for (const auto &[E, W] : PerfectDist)
+      Delta[E] += static_cast<double>(W) / PerfectTotal;
+    for (const auto &[E, W] : SampledDist)
+      Delta[E] -= static_cast<double>(W) / SampledTotal;
+    double L1 = 0;
+    for (const auto &[E, D] : Delta)
+      L1 += std::abs(D);
+    TotalError += L1;
+  }
+  return TotalError / static_cast<double>(Sites.size());
+}

@@ -1,0 +1,57 @@
+//===- profiling/Metrics.h - additional accuracy metrics ---------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accuracy metrics beyond the paper's overlap percentage (§6.2 notes
+/// the choice of metric is client-dependent). These capture what
+/// specific clients care about:
+///
+///  - hotEdgeCoverage: of the true hottest N edges, what fraction does
+///    the sampled profile contain at all? This is the old Jikes
+///    inliner's world view: it only asked "is this edge hot", so a
+///    profile that finds the hot edges but garbles their weights was
+///    good enough for it.
+///  - hotOrderAgreement: do the sampled profile's top-N edges rank in
+///    the same relative order as the truth (pairwise, Kendall-style)?
+///    Clients that prioritize by weight (inlining budget allocation)
+///    care about order more than magnitude.
+///  - siteDistributionError: average L1 distance between per-site
+///    receiver distributions — the quantity behind the new inliner's
+///    40% rule and guarded-target selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_METRICS_H
+#define CBSVM_PROFILING_METRICS_H
+
+#include "profiling/DynamicCallGraph.h"
+
+namespace cbs::prof {
+
+/// Fraction (0-1) of \p Perfect's heaviest \p N edges that appear in
+/// \p Sampled with nonzero weight. Returns 1 for an empty perfect
+/// profile.
+double hotEdgeCoverage(const DynamicCallGraph &Sampled,
+                       const DynamicCallGraph &Perfect, size_t N);
+
+/// Pairwise order agreement (0-1) between the sampled weights of
+/// \p Perfect's heaviest \p N edges and their true order: for every
+/// pair with distinct true weights, score 1 if the sampled weights
+/// order the same way (missing edges count as weight 0), 0.5 on
+/// sampled ties. Returns 1 when fewer than two comparable edges exist.
+double hotOrderAgreement(const DynamicCallGraph &Sampled,
+                         const DynamicCallGraph &Perfect, size_t N);
+
+/// Mean, over call sites present in \p Perfect, of the L1 distance
+/// between the normalized per-site receiver distributions (0 = every
+/// site's distribution matches exactly; 2 = completely disjoint).
+/// Sites the sample never saw contribute the maximal distance 2.
+double siteDistributionError(const DynamicCallGraph &Sampled,
+                             const DynamicCallGraph &Perfect);
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_METRICS_H

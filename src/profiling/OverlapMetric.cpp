@@ -1,0 +1,37 @@
+//===- profiling/OverlapMetric.cpp - Profile accuracy metric --------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/OverlapMetric.h"
+
+#include <algorithm>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+double prof::overlap(const DynamicCallGraph &A, const DynamicCallGraph &B) {
+  if (A.empty() && B.empty())
+    return 100.0;
+  if (A.empty() || B.empty())
+    return 0.0;
+
+  double TotalA = static_cast<double>(A.totalWeight());
+  double TotalB = static_cast<double>(B.totalWeight());
+  double Sum = 0;
+  A.forEachEdge([&](CallEdge Edge, uint64_t WeightA) {
+    uint64_t WeightB = B.weight(Edge);
+    if (WeightB == 0)
+      return;
+    double PctA = 100.0 * static_cast<double>(WeightA) / TotalA;
+    double PctB = 100.0 * static_cast<double>(WeightB) / TotalB;
+    Sum += std::min(PctA, PctB);
+  });
+  return Sum;
+}
+
+double prof::accuracy(const DynamicCallGraph &Sampled,
+                      const DynamicCallGraph &Perfect) {
+  return overlap(Sampled, Perfect);
+}

@@ -1,0 +1,40 @@
+//===- profiling/OverlapMetric.h - Profile accuracy metric ------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overlap metric from §6.2 of the paper (also used by Arnold &
+/// Ryder):
+///
+///   overlap(DCG1, DCG2) =
+///     sum over edges e present in both graphs of
+///       min(Weight(e, DCG1), Weight(e, DCG2))
+///
+/// where Weight(e, DCG) is e's *percentage* of DCG's total weight. The
+/// result is in [0, 100]; 100 means identical normalized profiles. A
+/// sampled profile's accuracy is its overlap with the exhaustive
+/// profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_OVERLAPMETRIC_H
+#define CBSVM_PROFILING_OVERLAPMETRIC_H
+
+#include "profiling/DynamicCallGraph.h"
+
+namespace cbs::prof {
+
+/// Overlap percentage in [0, 100]. Two empty graphs overlap 100 (they
+/// contain identical — vacuous — information); an empty vs non-empty
+/// pair overlaps 0.
+double overlap(const DynamicCallGraph &A, const DynamicCallGraph &B);
+
+/// accuracy(sampled) = overlap(sampled, perfect).
+double accuracy(const DynamicCallGraph &Sampled,
+                const DynamicCallGraph &Perfect);
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_OVERLAPMETRIC_H

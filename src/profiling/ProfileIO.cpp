@@ -1,0 +1,124 @@
+//===- profiling/ProfileIO.cpp - profile serialization -------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/ProfileIO.h"
+
+#include "bytecode/Program.h"
+
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+static constexpr const char *Magic = "cbsvm-dcg";
+static constexpr int Version = 1;
+
+std::string prof::serializeDCG(const DynamicCallGraph &DCG) {
+  std::ostringstream OS;
+  OS << Magic << ' ' << Version << '\n';
+  OS << "# edges: " << DCG.numEdges() << ", total weight: "
+     << DCG.totalWeight() << '\n';
+  DCG.forEachEdge([&](CallEdge E, uint64_t W) {
+    OS << E.Site << ' ' << E.Callee << ' ' << W << '\n';
+  });
+  return OS.str();
+}
+
+ParseResult prof::parseDCG(const std::string &Text) {
+  ParseResult Result;
+  std::istringstream IS(Text);
+  std::string Line;
+
+  if (!std::getline(IS, Line)) {
+    Result.Error = "empty input";
+    return Result;
+  }
+  {
+    std::istringstream Header(Line);
+    std::string Word;
+    int V = -1;
+    Header >> Word >> V;
+    if (Word != Magic) {
+      Result.Error = "bad magic: expected '" + std::string(Magic) + "'";
+      return Result;
+    }
+    if (V != Version) {
+      Result.Error = "unsupported version " + std::to_string(V);
+      return Result;
+    }
+  }
+
+  DynamicCallGraph DCG;
+  size_t LineNo = 1;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    uint64_t Site, Callee, Weight;
+    if (!(LS >> Site >> Callee >> Weight)) {
+      Result.Error =
+          "line " + std::to_string(LineNo) + ": malformed edge";
+      return Result;
+    }
+    std::string Trailing;
+    if (LS >> Trailing) {
+      Result.Error =
+          "line " + std::to_string(LineNo) + ": trailing tokens";
+      return Result;
+    }
+    if (Weight == 0) {
+      Result.Error =
+          "line " + std::to_string(LineNo) + ": zero weight edge";
+      return Result;
+    }
+    CallEdge E{static_cast<bc::SiteId>(Site),
+               static_cast<bc::MethodId>(Callee)};
+    if (DCG.weight(E) != 0) {
+      Result.Error =
+          "line " + std::to_string(LineNo) + ": duplicate edge";
+      return Result;
+    }
+    DCG.addSample(E, Weight);
+  }
+  Result.Graph = std::move(DCG);
+  return Result;
+}
+
+std::string prof::validateAgainst(const DynamicCallGraph &DCG,
+                                  const bc::Program &P) {
+  std::string Problem;
+  DCG.forEachEdge([&](CallEdge E, uint64_t) {
+    if (!Problem.empty())
+      return;
+    if (E.Site >= P.numSites()) {
+      Problem = "edge refers to unknown site " + std::to_string(E.Site);
+      return;
+    }
+    if (E.Callee >= P.numMethods()) {
+      Problem =
+          "edge refers to unknown method " + std::to_string(E.Callee);
+      return;
+    }
+    const bc::SiteInfo &Info = P.site(E.Site);
+    const bc::Instruction &I = P.method(Info.Caller).Code[Info.PC];
+    const bc::Method &Callee = P.method(E.Callee);
+    if (I.Op == bc::Opcode::InvokeStatic) {
+      if (static_cast<bc::MethodId>(I.A) != E.Callee)
+        Problem = "static site " + std::to_string(E.Site) +
+                  " cannot call " + P.qualifiedName(E.Callee);
+    } else if (I.Op == bc::Opcode::InvokeVirtual) {
+      if (!Callee.isVirtual() ||
+          Callee.Selector != static_cast<bc::SelectorId>(I.A))
+        Problem = "virtual site " + std::to_string(E.Site) +
+                  " cannot dispatch to " + P.qualifiedName(E.Callee);
+    } else {
+      Problem = "site " + std::to_string(E.Site) +
+                " is not a call instruction";
+    }
+  });
+  return Problem;
+}

@@ -1,0 +1,65 @@
+//===- profiling/ProfileIO.h - profile serialization -------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for dynamic call graphs: lets a profile collected
+/// in one run be saved, inspected, diffed, and replayed into an offline
+/// inlining plan (the workflow the paper's §3.2 baseline used with its
+/// "offline profile data" validation, and what any adopter of the
+/// library needs to regression-track profiles).
+///
+/// Format (line-oriented, versioned):
+///
+///   cbsvm-dcg 1
+///   # optional comments
+///   <site> <callee> <weight>
+///
+/// Sites and callees are numeric ids, valid relative to the program the
+/// profile was collected from; resolveAgainst() can sanity-check a
+/// loaded profile against a Program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_PROFILEIO_H
+#define CBSVM_PROFILING_PROFILEIO_H
+
+#include "profiling/DynamicCallGraph.h"
+
+#include <optional>
+#include <string>
+
+namespace cbs::bc {
+class Program;
+}
+
+namespace cbs::prof {
+
+/// Serializes \p DCG. Edges are emitted in deterministic (sorted key)
+/// order so equal profiles serialize identically.
+std::string serializeDCG(const DynamicCallGraph &DCG);
+
+/// Parse result: the graph, or an error description.
+struct ParseResult {
+  std::optional<DynamicCallGraph> Graph;
+  std::string Error;
+
+  bool ok() const { return Graph.has_value(); }
+};
+
+/// Parses the serializeDCG format. Unknown versions, malformed lines,
+/// and duplicate edges are errors.
+ParseResult parseDCG(const std::string &Text);
+
+/// Checks that every edge of \p DCG refers to a valid site/method of
+/// \p P and that the callee is plausible for the site (static target
+/// matches; virtual callee implements the site's selector). Returns an
+/// empty string if fine, else a description of the first problem.
+std::string validateAgainst(const DynamicCallGraph &DCG,
+                            const bc::Program &P);
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_PROFILEIO_H

@@ -1,0 +1,61 @@
+//===- profiling/SampleBuffer.h - Listener/organizer decoupling -*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Jikes RVM implementation registers *listeners* that
+/// capture raw samples and *organizers* that later process them into the
+/// profile repository (§5.1: "the organizers that process the raw
+/// profile data were unchanged: they simply process samples without
+/// needing to know if the samples came from a listener that was
+/// responding to time-based or counter-based events"). This buffer
+/// reproduces that decoupling: the VM's sampling hook appends edges
+/// cheaply; the organizer drains them into the DynamicCallGraph when the
+/// buffer fills or at snapshot points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_SAMPLEBUFFER_H
+#define CBSVM_PROFILING_SAMPLEBUFFER_H
+
+#include "profiling/DynamicCallGraph.h"
+
+#include <vector>
+
+namespace cbs::prof {
+
+class SampleBuffer {
+public:
+  explicit SampleBuffer(size_t Capacity = 256) : Capacity(Capacity) {
+    Pending.reserve(Capacity);
+  }
+
+  /// Appends one raw sample; returns true if the buffer is now full and
+  /// the owner should call drainInto (the organizer step).
+  bool append(CallEdge Edge) {
+    Pending.push_back(Edge);
+    return Pending.size() >= Capacity;
+  }
+
+  /// Organizer: folds all pending samples into \p Repo and clears.
+  void drainInto(DynamicCallGraph &Repo) {
+    for (CallEdge Edge : Pending)
+      Repo.addSample(Edge);
+    Pending.clear();
+    ++Drains;
+  }
+
+  size_t pendingCount() const { return Pending.size(); }
+  uint64_t drainCount() const { return Drains; }
+
+private:
+  size_t Capacity;
+  std::vector<CallEdge> Pending;
+  uint64_t Drains = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_SAMPLEBUFFER_H

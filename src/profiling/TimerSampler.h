@@ -1,0 +1,71 @@
+//===- profiling/TimerSampler.h - Timer-only baseline -----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic timer-based sampling baseline (§3.3): each timer
+/// interrupt requests exactly one sample, taken at the next
+/// prologue/epilogue yieldpoint. It is the degenerate CBS configuration
+/// Stride=1, Samples=1, but is kept as its own state machine because it
+/// is the paper's "base" system and because its bias (it samples the
+/// first call *after* the tick, which over-weights calls that follow
+/// long non-call stretches — Figure 1) is the behaviour our tests pin
+/// down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_PROFILING_TIMERSAMPLER_H
+#define CBSVM_PROFILING_TIMERSAMPLER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cbs::prof {
+
+class TimerSampler {
+public:
+  /// The timer interrupt: request one sample.
+  void onTimerTick() {
+    if (Pending)
+      ++MissedTicks;
+    Pending = true;
+  }
+
+  bool armed() const { return Pending; }
+
+  /// An invocation event while armed; always samples and disarms.
+  bool onInvocationEvent() {
+    assert(Pending && "event delivered to a disarmed sampler");
+    Pending = false;
+    ++SamplesTaken;
+    return true;
+  }
+
+  /// The first taken yieldpoint after the tick was a loop backedge: in
+  /// Jikes RVM the thread switch happens there and the DCG listener gets
+  /// nothing, so the sample is lost (§3.3 / §5.1).
+  void cancel() {
+    assert(Pending && "cancel on a disarmed sampler");
+    Pending = false;
+    ++LostToBackedge;
+  }
+
+  uint64_t samplesTaken() const { return SamplesTaken; }
+  /// Ticks that arrived while the previous sample was still pending
+  /// (no call executed in between — e.g. a long I/O or Work stretch).
+  uint64_t missedTicks() const { return MissedTicks; }
+  /// Samples lost to a backedge yieldpoint winning the race.
+  uint64_t lostToBackedge() const { return LostToBackedge; }
+
+private:
+  bool Pending = false;
+  uint64_t SamplesTaken = 0;
+  uint64_t MissedTicks = 0;
+  uint64_t LostToBackedge = 0;
+};
+
+} // namespace cbs::prof
+
+#endif // CBSVM_PROFILING_TIMERSAMPLER_H

@@ -1,0 +1,24 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting ------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cbs;
+
+void cbs::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "cbsvm fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void cbs::unreachableInternal(const char *Message, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

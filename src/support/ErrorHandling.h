@@ -1,0 +1,40 @@
+//===- support/ErrorHandling.h - Fatal error reporting ----------*- C++ -*-===//
+//
+// Part of the CBSVM project: a reproduction of Arnold & Grove,
+// "Collecting and Exploiting High-Accuracy Call Graph Profiles in
+// Virtual Machines" (CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting helpers used throughout the library. Programmatic
+/// errors (broken invariants) use assert/cbsUnreachable; unrecoverable
+/// environment or usage errors use reportFatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_SUPPORT_ERRORHANDLING_H
+#define CBSVM_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace cbs {
+
+/// Prints \p Message to stderr and aborts the process. Used for
+/// unrecoverable errors that are not programming bugs (e.g. a malformed
+/// program handed to the VM in a context where the caller did not verify
+/// it first).
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached if the program's
+/// invariants hold. Prints \p Message with source location and aborts.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace cbs
+
+/// Marks unreachable control flow, in the spirit of llvm_unreachable.
+#define cbsUnreachable(MSG)                                                    \
+  ::cbs::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // CBSVM_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,117 @@
+//===- support/Random.cpp - Deterministic random numbers ------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cbs;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void RandomEngine::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t RandomEngine::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t RandomEngine::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t RandomEngine::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double RandomEngine::nextDouble() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool RandomEngine::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+size_t RandomEngine::pickWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "pickWeighted needs at least one weight");
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0 && "total weight must be positive");
+  double Point = nextDouble() * Total;
+  double Acc = 0;
+  for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+    Acc += Weights[I];
+    if (Point < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+ZipfDistribution::ZipfDistribution(size_t N, double S) {
+  assert(N > 0 && "Zipf over an empty domain");
+  CDF.resize(N);
+  double Acc = 0;
+  for (size_t I = 0; I != N; ++I) {
+    Acc += 1.0 / std::pow(static_cast<double>(I + 1), S);
+    CDF[I] = Acc;
+  }
+  for (double &V : CDF)
+    V /= Acc;
+}
+
+size_t ZipfDistribution::sample(RandomEngine &RNG) const {
+  double Point = RNG.nextDouble();
+  auto It = std::lower_bound(CDF.begin(), CDF.end(), Point);
+  if (It == CDF.end())
+    return CDF.size() - 1;
+  return static_cast<size_t>(It - CDF.begin());
+}
+
+double ZipfDistribution::probability(size_t I) const {
+  assert(I < CDF.size() && "rank out of range");
+  if (I == 0)
+    return CDF[0];
+  return CDF[I] - CDF[I - 1];
+}

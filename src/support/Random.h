@@ -1,0 +1,97 @@
+//===- support/Random.h - Deterministic random numbers ----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation. Every run of the VM or
+/// an experiment is a pure function of (program, config, seed), so all
+/// randomness in the repo flows through this generator rather than
+/// std::random_device or hashed pointers.
+///
+/// The engine is xoshiro256** seeded via SplitMix64, which is fast,
+/// high-quality, and trivially reproducible across platforms (unlike
+/// std::mt19937 distributions, whose results are not pinned by the
+/// standard for std::uniform_int_distribution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_SUPPORT_RANDOM_H
+#define CBSVM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cbs {
+
+/// Deterministic xoshiro256** generator with convenience distributions.
+class RandomEngine {
+public:
+  /// Creates an engine whose entire stream is determined by \p Seed.
+  explicit RandomEngine(uint64_t Seed = 0) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling, so the distribution is exact.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+  /// Picks an index in [0, Weights.size()) with probability proportional
+  /// to Weights[i]. Total weight must be positive.
+  size_t pickWeighted(const std::vector<double> &Weights);
+
+private:
+  uint64_t State[4];
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, .., N-1}.
+///
+/// Used to model skewed receiver-class distributions at virtual call
+/// sites: the paper's inliners care about whether the hottest target
+/// accounts for >40% of a site's distribution, and Zipf skew is the
+/// standard model for that. Sampling uses a precomputed CDF, so draws
+/// are O(log N).
+class ZipfDistribution {
+public:
+  /// Builds a distribution over \p N ranks with exponent \p S >= 0.
+  /// S == 0 degenerates to uniform.
+  ZipfDistribution(size_t N, double S);
+
+  /// Draws a rank in [0, size()).
+  size_t sample(RandomEngine &RNG) const;
+
+  /// Probability mass of rank \p I.
+  double probability(size_t I) const;
+
+  size_t size() const { return CDF.size(); }
+
+private:
+  std::vector<double> CDF;
+};
+
+} // namespace cbs
+
+#endif // CBSVM_SUPPORT_RANDOM_H

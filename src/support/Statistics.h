@@ -1,0 +1,42 @@
+//===- support/Statistics.h - Summary statistics -----------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small summary-statistics helpers used by the experiment harness. The
+/// paper reports medians over 10 runs and averages over benchmarks; these
+/// functions implement exactly those reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_SUPPORT_STATISTICS_H
+#define CBSVM_SUPPORT_STATISTICS_H
+
+#include <vector>
+
+namespace cbs {
+
+/// Arithmetic mean. Returns 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Median (average of the two middle elements for even sizes). Returns 0
+/// for an empty vector. Does not modify the input.
+double median(std::vector<double> Values);
+
+/// Geometric mean of strictly positive values. Returns 0 for an empty
+/// vector. Asserts on non-positive inputs.
+double geomean(const std::vector<double> &Values);
+
+/// Sample standard deviation (N-1 denominator). Returns 0 for fewer than
+/// two values.
+double stddev(const std::vector<double> &Values);
+
+/// Linear-interpolated percentile, \p P in [0, 100]. Returns 0 for an
+/// empty vector. Does not modify the input.
+double percentile(std::vector<double> Values, double P);
+
+} // namespace cbs
+
+#endif // CBSVM_SUPPORT_STATISTICS_H

@@ -1,0 +1,55 @@
+//===- vm/CodeCache.cpp - Active code versions -----------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/CodeCache.h"
+
+#include "bytecode/Program.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cbs;
+using namespace cbs::vm;
+
+CodeCache::CodeCache(const bc::Program &P) : Active(P.numMethods()) {}
+
+const CompiledMethod *CodeCache::install(CompiledMethod CM) {
+  assert(CM.Id < Active.size() && "unknown method");
+  assert(!CM.Code.empty() && "installing an empty body");
+  CompileCycles += CM.CompileCostCycles;
+  ++Compiles;
+  if (Active[CM.Id]) {
+    ++Recompiles;
+    Graveyard.push_back(std::move(Active[CM.Id]));
+  }
+  Active[CM.Id] = std::make_unique<CompiledMethod>(std::move(CM));
+  return Active[CM.Id].get();
+}
+
+CompiledMethod CodeCache::compileBaseline(const bc::Program &P,
+                                          bc::MethodId Id, int Level,
+                                          const CostModel &Costs) {
+  assert(Level >= 0 && Level <= 2 && "optimization level out of range");
+  const bc::Method &M = P.method(Id);
+  CompiledMethod CM;
+  CM.Id = Id;
+  CM.Level = static_cast<uint8_t>(Level);
+  CM.ScaleQ8 =
+      static_cast<uint16_t>(std::lround(Costs.LevelScale[Level] * 256.0));
+  CM.NumLocals = M.NumLocals;
+  CM.Code = M.Code;
+  CM.CompileCostCycles = static_cast<uint64_t>(
+      std::llround(Costs.CompileCostPerByte[Level] * M.sizeBytes()));
+  return CM;
+}
+
+uint64_t CodeCache::activeCodeInstructions() const {
+  uint64_t Total = 0;
+  for (const auto &CM : Active)
+    if (CM)
+      Total += CM->Code.size();
+  return Total;
+}

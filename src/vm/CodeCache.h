@@ -1,0 +1,69 @@
+//===- vm/CodeCache.h - Active code versions --------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps each method to its active CompiledMethod version. Replaced
+/// versions are retired to a graveyard rather than freed because stack
+/// frames keep raw pointers to the version they entered (no on-stack
+/// replacement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_CODECACHE_H
+#define CBSVM_VM_CODECACHE_H
+
+#include "vm/CompiledMethod.h"
+#include "vm/CostModel.h"
+
+#include <memory>
+#include <vector>
+
+namespace cbs::bc {
+class Program;
+}
+
+namespace cbs::vm {
+
+class CodeCache {
+public:
+  explicit CodeCache(const bc::Program &P);
+
+  /// Active version of \p Id, or nullptr if not yet compiled.
+  const CompiledMethod *active(bc::MethodId Id) const {
+    return Active[Id].get();
+  }
+
+  /// Active optimization level; -1 if not yet compiled.
+  int activeLevel(bc::MethodId Id) const {
+    return Active[Id] ? Active[Id]->Level : -1;
+  }
+
+  /// Installs a new version; the previous one (if any) is retired but
+  /// kept alive. Returns the installed version.
+  const CompiledMethod *install(CompiledMethod CM);
+
+  /// Straight level-\p Level translation of the original bytecode with
+  /// no inlining: the default compile path when no compile hook is set.
+  static CompiledMethod compileBaseline(const bc::Program &P, bc::MethodId Id,
+                                        int Level, const CostModel &Costs);
+
+  uint64_t totalCompileCycles() const { return CompileCycles; }
+  uint64_t numCompiles() const { return Compiles; }
+  uint64_t numRecompiles() const { return Recompiles; }
+  /// Sum of code sizes (instruction counts) of active versions.
+  uint64_t activeCodeInstructions() const;
+
+private:
+  std::vector<std::unique_ptr<CompiledMethod>> Active;
+  std::vector<std::unique_ptr<CompiledMethod>> Graveyard;
+  uint64_t CompileCycles = 0;
+  uint64_t Compiles = 0;
+  uint64_t Recompiles = 0;
+};
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_CODECACHE_H

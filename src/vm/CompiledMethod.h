@@ -1,0 +1,49 @@
+//===- vm/CompiledMethod.h - Installed code versions ------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One compiled version of a method: (possibly inlined and optimized)
+/// code, its optimization level, and the execution-speed scale the
+/// interpreter applies. The original bytecode in the Program is never
+/// mutated; the code cache maps each method to its active version, and
+/// stack frames pin the version they started in (no on-stack
+/// replacement, matching the paper's VMs for already-active frames).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_COMPILEDMETHOD_H
+#define CBSVM_VM_COMPILEDMETHOD_H
+
+#include "bytecode/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cbs::vm {
+
+struct CompiledMethod {
+  bc::MethodId Id = bc::InvalidMethodId;
+  /// Optimization level 0..2.
+  uint8_t Level = 0;
+  /// Fixed-point (Q8) execution-speed multiplier; 256 = 1.0. The
+  /// interpreter charges (baseCost * ScaleQ8) >> 8 per instruction.
+  uint16_t ScaleQ8 = 256;
+  uint32_t NumLocals = 0;
+  std::vector<bc::Instruction> Code;
+  /// Modelled cycles spent compiling this version (tracked separately
+  /// from execution cycles; see VMStats::CompileCycles).
+  uint64_t CompileCostCycles = 0;
+  /// Number of callee bodies the inliner spliced in (stats only).
+  uint32_t InlinedBodies = 0;
+
+  uint64_t scaledCost(uint32_t BaseCost) const {
+    return (static_cast<uint64_t>(BaseCost) * ScaleQ8) >> 8;
+  }
+};
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_COMPILEDMETHOD_H

@@ -1,0 +1,74 @@
+//===- vm/CostModel.cpp - Virtual cycle accounting -------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/CostModel.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cbs;
+using namespace cbs::vm;
+
+uint32_t CostModel::cost(const bc::Instruction &I) const {
+  using bc::Opcode;
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::IConst:
+  case Opcode::ILoad:
+  case Opcode::IStore:
+  case Opcode::IInc:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::INeg:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::AConstNull:
+    return SimpleOp;
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfICmpEq:
+  case Opcode::IfICmpNe:
+  case Opcode::IfICmpLt:
+  case Opcode::IfICmpGe:
+    return BranchOp;
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return FieldOp;
+  case Opcode::New:
+    return AllocOp;
+  case Opcode::ClassEq:
+    return GuardOp;
+  case Opcode::InvokeStatic:
+    return CallSequence;
+  case Opcode::InvokeVirtual:
+    return CallSequence + VirtualDispatch;
+  case Opcode::Return:
+  case Opcode::IReturn:
+  case Opcode::AReturn:
+    return ReturnOp;
+  case Opcode::Work:
+    return static_cast<uint32_t>(I.A);
+  case Opcode::Print:
+    return PrintOp;
+  case Opcode::Halt:
+    return SimpleOp;
+  case Opcode::Spawn:
+    return SpawnOp;
+  }
+  cbsUnreachable("unknown opcode");
+}

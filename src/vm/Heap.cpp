@@ -1,0 +1,29 @@
+//===- vm/Heap.cpp - Object heap -------------------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Heap.h"
+
+using namespace cbs;
+using namespace cbs::vm;
+
+Ref Heap::allocate(const bc::ClassType &C) {
+  Object O;
+  O.Class = C.Id;
+  O.FieldBase = static_cast<uint32_t>(Fields.size());
+  O.NumFields = C.NumFields;
+  Fields.resize(Fields.size() + C.NumFields, 0);
+  Objects.push_back(O);
+  if (C.Id >= PerClass.size())
+    PerClass.resize(C.Id + 1, 0);
+  ++PerClass[C.Id];
+  BytesAllocated += 16 + 8ull * C.NumFields;
+  return static_cast<Ref>(Objects.size());
+}
+
+void Heap::reset() {
+  Objects.clear();
+  Fields.clear();
+}

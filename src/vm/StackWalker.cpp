@@ -1,0 +1,36 @@
+//===- vm/StackWalker.cpp - Call stack sampling -----------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/StackWalker.h"
+
+using namespace cbs;
+using namespace cbs::vm;
+
+std::vector<prof::PathStep> vm::walkStack(const Thread &T) {
+  std::vector<prof::PathStep> Path;
+  Path.reserve(T.Frames.size());
+  for (size_t I = 0, E = T.Frames.size(); I != E; ++I) {
+    bc::SiteId Site = bc::InvalidSiteId;
+    if (I > 0) {
+      const Frame &Caller = T.Frames[I - 1];
+      const bc::Instruction &CI = Caller.CM->Code[Caller.PC];
+      if (bc::isCall(CI.Op))
+        Site = CI.Site;
+    }
+    Path.push_back({Site, T.Frames[I].CM->Id});
+  }
+  return Path;
+}
+
+std::optional<prof::CallEdge> vm::topEdge(const Thread &T) {
+  if (T.Frames.size() < 2)
+    return std::nullopt;
+  const Frame &Caller = T.Frames[T.Frames.size() - 2];
+  const bc::Instruction &CI = Caller.CM->Code[Caller.PC];
+  if (!bc::isCall(CI.Op))
+    return std::nullopt;
+  return prof::CallEdge{CI.Site, T.Frames.back().CM->Id};
+}

@@ -1,0 +1,37 @@
+//===- vm/StackWalker.h - Call stack sampling -------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks a thread's frame stack into the PathStep form the profilers
+/// consume. Mirrors the paper's J9 implementation choice of reusing
+/// the existing general stack-walking routine rather than a
+/// specialized top-two-frames extractor (§5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_STACKWALKER_H
+#define CBSVM_VM_STACKWALKER_H
+
+#include "profiling/CallingContextTree.h"
+#include "vm/Thread.h"
+
+#include <optional>
+
+namespace cbs::vm {
+
+/// Full walk, outermost frame first. The outermost step has an invalid
+/// site (thread entry); every other step's site is the call instruction
+/// the frame below is suspended at.
+std::vector<prof::PathStep> walkStack(const Thread &T);
+
+/// The top caller→callee edge, or nullopt when the thread is at its
+/// entry frame (no caller). This is what a context-insensitive DCG
+/// sample records.
+std::optional<prof::CallEdge> topEdge(const Thread &T);
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_STACKWALKER_H

@@ -1,0 +1,72 @@
+//===- vm/Thread.h - Green threads and frames -------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Green (VM-scheduled) threads. Each thread owns one contiguous value
+/// arena: a frame's locals occupy [LocalBase, LocalBase + NumLocals) and
+/// its operand stack is everything beyond, so pushes/pops are vector
+/// back operations and frame pop is a resize.
+///
+/// Per the paper (§5.2, "thread-local variables are used for the
+/// counters to avoid potential scalability issues or race conditions"),
+/// each thread carries its own sampler state machines; the shared
+/// profile repository is updated only when a sample fires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_THREAD_H
+#define CBSVM_VM_THREAD_H
+
+#include "profiling/CounterBasedSampler.h"
+#include "profiling/TimerSampler.h"
+#include "vm/CompiledMethod.h"
+
+#include <vector>
+
+namespace cbs::vm {
+
+struct Frame {
+  const CompiledMethod *CM = nullptr;
+  uint32_t PC = 0;
+  /// Index of locals[0] within the thread's value arena.
+  uint32_t LocalBase = 0;
+};
+
+/// The Jikes RVM yieldpoint control word states (§5.1): prologue and
+/// epilogue yieldpoints are taken when the word is nonzero; backedge
+/// yieldpoints only when it is positive.
+enum class YieldWord : int8_t {
+  CBSArmed = -1, ///< take prologue/epilogue yieldpoints (CBS window open)
+  Clear = 0,     ///< take nothing
+  TakeAll = 1,   ///< take all yieldpoints (timer/GC service request)
+};
+
+struct Thread {
+  uint32_t Id = 0;
+  std::vector<Frame> Frames;
+  std::vector<int64_t> Values;
+  bool Finished = false;
+
+  /// The single overloadable check word (paper Figures 3-4 / §5.1).
+  YieldWord Word = YieldWord::Clear;
+  /// A thread switch was requested while the CBS window was armed; it is
+  /// honoured when the window closes (§5.1: "then ... the thread switch
+  /// is allowed to occur").
+  bool DeferredSwitch = false;
+
+  prof::CounterBasedSampler CBS;
+  /// §8 generalization: the same state machine over allocation events.
+  prof::CounterBasedSampler Alloc;
+  prof::TimerSampler Timer;
+
+  Frame &top() { return Frames.back(); }
+  const Frame &top() const { return Frames.back(); }
+  size_t depth() const { return Frames.size(); }
+};
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_THREAD_H

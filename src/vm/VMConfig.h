@@ -1,0 +1,127 @@
+//===- vm/VMConfig.h - Virtual machine configuration ------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All knobs of a VM run. A run is a pure function of
+/// (program, VMConfig): the config carries the personality (which of
+/// the paper's two implementations is being modelled), the profiler and
+/// its parameters, the cost model, and the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_VMCONFIG_H
+#define CBSVM_VM_VMCONFIG_H
+
+#include "profiling/CodePatchingProfiler.h"
+#include "profiling/CounterBasedSampler.h"
+#include "vm/CompiledMethod.h"
+#include "vm/CostModel.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace cbs::bc {
+class Program;
+}
+
+namespace cbs::vm {
+
+/// Which of the paper's two VM implementations to model (§5).
+enum class Personality : uint8_t {
+  /// Jikes RVM: 3-state yieldpoint word; prologue *and* epilogue
+  /// yieldpoints are invocation events; backedge yieldpoints service
+  /// ticks but never yield call edges.
+  JikesRVM,
+  /// J9: overloaded method-entry check; entries are the only invocation
+  /// events; backedges service switch/GC requests.
+  J9,
+};
+
+enum class ProfilerKind : uint8_t {
+  None,         ///< no DCG construction (the overhead baseline)
+  Exhaustive,   ///< record every call edge (the perfect profile, §6.2)
+  Timer,        ///< timer-based sampling: the Jikes RVM base (§3.3)
+  CBS,          ///< counter-based sampling: the paper's technique (§4)
+  CodePatching, ///< Suganuma-style prologue listeners (§3.2)
+};
+
+struct ProfilerOptions {
+  ProfilerKind Kind = ProfilerKind::None;
+  prof::CBSParams CBS;
+  prof::CodePatchingParams Patching;
+  /// Code-patching promotion trigger: a method is "optimized" (and thus
+  /// instrumented) after this many invocations, standing in for the IBM
+  /// DK's recompilation threshold in JIT-only accuracy runs.
+  uint64_t PromoteAfterInvocations = 1000;
+  /// Charge CostModel::ExhaustiveCounter per call in Exhaustive mode.
+  bool ChargeExhaustiveCounters = true;
+  /// Additionally record full stack walks into a CallingContextTree
+  /// (the context-sensitive extension, §1/§8). Costs
+  /// StackSamplePerFrame extra per walked frame.
+  bool ContextSensitive = false;
+
+  /// §8 generalization: also run a CounterBasedSampler over
+  /// *allocation* events, building a per-class allocation histogram
+  /// (see profiling/AllocationProfile.h). Works alongside any DCG
+  /// profiler kind; the armed check overloads the allocator's existing
+  /// heap-frontier test.
+  bool ProfileAllocations = false;
+  /// Window geometry for the allocation sampler.
+  prof::CBSParams AllocCBS;
+
+  /// Exponentially decay the profile repository every this many timer
+  /// ticks (0 = never). Jikes RVM's organizers decay sample data so the
+  /// DCG tracks recent behaviour across phase changes.
+  uint32_t DecayEveryTicks = 0;
+  /// Multiplier applied at each decay.
+  double DecayFactor = 0.8;
+};
+
+struct VMConfig {
+  Personality Pers = Personality::JikesRVM;
+  ProfilerOptions Profiler;
+  CostModel Costs;
+
+  /// Virtual timer period. The default of 200k cycles is the calibrated
+  /// analogue of the 10 ms tick on the paper's 2.8 GHz hardware (see
+  /// EXPERIMENTS.md).
+  uint64_t TimerPeriodCycles = 200'000;
+
+  /// Seeded jitter applied to each tick, as a percentage of the period.
+  /// A perfectly periodic virtual timer can resonate with a loop whose
+  /// body is a divisor of the period — every tick then lands on the
+  /// same instruction, an artifact impossible on real hardware, where
+  /// timer interrupts drift freely against the instruction stream.
+  /// Jitter is drawn from the run's seeded RNG, so runs remain exactly
+  /// reproducible. Set to 0 for a strictly periodic timer.
+  double TimerJitterPct = 3.0;
+
+  /// Hard stop (state CycleLimit) — a safety net for tests.
+  uint64_t MaxCycles = UINT64_MAX;
+
+  /// A GC service request is raised every this many allocated bytes.
+  uint64_t GCThresholdBytes = 1u << 18;
+
+  /// Optimization level used for lazy first-touch compilation ("JIT
+  /// only" mode of §6.2 compiles every method at the same level).
+  int JITLevel = 0;
+
+  /// Ablation (§4): model a VM without an overloadable prologue check by
+  /// charging CostModel::ExplicitEntryCheck on every method entry.
+  bool ExplicitEntryCheck = false;
+
+  uint64_t Seed = 1;
+
+  /// Optional compile pipeline (trivial inlining, the optimizer, an
+  /// inline plan); when unset the VM installs straight baseline
+  /// translations. Receives (program, method, level).
+  std::function<CompiledMethod(const bc::Program &, bc::MethodId, int)>
+      CompileHook;
+};
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_VMCONFIG_H

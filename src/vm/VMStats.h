@@ -1,0 +1,52 @@
+//===- vm/VMStats.h - Execution counters ------------------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters accumulated over a VM run. Cycles is total modelled time
+/// including all profiling work; ProfilingCycles is the portion
+/// attributable to profiling (for decomposition displays — overhead in
+/// the experiments is measured the way the paper measures it, by
+/// comparing against a separate ProfilerKind::None run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_VMSTATS_H
+#define CBSVM_VM_VMSTATS_H
+
+#include <cstdint>
+
+namespace cbs::vm {
+
+struct VMStats {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0; ///< modelled (Work counts its A cycles as work)
+  uint64_t CallsExecuted = 0;
+  uint64_t VirtualCallsExecuted = 0;
+  uint64_t TimerTicks = 0;
+  uint64_t YieldpointsTaken = 0;
+  uint64_t SamplesTaken = 0;
+  uint64_t ProfilingCycles = 0;
+  uint64_t CompileCycles = 0;
+  uint64_t GCCount = 0;
+  uint64_t ThreadSwitches = 0;
+  uint64_t ThreadsSpawned = 0;
+  uint64_t MaxStackDepth = 0;
+};
+
+/// Why VirtualMachine::run returned.
+enum class RunState : uint8_t {
+  Running,    ///< budget exhausted, resumable
+  Finished,   ///< all threads returned from their entry frames
+  Halted,     ///< a Halt instruction executed
+  Trapped,    ///< runtime error (null deref, bad dispatch, div by 0, ...)
+  CycleLimit, ///< VMConfig::MaxCycles reached
+};
+
+const char *runStateName(RunState S);
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_VMSTATS_H

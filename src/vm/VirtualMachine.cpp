@@ -1,0 +1,625 @@
+//===- vm/VirtualMachine.cpp - The virtual machine --------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include "vm/StackWalker.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::vm;
+
+const char *vm::runStateName(RunState S) {
+  switch (S) {
+  case RunState::Running:
+    return "running";
+  case RunState::Finished:
+    return "finished";
+  case RunState::Halted:
+    return "halted";
+  case RunState::Trapped:
+    return "trapped";
+  case RunState::CycleLimit:
+    return "cycle-limit";
+  }
+  return "?";
+}
+
+VMClient::~VMClient() = default;
+
+VirtualMachine::VirtualMachine(const bc::Program &P, VMConfig Config)
+    : P(P), Config(std::move(Config)), Cache(P), RNG(this->Config.Seed),
+      InvocationCounts(P.numMethods(), 0), TickSamples(P.numMethods(), 0) {
+  if (this->Config.Profiler.Kind == ProfilerKind::CodePatching)
+    Patching = std::make_unique<prof::CodePatchingProfiler>(
+        P.numMethods(), this->Config.Profiler.Patching);
+  NextTimerAt = this->Config.TimerPeriodCycles;
+  NextGCAt = this->Config.GCThresholdBytes;
+  spawnThread(P.entryMethod());
+}
+
+VirtualMachine::~VirtualMachine() = default;
+
+Thread &VirtualMachine::spawnThread(bc::MethodId Entry) {
+  const CompiledMethod *CM = ensureCompiled(Entry);
+  auto T = std::make_unique<Thread>();
+  T->Id = static_cast<uint32_t>(Threads.size());
+  T->CBS = prof::CounterBasedSampler(Config.Profiler.CBS);
+  T->Alloc = prof::CounterBasedSampler(Config.Profiler.AllocCBS);
+  T->Values.resize(CM->NumLocals, 0);
+  T->Frames.push_back({CM, 0, 0});
+  ++InvocationCounts[Entry];
+  Threads.push_back(std::move(T));
+  ++Stats.ThreadsSpawned;
+  return *Threads.back();
+}
+
+const CompiledMethod *VirtualMachine::ensureCompiled(bc::MethodId Id) {
+  if (const CompiledMethod *CM = Cache.active(Id))
+    return CM;
+  CompiledMethod CM =
+      Config.CompileHook
+          ? Config.CompileHook(P, Id, Config.JITLevel)
+          : CodeCache::compileBaseline(P, Id, Config.JITLevel, Config.Costs);
+  assert(CM.Id == Id && "compile hook returned code for the wrong method");
+  Stats.CompileCycles += CM.CompileCostCycles;
+  return Cache.install(std::move(CM));
+}
+
+void VirtualMachine::installCompiled(CompiledMethod CM) {
+  Stats.CompileCycles += CM.CompileCostCycles;
+  Cache.install(std::move(CM));
+}
+
+size_t VirtualMachine::countRunnable() const {
+  size_t N = 0;
+  for (const auto &T : Threads)
+    if (!T->Finished)
+      ++N;
+  return N;
+}
+
+size_t VirtualMachine::methodsExecuted() const {
+  size_t N = 0;
+  for (uint64_t C : InvocationCounts)
+    if (C != 0)
+      ++N;
+  return N;
+}
+
+void VirtualMachine::trap(const std::string &Message) {
+  Thread &T = *Threads[Current];
+  std::ostringstream OS;
+  OS << Message;
+  if (!T.Frames.empty())
+    OS << " in " << P.qualifiedName(T.top().CM->Id) << " at pc "
+       << T.top().PC;
+  TrapMsg = OS.str();
+  State = RunState::Trapped;
+}
+
+void VirtualMachine::fireTimer() {
+  // One tick per boundary crossing; a single long instruction (Work, GC
+  // pause) that skips several periods still delivers one interrupt.
+  while (NextTimerAt <= Stats.Cycles)
+    NextTimerAt += Config.TimerPeriodCycles;
+  if (Config.TimerJitterPct > 0) {
+    int64_t MaxJitter = static_cast<int64_t>(
+        static_cast<double>(Config.TimerPeriodCycles) *
+        Config.TimerJitterPct / 100.0);
+    if (MaxJitter > 0) {
+      int64_t Jitter = RNG.nextInRange(-MaxJitter, MaxJitter);
+      uint64_t Earliest = Stats.Cycles + 1;
+      NextTimerAt = std::max<uint64_t>(
+          Earliest, static_cast<uint64_t>(
+                        static_cast<int64_t>(NextTimerAt) + Jitter));
+    }
+  }
+  ++Stats.TimerTicks;
+  Stats.Cycles += Config.Costs.TimerInterrupt;
+
+  if (Config.Profiler.DecayEveryTicks != 0 &&
+      Stats.TimerTicks % Config.Profiler.DecayEveryTicks == 0) {
+    Buffer.drainInto(DCG);
+    DCG.decay(Config.Profiler.DecayFactor);
+  }
+
+  Thread &T = *Threads[Current];
+  TickPending = true;
+  T.Word = YieldWord::TakeAll;
+  if (Config.Profiler.ProfileAllocations)
+    T.Alloc.onTimerTick(RNG);
+  if (countRunnable() > 1)
+    SwitchPending = true;
+
+  if (!T.Frames.empty()) {
+    bc::MethodId Top = T.top().CM->Id;
+    ++TickSamples[Top];
+    if (Client)
+      Client->onTimerTick(*this, Top);
+  }
+}
+
+void VirtualMachine::maybeSwitch() {
+  if (!SwitchPending)
+    return;
+  SwitchPending = false;
+  size_t N = Threads.size();
+  for (size_t I = 1; I <= N; ++I) {
+    size_t Next = (Current + I) % N;
+    if (Threads[Next]->Finished)
+      continue;
+    if (Next != Current) {
+      Current = Next;
+      ++Stats.ThreadSwitches;
+      Stats.Cycles += Config.Costs.ThreadSwitch;
+    }
+    return;
+  }
+}
+
+void VirtualMachine::recordEdgeSample(Thread &T) {
+  ++Stats.SamplesTaken;
+  chargeProf(Config.Costs.StackSampleBase);
+  if (std::optional<prof::CallEdge> Edge = topEdge(T))
+    if (Buffer.append(*Edge))
+      Buffer.drainInto(DCG);
+  if (Config.Profiler.ContextSensitive) {
+    chargeProf(Config.Costs.StackSamplePerFrame *
+               static_cast<uint32_t>(T.Frames.size()));
+    CCT.addPath(walkStack(T));
+  }
+}
+
+void VirtualMachine::processTaken(Thread &T, Where W) {
+  ++Stats.YieldpointsTaken;
+
+  // Figure 4: the overloaded flag's slow path disambiguates all pending
+  // conditions — original services (GC) first, then profiling.
+  if (GCRequested) {
+    GCRequested = false;
+    ++Stats.GCCount;
+    Stats.Cycles += Config.Costs.GCPause;
+    NextGCAt = TheHeap.bytesAllocated() + Config.GCThresholdBytes;
+  }
+
+  ProfilerKind Kind = Config.Profiler.Kind;
+
+  if (TickPending) {
+    TickPending = false;
+    Stats.Cycles += Config.Costs.TickService;
+    if (Kind == ProfilerKind::CBS) {
+      // §5.1: a yieldpoint taken for a timer interrupt arms CBS by
+      // setting the control word to -1; the thread switch is deferred
+      // until the window closes.
+      T.CBS.onTimerTick(RNG);
+      T.Word = YieldWord::CBSArmed;
+      if (SwitchPending) {
+        T.DeferredSwitch = true;
+        SwitchPending = false;
+      }
+      return;
+    }
+    if (Kind == ProfilerKind::Timer) {
+      T.Timer.onTimerTick();
+      if (W == Where::Backedge) {
+        // The switch happens here and the DCG listener records nothing.
+        T.Timer.cancel();
+      } else {
+        T.Timer.onInvocationEvent();
+        recordEdgeSample(T);
+      }
+    }
+    T.Word = YieldWord::Clear;
+    maybeSwitch();
+    return;
+  }
+
+  // Not a tick: a CBS invocation event, or a service-only request (GC).
+  if (Kind == ProfilerKind::CBS && T.CBS.armed() && W != Where::Backedge) {
+    chargeProf(Config.Costs.ArmedEventCost);
+    if (T.CBS.onInvocationEvent()) {
+      recordEdgeSample(T);
+      if (!T.CBS.armed()) {
+        T.Word = YieldWord::Clear;
+        if (T.DeferredSwitch) {
+          T.DeferredSwitch = false;
+          SwitchPending = true;
+          maybeSwitch();
+        }
+      }
+    }
+    return;
+  }
+
+  if (T.Word == YieldWord::TakeAll) {
+    // Service-only request already handled above (GC); restore the word.
+    T.Word = (Kind == ProfilerKind::CBS && T.CBS.armed())
+                 ? YieldWord::CBSArmed
+                 : YieldWord::Clear;
+    maybeSwitch();
+  }
+}
+
+void VirtualMachine::invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
+                            bc::SiteId Site) {
+  // Exhaustive profiler: record the edge at the call itself.
+  if (Config.Profiler.Kind == ProfilerKind::Exhaustive) {
+    DCG.addSample({Site, Callee});
+    if (Config.Profiler.ChargeExhaustiveCounters)
+      chargeProf(Config.Costs.ExhaustiveCounter);
+  }
+
+  const CompiledMethod *CM = ensureCompiled(Callee);
+  uint64_t Count = ++InvocationCounts[Callee];
+
+  if (Patching) {
+    if (Patching->isListening(Callee)) {
+      chargeProf(Config.Costs.ListenerCost);
+      Patching->onListenedEntry(Callee, {Site, Callee}, Stats.Cycles, DCG);
+    } else if (Count == Config.Profiler.PromoteAfterInvocations) {
+      Patching->onMethodPromoted(Callee, Stats.Cycles);
+    }
+  }
+
+  // The arguments on the operand stack become the callee's first locals.
+  assert(T.Values.size() >= T.top().LocalBase + T.top().CM->NumLocals +
+                                ArgCount &&
+         "operand stack underflow at call");
+  uint32_t LocalBase = static_cast<uint32_t>(T.Values.size() - ArgCount);
+  T.Values.resize(LocalBase + CM->NumLocals, 0);
+  T.Frames.push_back({CM, 0, LocalBase});
+  ++Stats.CallsExecuted;
+  Stats.MaxStackDepth = std::max<uint64_t>(Stats.MaxStackDepth,
+                                           T.Frames.size());
+
+  // Prologue yieldpoint (Jikes) / overloaded entry check (J9).
+  if (Config.ExplicitEntryCheck)
+    chargeProf(Config.Costs.ExplicitEntryCheck);
+  if (T.Word != YieldWord::Clear)
+    processTaken(T, Where::Prologue);
+}
+
+prof::AllocationProfile VirtualMachine::trueAllocationProfile() const {
+  prof::AllocationProfile Truth;
+  const std::vector<uint64_t> &Counts = TheHeap.perClassAllocations();
+  for (bc::ClassId C = 0; C != Counts.size(); ++C)
+    if (Counts[C] != 0)
+      Truth.addSample(C, Counts[C]);
+  return Truth;
+}
+
+const prof::DynamicCallGraph &VirtualMachine::profile() {
+  Buffer.drainInto(DCG);
+  if (Patching && State != RunState::Running)
+    Patching->flushIncomplete(Stats.Cycles, DCG);
+  return DCG;
+}
+
+RunState VirtualMachine::run(uint64_t CycleBudget) {
+  if (State != RunState::Running)
+    return State;
+  uint64_t Limit = CycleBudget == UINT64_MAX
+                       ? UINT64_MAX
+                       : Stats.Cycles + CycleBudget;
+
+  const CostModel &Costs = Config.Costs;
+
+  while (State == RunState::Running) {
+    if (Stats.Cycles >= Limit)
+      break;
+    if (Stats.Cycles >= Config.MaxCycles) {
+      State = RunState::CycleLimit;
+      break;
+    }
+    if (Stats.Cycles >= NextTimerAt)
+      fireTimer();
+
+    Thread &T = *Threads[Current];
+    Frame &F = T.top();
+    const bc::Instruction &I = F.CM->Code[F.PC];
+
+    Stats.Cycles += F.CM->scaledCost(Costs.cost(I));
+    Stats.Instructions += I.Op == bc::Opcode::Work
+                              ? static_cast<uint64_t>(I.A)
+                              : 1;
+
+    int64_t *Locals = T.Values.data() + F.LocalBase;
+    auto push = [&T](int64_t V) { T.Values.push_back(V); };
+    auto pop = [&T]() {
+      int64_t V = T.Values.back();
+      T.Values.pop_back();
+      return V;
+    };
+
+    using bc::Opcode;
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::IConst:
+      push(I.A);
+      break;
+    case Opcode::ILoad:
+    case Opcode::ALoad:
+      push(Locals[I.A]);
+      break;
+    case Opcode::IStore:
+    case Opcode::AStore:
+      Locals[I.A] = pop();
+      break;
+    case Opcode::IInc:
+      Locals[I.A] += I.B;
+      break;
+    case Opcode::IAdd: {
+      int64_t R = pop(), L = pop();
+      push(static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                static_cast<uint64_t>(R)));
+      break;
+    }
+    case Opcode::ISub: {
+      int64_t R = pop(), L = pop();
+      push(static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                static_cast<uint64_t>(R)));
+      break;
+    }
+    case Opcode::IMul: {
+      int64_t R = pop(), L = pop();
+      push(static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                static_cast<uint64_t>(R)));
+      break;
+    }
+    case Opcode::IDiv: {
+      int64_t R = pop(), L = pop();
+      if (R == 0) {
+        trap("division by zero");
+        continue;
+      }
+      if (L == INT64_MIN && R == -1)
+        push(INT64_MIN);
+      else
+        push(L / R);
+      break;
+    }
+    case Opcode::IRem: {
+      int64_t R = pop(), L = pop();
+      if (R == 0) {
+        trap("remainder by zero");
+        continue;
+      }
+      if (L == INT64_MIN && R == -1)
+        push(0);
+      else
+        push(L % R);
+      break;
+    }
+    case Opcode::INeg:
+      push(static_cast<int64_t>(-static_cast<uint64_t>(pop())));
+      break;
+    case Opcode::IAnd: {
+      int64_t R = pop(), L = pop();
+      push(L & R);
+      break;
+    }
+    case Opcode::IOr: {
+      int64_t R = pop(), L = pop();
+      push(L | R);
+      break;
+    }
+    case Opcode::IXor: {
+      int64_t R = pop(), L = pop();
+      push(L ^ R);
+      break;
+    }
+    case Opcode::IShl: {
+      int64_t R = pop(), L = pop();
+      push(static_cast<int64_t>(static_cast<uint64_t>(L)
+                                << (static_cast<uint64_t>(R) & 63)));
+      break;
+    }
+    case Opcode::IShr: {
+      int64_t R = pop(), L = pop();
+      push(L >> (static_cast<uint64_t>(R) & 63));
+      break;
+    }
+
+    case Opcode::Goto:
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfLe:
+    case Opcode::IfGt:
+    case Opcode::IfGe:
+    case Opcode::IfICmpEq:
+    case Opcode::IfICmpNe:
+    case Opcode::IfICmpLt:
+    case Opcode::IfICmpGe: {
+      bool Taken;
+      switch (I.Op) {
+      case Opcode::Goto:
+        Taken = true;
+        break;
+      case Opcode::IfEq:
+        Taken = pop() == 0;
+        break;
+      case Opcode::IfNe:
+        Taken = pop() != 0;
+        break;
+      case Opcode::IfLt:
+        Taken = pop() < 0;
+        break;
+      case Opcode::IfLe:
+        Taken = pop() <= 0;
+        break;
+      case Opcode::IfGt:
+        Taken = pop() > 0;
+        break;
+      case Opcode::IfGe:
+        Taken = pop() >= 0;
+        break;
+      default: {
+        int64_t R = pop(), L = pop();
+        switch (I.Op) {
+        case Opcode::IfICmpEq:
+          Taken = L == R;
+          break;
+        case Opcode::IfICmpNe:
+          Taken = L != R;
+          break;
+        case Opcode::IfICmpLt:
+          Taken = L < R;
+          break;
+        default:
+          Taken = L >= R;
+          break;
+        }
+        break;
+      }
+      }
+      if (Taken) {
+        uint32_t Target = static_cast<uint32_t>(I.A);
+        // Backedge yieldpoint: taken only when the word is positive
+        // (the Jikes 3-state encoding; the J9 personality services
+        // switch/GC requests here too).
+        if (Target <= F.PC && T.Word == YieldWord::TakeAll)
+          processTaken(T, Where::Backedge);
+        F.PC = Target;
+        continue;
+      }
+      break;
+    }
+
+    case Opcode::New: {
+      if (TheHeap.bytesAllocated() >= NextGCAt) {
+        GCRequested = true;
+        if (T.Word == YieldWord::Clear)
+          T.Word = YieldWord::TakeAll;
+      }
+      // §8 generalization: the allocation sampler's armed check
+      // overloads the allocator's heap-frontier test.
+      if (Config.Profiler.ProfileAllocations && T.Alloc.armed()) {
+        chargeProf(Costs.ArmedEventCost);
+        if (T.Alloc.onInvocationEvent()) {
+          chargeProf(Costs.AllocSampleCost);
+          AllocProfile.addSample(static_cast<bc::ClassId>(I.A));
+          ++Stats.SamplesTaken;
+        }
+      }
+      push(TheHeap.allocate(
+          P.hierarchy().classOf(static_cast<bc::ClassId>(I.A))));
+      break;
+    }
+    case Opcode::GetField: {
+      Ref R = static_cast<Ref>(pop());
+      if (!TheHeap.validRef(R)) {
+        trap("getfield on null or invalid reference");
+        continue;
+      }
+      if (static_cast<uint32_t>(I.A) >= TheHeap.numFields(R)) {
+        trap("getfield index out of range");
+        continue;
+      }
+      push(TheHeap.getField(R, static_cast<uint32_t>(I.A)));
+      break;
+    }
+    case Opcode::PutField: {
+      int64_t V = pop();
+      Ref R = static_cast<Ref>(pop());
+      if (!TheHeap.validRef(R)) {
+        trap("putfield on null or invalid reference");
+        continue;
+      }
+      if (static_cast<uint32_t>(I.A) >= TheHeap.numFields(R)) {
+        trap("putfield index out of range");
+        continue;
+      }
+      TheHeap.putField(R, static_cast<uint32_t>(I.A), V);
+      break;
+    }
+    case Opcode::AConstNull:
+      push(0);
+      break;
+    case Opcode::ClassEq: {
+      Ref R = static_cast<Ref>(pop());
+      push(R != 0 && TheHeap.validRef(R) &&
+           TheHeap.classOf(R) == static_cast<bc::ClassId>(I.A));
+      break;
+    }
+
+    case Opcode::InvokeStatic:
+      invoke(T, static_cast<bc::MethodId>(I.A),
+             static_cast<uint32_t>(I.B), I.Site);
+      continue;
+
+    case Opcode::InvokeVirtual: {
+      uint32_t ArgCount = static_cast<uint32_t>(I.B);
+      Ref Receiver =
+          static_cast<Ref>(T.Values[T.Values.size() - ArgCount]);
+      if (!TheHeap.validRef(Receiver)) {
+        trap("virtual call on null receiver");
+        continue;
+      }
+      bc::MethodId Target = P.hierarchy().lookup(
+          TheHeap.classOf(Receiver), static_cast<bc::SelectorId>(I.A));
+      if (Target == bc::InvalidMethodId) {
+        trap("receiver does not understand selector '" +
+             P.hierarchy().selectorName(static_cast<bc::SelectorId>(I.A)) +
+             "'");
+        continue;
+      }
+      ++Stats.VirtualCallsExecuted;
+      invoke(T, Target, ArgCount, I.Site);
+      continue;
+    }
+
+    case Opcode::Return:
+    case Opcode::IReturn:
+    case Opcode::AReturn: {
+      // Epilogue yieldpoint: Jikes RVM only (§5.1); J9's mechanism is
+      // the method-entry check and has no epilogue event.
+      if (Config.Pers == Personality::JikesRVM &&
+          T.Word != YieldWord::Clear)
+        processTaken(T, Where::Epilogue);
+
+      bool HasResult = I.Op != Opcode::Return;
+      int64_t Result = HasResult ? pop() : 0;
+      uint32_t LocalBase = F.LocalBase;
+      T.Frames.pop_back();
+      T.Values.resize(LocalBase);
+      if (T.Frames.empty()) {
+        T.Finished = true;
+        if (countRunnable() == 0) {
+          State = RunState::Finished;
+        } else {
+          SwitchPending = true;
+          maybeSwitch();
+        }
+        continue;
+      }
+      if (HasResult)
+        push(Result);
+      ++T.top().PC;
+      continue;
+    }
+
+    case Opcode::Work:
+      break;
+    case Opcode::Print:
+      Output.push_back(pop());
+      break;
+    case Opcode::Halt:
+      State = RunState::Halted;
+      continue;
+    case Opcode::Spawn:
+      spawnThread(static_cast<bc::MethodId>(I.A));
+      break;
+    }
+
+    ++F.PC;
+  }
+  return State;
+}

@@ -1,0 +1,168 @@
+//===- vm/VirtualMachine.h - The virtual machine ----------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machine: a deterministic interpreter with green threads,
+/// a virtual-cycle timer, yieldpoints / method-entry checks in both of
+/// the paper's VM personalities, and the full profiler suite wired into
+/// the runtime services. A VM run is a pure function of
+/// (program, VMConfig).
+///
+/// Typical use:
+/// \code
+///   vm::VMConfig Config;
+///   Config.Profiler.Kind = vm::ProfilerKind::CBS;
+///   Config.Profiler.CBS = {/*Stride=*/3, /*SamplesPerTick=*/32};
+///   vm::VirtualMachine VM(Program, Config);
+///   VM.run();
+///   const prof::DynamicCallGraph &DCG = VM.profile();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_VM_VIRTUALMACHINE_H
+#define CBSVM_VM_VIRTUALMACHINE_H
+
+#include "bytecode/Program.h"
+#include "profiling/AllocationProfile.h"
+#include "profiling/CallingContextTree.h"
+#include "profiling/SampleBuffer.h"
+#include "vm/CodeCache.h"
+#include "vm/Heap.h"
+#include "vm/Thread.h"
+#include "vm/VMConfig.h"
+#include "vm/VMStats.h"
+
+#include <memory>
+#include <string>
+
+namespace cbs::vm {
+
+class VirtualMachine;
+
+/// Observer interface for adaptive optimization systems: the VM calls it
+/// once per timer tick with the AOS hotness sample. The client may
+/// synchronously recompile methods via installCompiled.
+class VMClient {
+public:
+  virtual ~VMClient();
+  virtual void onTimerTick(VirtualMachine &VM, bc::MethodId TopMethod) = 0;
+};
+
+class VirtualMachine {
+public:
+  /// \p P must outlive the VM and should have passed verifyProgram.
+  VirtualMachine(const bc::Program &P, VMConfig Config);
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine &) = delete;
+  VirtualMachine &operator=(const VirtualMachine &) = delete;
+
+  /// Executes until the program finishes, traps, halts, hits
+  /// VMConfig::MaxCycles, or \p CycleBudget more cycles have elapsed
+  /// (in which case the run is resumable).
+  RunState run(uint64_t CycleBudget = UINT64_MAX);
+
+  RunState state() const { return State; }
+  const VMStats &stats() const { return Stats; }
+  const std::vector<int64_t> &output() const { return Output; }
+  const std::string &trapMessage() const { return TrapMsg; }
+  const bc::Program &program() const { return P; }
+  const VMConfig &config() const { return Config; }
+  uint64_t cycles() const { return Stats.Cycles; }
+
+  /// The profile repository. Drains pending listener samples first; once
+  /// the run has ended, also flushes incomplete code-patching windows.
+  const prof::DynamicCallGraph &profile();
+
+  /// The context-sensitive profile (populated when
+  /// ProfilerOptions::ContextSensitive is set).
+  const prof::CallingContextTree &contextTree() const { return CCT; }
+
+  /// The sampled per-class allocation histogram (populated when
+  /// ProfilerOptions::ProfileAllocations is set — the §8
+  /// generalization).
+  const prof::AllocationProfile &allocationProfile() const {
+    return AllocProfile;
+  }
+  /// The exhaustive allocation histogram (the heap's own counts),
+  /// for scoring the sampled one.
+  prof::AllocationProfile trueAllocationProfile() const;
+
+  /// Per-method timer-tick sample counts: the AOS hotness input.
+  const std::vector<uint32_t> &methodTickSamples() const {
+    return TickSamples;
+  }
+  /// Per-method invocation counts (host bookkeeping; used by Table 1 and
+  /// the code-patching promotion trigger).
+  const std::vector<uint64_t> &invocationCounts() const {
+    return InvocationCounts;
+  }
+  /// Number of methods invoked at least once.
+  size_t methodsExecuted() const;
+
+  CodeCache &codeCache() { return Cache; }
+  Heap &heap() { return TheHeap; }
+  void setClient(VMClient *C) { Client = C; }
+
+  /// Installs a recompiled version (AOS path). Compile cycles are
+  /// tracked in stats().CompileCycles, not charged to execution time
+  /// (compilation runs on a background thread in the modelled VMs).
+  void installCompiled(CompiledMethod CM);
+
+private:
+  enum class Where : uint8_t { Prologue, Epilogue, Backedge };
+
+  void fireTimer();
+  void processTaken(Thread &T, Where W);
+  void maybeSwitch();
+  size_t countRunnable() const;
+  void recordEdgeSample(Thread &T);
+  void chargeProf(uint32_t Cost) {
+    Stats.Cycles += Cost;
+    Stats.ProfilingCycles += Cost;
+  }
+  const CompiledMethod *ensureCompiled(bc::MethodId Id);
+  /// Pushes a frame for \p Callee consuming \p ArgCount values from the
+  /// current operand stack; runs entry profiling hooks.
+  void invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
+              bc::SiteId Site);
+  Thread &spawnThread(bc::MethodId Entry);
+  void trap(const std::string &Message);
+
+  const bc::Program &P;
+  VMConfig Config;
+  CodeCache Cache;
+  Heap TheHeap;
+  RandomEngine RNG;
+
+  std::vector<std::unique_ptr<Thread>> Threads;
+  size_t Current = 0;
+  bool SwitchPending = false;
+  bool TickPending = false;
+  bool GCRequested = false;
+  uint64_t NextTimerAt = 0;
+  uint64_t NextGCAt = 0;
+
+  prof::DynamicCallGraph DCG;
+  prof::SampleBuffer Buffer;
+  prof::CallingContextTree CCT;
+  prof::AllocationProfile AllocProfile;
+  std::unique_ptr<prof::CodePatchingProfiler> Patching;
+
+  std::vector<uint64_t> InvocationCounts;
+  std::vector<uint32_t> TickSamples;
+  VMClient *Client = nullptr;
+
+  RunState State = RunState::Running;
+  std::string TrapMsg;
+  std::vector<int64_t> Output;
+  VMStats Stats;
+};
+
+} // namespace cbs::vm
+
+#endif // CBSVM_VM_VIRTUALMACHINE_H

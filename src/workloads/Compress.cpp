@@ -1,0 +1,74 @@
+//===- workloads/Compress.cpp - SPECjvm98 _201_compress analogue ------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// compress is the suite's least object-oriented benchmark: a tight
+// LZW-style kernel dominated by straight-line table manipulation with
+// *low call density* — long stretches of non-call work punctuated by a
+// few short helper calls (hash, encode, and an occasional flush). This
+// is the Figure 1 shape embedded in a real benchmark: timer-based
+// samples land in the work stretch and get attributed to whichever call
+// prologue runs next. It is also the one benchmark where the paper
+// found the base system occasionally matching or beating CBS
+// (compress-large), because with so few distinct edges even a biased
+// sampler finds them all eventually.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildCompress(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 7919 + 1);
+
+  MethodId Init = makeInitPhase(PB, "compress", 150, RNG);
+  MethodId Tail = makeColdTail(PB, "compress", 64, RNG);
+
+  // Short helpers: small enough that profile-directed inlining wants
+  // them, hot enough that missing them costs.
+  MethodId Hash = makeStaticLeaf(PB, "hashCode", /*WorkCycles=*/8,
+                                 /*NumIntArgs=*/1, /*PadOps=*/2);
+  MethodId Encode = makeStaticLeaf(PB, "encodeByte", /*WorkCycles=*/12,
+                                   /*NumIntArgs=*/2, /*PadOps=*/4);
+  MethodId Flush = makeStaticLeaf(PB, "flushBits", /*WorkCycles=*/30,
+                                  /*NumIntArgs=*/1, /*PadOps=*/8);
+
+  // compressBlock(block): the kernel. A long scan stretch, a hash, more
+  // scanning, an encode, and a flush every 32nd block.
+  MethodId Block = PB.declareStatic("compressBlock", {ValKind::Int},
+                                    /*HasResult=*/true, ValKind::Int);
+  {
+    MethodBuilder MB = PB.defineMethod(Block);
+    int32_t Scan = 900 + static_cast<int32_t>(RNG.nextBelow(200));
+    MB.work(Scan);                                  // dictionary scan
+    MB.iload(0).invokeStatic(Hash).istore(1);       // h = hash(block)
+    MB.work(Scan / 2);                              // match extension
+    MB.iload(1).iload(0).invokeStatic(Encode).istore(2);
+    Label NoFlush = MB.newLabel();
+    MB.iload(0).iconst(31).iand().ifNe(NoFlush);
+    MB.iload(2).invokeStatic(Flush).istore(2);
+    MB.bind(NoFlush).iload(2).iret();
+    MB.finish();
+  }
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1); // checksum
+    int64_t Blocks = scaleIterations(Size, 4000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Blocks, [&] {
+      MB.iload(0).invokeStatic(Block).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,73 @@
+//===- workloads/Daikon.cpp - MIT Daikon analogue -------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// daikon detects likely program invariants from traces: the largest
+// method population in Table 1's mid-field (1671 executed methods on
+// small), a *megamorphic* check site — every sample is tested against
+// a dozen invariant classes — and a long initialization phase reading
+// declarations. Megamorphic sites are where the 40% distribution rule
+// matters: no single target dominates, so guarded inlining should be
+// (correctly) declined, and an inliner trusting a biased profile that
+// over-weights one target degrades.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildDaikon(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 15073 + 10);
+
+  MethodId Init = makeInitPhase(PB, "daikon", 850, RNG);
+  MethodId Tail = makeColdTail(PB, "daikon", 768, RNG);
+
+  ClassFamily Invariants = makeClassFamily(PB, "Invariant", 12);
+  SelectorId Check = PB.addSelector("check", /*NumArgs=*/2);
+  implementSelector(PB, Invariants, Check,
+                    {6, 7, 8, 6, 9, 7, 8, 6, 10, 7, 6, 8},
+                    {3, 4, 3, 2, 5, 3, 4, 2, 5, 3, 2, 4});
+
+  MethodId Falsify = makeStaticLeaf(PB, "falsifyInvariant", 11, 1, 5);
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    // Locals: 0 counter, 1 checksum, 2 j, 3 scratch, refs 4..15.
+    MB.invokeStatic(Init).istore(1);
+    emitReceiverInit(MB, Invariants.Subclasses, /*FirstSlot=*/4);
+
+    int64_t Samples = scaleIterations(Size, 14'000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Samples, [&] {
+      MB.work(40); // read the next trace sample
+      // Check against a rotating window of 4 of the 12 invariants —
+      // over time every class appears with near-uniform weight
+      // (megamorphic site).
+      emitCountedLoop(MB, /*CounterSlot=*/2, 4, [&] {
+        MB.iload(0).iload(2).iadd().iconst(11).irem().istore(3);
+        // Dispatch on (i + j) mod 12: uniform over the receivers.
+        std::vector<WeightedRef> Pick;
+        for (uint32_t R = 0; R != 11; ++R)
+          Pick.push_back({4 + R, R + 1});
+        emitPickReceiver(MB, 3, Pick, 11);
+        MB.iload(0).invokeVirtual(Check).istore(3);
+
+        Label Keep = MB.newLabel();
+        MB.iload(3).iconst(63).iand().ifNe(Keep);
+        MB.iload(3).invokeStatic(Falsify).istore(3);
+        MB.bind(Keep).iload(1).iload(3).iadd().istore(1);
+      });
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,88 @@
+//===- workloads/Db.cpp - SPECjvm98 _209_db analogue -------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// db performs database functions on a memory-resident address database;
+// its hot loop is dominated by sorting with a comparator — a virtual
+// call whose receiver distribution is heavily skewed toward one
+// comparator class (~80/20 here), plus field traffic on record objects
+// and a small swap helper. The inner compare loop executes several
+// calls back to back, which CBS's stride separates into independent
+// samples while a timer sampler keeps hitting the first compare after
+// each work stretch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildDb(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 104729 + 3);
+
+  MethodId Init = makeInitPhase(PB, "db", 150, RNG);
+  MethodId Tail = makeColdTail(PB, "db", 64, RNG);
+
+  ClassFamily Comparators = makeClassFamily(PB, "Comparator", 2);
+  SelectorId Compare = PB.addSelector("compare", /*NumArgs=*/2);
+  implementSelector(PB, Comparators, Compare, /*WorkCycles=*/{9, 16},
+                    /*PadOps=*/{4, 9});
+
+  MethodId Swap = makeStaticLeaf(PB, "swapRecords", 6, 2, 1);
+
+  // A record class with two int fields used by the scan.
+  ClassId Record = PB.addClass("Record", InvalidClassId, 2);
+
+  // sortPass(key): one shell-sort pass over a window: eight compares,
+  // field updates on a record, and conditional swaps.
+  MethodId Pass = PB.declareStatic("sortPass", {ValKind::Int},
+                                   /*HasResult=*/true, ValKind::Int);
+  {
+    MethodBuilder MB = PB.defineMethod(Pass);
+    // Locals: 0 key, 1 acc, 2 j, 3 scratch, 4/5 refs (comparators), 6 record.
+    MB.iconst(0).istore(1);
+    emitReceiverInit(MB, Comparators.Subclasses, /*FirstSlot=*/4);
+    MB.newObject(Record).astore(6);
+    MB.aload(6).iload(0).putField(0);
+
+    emitCountedLoop(MB, /*CounterSlot=*/2, 8, [&] {
+      // 13/16 of compares use the primary comparator.
+      MB.iload(2).iconst(15).iand().istore(3);
+      std::vector<WeightedRef> Pick = {{4, 13}, {5, 16}};
+      emitPickReceiver(MB, 3, Pick, 16);
+      MB.iload(0).iload(2).iadd().invokeVirtual(Compare).istore(3);
+
+      Label NoSwap = MB.newLabel();
+      MB.iload(3).iconst(3).iand().ifNe(NoSwap);
+      MB.iload(3).iload(1).invokeStatic(Swap).istore(3);
+      // record.f1 += scratch (the moved key).
+      MB.aload(6);
+      MB.aload(6).getField(1).iload(3).iadd();
+      MB.putField(1);
+      MB.bind(NoSwap).iload(1).iload(3).iadd().istore(1);
+    });
+    MB.iload(1).iret();
+    MB.finish();
+  }
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    int64_t Passes = scaleIterations(Size, 11'000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Passes, [&] {
+      MB.iload(0).invokeStatic(Pass).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+      MB.work(120); // result merge / cursor bookkeeping between passes
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,99 @@
+//===- workloads/Ipsixql.cpp - ipsixql analogue --------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// ipsixql provides persistent XML database services: query evaluation
+// is a recursive walk over a node tree, where element/text/attribute
+// nodes answer a virtual `matches` query and element nodes recurse into
+// children. Predicate evaluation calls into small static helpers. The
+// recursive virtual dispatch makes the *caller context* of the hot
+// edges non-trivial — samples at different stack depths must still
+// attribute the same (site, callee) edge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildIpsixql(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 92821 + 8);
+
+  MethodId Init = makeInitPhase(PB, "ipsixql", 290, RNG);
+  MethodId Tail = makeColdTail(PB, "ipsixql", 128, RNG);
+
+  ClassId Node = PB.addClass("XmlNode", InvalidClassId, 2);
+  ClassId Element = PB.addClass("Element", Node, 2);
+  ClassId Text = PB.addClass("Text", Node, 1);
+  ClassId Attr = PB.addClass("Attribute", Node, 1);
+
+  SelectorId Matches = PB.addSelector("matches", /*NumArgs=*/2);
+  MethodId EvalPred = makeStaticLeaf(PB, "evalPredicate", 9, 2, 4);
+  MethodId Collate = makeStaticLeaf(PB, "collateResult", 12, 1, 6);
+
+  // Leaf matches: text and attribute nodes.
+  for (auto [C, W] : {std::pair{Text, 8}, std::pair{Attr, 11}}) {
+    MethodId Id = PB.declareVirtual(C, Matches, "", {},
+                                    /*HasResult=*/true, ValKind::Int);
+    MethodBuilder MB = PB.defineMethod(Id);
+    MB.work(W).iload(1).iconst(5).imul().iconst(0x7FF).iand().iret();
+    MB.finish();
+  }
+
+  // queryNode(depth): recursive descent standing in for
+  // Element::matches recursing into children (the receiver set at the
+  // inner site is skewed: text 9/16, attr 4/16, element 3/16).
+  MethodId Query = PB.declareStatic("queryNode", {ValKind::Int},
+                                    /*HasResult=*/true, ValKind::Int);
+  // Element::matches defers to queryNode (mutual recursion through the
+  // virtual layer).
+  {
+    MethodId Id = PB.declareVirtual(Element, Matches, "", {},
+                                    /*HasResult=*/true, ValKind::Int);
+    MethodBuilder MB = PB.defineMethod(Id);
+    MB.work(6).iload(1).iconst(1).isub().invokeStatic(Query).iret();
+    MB.finish();
+  }
+  {
+    MethodBuilder MB = PB.defineMethod(Query);
+    // Locals: 0 depth, 1 acc, 2 j, 3 scratch, 4..6 refs.
+    Label Leaf = MB.newLabel();
+    MB.iload(0).ifLe(Leaf);
+    MB.newObject(Text).astore(4);
+    MB.newObject(Attr).astore(5);
+    MB.newObject(Element).astore(6);
+    MB.iconst(0).istore(1);
+    emitCountedLoop(MB, /*CounterSlot=*/2, 4, [&] {
+      MB.iload(2).iload(0).imul().iconst(15).iand().istore(3);
+      std::vector<WeightedRef> Pick = {{4, 9}, {5, 13}, {6, 16}};
+      emitPickReceiver(MB, 3, Pick, 16);
+      MB.iload(0).invokeVirtual(Matches).istore(3);
+      MB.iload(3).iload(2).invokeStatic(EvalPred).iload(1).iadd()
+          .istore(1);
+    });
+    MB.iload(1).invokeStatic(Collate).iret();
+    MB.bind(Leaf).work(5).iconst(2).iret();
+    MB.finish();
+  }
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    int64_t Queries = scaleIterations(Size, 9'000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Queries, [&] {
+      MB.iconst(3).invokeStatic(Query).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+      MB.work(140); // result serialization between queries
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

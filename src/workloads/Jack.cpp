@@ -1,0 +1,68 @@
+//===- workloads/Jack.cpp - SPECjvm98 _228_jack analogue ----------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// jack is a parser generator: a scanner/parser loop where each token is
+// classified through a virtual `consume` over token kinds (identifier,
+// number, punctuation, keyword, whitespace — heavily skewed toward
+// identifiers and whitespace), followed by grammar actions of varying
+// weight. Call density is moderate; the scan stretches between tokens
+// give the timer sampler its Figure-1-style bias.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildJack(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 65537 + 7);
+
+  MethodId Init = makeInitPhase(PB, "jack", 320, RNG);
+  MethodId Tail = makeColdTail(PB, "jack", 128, RNG);
+
+  ClassFamily Tokens = makeClassFamily(PB, "Token", 5);
+  SelectorId Consume = PB.addSelector("consume", /*NumArgs=*/2);
+  implementSelector(PB, Tokens, Consume, {7, 9, 5, 15, 4},
+                    {3, 5, 2, 9, 1});
+
+  MethodId Reduce = makeStaticLeaf(PB, "reduceRule", 18, 2, 8);
+  MethodId Shift = makeStaticLeaf(PB, "shiftState", 6, 1, 2);
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    // Locals: 0 counter, 1 checksum, 2 scratch, 3 token val, 4..8 refs.
+    MB.invokeStatic(Init).istore(1);
+    emitReceiverInit(MB, Tokens.Subclasses, /*FirstSlot=*/4);
+    // identifiers 6/16, whitespace 5/16, punct 3/16, number 1/16, kw 1/16
+    std::vector<WeightedRef> Pick = {
+        {4, 6}, {5, 11}, {6, 14}, {7, 15}, {8, 16}};
+
+    int64_t NumTokens = scaleIterations(Size, 36'000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, NumTokens, [&] {
+      MB.work(70); // scanning to the next token boundary
+      MB.iload(0).iconst(15).iand().istore(2);
+      emitPickReceiver(MB, 2, Pick, 16);
+      MB.iload(0).invokeVirtual(Consume).istore(3);
+
+      // Parser action: shift mostly, reduce every 8th token.
+      Label DoReduce = MB.newLabel();
+      Label Done = MB.newLabel();
+      MB.iload(0).iconst(7).iand().ifEq(DoReduce);
+      MB.iload(3).invokeStatic(Shift).jump(Done);
+      MB.bind(DoReduce).iload(3).iload(1).invokeStatic(Reduce);
+      MB.bind(Done).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

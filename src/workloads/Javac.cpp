@@ -1,0 +1,121 @@
+//===- workloads/Javac.cpp - SPECjvm98 _213_javac analogue -------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// javac compiles Java source: by far the most call-graph-complex of the
+// SPECjvm98 programs (939 methods executed on the small input), with
+// distinct *phases* (parse / analyze / emit) whose hot sites differ, a
+// wide virtual visit dispatch over AST node kinds, and recursion. The
+// paper singles javac out: it is where higher profile accuracy bought
+// the most inlining benefit, "encouraging since it is one of the more
+// complex benchmarks ... profile accuracy may be more important as
+// program complexity increases". Phase changes also exercise CBS's
+// continuous-profiling advantage over one-shot code patching windows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildJavac(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 6151 + 4);
+
+  MethodId Init = makeInitPhase(PB, "javac", 380, RNG);
+  MethodId Tail = makeColdTail(PB, "javac", 512, RNG);
+
+  // AST node kinds with a visit selector; weights differ per phase.
+  ClassFamily Nodes = makeClassFamily(PB, "Node", 10);
+  SelectorId Visit = PB.addSelector("visit", /*NumArgs=*/2);
+  implementSelector(PB, Nodes, Visit,
+                    {8, 14, 6, 20, 9, 11, 7, 16, 10, 12},
+                    {4, 8, 2, 12, 5, 6, 3, 9, 4, 7});
+
+  MethodId Intern = makeStaticLeaf(PB, "internSymbol", 11, 1, 6);
+  MethodId EmitOp = makeStaticLeaf(PB, "emitOpcode", 7, 1, 3);
+  MethodId Lookup = makeStaticLeaf(PB, "lookupType", 13, 1, 7);
+
+  // parseExpr(depth): recursive descent. Each level interns a symbol
+  // and recurses twice (a binary expression).
+  MethodId ParseExpr = PB.declareStatic("parseExpr", {ValKind::Int},
+                                        /*HasResult=*/true, ValKind::Int);
+  {
+    MethodBuilder MB = PB.defineMethod(ParseExpr);
+    Label Leaf = MB.newLabel();
+    MB.iload(0).ifLe(Leaf);
+    MB.work(18);
+    MB.iload(0).invokeStatic(Intern).istore(1);
+    MB.iload(0).iconst(1).isub().invokeStatic(ParseExpr).istore(2);
+    MB.iload(0).iconst(2).isub().invokeStatic(ParseExpr);
+    MB.iload(1).iadd().iload(2).iadd().iret();
+    MB.bind(Leaf).work(6).iconst(1).iret();
+    MB.finish();
+  }
+
+  // Phase bodies: each walks the node receivers with its own skew and
+  // helper mix.
+  auto makePhase = [&](const std::string &Name,
+                       std::vector<WeightedRef> Pick, MethodId Helper,
+                       int32_t PhaseWork) {
+    MethodId Id = PB.declareStatic(Name, {ValKind::Int},
+                                   /*HasResult=*/true, ValKind::Int);
+    MethodBuilder MB = PB.defineMethod(Id);
+    // Locals: 0 arg, 1 acc, 2 j, 3 scratch, refs 4..13.
+    MB.iconst(0).istore(1);
+    emitReceiverInit(MB, Nodes.Subclasses, /*FirstSlot=*/4);
+    emitCountedLoop(MB, /*CounterSlot=*/2, 6, [&] {
+      MB.iload(2).iload(0).iadd().iconst(15).iand().istore(3);
+      emitPickReceiver(MB, 3, Pick, 16);
+      MB.iload(3).invokeVirtual(Visit).istore(3);
+      MB.iload(3).invokeStatic(Helper).iload(1).iadd().istore(1);
+    });
+    MB.work(PhaseWork);
+    MB.iload(1).iret();
+    MB.finish();
+    return Id;
+  };
+
+  // Phase skews: parse and analyze each have *two* dominant receiver
+  // kinds just above the 40% bar (7/16 = 43.75% each) — the shape that
+  // separates profile qualities: an accurate profile sees both targets
+  // above the new inliner's 40% rule and guards both; a biased profile
+  // sees one inflated target and leaves the other 44% of dispatches on
+  // the fallback path. Slots are receiver locals 4..13.
+  MethodId Parse = makePhase("parsePhase",
+                             {{4, 7}, {5, 14}, {6, 15}, {7, 16}}, Intern,
+                             60);
+  MethodId Analyze = makePhase("analyzePhase",
+                               {{8, 7}, {9, 14}, {6, 15}, {10, 16}}, Lookup,
+                               40);
+  MethodId Emit = makePhase("emitPhase",
+                            {{11, 10}, {12, 14}, {13, 16}}, EmitOp, 30);
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    int64_t Units = scaleIterations(Size, 2'300);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Units, [&] {
+      // Compilation unit: parse (with a real recursive expression),
+      // analyze, emit — a moving hot region.
+      MB.iconst(4).invokeStatic(ParseExpr).istore(2);
+      MB.iload(0).invokeStatic(Parse).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Analyze).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Emit).iload(1).iadd().istore(1);
+      MB.iload(2).iload(1).iadd().istore(1);
+      // Utility edges: symbol tables, diagnostics, constant pools...
+      emitCountedLoop(MB, /*CounterSlot=*/2, 4, [&] {
+        MB.iload(0).iconst(3).imul().iload(2).iadd()
+            .invokeStatic(Tail).iload(1).iadd().istore(1);
+      });
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,92 @@
+//===- workloads/Jbb.cpp - SPECjbb2000 analogue ---------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// jbb emulates a three-tier Java business application: multiple
+// warehouse threads run a transaction mix (new-order dominant, then
+// payment, order-status, delivery, stock-level), each transaction
+// allocating order objects (GC pressure exercises the overloaded-flag
+// disambiguation of Figure 4) and calling through a moderately skewed
+// virtual `execute` plus per-transaction static helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildJbb(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 3271 + 12);
+
+  MethodId Init = makeInitPhase(PB, "jbb", 370, RNG);
+  MethodId Tail = makeColdTail(PB, "jbb", 192, RNG);
+
+  ClassFamily Tx = makeClassFamily(PB, "Transaction", 5);
+  SelectorId Execute = PB.addSelector("execute", /*NumArgs=*/2);
+  implementSelector(PB, Tx, Execute, {22, 15, 9, 12, 18},
+                    {9, 7, 4, 5, 8});
+
+  ClassId Order = PB.addClass("Order", InvalidClassId, 4);
+
+  MethodId UpdateStock = makeStaticLeaf(PB, "updateStock", 10, 2, 5);
+  MethodId RecordHistory = makeStaticLeaf(PB, "recordHistory", 8, 1, 3);
+
+  // warehouseLoop(count): the transaction mix, shared by all threads.
+  MethodId Warehouse = PB.declareStatic("warehouseLoop", {ValKind::Int},
+                                        /*HasResult=*/true, ValKind::Int);
+  {
+    MethodBuilder MB = PB.defineMethod(Warehouse);
+    // Locals: 0 count (runtime loop bound), 1 acc, 2 scratch,
+    // 3 result, 4..8 tx refs, 9 order ref.
+    MB.iconst(0).istore(1);
+    emitReceiverInit(MB, Tx.Subclasses, /*FirstSlot=*/4);
+
+    Label Head = MB.newLabel();
+    Label Exit = MB.newLabel();
+    MB.bind(Head).iload(0).ifLe(Exit);
+
+    // TPC-C-like mix out of 16: new-order 7, payment 5, order-status 2,
+    // delivery 1, stock-level 1.
+    MB.iload(0).iconst(15).iand().istore(2);
+    std::vector<WeightedRef> Pick = {
+        {4, 7}, {5, 12}, {6, 14}, {7, 15}, {8, 16}};
+    emitPickReceiver(MB, 2, Pick, 16);
+    MB.iload(0).invokeVirtual(Execute).istore(3);
+
+    // Each transaction records an order object (allocation pressure).
+    MB.newObject(Order).astore(9);
+    MB.aload(9).iload(3).putField(0);
+    MB.aload(9).getField(0).iload(0).invokeStatic(UpdateStock).istore(3);
+    MB.iload(3).invokeStatic(RecordHistory).iload(1).iadd().istore(1);
+    MB.iload(0).invokeStatic(Tail)
+        .iload(1).iadd().istore(1);
+
+    MB.iinc(0, -1).jump(Head);
+    MB.bind(Exit).iload(1).iret();
+    MB.finish();
+  }
+
+  int64_t Transactions = scaleIterations(Size, 30'000);
+  MethodId WorkerA = PB.declareStatic("warehouseThread");
+  {
+    MethodBuilder MB = PB.defineMethod(WorkerA);
+    MB.iconst(Transactions / 3).invokeStatic(Warehouse).print();
+    MB.finish();
+  }
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    MB.spawn(WorkerA).spawn(WorkerA);
+    MB.iconst(Transactions / 3).invokeStatic(Warehouse)
+        .iload(1).iadd().print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

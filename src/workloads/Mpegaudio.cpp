@@ -1,0 +1,68 @@
+//===- workloads/Mpegaudio.cpp - SPECjvm98 _222_mpegaudio analogue -----------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// mpegaudio decodes MP3 audio: numeric kernels (subband synthesis,
+// DCT) with long arithmetic stretches and a moderate number of hot
+// calls into filter helpers. The paper reports mpegaudio as one of the
+// benchmarks where profile-directed inlining matters most in Jikes RVM
+// — the filter helpers are mid-sized, so whether they are inlined
+// hinges on the size threshold the edge weight buys them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildMpegaudio(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 21269 + 5);
+
+  MethodId Init = makeInitPhase(PB, "mpegaudio", 260, RNG);
+  MethodId Tail = makeColdTail(PB, "mpegaudio", 128, RNG);
+
+  // Mid-sized numeric helpers: big enough that only a boosted (hot)
+  // threshold inlines them.
+  MethodId Subband = makeStaticLeaf(PB, "subbandFilter", 120, 2, 14);
+  MethodId Dct = makeStaticLeaf(PB, "dct32", 180, 1, 18);
+  MethodId Window = makeStaticLeaf(PB, "windowSamples", 45, 2, 6);
+  MethodId Huffman = makeStaticLeaf(PB, "huffmanDecode", 25, 1, 5);
+
+  // decodeFrame(n): the per-frame kernel.
+  MethodId Frame = PB.declareStatic("decodeFrame", {ValKind::Int},
+                                    /*HasResult=*/true, ValKind::Int);
+  {
+    MethodBuilder MB = PB.defineMethod(Frame);
+    MB.iload(0).invokeStatic(Huffman).istore(1); // side info
+    MB.work(260);                                // bit reservoir
+    MB.iconst(0).istore(3);
+    emitCountedLoop(MB, /*CounterSlot=*/2, 4, [&] {
+      MB.iload(1).iload(2).invokeStatic(Subband).istore(1);
+      MB.work(110); // requantization
+      MB.iload(1).invokeStatic(Dct).iload(3).iadd().istore(3);
+    });
+    MB.iload(1).iload(3).invokeStatic(Window);
+    MB.iload(3).iadd().iret();
+    MB.finish();
+  }
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    int64_t Frames = scaleIterations(Size, 3'800);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Frames, [&] {
+      MB.iload(0).invokeStatic(Frame).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

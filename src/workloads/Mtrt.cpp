@@ -1,0 +1,111 @@
+//===- workloads/Mtrt.cpp - SPECjvm98 _227_mtrt analogue ----------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// mtrt is a multithreaded raytracer: two worker threads recursively
+// intersect rays against a scene graph via a virtual `intersect`
+// selector over {Sphere, Box, Group}-style shapes, where Group nodes
+// recurse into children. It is where the paper's J9 implementation sees
+// its largest speedup from cbs-driven inlining (8.7%), and — being
+// multithreaded — it exercises the thread-local sampling counters of
+// §5.2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildMtrt(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 40493 + 6);
+
+  MethodId Init = makeInitPhase(PB, "mtrt", 230, RNG);
+  MethodId Tail = makeColdTail(PB, "mtrt", 96, RNG);
+
+  ClassId Shape = PB.addClass("Shape", InvalidClassId, 2);
+  ClassId Sphere = PB.addClass("Sphere", Shape, 1);
+  ClassId Box = PB.addClass("Box", Shape, 1);
+  ClassId Triangle = PB.addClass("Triangle", Shape, 1);
+
+  // intersect(shape, depth) -> hit value.
+  SelectorId Intersect = PB.addSelector("intersect", /*NumArgs=*/2);
+
+  MethodId Shade = makeStaticLeaf(PB, "shadePixel", 14, 2, 5);
+
+  auto defineLeafShape = [&](ClassId C, int32_t Work, uint32_t Pad) {
+    MethodId Id = PB.declareVirtual(C, Intersect, "", {},
+                                    /*HasResult=*/true, ValKind::Int);
+    MethodBuilder MB = PB.defineMethod(Id);
+    MB.work(Work).iload(1).iconst(11).imul().iconst(0xFFF).iand().iret();
+    for (uint32_t K = 0; K != Pad; ++K)
+      (void)K; // sizes differ via work only for leaf shapes
+    MB.finish();
+    return Id;
+  };
+  defineLeafShape(Sphere, 42, 0);
+  defineLeafShape(Box, 58, 0);
+  defineLeafShape(Triangle, 34, 0);
+
+  // traceRay(depth): builds the receiver set and walks it; Group-like
+  // recursion is modelled by re-invoking traceRay for reflections.
+  MethodId Trace = PB.declareStatic("traceRay", {ValKind::Int},
+                                    /*HasResult=*/true, ValKind::Int);
+  {
+    MethodBuilder MB = PB.defineMethod(Trace);
+    // Locals: 0 depth, 1 acc, 2 j, 3 scratch, 4..6 shape refs.
+    Label Leaf = MB.newLabel();
+    MB.iload(0).ifLe(Leaf);
+    MB.newObject(Sphere).astore(4);
+    MB.newObject(Box).astore(5);
+    MB.newObject(Triangle).astore(6);
+    MB.iconst(0).istore(1);
+    emitCountedLoop(MB, /*CounterSlot=*/2, 3, [&] {
+      // Spheres dominate the scene: 10/16, boxes 4/16, triangles 2/16.
+      MB.iload(2).iload(0).iadd().iconst(15).iand().istore(3);
+      std::vector<WeightedRef> Pick = {{4, 10}, {5, 14}, {6, 16}};
+      emitPickReceiver(MB, 3, Pick, 16);
+      MB.iload(0).invokeVirtual(Intersect).iload(1).iadd().istore(1);
+    });
+    // Reflection ray.
+    MB.iload(0).iconst(1).isub().invokeStatic(Trace).iload(1).iadd()
+        .istore(1);
+    MB.iload(1).iload(0).invokeStatic(Shade).iret();
+    MB.bind(Leaf).work(8).iconst(1).iret();
+    MB.finish();
+  }
+
+  // Two worker threads render alternating scanlines; main renders too.
+  int64_t Rays = scaleIterations(Size, 5'200);
+  MethodId Worker = PB.declareStatic("renderWorker");
+  {
+    MethodBuilder MB = PB.defineMethod(Worker);
+    MB.iconst(0).istore(1);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Rays / 2, [&] {
+      MB.iconst(3).invokeStatic(Trace).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    MB.spawn(Worker).spawn(Worker);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Rays / 2, [&] {
+      MB.iconst(3).invokeStatic(Trace).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,110 @@
+//===- workloads/Patterns.h - Workload construction patterns ----*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable generators for the synthetic benchmark programs. Each paper
+/// benchmark is a composition of these patterns with parameters chosen
+/// to reproduce the calling structure that drives the paper's results:
+/// call density, receiver-class skew at virtual sites, recursion depth,
+/// phase changes, and a one-shot initialization phase touching many
+/// unique methods.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_WORKLOADS_PATTERNS_H
+#define CBSVM_WORKLOADS_PATTERNS_H
+
+#include "bytecode/Builder.h"
+#include "support/Random.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cbs::wl {
+
+/// for (i = Count; i > 0; --i) Body(); using \p CounterSlot for i. The
+/// loop counter counts down and is visible to the body (e.g. for
+/// modular receiver picks).
+void emitCountedLoop(bc::MethodBuilder &MB, uint32_t CounterSlot,
+                     int64_t Count, const std::function<void()> &Body);
+
+/// A static leaf method: Work(WorkCycles), then sums its \p NumIntArgs
+/// integer arguments with a constant and returns the result. \p PadOps
+/// extra iconst/iadd pairs inflate the body size (2 bytes + 1 byte
+/// each... 3 bytes per pair) to steer inliner size thresholds.
+bc::MethodId makeStaticLeaf(bc::ProgramBuilder &PB, std::string Name,
+                            int32_t WorkCycles, uint32_t NumIntArgs = 1,
+                            uint32_t PadOps = 0);
+
+/// A family of classes: one base plus \p NumSubclasses subclasses, each
+/// with \p NumFields own fields.
+struct ClassFamily {
+  bc::ClassId Base = bc::InvalidClassId;
+  std::vector<bc::ClassId> Subclasses;
+};
+
+ClassFamily makeClassFamily(bc::ProgramBuilder &PB, const std::string &Stem,
+                            uint32_t NumSubclasses, uint32_t NumFields = 2);
+
+/// Implements \p Selector (signature: receiver + one int, returns int)
+/// on every subclass of \p Family as a leaf: Work(WorkCycles[i]),
+/// result derived from the int argument. WorkCycles/PadOps are indexed
+/// per subclass (wrapping). Returns the method ids.
+std::vector<bc::MethodId>
+implementSelector(bc::ProgramBuilder &PB, const ClassFamily &Family,
+                  bc::SelectorId Selector,
+                  const std::vector<int32_t> &WorkCycles,
+                  const std::vector<uint32_t> &PadOps = {});
+
+/// Allocates one instance of each class into consecutive ref slots
+/// starting at \p FirstSlot.
+void emitReceiverInit(bc::MethodBuilder &MB,
+                      const std::vector<bc::ClassId> &Classes,
+                      uint32_t FirstSlot);
+
+/// A weighted receiver pick: assuming \p SelectorSlot holds a value in
+/// [0, Mod), leaves on the stack the ref from the first entry whose
+/// cumulative threshold exceeds it. Thresholds must be increasing and
+/// end at Mod. Weights out of Mod model the paper's skewed receiver
+/// distributions.
+struct WeightedRef {
+  uint32_t RefSlot;
+  uint32_t CumulativeThreshold;
+};
+void emitPickReceiver(bc::MethodBuilder &MB, uint32_t SelectorSlot,
+                      const std::vector<WeightedRef> &Choices, uint32_t Mod);
+
+/// A wide set of distinct, individually-cold call edges that together
+/// carry a meaningful share of the profile: dispatch(sel) binary-
+/// searches sel in [0, Count) and calls the matching one of \p Count
+/// padded leaf methods. Real programs' DCGs have exactly this long
+/// tail — hundreds of edges each well under 1% of total weight — and
+/// it is what bounds sampled-profile accuracy: with few samples the
+/// tail is mostly missed (timer), with a strided window it is covered
+/// (CBS). Returns the dispatch method (one int argument, int result).
+bc::MethodId makeColdTail(bc::ProgramBuilder &PB, const std::string &Stem,
+                          uint32_t Count, RandomEngine &RNG);
+
+/// The one-shot initialization phase: \p Count unique tiny static
+/// methods, each called exactly once by the returned init method (which
+/// returns their checksum). Drives the paper's "methods executed"
+/// counts and penalizes profilers that only watch startup or that delay
+/// until optimization.
+bc::MethodId makeInitPhase(bc::ProgramBuilder &PB, const std::string &Stem,
+                           uint32_t Count, RandomEngine &RNG);
+
+/// Iteration count scaling for the paper's two input sizes plus the
+/// effectively-endless steady-state configuration used by Figure 5.
+enum class InputSize { Small, Large, Steady };
+
+int64_t scaleIterations(InputSize Size, int64_t SmallIterations);
+
+const char *inputSizeName(InputSize Size);
+
+} // namespace cbs::wl
+
+#endif // CBSVM_WORKLOADS_PATTERNS_H

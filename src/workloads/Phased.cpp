@@ -1,0 +1,90 @@
+//===- workloads/Phased.cpp - a program whose hot set shifts mid-run ------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// §3.2's critique of code-patching profilers applies to any short
+// profiling window: "Using such a short profiling window is dangerous
+// because it increases the probability that the profile captures a
+// short burst of non-representative behavior." And §1 motivates CBS by
+// its *continuous* collection "rather than only profiling a particular
+// time window".
+//
+// This program makes the danger concrete: it runs two equally long
+// phases with disjoint hot call sets (phase A exercises one family of
+// handlers and helpers, phase B a different one). A profiler that stops
+// sampling early — or that never forgets — describes phase A forever;
+// a continuous profiler with decay tracks the shift.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildPhased(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 52361 + 14);
+
+  MethodId Init = makeInitPhase(PB, "phased", 200, RNG);
+
+  // Phase A: a virtual handler family plus static helpers.
+  ClassFamily FamilyA = makeClassFamily(PB, "AlphaHandler", 4);
+  SelectorId HandleA = PB.addSelector("handleAlpha", 2);
+  implementSelector(PB, FamilyA, HandleA, {8, 12, 6, 10}, {4, 6, 2, 5});
+  MethodId HelpA1 = makeStaticLeaf(PB, "alphaEncode", 12, 1, 6);
+  MethodId HelpA2 = makeStaticLeaf(PB, "alphaFlush", 9, 1, 4);
+
+  // Phase B: disjoint classes, selector, and helpers.
+  ClassFamily FamilyB = makeClassFamily(PB, "BetaHandler", 4);
+  SelectorId HandleB = PB.addSelector("handleBeta", 2);
+  implementSelector(PB, FamilyB, HandleB, {10, 7, 14, 9}, {5, 3, 8, 4});
+  MethodId HelpB1 = makeStaticLeaf(PB, "betaLookup", 11, 1, 5);
+  MethodId HelpB2 = makeStaticLeaf(PB, "betaMerge", 8, 1, 3);
+
+  auto makePhaseLoop = [&](const char *Name, const ClassFamily &Family,
+                           SelectorId Sel, MethodId Help1, MethodId Help2) {
+    MethodId Id = PB.declareStatic(Name, {ValKind::Int},
+                                   /*HasResult=*/true, ValKind::Int);
+    MethodBuilder MB = PB.defineMethod(Id);
+    // Locals: 0 count, 1 acc, 2 scratch, 3 result, 4..7 refs.
+    MB.iconst(0).istore(1);
+    emitReceiverInit(MB, Family.Subclasses, /*FirstSlot=*/4);
+    Label Head = MB.newLabel(), Exit = MB.newLabel();
+    MB.bind(Head).iload(0).ifLe(Exit);
+    MB.work(45);
+    MB.iload(0).iconst(15).iand().istore(2);
+    std::vector<WeightedRef> Pick = {{4, 8}, {5, 12}, {6, 14}, {7, 16}};
+    emitPickReceiver(MB, 2, Pick, 16);
+    MB.iload(0).invokeVirtual(Sel).istore(3);
+    MB.iload(3).invokeStatic(Help1).istore(3);
+    Label SkipFlush = MB.newLabel();
+    MB.iload(0).iconst(7).iand().ifNe(SkipFlush);
+    MB.iload(3).invokeStatic(Help2).istore(3);
+    MB.bind(SkipFlush).iload(1).iload(3).iadd().istore(1);
+    MB.iinc(0, -1).jump(Head);
+    MB.bind(Exit).iload(1).iret();
+    MB.finish();
+    return Id;
+  };
+
+  MethodId PhaseA =
+      makePhaseLoop("phaseAlpha", FamilyA, HandleA, HelpA1, HelpA2);
+  MethodId PhaseB =
+      makePhaseLoop("phaseBeta", FamilyB, HandleB, HelpB1, HelpB2);
+
+  int64_t PerPhase = scaleIterations(Size, 30'000);
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Init).istore(1);
+    MB.iconst(PerPhase).invokeStatic(PhaseA).iload(1).iadd().istore(1);
+    MB.iconst(PerPhase).invokeStatic(PhaseB).iload(1).iadd().istore(1);
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,67 @@
+//===- workloads/Soot.cpp - McGill Soot analogue --------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// soot is a bytecode analysis and transformation framework: a dataflow
+// worklist loop popping units, applying a virtual flow function per
+// statement kind, merging states through static helpers, and
+// re-queueing. Wide static fan-out with mid-sized methods; the flow
+// functions have moderate skew (assignments dominate real bytecode).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildSoot(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 28657 + 13);
+
+  MethodId Init = makeInitPhase(PB, "soot", 530, RNG);
+  MethodId Tail = makeColdTail(PB, "soot", 640, RNG);
+
+  ClassFamily Stmts = makeClassFamily(PB, "Stmt", 6);
+  SelectorId Flow = PB.addSelector("flowThrough", /*NumArgs=*/2);
+  implementSelector(PB, Stmts, Flow, {14, 10, 18, 8, 25, 12},
+                    {7, 4, 9, 3, 12, 5});
+
+  MethodId Merge = makeStaticLeaf(PB, "mergeFlowSets", 16, 2, 8);
+  MethodId Enqueue = makeStaticLeaf(PB, "enqueueSuccs", 7, 1, 2);
+  MethodId Widen = makeStaticLeaf(PB, "widenState", 21, 1, 10);
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    // Locals: 0 counter, 1 checksum, 2 scratch, 3 state, 4..9 refs.
+    MB.invokeStatic(Init).istore(1);
+    emitReceiverInit(MB, Stmts.Subclasses, /*FirstSlot=*/4);
+    // assign 6/16, invoke 4/16, if 3/16, goto 1/16, return 1/16, id 1/16
+    std::vector<WeightedRef> Pick = {{4, 6},  {5, 10}, {6, 13},
+                                     {7, 14}, {8, 15}, {9, 16}};
+
+    int64_t Units = scaleIterations(Size, 29'000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Units, [&] {
+      MB.work(30); // worklist pop + unit decode
+      MB.iload(0).iconst(15).iand().istore(2);
+      emitPickReceiver(MB, 2, Pick, 16);
+      MB.iload(0).invokeVirtual(Flow).istore(3);
+
+      MB.iload(3).iload(1).invokeStatic(Merge).istore(3);
+      Label NoWiden = MB.newLabel();
+      MB.iload(0).iconst(127).iand().ifNe(NoWiden);
+      MB.iload(3).invokeStatic(Widen).istore(3);
+      MB.bind(NoWiden);
+      MB.iload(3).invokeStatic(Enqueue).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,61 @@
+//===- workloads/Special.cpp - Figure 1 and the §4 adversary ------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildFigure1(int32_t NonCallWork, int64_t Iterations) {
+  ProgramBuilder PB;
+
+  // Two short methods, exactly as in the paper's example. They are made
+  // non-trivial (padded) so level-0 trivial inlining leaves them alone.
+  MethodId Call1 = makeStaticLeaf(PB, "call_1", /*WorkCycles=*/4,
+                                  /*NumIntArgs=*/1, /*PadOps=*/6);
+  MethodId Call2 = makeStaticLeaf(PB, "call_2", /*WorkCycles=*/4,
+                                  /*NumIntArgs=*/1, /*PadOps=*/6);
+
+  MethodId Main = PB.declareStatic("main");
+  MethodBuilder MB = PB.defineMethod(Main);
+  MB.iconst(0).istore(1);
+  emitCountedLoop(MB, /*CounterSlot=*/0, Iterations, [&] {
+    // "Long sequence of non-calls" — the getfield/putfield stretch.
+    MB.work(NonCallWork);
+    // "Two short calls."
+    MB.iload(0).invokeStatic(Call1).istore(1);
+    MB.iload(1).invokeStatic(Call2).istore(1);
+  });
+  MB.iload(1).print();
+  MB.finish();
+  return PB.finish(Main);
+}
+
+Program wl::buildAdversary(uint32_t CallsPerBurst, int64_t Iterations) {
+  ProgramBuilder PB;
+
+  // decoy() is always the first call after a quiet stretch; victim()
+  // makes up the rest of the burst. With SkipPolicy::Fixed and
+  // Stride * SamplesPerTick ≡ alignment of the burst, the profiling
+  // window keeps sampling the same positions of the burst; randomized
+  // initial skips give every call an equal chance (§4).
+  MethodId Decoy = makeStaticLeaf(PB, "decoy", 4, 1, 4);
+  MethodId Victim = makeStaticLeaf(PB, "victim", 4, 1, 4);
+
+  MethodId Main = PB.declareStatic("main");
+  MethodBuilder MB = PB.defineMethod(Main);
+  MB.iconst(0).istore(1);
+  emitCountedLoop(MB, /*CounterSlot=*/0, Iterations, [&] {
+    MB.work(600); // quiet stretch so each tick lands here
+    MB.iload(0).invokeStatic(Decoy).istore(1);
+    for (uint32_t C = 1; C < CallsPerBurst; ++C)
+      MB.iload(1).invokeStatic(Victim).istore(1);
+  });
+  MB.iload(1).print();
+  MB.finish();
+  return PB.finish(Main);
+}

@@ -1,0 +1,36 @@
+//===- workloads/Suite.cpp - Benchmark registry ---------------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::wl;
+
+const std::vector<WorkloadInfo> &wl::suite() {
+  static const std::vector<WorkloadInfo> Suite = {
+      {"compress", buildCompress, false},
+      {"jess", buildJess, false},
+      {"db", buildDb, false},
+      {"javac", buildJavac, false},
+      {"mpegaudio", buildMpegaudio, false},
+      {"mtrt", buildMtrt, true},
+      {"jack", buildJack, false},
+      {"ipsixql", buildIpsixql, false},
+      {"xerces", buildXerces, false},
+      {"daikon", buildDaikon, false},
+      {"kawa", buildKawa, false},
+      {"jbb", buildJbb, true},
+      {"soot", buildSoot, false},
+  };
+  return Suite;
+}
+
+const WorkloadInfo *wl::findWorkload(std::string_view Name) {
+  for (const WorkloadInfo &W : suite())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,80 @@
+//===- workloads/Workloads.h - The benchmark suite --------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic reproductions of the paper's benchmark suite (Table 1):
+/// SPECjvm98 plus ipsixql, xerces, daikon, kawa, jbb, and soot. Each
+/// builder returns a verified program whose *calling structure* mirrors
+/// the original's documented character (see each .cpp's header
+/// comment); small/large input sizes scale iteration counts, and the
+/// steady size iterates effectively forever for the Figure 5
+/// steady-state runs.
+///
+/// Also here: the Figure 1 pathological program (long non-call stretch
+/// followed by two short calls) and the §4 adversary generator (a
+/// program whose call pattern is aligned so a *fixed* Stride/Samples
+/// CBS configuration keeps sampling the same call).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_WORKLOADS_WORKLOADS_H
+#define CBSVM_WORKLOADS_WORKLOADS_H
+
+#include "bytecode/Program.h"
+#include "workloads/Patterns.h"
+
+#include <string_view>
+#include <vector>
+
+namespace cbs::wl {
+
+bc::Program buildCompress(InputSize Size, uint64_t Seed);
+bc::Program buildJess(InputSize Size, uint64_t Seed);
+bc::Program buildDb(InputSize Size, uint64_t Seed);
+bc::Program buildJavac(InputSize Size, uint64_t Seed);
+bc::Program buildMpegaudio(InputSize Size, uint64_t Seed);
+bc::Program buildMtrt(InputSize Size, uint64_t Seed);
+bc::Program buildJack(InputSize Size, uint64_t Seed);
+bc::Program buildIpsixql(InputSize Size, uint64_t Seed);
+bc::Program buildXerces(InputSize Size, uint64_t Seed);
+bc::Program buildDaikon(InputSize Size, uint64_t Seed);
+bc::Program buildKawa(InputSize Size, uint64_t Seed);
+bc::Program buildJbb(InputSize Size, uint64_t Seed);
+bc::Program buildSoot(InputSize Size, uint64_t Seed);
+
+struct WorkloadInfo {
+  const char *Name;
+  bc::Program (*Build)(InputSize, uint64_t);
+  bool Multithreaded;
+};
+
+/// The 13 benchmarks in Table 1 order.
+const std::vector<WorkloadInfo> &suite();
+
+/// Lookup by name; nullptr if unknown.
+const WorkloadInfo *findWorkload(std::string_view Name);
+
+/// The Figure 1 program: while (...) { <NonCallWork cycles of work>;
+/// call_1(); call_2(); }. Timer sampling attributes nearly everything
+/// to call_1; CBS splits the two calls evenly.
+bc::Program buildFigure1(int32_t NonCallWork, int64_t Iterations);
+
+/// A two-phase program whose hot call set shifts halfway through the
+/// run (§3.2's short-window danger / §1's continuous-collection
+/// motivation): phase A and phase B exercise disjoint handler families
+/// and helpers. Not part of the Table 1 suite.
+bc::Program buildPhased(InputSize Size, uint64_t Seed);
+
+/// §4 adversary: a loop whose body performs exactly
+/// Stride * SamplesPerTick + 1 calls, the first of which targets a
+/// distinguished "decoy" method. With SkipPolicy::Fixed the window
+/// opened at each tick keeps hitting the same phase of the pattern;
+/// randomized initial skips break the alignment.
+bc::Program buildAdversary(uint32_t CallsPerBurst, int64_t Iterations);
+
+} // namespace cbs::wl
+
+#endif // CBSVM_WORKLOADS_WORKLOADS_H

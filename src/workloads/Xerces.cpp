@@ -1,0 +1,69 @@
+//===- workloads/Xerces.cpp - Apache Xerces parse analogue --------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// xerces measures a simple XML parse: a character-scanning loop that
+// dispatches to content handlers (start element, end element,
+// characters, attribute, comment, PI) with strong skew toward the
+// characters handler, and scanning stretches between events. The
+// handler bodies vary widely in size, which differentiates the three
+// inline oracles: the old Jikes inliner only boosts the >1% edges, the
+// new one scales thresholds smoothly, and J9's static heuristics would
+// inline even the cold comment handler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::wl;
+
+Program wl::buildXerces(InputSize Size, uint64_t Seed) {
+  ProgramBuilder PB;
+  RandomEngine RNG(Seed * 48619 + 9);
+
+  MethodId Init = makeInitPhase(PB, "xerces", 430, RNG);
+  MethodId Tail = makeColdTail(PB, "xerces", 256, RNG);
+
+  ClassFamily Handlers = makeClassFamily(PB, "Handler", 6);
+  SelectorId Handle = PB.addSelector("handle", /*NumArgs=*/2);
+  implementSelector(PB, Handlers, Handle, {5, 12, 10, 24, 30, 8},
+                    {2, 6, 5, 11, 14, 3});
+
+  MethodId Normalize = makeStaticLeaf(PB, "normalizeChars", 10, 1, 4);
+  MethodId PushScope = makeStaticLeaf(PB, "pushScope", 8, 1, 3);
+
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    // Locals: 0 counter, 1 checksum, 2 scratch, 3 event val, 4..9 refs.
+    MB.invokeStatic(Init).istore(1);
+    emitReceiverInit(MB, Handlers.Subclasses, /*FirstSlot=*/4);
+    // characters 8/16, start 3/16, end 3/16, attr 1/16, comment+PI tail.
+    std::vector<WeightedRef> Pick = {{4, 8},  {5, 11}, {6, 14},
+                                     {7, 15}, {8, 16}};
+
+    int64_t Events = scaleIterations(Size, 30'000);
+    emitCountedLoop(MB, /*CounterSlot=*/0, Events, [&] {
+      MB.work(55); // scan to the next markup event
+      MB.iload(0).iconst(15).iand().istore(2);
+      emitPickReceiver(MB, 2, Pick, 16);
+      MB.iload(0).invokeVirtual(Handle).istore(3);
+
+      Label NotElement = MB.newLabel();
+      Label Done = MB.newLabel();
+      MB.iload(2).iconst(8).ifICmpLt(NotElement); // characters event
+      MB.iload(3).invokeStatic(PushScope).jump(Done);
+      MB.bind(NotElement).iload(3).invokeStatic(Normalize);
+      MB.bind(Done).iload(1).iadd().istore(1);
+      MB.iload(0).invokeStatic(Tail)
+          .iload(1).iadd().istore(1);
+    });
+    MB.iload(1).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}

@@ -1,0 +1,165 @@
+//===- tests/AOSTest.cpp - adaptive optimization tests -------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aos/AdaptiveSystem.h"
+#include "bytecode/Builder.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+namespace {
+
+/// A hot loop in one method plus a method executed once.
+Program hotColdProgram() {
+  ProgramBuilder PB;
+  MethodId Cold = PB.declareStatic("coldOnce", {}, /*HasResult=*/true);
+  {
+    MethodBuilder MB = PB.defineMethod(Cold);
+    MB.work(100).iconst(1).iret();
+    MB.finish();
+  }
+  MethodId Hot = PB.declareStatic("hotLoop", {ValKind::Int},
+                                  /*HasResult=*/true);
+  {
+    MethodBuilder MB = PB.defineMethod(Hot);
+    MB.iconst(0).istore(1);
+    Label Head = MB.newLabel(), Exit = MB.newLabel();
+    MB.bind(Head).iload(0).ifLe(Exit);
+    MB.work(50).iload(1).iconst(3).iadd().istore(1);
+    MB.iinc(0, -1).jump(Head);
+    MB.bind(Exit).iload(1).iret();
+    MB.finish();
+  }
+  MethodId Main = PB.declareStatic("main");
+  {
+    // Call hotLoop repeatedly: recompiled versions only take effect on
+    // fresh invocations (no on-stack replacement), as in the paper's
+    // VMs.
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Cold).istore(0);
+    MB.iconst(2'000).istore(1);
+    Label Head = MB.newLabel(), Exit = MB.newLabel();
+    MB.bind(Head).iload(1).ifLe(Exit);
+    MB.iconst(200).invokeStatic(Hot).iload(0).iadd().istore(0);
+    MB.iinc(1, -1).jump(Head);
+    MB.bind(Exit).iload(0).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}
+
+} // namespace
+
+TEST(AOS, PromotesHotMethodsOnly) {
+  Program P = hotColdProgram();
+  vm::VMConfig Config;
+  Config.TimerPeriodCycles = 100'000;
+  vm::VirtualMachine VM(P, Config);
+  aos::AdaptiveSystem AOS(nullptr);
+  VM.setClient(&AOS);
+  EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
+
+  // hotLoop dominates execution: it must have been recompiled.
+  MethodId Hot = 1, Cold = 0;
+  EXPECT_GT(VM.codeCache().activeLevel(Hot), 0);
+  EXPECT_EQ(VM.codeCache().activeLevel(Cold), 0)
+      << "cold code stays at the baseline level";
+  EXPECT_GT(AOS.stats().Recompilations, 0u);
+  EXPECT_GT(AOS.stats().Ticks, 0u);
+}
+
+TEST(AOS, ReachesLevel2WithEnoughSamples) {
+  Program P = hotColdProgram();
+  vm::VMConfig Config;
+  Config.TimerPeriodCycles = 50'000; // More ticks -> more samples.
+  vm::VirtualMachine VM(P, Config);
+  aos::AOSConfig AC;
+  AC.Level1Samples = 2;
+  AC.Level2Samples = 6;
+  aos::AdaptiveSystem AOS(nullptr, AC);
+  VM.setClient(&AOS);
+  VM.run();
+  EXPECT_EQ(VM.codeCache().activeLevel(1), 2);
+  EXPECT_GT(AOS.stats().PromotionsToL2, 0u);
+}
+
+TEST(AOS, CostBenefitBlocksExpensiveCompiles) {
+  Program P = hotColdProgram();
+  vm::VMConfig Config;
+  Config.TimerPeriodCycles = 100'000;
+  vm::VirtualMachine VM(P, Config);
+  aos::AOSConfig AC;
+  AC.CostBenefitFactor = 1e9; // Nothing can ever pay for itself.
+  aos::AdaptiveSystem AOS(nullptr, AC);
+  VM.setClient(&AOS);
+  VM.run();
+  EXPECT_EQ(AOS.stats().Recompilations, 0u);
+}
+
+TEST(AOS, RecompiledCodeRunsFasterSameOutput) {
+  Program P = hotColdProgram();
+  auto Run = [&](bool Adaptive) {
+    vm::VMConfig Config;
+    Config.TimerPeriodCycles = 100'000;
+    vm::VirtualMachine VM(P, Config);
+    aos::AdaptiveSystem AOS(nullptr);
+    if (Adaptive)
+      VM.setClient(&AOS);
+    VM.run();
+    return std::pair(VM.output(), VM.stats().Cycles);
+  };
+  auto Baseline = Run(false);
+  auto Adaptive = Run(true);
+  EXPECT_EQ(Adaptive.first, Baseline.first)
+      << "recompilation must not change semantics";
+  EXPECT_LT(Adaptive.second, Baseline.second)
+      << "optimized code must be faster in modelled cycles";
+}
+
+TEST(AOS, ProfileDirectedPlansInlineHotEdges) {
+  // With a CBS profile and the new inliner, the hot callee inside the
+  // loop should get inlined at recompilation, beating trivial plans.
+  bc::Program P = wl::buildJess(wl::InputSize::Large, 7);
+  auto Throughput = [&](const opt::InlineOracle *Oracle) {
+    vm::VMConfig Config;
+    Config.Profiler.Kind = vm::ProfilerKind::CBS;
+    Config.Profiler.CBS.Stride = 3;
+    Config.Profiler.CBS.SamplesPerTick = 16;
+    vm::VirtualMachine VM(P, Config);
+    aos::AdaptiveSystem AOS(Oracle);
+    VM.setClient(&AOS);
+    VM.run(6'000'000); // Warmup.
+    uint64_t C0 = VM.stats().Cycles, I0 = VM.stats().Instructions;
+    VM.run(12'000'000);
+    return static_cast<double>(VM.stats().Instructions - I0) /
+           static_cast<double>(VM.stats().Cycles - C0);
+  };
+  opt::NewJikesOracle Oracle;
+  double WithInlining = Throughput(&Oracle);
+  double TrivialOnly = Throughput(nullptr);
+  EXPECT_GT(WithInlining, TrivialOnly * 1.01)
+      << "profile-directed inlining must show a measurable speedup";
+}
+
+TEST(AOS, PlanRefreshesPeriodically) {
+  Program P = hotColdProgram();
+  vm::VMConfig Config;
+  Config.TimerPeriodCycles = 50'000;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  vm::VirtualMachine VM(P, Config);
+  aos::AOSConfig AC;
+  AC.PlanRefreshTicks = 1;
+  AC.Level1Samples = 1;
+  AC.Level2Samples = 2;
+  opt::NewJikesOracle Oracle;
+  aos::AdaptiveSystem AOS(&Oracle, AC);
+  VM.setClient(&AOS);
+  VM.run();
+  EXPECT_GE(AOS.stats().PlansComputed, 1u);
+}

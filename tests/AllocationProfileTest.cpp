@@ -1,0 +1,119 @@
+//===- tests/AllocationProfileTest.cpp - §8 generalization tests ----------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/AllocationProfile.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+TEST(AllocationProfile, BasicAccounting) {
+  AllocationProfile AP;
+  AP.addSample(2, 10);
+  AP.addSample(0, 30);
+  AP.addSample(2, 10);
+  EXPECT_EQ(AP.weight(2), 20u);
+  EXPECT_EQ(AP.weight(0), 30u);
+  EXPECT_EQ(AP.weight(7), 0u);
+  EXPECT_EQ(AP.totalWeight(), 50u);
+  EXPECT_DOUBLE_EQ(AP.fraction(0), 0.6);
+  auto Sorted = AP.sorted();
+  ASSERT_EQ(Sorted.size(), 2u);
+  EXPECT_EQ(Sorted[0].first, 0u);
+}
+
+TEST(AllocationProfile, OverlapMirrorsDCGMetric) {
+  AllocationProfile A, B, C;
+  A.addSample(0, 50);
+  A.addSample(1, 50);
+  B.addSample(0, 5);
+  B.addSample(1, 5);
+  C.addSample(2, 10);
+  EXPECT_NEAR(A.overlapWith(B), 100.0, 1e-9);
+  EXPECT_NEAR(A.overlapWith(C), 0.0, 1e-9);
+  EXPECT_NEAR(A.overlapWith(A), 100.0, 1e-9);
+  AllocationProfile Empty;
+  EXPECT_NEAR(Empty.overlapWith(Empty), 100.0, 1e-9);
+  EXPECT_NEAR(Empty.overlapWith(A), 0.0, 1e-9);
+}
+
+TEST(AllocationProfile, HeapTracksGroundTruth) {
+  // jbb allocates one Order per transaction plus per-iteration receiver
+  // objects; the heap's per-class counts are the exhaustive histogram.
+  bc::Program P = wl::buildJbb(wl::InputSize::Small, 1);
+  vm::VMConfig Config;
+  Config.MaxCycles = 2'000'000'000;
+  vm::VirtualMachine VM(P, Config);
+  ASSERT_EQ(VM.run(), vm::RunState::Finished);
+  prof::AllocationProfile Truth = VM.trueAllocationProfile();
+  EXPECT_GT(Truth.totalWeight(), 10'000u);
+  EXPECT_EQ(Truth.totalWeight(), VM.heap().numObjects());
+}
+
+TEST(AllocationProfile, SampledHistogramConvergesToTruth) {
+  bc::Program P = wl::buildJbb(wl::InputSize::Small, 1);
+  vm::VMConfig Config;
+  Config.MaxCycles = 2'000'000'000;
+  Config.Profiler.ProfileAllocations = true;
+  Config.Profiler.AllocCBS.Stride = 3;
+  Config.Profiler.AllocCBS.SamplesPerTick = 16;
+  vm::VirtualMachine VM(P, Config);
+  ASSERT_EQ(VM.run(), vm::RunState::Finished);
+
+  prof::AllocationProfile Truth = VM.trueAllocationProfile();
+  const prof::AllocationProfile &Sampled = VM.allocationProfile();
+  ASSERT_GT(Sampled.totalWeight(), 100u);
+  EXPECT_GT(Sampled.overlapWith(Truth), 85.0)
+      << "CBS over allocation events must resolve the class histogram";
+}
+
+TEST(AllocationProfile, SamplerOffByDefault) {
+  bc::Program P = wl::buildJbb(wl::InputSize::Small, 1);
+  vm::VMConfig Config;
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  EXPECT_TRUE(VM.allocationProfile().empty());
+}
+
+TEST(AllocationProfile, WorksAlongsideCallGraphProfiling) {
+  // The §8 point: the same mechanism serves two frequency profiles at
+  // once without interfering.
+  bc::Program P = wl::buildMtrt(wl::InputSize::Small, 1);
+  vm::VMConfig Config;
+  Config.MaxCycles = 2'000'000'000;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  Config.Profiler.CBS.Stride = 3;
+  Config.Profiler.CBS.SamplesPerTick = 16;
+  Config.Profiler.ProfileAllocations = true;
+  Config.Profiler.AllocCBS.SamplesPerTick = 8;
+  vm::VirtualMachine VM(P, Config);
+  ASSERT_EQ(VM.run(), vm::RunState::Finished);
+  EXPECT_FALSE(VM.profile().empty());
+  EXPECT_FALSE(VM.allocationProfile().empty());
+  EXPECT_GT(VM.allocationProfile().overlapWith(VM.trueAllocationProfile()),
+            70.0);
+}
+
+TEST(AllocationProfile, SamplingCostsShowUpButStaySmall) {
+  bc::Program P = wl::buildJbb(wl::InputSize::Small, 1);
+  auto Cycles = [&](bool Profile) {
+    vm::VMConfig Config;
+    Config.MaxCycles = 2'000'000'000;
+    Config.Profiler.ProfileAllocations = Profile;
+    Config.Profiler.AllocCBS.Stride = 3;
+    Config.Profiler.AllocCBS.SamplesPerTick = 16;
+    vm::VirtualMachine VM(P, Config);
+    VM.run();
+    return VM.stats().Cycles;
+  };
+  uint64_t Off = Cycles(false), On = Cycles(true);
+  EXPECT_GT(On, Off);
+  EXPECT_LT(100.0 * (On - Off) / Off, 1.0)
+      << "allocation sampling must stay under 1% overhead";
+}

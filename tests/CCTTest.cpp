@@ -1,0 +1,107 @@
+//===- tests/CCTTest.cpp - calling context tree tests --------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CallingContextTree.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace {
+
+PathStep step(uint32_t Site, uint32_t Method) { return {Site, Method}; }
+
+} // namespace
+
+TEST(CCT, EmptyTree) {
+  CallingContextTree CCT;
+  EXPECT_EQ(CCT.numNodes(), 0u);
+  EXPECT_EQ(CCT.totalWeight(), 0u);
+  EXPECT_EQ(CCT.maxDepth(), 0u);
+}
+
+TEST(CCT, SinglePathCreatesChain) {
+  CallingContextTree CCT;
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(10, 1), step(11, 2)});
+  EXPECT_EQ(CCT.numNodes(), 3u);
+  EXPECT_EQ(CCT.maxDepth(), 3u);
+  EXPECT_EQ(CCT.totalWeight(), 1u);
+}
+
+TEST(CCT, SharedPrefixesShareNodes) {
+  CallingContextTree CCT;
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(10, 1), step(11, 2)});
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(10, 1), step(12, 3)});
+  // Root chain shared: 0, 1 shared; leaves 2 and 3 distinct.
+  EXPECT_EQ(CCT.numNodes(), 4u);
+}
+
+TEST(CCT, ContextSensitivityDistinguishesCallers) {
+  // The same callee reached through two different sites must be two
+  // nodes — that is the information a context-insensitive DCG lacks.
+  CallingContextTree CCT;
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(10, 5)});
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(20, 5)});
+  EXPECT_EQ(CCT.numNodes(), 3u);
+  DynamicCallGraph Flat = CCT.projectLeafEdges();
+  EXPECT_EQ(Flat.numEdges(), 2u);
+  EXPECT_EQ(Flat.weight({10, 5}), 1u);
+  EXPECT_EQ(Flat.weight({20, 5}), 1u);
+}
+
+TEST(CCT, LeafProjectionMatchesDirectDCG) {
+  // Inserting random stacks and projecting the leaves must equal the
+  // DCG a context-insensitive sampler would have built from the same
+  // samples (the "extension loses nothing" claim).
+  RandomEngine RNG(23);
+  CallingContextTree CCT;
+  DynamicCallGraph Direct;
+  for (int Sample = 0; Sample != 500; ++Sample) {
+    size_t Depth = 1 + RNG.nextBelow(6);
+    std::vector<PathStep> Path;
+    Path.push_back(step(bc::InvalidSiteId, 0));
+    for (size_t D = 1; D != Depth; ++D)
+      Path.push_back(step(static_cast<uint32_t>(RNG.nextBelow(8)),
+                          static_cast<uint32_t>(RNG.nextBelow(5) + 1)));
+    CCT.addPath(Path);
+    if (Path.size() >= 2)
+      Direct.addSample({Path.back().Site, Path.back().Method});
+  }
+  DynamicCallGraph Projected = CCT.projectLeafEdges();
+  EXPECT_EQ(Projected.totalWeight(), Direct.totalWeight());
+  Direct.forEachEdge([&](CallEdge E, uint64_t W) {
+    EXPECT_EQ(Projected.weight(E), W);
+  });
+}
+
+TEST(CCT, TraverseWeightsCountPassThrough) {
+  CallingContextTree CCT;
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(1, 1), step(2, 2)}, 3);
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(1, 1)}, 2);
+  DynamicCallGraph All = CCT.projectAllEdges();
+  // Edge (1,1) was traversed by all 5 samples; (2,2) by 3.
+  EXPECT_EQ(All.weight({1, 1}), 5u);
+  EXPECT_EQ(All.weight({2, 2}), 3u);
+}
+
+TEST(CCT, WeightedInsertion) {
+  CallingContextTree CCT;
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(1, 1)}, 10);
+  EXPECT_EQ(CCT.totalWeight(), 10u);
+  EXPECT_EQ(CCT.projectLeafEdges().weight({1, 1}), 10u);
+}
+
+TEST(CCT, RecursiveStacksNest) {
+  // Recursion produces repeated (site, method) steps at different
+  // depths: each must get its own node (context tree, not a graph).
+  CallingContextTree CCT;
+  CCT.addPath({step(bc::InvalidSiteId, 0), step(3, 7), step(3, 7),
+               step(3, 7)});
+  EXPECT_EQ(CCT.numNodes(), 4u);
+  EXPECT_EQ(CCT.maxDepth(), 4u);
+}

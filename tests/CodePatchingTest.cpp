@@ -1,0 +1,102 @@
+//===- tests/CodePatchingTest.cpp - code-patching baseline tests ---------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CodePatchingProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+TEST(CodePatching, NotListeningUntilPromoted) {
+  CodePatchingProfiler CP(4);
+  EXPECT_FALSE(CP.isListening(0));
+  CP.onMethodPromoted(0, /*NowCycles=*/100);
+  EXPECT_TRUE(CP.isListening(0));
+  EXPECT_FALSE(CP.isListening(1));
+  EXPECT_EQ(CP.methodsInstrumented(), 1u);
+}
+
+TEST(CodePatching, ListenerUninstallsAfterQuota) {
+  CodePatchingParams Params;
+  Params.SamplesPerMethod = 3;
+  CodePatchingProfiler CP(2, Params);
+  DynamicCallGraph Repo;
+  CP.onMethodPromoted(0, 0);
+  CP.onListenedEntry(0, {5, 0}, 100, Repo);
+  CP.onListenedEntry(0, {5, 0}, 200, Repo);
+  EXPECT_TRUE(CP.isListening(0));
+  CP.onListenedEntry(0, {6, 0}, 300, Repo);
+  EXPECT_FALSE(CP.isListening(0)) << "listener must patch itself out";
+  EXPECT_EQ(CP.listenerExecutions(), 3u);
+  EXPECT_EQ(Repo.numEdges(), 2u);
+}
+
+TEST(CodePatching, RepromotionIsIdempotent) {
+  CodePatchingParams Params;
+  Params.SamplesPerMethod = 1;
+  CodePatchingProfiler CP(1, Params);
+  DynamicCallGraph Repo;
+  CP.onMethodPromoted(0, 0);
+  CP.onListenedEntry(0, {1, 0}, 10, Repo);
+  EXPECT_FALSE(CP.isListening(0));
+  // A second promotion must not reinstall the listener (Done state).
+  CP.onMethodPromoted(0, 20);
+  EXPECT_FALSE(CP.isListening(0));
+  EXPECT_EQ(CP.methodsInstrumented(), 1u);
+}
+
+TEST(CodePatching, FrequencyCorrectionWeighsHotMethodsMore) {
+  // Two methods each collect 4 samples, but the hot one collects them
+  // over 10x fewer cycles: its edges must end up ~10x heavier.
+  CodePatchingParams Params;
+  Params.SamplesPerMethod = 4;
+  CodePatchingProfiler CP(2, Params);
+  DynamicCallGraph Repo;
+  CP.onMethodPromoted(0, 0);
+  CP.onMethodPromoted(1, 0);
+  for (uint64_t I = 1; I <= 4; ++I)
+    CP.onListenedEntry(0, {1, 0}, I * 100, Repo); // hot: 400 cycles
+  for (uint64_t I = 1; I <= 4; ++I)
+    CP.onListenedEntry(1, {2, 1}, I * 1000, Repo); // cold: 4000 cycles
+  uint64_t HotWeight = Repo.weight({1, 0});
+  uint64_t ColdWeight = Repo.weight({2, 1});
+  ASSERT_GT(ColdWeight, 0u);
+  EXPECT_NEAR(static_cast<double>(HotWeight) / ColdWeight, 10.0, 1.0);
+}
+
+TEST(CodePatching, FlushIncompleteDrainsPartialWindows) {
+  CodePatchingParams Params;
+  Params.SamplesPerMethod = 100;
+  CodePatchingProfiler CP(1, Params);
+  DynamicCallGraph Repo;
+  CP.onMethodPromoted(0, 0);
+  CP.onListenedEntry(0, {3, 0}, 50, Repo);
+  EXPECT_EQ(Repo.numEdges(), 0u) << "window still open";
+  CP.flushIncomplete(1000, Repo);
+  EXPECT_EQ(Repo.numEdges(), 1u);
+  EXPECT_FALSE(CP.isListening(0));
+  // Second flush is a no-op.
+  CP.flushIncomplete(2000, Repo);
+  EXPECT_EQ(Repo.numEdges(), 1u);
+}
+
+TEST(CodePatching, DistinctEdgesWithinOneMethod) {
+  CodePatchingParams Params;
+  Params.SamplesPerMethod = 6;
+  CodePatchingProfiler CP(1, Params);
+  DynamicCallGraph Repo;
+  CP.onMethodPromoted(0, 0);
+  // Entered from three different call sites with a 3:2:1 split.
+  for (int I = 0; I != 3; ++I)
+    CP.onListenedEntry(0, {10, 0}, 10 * (I + 1), Repo);
+  for (int I = 0; I != 2; ++I)
+    CP.onListenedEntry(0, {11, 0}, 40 + 10 * I, Repo);
+  CP.onListenedEntry(0, {12, 0}, 60, Repo);
+  ASSERT_EQ(Repo.numEdges(), 3u);
+  EXPECT_GT(Repo.weight({10, 0}), Repo.weight({11, 0}));
+  EXPECT_GT(Repo.weight({11, 0}), Repo.weight({12, 0}));
+}

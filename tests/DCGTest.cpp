@@ -1,0 +1,212 @@
+//===- tests/DCGTest.cpp - DCG and overlap metric tests ------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/DynamicCallGraph.h"
+#include "profiling/OverlapMetric.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace {
+
+CallEdge edge(uint32_t Site, uint32_t Callee) { return {Site, Callee}; }
+
+DynamicCallGraph randomDCG(RandomEngine &RNG, size_t NumEdges,
+                           uint64_t MaxWeight) {
+  DynamicCallGraph DCG;
+  for (size_t I = 0; I != NumEdges; ++I)
+    DCG.addSample(edge(static_cast<uint32_t>(RNG.nextBelow(64)),
+                       static_cast<uint32_t>(RNG.nextBelow(32))),
+                  RNG.nextBelow(MaxWeight) + 1);
+  return DCG;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DynamicCallGraph
+//===----------------------------------------------------------------------===//
+
+TEST(DCG, AccumulatesWeights) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(1, 2));
+  DCG.addSample(edge(1, 2), 4);
+  DCG.addSample(edge(1, 3), 5);
+  EXPECT_EQ(DCG.weight(edge(1, 2)), 5u);
+  EXPECT_EQ(DCG.weight(edge(1, 3)), 5u);
+  EXPECT_EQ(DCG.weight(edge(9, 9)), 0u);
+  EXPECT_EQ(DCG.totalWeight(), 10u);
+  EXPECT_EQ(DCG.numEdges(), 2u);
+}
+
+TEST(DCG, FractionNormalizes) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(0, 1), 3);
+  DCG.addSample(edge(0, 2), 1);
+  EXPECT_DOUBLE_EQ(DCG.fraction(edge(0, 1)), 0.75);
+  EXPECT_DOUBLE_EQ(DCG.fraction(edge(0, 2)), 0.25);
+  EXPECT_DOUBLE_EQ(DCG.fraction(edge(5, 5)), 0.0);
+}
+
+TEST(DCG, EmptyFractionIsZero) {
+  DynamicCallGraph DCG;
+  EXPECT_DOUBLE_EQ(DCG.fraction(edge(0, 1)), 0.0);
+  EXPECT_TRUE(DCG.empty());
+}
+
+TEST(DCG, SiteDistributionSortedHeaviestFirst) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(7, 1), 10);
+  DCG.addSample(edge(7, 2), 30);
+  DCG.addSample(edge(7, 3), 20);
+  DCG.addSample(edge(8, 1), 99); // Different site: excluded.
+  auto Dist = DCG.siteDistribution(7);
+  ASSERT_EQ(Dist.size(), 3u);
+  EXPECT_EQ(Dist[0].first.Callee, 2u);
+  EXPECT_EQ(Dist[1].first.Callee, 3u);
+  EXPECT_EQ(Dist[2].first.Callee, 1u);
+}
+
+TEST(DCG, MergeAddsWeights) {
+  DynamicCallGraph A, B;
+  A.addSample(edge(1, 1), 2);
+  B.addSample(edge(1, 1), 3);
+  B.addSample(edge(2, 2), 4);
+  A.merge(B);
+  EXPECT_EQ(A.weight(edge(1, 1)), 5u);
+  EXPECT_EQ(A.weight(edge(2, 2)), 4u);
+  EXPECT_EQ(A.totalWeight(), 9u);
+}
+
+TEST(DCG, ClearResets) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(1, 1), 5);
+  DCG.clear();
+  EXPECT_TRUE(DCG.empty());
+  EXPECT_EQ(DCG.totalWeight(), 0u);
+}
+
+TEST(DCG, SortedEdgesDeterministic) {
+  RandomEngine RNG(5);
+  DynamicCallGraph DCG = randomDCG(RNG, 100, 50);
+  auto A = DCG.sortedEdges();
+  auto B = DCG.sortedEdges();
+  EXPECT_EQ(A, B);
+  for (size_t I = 1; I < A.size(); ++I)
+    EXPECT_TRUE(A[I - 1].first < A[I].first);
+}
+
+//===----------------------------------------------------------------------===//
+// Overlap metric (§6.2)
+//===----------------------------------------------------------------------===//
+
+TEST(Overlap, IdenticalProfilesScore100) {
+  RandomEngine RNG(7);
+  DynamicCallGraph DCG = randomDCG(RNG, 50, 100);
+  EXPECT_NEAR(overlap(DCG, DCG), 100.0, 1e-9);
+}
+
+TEST(Overlap, ScaledProfilesScore100) {
+  // The metric compares percentages: doubling all weights changes
+  // nothing.
+  DynamicCallGraph A, B;
+  A.addSample(edge(1, 1), 3);
+  A.addSample(edge(2, 2), 7);
+  B.addSample(edge(1, 1), 6);
+  B.addSample(edge(2, 2), 14);
+  EXPECT_NEAR(overlap(A, B), 100.0, 1e-9);
+}
+
+TEST(Overlap, DisjointProfilesScore0) {
+  DynamicCallGraph A, B;
+  A.addSample(edge(1, 1), 5);
+  B.addSample(edge(2, 2), 5);
+  EXPECT_DOUBLE_EQ(overlap(A, B), 0.0);
+}
+
+TEST(Overlap, EmptyRules) {
+  DynamicCallGraph Empty, NonEmpty;
+  NonEmpty.addSample(edge(1, 1));
+  EXPECT_DOUBLE_EQ(overlap(Empty, Empty), 100.0);
+  EXPECT_DOUBLE_EQ(overlap(Empty, NonEmpty), 0.0);
+  EXPECT_DOUBLE_EQ(overlap(NonEmpty, Empty), 0.0);
+}
+
+TEST(Overlap, IsSymmetric) {
+  RandomEngine RNG(11);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    DynamicCallGraph A = randomDCG(RNG, 30, 40);
+    DynamicCallGraph B = randomDCG(RNG, 30, 40);
+    EXPECT_NEAR(overlap(A, B), overlap(B, A), 1e-9);
+  }
+}
+
+TEST(Overlap, BoundedZeroToHundred) {
+  RandomEngine RNG(13);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    DynamicCallGraph A = randomDCG(RNG, 20, 30);
+    DynamicCallGraph B = randomDCG(RNG, 20, 30);
+    double V = overlap(A, B);
+    EXPECT_GE(V, 0.0);
+    EXPECT_LE(V, 100.0 + 1e-9);
+  }
+}
+
+TEST(Overlap, HalfWeightMatch) {
+  // B has one of A's two equal edges: overlap is 50 + min portion.
+  DynamicCallGraph A, B;
+  A.addSample(edge(1, 1), 50);
+  A.addSample(edge(2, 2), 50);
+  B.addSample(edge(1, 1), 100);
+  EXPECT_NEAR(overlap(A, B), 50.0, 1e-9);
+}
+
+TEST(Overlap, SkewMismatchScoresPartial) {
+  DynamicCallGraph A, B;
+  A.addSample(edge(1, 1), 80);
+  A.addSample(edge(2, 2), 20);
+  B.addSample(edge(1, 1), 20);
+  B.addSample(edge(2, 2), 80);
+  // min(80,20) + min(20,80) = 40.
+  EXPECT_NEAR(overlap(A, B), 40.0, 1e-9);
+}
+
+TEST(Overlap, PerfectSubsampleConvergence) {
+  // Sampling a profile uniformly at random converges to 100 as the
+  // sample count grows (the property the accuracy experiments rely on).
+  RandomEngine RNG(17);
+  DynamicCallGraph Perfect;
+  std::vector<CallEdge> Population;
+  for (uint32_t I = 0; I != 10; ++I) {
+    uint64_t W = (I + 1) * 10;
+    Perfect.addSample(edge(I, I), W);
+    for (uint64_t K = 0; K != W; ++K)
+      Population.push_back(edge(I, I));
+  }
+  double Prev = 0;
+  for (size_t N : {10u, 100u, 5000u}) {
+    DynamicCallGraph Sampled;
+    for (size_t K = 0; K != N; ++K)
+      Sampled.addSample(Population[RNG.nextBelow(Population.size())]);
+    double Acc = accuracy(Sampled, Perfect);
+    EXPECT_GE(Acc, Prev - 5.0) << "accuracy should improve with samples";
+    Prev = Acc;
+  }
+  EXPECT_GT(Prev, 95.0);
+}
+
+TEST(Overlap, MissingTailCapsAccuracy) {
+  // A sampler that only ever sees the head of the distribution cannot
+  // exceed the head's weight share — the Figure 1 failure mode.
+  DynamicCallGraph Perfect, HeadOnly;
+  Perfect.addSample(edge(0, 0), 60);
+  Perfect.addSample(edge(1, 1), 40);
+  HeadOnly.addSample(edge(0, 0), 1000);
+  EXPECT_NEAR(accuracy(HeadOnly, Perfect), 60.0, 1e-9);
+}

@@ -1,0 +1,256 @@
+//===- tests/OracleTest.cpp - inline oracle policy tests -----------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins down the decision rules of the three inliners the paper
+// compares: the old Jikes 1%-cliff, the new linear-threshold + 40%
+// distribution rule, and J9's static heuristics with cold-site
+// suppression.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "opt/InlineOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::bc;
+using namespace cbs::opt;
+
+namespace {
+
+/// A program with:
+///  - site 0: static call to a tiny callee
+///  - site 1: static call to a mid-sized callee (~40B)
+///  - site 2: static call to a large callee (~90B)
+///  - site 3: virtual call with three implementations (A, B, C)
+struct OracleFixture {
+  OracleFixture() {
+    auto MakeStatic = [&](const char *Name, unsigned PadPairs) {
+      MethodId Id =
+          PB.declareStatic(Name, {ValKind::Int}, /*HasResult=*/true);
+      MethodBuilder MB = PB.defineMethod(Id);
+      MB.iload(0);
+      for (unsigned K = 0; K != PadPairs; ++K)
+        MB.iconst(static_cast<int32_t>(K)).ixor();
+      MB.iret();
+      MB.finish();
+      return Id;
+    };
+    Tiny = MakeStatic("tiny", 1);     // ~8B
+    Mid = MakeStatic("mid", 11);      // ~38B
+    Large = MakeStatic("large", 28);  // ~89B
+
+    ClassId Base = PB.addClass("Base", InvalidClassId, 0);
+    Sel = PB.addSelector("m", 2);
+    for (int I = 0; I != 3; ++I) {
+      ClassId C = PB.addClass(std::string("C") + char('A' + I), Base, 0);
+      Classes.push_back(C);
+      MethodId Impl = PB.declareVirtual(C, Sel, "", {}, /*HasResult=*/true);
+      MethodBuilder MB = PB.defineMethod(Impl);
+      MB.iload(1).iconst(I).iadd().iret();
+      MB.finish();
+      Impls.push_back(Impl);
+    }
+
+    MethodId Main = PB.declareStatic("main");
+    {
+      MethodBuilder MB = PB.defineMethod(Main);
+      MB.iconst(1).invokeStatic(Tiny).istore(0);   // site 0
+      MB.iconst(1).invokeStatic(Mid).istore(0);    // site 1
+      MB.iconst(1).invokeStatic(Large).istore(0);  // site 2
+      MB.newObject(Classes[0]).iconst(1).invokeVirtual(Sel).istore(0);
+      MB.iload(0).print();
+      MB.finish();
+    }
+    P.emplace(PB.finish(Main));
+  }
+
+  /// DCG helper: weight per site as a fraction of Total.
+  prof::DynamicCallGraph
+  makeDCG(uint64_t Site0, uint64_t Site1, uint64_t Site2,
+          std::vector<uint64_t> VirtualSplit = {}) {
+    prof::DynamicCallGraph DCG;
+    if (Site0)
+      DCG.addSample({0, Tiny}, Site0);
+    if (Site1)
+      DCG.addSample({1, Mid}, Site1);
+    if (Site2)
+      DCG.addSample({2, Large}, Site2);
+    for (size_t I = 0; I != VirtualSplit.size(); ++I)
+      if (VirtualSplit[I])
+        DCG.addSample({3, Impls[I]}, VirtualSplit[I]);
+    return DCG;
+  }
+
+  ProgramBuilder PB;
+  MethodId Tiny, Mid, Large;
+  SelectorId Sel;
+  std::vector<ClassId> Classes;
+  std::vector<MethodId> Impls;
+  std::optional<Program> P;
+};
+
+} // namespace
+
+TEST(TrivialOracle, InlinesOnlyTinyCallees) {
+  OracleFixture FX;
+  InlinePlan Plan = TrivialOracle().plan(*FX.P, prof::DynamicCallGraph());
+  ASSERT_NE(Plan.decisionFor(0), nullptr);
+  EXPECT_EQ(Plan.decisionFor(0)->K, InlineDecision::Kind::Direct);
+  EXPECT_EQ(Plan.decisionFor(1), nullptr);
+  EXPECT_EQ(Plan.decisionFor(2), nullptr);
+  // Virtual site: polymorphic by CHA, so no trivial devirtualization.
+  EXPECT_EQ(Plan.decisionFor(3), nullptr);
+}
+
+TEST(TrivialOracle, DevirtualizesCHAMonomorphic) {
+  ProgramBuilder PB;
+  ClassId C = PB.addClass("K", InvalidClassId, 0);
+  SelectorId Sel = PB.addSelector("only", 1);
+  MethodId Impl = PB.declareVirtual(C, Sel, "", {}, /*HasResult=*/true);
+  {
+    MethodBuilder MB = PB.defineMethod(Impl);
+    MB.iconst(1).iret();
+    MB.finish();
+  }
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.newObject(C).invokeVirtual(Sel).print();
+    MB.finish();
+  }
+  Program P = PB.finish(Main);
+  InlinePlan Plan = TrivialOracle().plan(P, prof::DynamicCallGraph());
+  ASSERT_NE(Plan.decisionFor(0), nullptr);
+  EXPECT_EQ(Plan.decisionFor(0)->K, InlineDecision::Kind::Direct);
+  EXPECT_EQ(Plan.decisionFor(0)->Target, Impl);
+}
+
+TEST(OldJikes, IgnoresNonHotProfileData) {
+  OracleFixture FX;
+  // Mid callee has 0.9% of total weight: below the 1% cliff.
+  prof::DynamicCallGraph DCG = FX.makeDCG(991, 9, 0);
+  InlinePlan Plan = OldJikesOracle().plan(*FX.P, DCG);
+  EXPECT_EQ(Plan.decisionFor(1), nullptr)
+      << "0.9% edge must be completely ignored (the old conservatism)";
+  // Above the cliff it inlines.
+  prof::DynamicCallGraph Hot = FX.makeDCG(900, 100, 0);
+  Plan = OldJikesOracle().plan(*FX.P, Hot);
+  ASSERT_NE(Plan.decisionFor(1), nullptr);
+  EXPECT_EQ(Plan.decisionFor(1)->K, InlineDecision::Kind::Direct);
+}
+
+TEST(OldJikes, HotSizeThresholdStillBoundsCallee) {
+  OracleFixture FX;
+  prof::DynamicCallGraph DCG = FX.makeDCG(0, 0, 1000);
+  InlinePlan Plan = OldJikesOracle().plan(*FX.P, DCG);
+  // Large (~90B) exceeds HotSizeBytes (60): not inlined even at 100%.
+  EXPECT_EQ(Plan.decisionFor(2), nullptr);
+}
+
+TEST(NewJikes, ThresholdScalesWithEdgeWeight) {
+  OracleFixture FX;
+  // Mid (~38B) exceeds the base threshold (24B), so a cold edge is not
+  // inlined...
+  prof::DynamicCallGraph Cold = FX.makeDCG(1000, 1, 0);
+  InlinePlan Plan = NewJikesOracle().plan(*FX.P, Cold);
+  EXPECT_EQ(Plan.decisionFor(1), nullptr);
+  // ...but there is no 1% cliff: a 3% edge already buys ~54B.
+  prof::DynamicCallGraph Warm = FX.makeDCG(970, 30, 0);
+  Plan = NewJikesOracle().plan(*FX.P, Warm);
+  ASSERT_NE(Plan.decisionFor(1), nullptr)
+      << "the new inliner exploits non-hot profile data";
+  EXPECT_EQ(Plan.decisionFor(1)->K, InlineDecision::Kind::Direct);
+}
+
+TEST(NewJikes, MaxSizeBoundIsRespected) {
+  OracleFixture FX;
+  NewJikesOracle::Params Params;
+  Params.MaxSizeBytes = 80;
+  prof::DynamicCallGraph AllHot = FX.makeDCG(0, 0, 1000);
+  InlinePlan Plan = NewJikesOracle(Params).plan(*FX.P, AllHot);
+  EXPECT_EQ(Plan.decisionFor(2), nullptr)
+      << "bounded by maximum allowable size (§5.1)";
+}
+
+TEST(NewJikes, FortyPercentRuleSelectsGuardedTargets) {
+  OracleFixture FX;
+  // Split 50/45/5: the first two targets pass the 40% bar.
+  prof::DynamicCallGraph DCG = FX.makeDCG(0, 0, 0, {50, 45, 5});
+  InlinePlan Plan = NewJikesOracle().plan(*FX.P, DCG);
+  ASSERT_NE(Plan.decisionFor(3), nullptr);
+  const InlineDecision &D = *Plan.decisionFor(3);
+  EXPECT_EQ(D.K, InlineDecision::Kind::Guarded);
+  ASSERT_EQ(D.Guarded.size(), 2u);
+  EXPECT_EQ(D.Guarded[0].Target, FX.Impls[0]);
+  EXPECT_EQ(D.Guarded[1].Target, FX.Impls[1]);
+
+  // Megamorphic 34/33/33: nobody passes 40%, no guarded inlining.
+  prof::DynamicCallGraph Flat = FX.makeDCG(0, 0, 0, {34, 33, 33});
+  Plan = NewJikesOracle().plan(*FX.P, Flat);
+  EXPECT_EQ(Plan.decisionFor(3), nullptr);
+}
+
+TEST(NewJikes, GuardClassesComeFromHierarchy) {
+  OracleFixture FX;
+  prof::DynamicCallGraph DCG = FX.makeDCG(0, 0, 0, {100, 0, 0});
+  InlinePlan Plan = NewJikesOracle().plan(*FX.P, DCG);
+  ASSERT_NE(Plan.decisionFor(3), nullptr);
+  const InlineDecision &D = *Plan.decisionFor(3);
+  ASSERT_EQ(D.Guarded.size(), 1u);
+  EXPECT_EQ(D.Guarded[0].GuardClasses,
+            std::vector<ClassId>{FX.Classes[0]});
+}
+
+TEST(J9, StaticHeuristicsAreAggressive) {
+  OracleFixture FX;
+  J9Oracle::Params Params;
+  Params.UseDynamic = false;
+  InlinePlan Plan = J9Oracle(Params).plan(*FX.P, prof::DynamicCallGraph());
+  // Mid (~38B <= 48B) is inlined with no profile at all.
+  ASSERT_NE(Plan.decisionFor(1), nullptr);
+  EXPECT_EQ(Plan.decisionFor(1)->K, InlineDecision::Kind::Direct);
+  // Large is not.
+  EXPECT_EQ(Plan.decisionFor(2), nullptr);
+}
+
+TEST(J9, ColdSitesOverrideStaticDecision) {
+  OracleFixture FX;
+  // Site 1 is present but far below the cold cutoff.
+  prof::DynamicCallGraph DCG = FX.makeDCG(1'000'000, 1, 0);
+  InlinePlan Plan = J9Oracle().plan(*FX.P, DCG);
+  EXPECT_EQ(Plan.decisionFor(1), nullptr)
+      << "cold call sites are not inlined (§5.2)";
+  // Absent sites are cold too.
+  EXPECT_EQ(Plan.decisionFor(2), nullptr);
+  // Trivial callees are exempt from the suppression.
+  ASSERT_NE(Plan.decisionFor(0), nullptr);
+}
+
+TEST(J9, HotSitesGetBoostedThresholds) {
+  OracleFixture FX;
+  // Large (~90B) exceeds the static 48B, but a 30% site boosts past it.
+  prof::DynamicCallGraph DCG = FX.makeDCG(700, 0, 300);
+  InlinePlan Plan = J9Oracle().plan(*FX.P, DCG);
+  ASSERT_NE(Plan.decisionFor(2), nullptr);
+  EXPECT_EQ(Plan.decisionFor(2)->K, InlineDecision::Kind::Direct);
+}
+
+TEST(J9, DynamicNeedsNonEmptyProfile) {
+  OracleFixture FX;
+  // With an empty DCG the dynamic heuristics fall back to static
+  // behaviour rather than treating everything as cold.
+  InlinePlan Plan = J9Oracle().plan(*FX.P, prof::DynamicCallGraph());
+  ASSERT_NE(Plan.decisionFor(1), nullptr);
+}
+
+TEST(Oracles, ChaMonomorphicHelper) {
+  OracleFixture FX;
+  MethodId Target;
+  EXPECT_FALSE(chaMonomorphic(*FX.P, FX.Sel, Target))
+      << "three implementations";
+}

@@ -1,0 +1,133 @@
+//===- tests/ProfileIOTest.cpp - profile serialization tests -------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgramGen.h"
+
+#include "profiling/OverlapMetric.h"
+#include "profiling/ProfileIO.h"
+#include "support/Random.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace {
+
+DynamicCallGraph sampleGraph() {
+  DynamicCallGraph DCG;
+  DCG.addSample({3, 7}, 100);
+  DCG.addSample({1, 2}, 40);
+  DCG.addSample({9, 0}, 1);
+  return DCG;
+}
+
+} // namespace
+
+TEST(ProfileIO, RoundTripPreservesEverything) {
+  DynamicCallGraph DCG = sampleGraph();
+  ParseResult R = parseDCG(serializeDCG(DCG));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Graph->numEdges(), DCG.numEdges());
+  EXPECT_EQ(R.Graph->totalWeight(), DCG.totalWeight());
+  EXPECT_NEAR(overlap(*R.Graph, DCG), 100.0, 1e-9);
+}
+
+TEST(ProfileIO, SerializationIsDeterministic) {
+  // Two graphs with the same content but different insertion orders
+  // serialize identically.
+  DynamicCallGraph A, B;
+  A.addSample({1, 1}, 5);
+  A.addSample({2, 2}, 7);
+  B.addSample({2, 2}, 7);
+  B.addSample({1, 1}, 5);
+  EXPECT_EQ(serializeDCG(A), serializeDCG(B));
+}
+
+TEST(ProfileIO, EmptyGraphRoundTrips) {
+  DynamicCallGraph Empty;
+  ParseResult R = parseDCG(serializeDCG(Empty));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Graph->empty());
+}
+
+TEST(ProfileIO, RejectsBadMagic) {
+  EXPECT_FALSE(parseDCG("").ok());
+  EXPECT_FALSE(parseDCG("not-a-profile 1\n").ok());
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 999\n").ok());
+}
+
+TEST(ProfileIO, RejectsMalformedLines) {
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2\n").ok());
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 x\n").ok());
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 3 4\n").ok());
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 0\n").ok()) << "zero weight";
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 3\n1 2 4\n").ok())
+      << "duplicate edge";
+}
+
+TEST(ProfileIO, SkipsCommentsAndBlankLines) {
+  ParseResult R = parseDCG("cbsvm-dcg 1\n# hello\n\n1 2 3\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Graph->weight({1, 2}), 3u);
+}
+
+TEST(ProfileIO, ValidatesRealProfilesAgainstTheirProgram) {
+  bc::Program P = fuzz::generateRandomProgram(5);
+  vm::VMConfig Config;
+  Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+  Config.Profiler.ChargeExhaustiveCounters = false;
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  EXPECT_EQ(validateAgainst(VM.profile(), P), "");
+}
+
+TEST(ProfileIO, ValidateCatchesForeignEdges) {
+  bc::Program P = fuzz::generateRandomProgram(6);
+  DynamicCallGraph Bogus;
+  Bogus.addSample({static_cast<bc::SiteId>(P.numSites() + 5), 0});
+  EXPECT_NE(validateAgainst(Bogus, P), "");
+
+  DynamicCallGraph WrongCallee;
+  WrongCallee.addSample({0, static_cast<bc::MethodId>(P.numMethods() + 3)});
+  EXPECT_NE(validateAgainst(WrongCallee, P), "");
+}
+
+TEST(ProfileIO, ValidateCatchesImpossibleDispatch) {
+  // A static call site attributed to a different callee.
+  bc::Program P = fuzz::generateRandomProgram(7);
+  bc::SiteId StaticSite = bc::InvalidSiteId;
+  bc::MethodId RealCallee = bc::InvalidMethodId;
+  for (bc::SiteId S = 0; S != P.numSites(); ++S) {
+    const bc::SiteInfo &Info = P.site(S);
+    const bc::Instruction &I = P.method(Info.Caller).Code[Info.PC];
+    if (I.Op == bc::Opcode::InvokeStatic) {
+      StaticSite = S;
+      RealCallee = static_cast<bc::MethodId>(I.A);
+      break;
+    }
+  }
+  ASSERT_NE(StaticSite, bc::InvalidSiteId);
+  DynamicCallGraph Wrong;
+  bc::MethodId Other = RealCallee == 0 ? 1 : 0;
+  Wrong.addSample({StaticSite, Other});
+  EXPECT_NE(validateAgainst(Wrong, P), "");
+}
+
+TEST(ProfileIO, CollectedProfileSurvivesRoundTripAndValidates) {
+  bc::Program P = fuzz::generateRandomProgram(8);
+  vm::VMConfig Config;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  Config.Profiler.CBS.SamplesPerTick = 64;
+  Config.TimerPeriodCycles = 2'000;
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  ParseResult R = parseDCG(serializeDCG(VM.profile()));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(validateAgainst(*R.Graph, P), "");
+  EXPECT_NEAR(overlap(*R.Graph, VM.profile()), 100.0, 1e-9);
+}

@@ -1,0 +1,223 @@
+//===- tests/RandomProgramGen.h - random program fuzzer ----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator of random, verifier-clean programs used for differential
+/// testing: the optimizer and inliner must preserve the Print output of
+/// any generated program. Generated programs have:
+///   - a DAG of static methods (method i calls only j < i, so they
+///     terminate),
+///   - a small class family with a virtual selector (so guarded
+///     inlining has something to do),
+///   - bounded counted loops, branch diamonds, field traffic, and
+///     guarded division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_TESTS_RANDOMPROGRAMGEN_H
+#define CBSVM_TESTS_RANDOMPROGRAMGEN_H
+
+#include "bytecode/Builder.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace cbs::fuzz {
+
+inline bc::Program generateRandomProgram(uint64_t Seed) {
+  using namespace bc;
+  RandomEngine RNG(Seed * 0x9E3779B97F4A7C15ULL + 1);
+  ProgramBuilder PB;
+
+  // Class family with one selector, 1-3 implementations.
+  ClassId Base = PB.addClass("RBase", InvalidClassId, 2);
+  uint32_t NumImpls = 1 + static_cast<uint32_t>(RNG.nextBelow(3));
+  std::vector<ClassId> Classes;
+  SelectorId Sel = PB.addSelector("rsel", 2);
+  for (uint32_t I = 0; I != NumImpls; ++I) {
+    ClassId C = PB.addClass("RC" + std::to_string(I), Base, 1);
+    Classes.push_back(C);
+    MethodId Impl = PB.declareVirtual(C, Sel, "", {}, /*HasResult=*/true);
+    MethodBuilder MB = PB.defineMethod(Impl);
+    MB.iload(1).iconst(static_cast<int32_t>(RNG.nextBelow(90)) + 1);
+    switch (RNG.nextBelow(3)) {
+    case 0:
+      MB.iadd();
+      break;
+    case 1:
+      MB.imul();
+      break;
+    default:
+      MB.ixor();
+      break;
+    }
+    if (RNG.nextBool(0.5))
+      MB.work(static_cast<int32_t>(RNG.nextBelow(10)) + 1);
+    MB.iret();
+    MB.finish();
+  }
+
+  // Static method DAG.
+  uint32_t NumMethods = 3 + static_cast<uint32_t>(RNG.nextBelow(5));
+  std::vector<MethodId> Methods;
+  std::vector<uint32_t> ArgCounts;
+  for (uint32_t M = 0; M != NumMethods; ++M) {
+    uint32_t NumArgs = static_cast<uint32_t>(RNG.nextBelow(3));
+    ArgCounts.push_back(NumArgs);
+    Methods.push_back(PB.declareStatic(
+        "rm" + std::to_string(M),
+        std::vector<ValKind>(NumArgs, ValKind::Int), /*HasResult=*/true));
+  }
+
+  for (uint32_t M = 0; M != NumMethods; ++M) {
+    MethodBuilder MB = PB.defineMethod(Methods[M]);
+    uint32_t NumArgs = ArgCounts[M];
+    uint32_t Depth = 0; // Tracked operand stack depth.
+    uint32_t NextLocal = NumArgs + 1; // Reserve one scratch int local.
+    MB.iconst(0).istore(NumArgs);     // Scratch accumulator.
+
+    auto pushRandomValue = [&] {
+      if (NumArgs > 0 && RNG.nextBool(0.4))
+        MB.iload(RNG.nextBelow(NumArgs));
+      else
+        MB.iconst(static_cast<int32_t>(RNG.nextInRange(-50, 50)));
+      ++Depth;
+    };
+
+    uint32_t Steps = 4 + static_cast<uint32_t>(RNG.nextBelow(14));
+    for (uint32_t S = 0; S != Steps; ++S) {
+      switch (RNG.nextBelow(10)) {
+      case 0:
+      case 1:
+        pushRandomValue();
+        break;
+      case 2: // Binary arithmetic.
+        if (Depth < 2) {
+          pushRandomValue();
+          break;
+        }
+        switch (RNG.nextBelow(5)) {
+        case 0:
+          MB.iadd();
+          break;
+        case 1:
+          MB.isub();
+          break;
+        case 2:
+          MB.imul();
+          break;
+        case 3:
+          MB.iand();
+          break;
+        default:
+          MB.ixor();
+          break;
+        }
+        --Depth;
+        break;
+      case 3: // Guarded division by a nonzero constant.
+        if (Depth < 1) {
+          pushRandomValue();
+          break;
+        }
+        MB.iconst(static_cast<int32_t>(RNG.nextBelow(9)) + 1).idiv();
+        break;
+      case 4: // Accumulate into the scratch local.
+        if (Depth < 1) {
+          pushRandomValue();
+          break;
+        }
+        MB.iload(NumArgs).iadd().istore(NumArgs);
+        --Depth;
+        break;
+      case 5: { // Call a lower static method.
+        if (M == 0)
+          break;
+        uint32_t Callee = static_cast<uint32_t>(RNG.nextBelow(M));
+        for (uint32_t A = 0; A != ArgCounts[Callee]; ++A)
+          pushRandomValue();
+        MB.invokeStatic(Methods[Callee]);
+        Depth -= ArgCounts[Callee];
+        ++Depth;
+        break;
+      }
+      case 6: { // Virtual call on a random receiver class.
+        MB.newObject(Classes[RNG.nextBelow(Classes.size())]);
+        pushRandomValue();
+        MB.invokeVirtual(Sel);
+        // Receiver + arg consumed, result pushed: net 0 vs the push.
+        break;
+      }
+      case 7: { // Bounded counted loop accumulating into scratch.
+        uint32_t Counter = NextLocal++;
+        int32_t Count = static_cast<int32_t>(RNG.nextBelow(6)) + 1;
+        MB.iconst(Count).istore(Counter);
+        Label Head = MB.newLabel(), Exit = MB.newLabel();
+        MB.bind(Head).iload(Counter).ifLe(Exit);
+        MB.iload(NumArgs).iconst(3).iadd().istore(NumArgs);
+        if (RNG.nextBool(0.3))
+          MB.work(static_cast<int32_t>(RNG.nextBelow(20)) + 1);
+        MB.iinc(Counter, -1).jump(Head);
+        MB.bind(Exit);
+        break;
+      }
+      case 8: { // Branch diamond merging one value.
+        if (Depth < 1) {
+          pushRandomValue();
+          break;
+        }
+        Label Else = MB.newLabel(), Join = MB.newLabel();
+        MB.ifEq(Else);
+        --Depth;
+        MB.iconst(static_cast<int32_t>(RNG.nextBelow(100))).jump(Join);
+        MB.bind(Else).iconst(static_cast<int32_t>(RNG.nextBelow(100)) + 100);
+        MB.bind(Join);
+        ++Depth;
+        break;
+      }
+      default: // Field round-trip through a fresh object.
+        MB.newObject(Base).astore(NextLocal);
+        MB.aload(NextLocal);
+        MB.iconst(static_cast<int32_t>(RNG.nextBelow(1000)));
+        MB.putField(RNG.nextBelow(2));
+        ++NextLocal;
+        break;
+      }
+    }
+
+    // Fold everything on the stack into one return value.
+    if (Depth == 0) {
+      MB.iload(NumArgs);
+      ++Depth;
+    }
+    while (Depth > 1) {
+      MB.ixor();
+      --Depth;
+    }
+    MB.iload(NumArgs).iadd().iret();
+    MB.finish();
+  }
+
+  // main: call a handful of methods and print the results.
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    uint32_t Calls = 2 + static_cast<uint32_t>(RNG.nextBelow(4));
+    for (uint32_t C = 0; C != Calls; ++C) {
+      uint32_t Callee = static_cast<uint32_t>(RNG.nextBelow(NumMethods));
+      for (uint32_t A = 0; A != ArgCounts[Callee]; ++A)
+        MB.iconst(static_cast<int32_t>(RNG.nextInRange(-9, 9)));
+      MB.invokeStatic(Methods[Callee]).print();
+    }
+    MB.finish();
+  }
+  return PB.finish(Main);
+}
+
+} // namespace cbs::fuzz
+
+#endif // CBSVM_TESTS_RANDOMPROGRAMGEN_H

@@ -1,0 +1,108 @@
+//===- tests/RandomProgramTest.cpp - fuzzer-driven property tests --------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Whole-system property tests over randomly generated programs: the
+// generator must produce verifier-clean, terminating, deterministic
+// programs, and the profilers must obey their invariants on arbitrary
+// call structures (samples are a subset of executed calls; exhaustive
+// weights equal call counts; profiling never perturbs program output).
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgramGen.h"
+
+#include "bytecode/Verifier.h"
+#include "profiling/OverlapMetric.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, GeneratedProgramsVerify) {
+  Program P = fuzz::generateRandomProgram(GetParam());
+  VerifyResult V = verifyProgram(P);
+  EXPECT_TRUE(V.ok()) << V.str();
+}
+
+TEST_P(RandomProgramTest, GeneratedProgramsTerminateDeterministically) {
+  Program P = fuzz::generateRandomProgram(GetParam());
+  auto Run = [&] {
+    vm::VMConfig Config;
+    Config.MaxCycles = 200'000'000;
+    vm::VirtualMachine VM(P, Config);
+    EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
+    return std::pair(VM.output(), VM.stats().Cycles);
+  };
+  auto A = Run(), B = Run();
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.first.empty()) << "main always prints";
+}
+
+TEST_P(RandomProgramTest, SameSeedSameProgram) {
+  Program A = fuzz::generateRandomProgram(GetParam());
+  Program B = fuzz::generateRandomProgram(GetParam());
+  ASSERT_EQ(A.numMethods(), B.numMethods());
+  for (MethodId M = 0; M != A.numMethods(); ++M) {
+    ASSERT_EQ(A.method(M).Code.size(), B.method(M).Code.size());
+    for (size_t PC = 0; PC != A.method(M).Code.size(); ++PC) {
+      EXPECT_EQ(A.method(M).Code[PC].Op, B.method(M).Code[PC].Op);
+      EXPECT_EQ(A.method(M).Code[PC].A, B.method(M).Code[PC].A);
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, ProfilersDoNotPerturbOutput) {
+  Program P = fuzz::generateRandomProgram(GetParam());
+  std::vector<std::vector<int64_t>> Outputs;
+  for (vm::ProfilerKind Kind :
+       {vm::ProfilerKind::None, vm::ProfilerKind::Exhaustive,
+        vm::ProfilerKind::Timer, vm::ProfilerKind::CBS,
+        vm::ProfilerKind::CodePatching}) {
+    vm::VMConfig Config;
+    Config.MaxCycles = 200'000'000;
+    Config.Profiler.Kind = Kind;
+    Config.Profiler.CBS.Stride = 2;
+    Config.Profiler.CBS.SamplesPerTick = 4;
+    vm::VirtualMachine VM(P, Config);
+    EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
+    Outputs.push_back(VM.output());
+  }
+  for (size_t I = 1; I != Outputs.size(); ++I)
+    EXPECT_EQ(Outputs[I], Outputs[0]);
+}
+
+TEST_P(RandomProgramTest, SampledProfileIsSubsetOfExhaustive) {
+  Program P = fuzz::generateRandomProgram(GetParam());
+
+  vm::VMConfig ExConfig;
+  ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+  ExConfig.Profiler.ChargeExhaustiveCounters = false;
+  vm::VirtualMachine ExVM(P, ExConfig);
+  ExVM.run();
+  const prof::DynamicCallGraph &Perfect = ExVM.profile();
+  EXPECT_EQ(Perfect.totalWeight(), ExVM.stats().CallsExecuted);
+
+  vm::VMConfig Config;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  Config.Profiler.CBS.Stride = 1;
+  Config.Profiler.CBS.SamplesPerTick = 1000;
+  // Short programs may take no samples; force a tiny timer period so at
+  // least some windows open.
+  Config.TimerPeriodCycles = 500;
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  VM.profile().forEachEdge([&](prof::CallEdge E, uint64_t) {
+    EXPECT_GT(Perfect.weight(E), 0u)
+        << "sampled an edge that never executed";
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(1, 51));

@@ -1,0 +1,235 @@
+//===- tests/SamplerTest.cpp - sampler state machine tests ---------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The CounterBasedSampler is the paper's Figure 3 pseudocode verbatim;
+// these tests pin down its sampling positions event by event, across
+// the (Stride, SamplesPerTick) parameter space and all three initial-
+// skip policies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CounterBasedSampler.h"
+#include "profiling/TimerSampler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace {
+
+/// Feeds \p Events invocation events after one tick; returns the
+/// 0-based indices of the sampled events.
+std::vector<uint32_t> samplePositions(CBSParams Params, uint32_t Events,
+                                      uint64_t Seed = 1) {
+  RandomEngine RNG(Seed);
+  CounterBasedSampler CBS(Params);
+  CBS.onTimerTick(RNG);
+  std::vector<uint32_t> Positions;
+  for (uint32_t E = 0; E != Events && CBS.armed(); ++E)
+    if (CBS.onInvocationEvent())
+      Positions.push_back(E);
+  return Positions;
+}
+
+} // namespace
+
+TEST(CBS, DefaultsSampleFirstEventThenDisarm) {
+  CBSParams P;
+  P.Stride = 1;
+  P.SamplesPerTick = 1;
+  P.Skip = SkipPolicy::Fixed;
+  auto Pos = samplePositions(P, 10);
+  EXPECT_EQ(Pos, (std::vector<uint32_t>{0}));
+}
+
+TEST(CBS, FixedSkipSamplesEveryStrideth) {
+  CBSParams P;
+  P.Stride = 3;
+  P.SamplesPerTick = 4;
+  P.Skip = SkipPolicy::Fixed;
+  // First sample after STRIDE events (skip initialized to STRIDE), then
+  // every STRIDE.
+  auto Pos = samplePositions(P, 100);
+  EXPECT_EQ(Pos, (std::vector<uint32_t>{2, 5, 8, 11}));
+}
+
+TEST(CBS, DisarmsAfterQuota) {
+  CBSParams P;
+  P.Stride = 2;
+  P.SamplesPerTick = 3;
+  P.Skip = SkipPolicy::Fixed;
+  RandomEngine RNG(1);
+  CounterBasedSampler CBS(P);
+  CBS.onTimerTick(RNG);
+  uint32_t Sampled = 0;
+  for (uint32_t E = 0; E != 6; ++E) {
+    ASSERT_TRUE(CBS.armed());
+    Sampled += CBS.onInvocationEvent();
+  }
+  EXPECT_EQ(Sampled, 3u);
+  EXPECT_FALSE(CBS.armed());
+  EXPECT_EQ(CBS.samplesTaken(), 3u);
+  EXPECT_EQ(CBS.armedEvents(), 6u);
+}
+
+TEST(CBS, RearmsOnNextTick) {
+  CBSParams P;
+  P.Stride = 1;
+  P.SamplesPerTick = 2;
+  P.Skip = SkipPolicy::Fixed;
+  RandomEngine RNG(1);
+  CounterBasedSampler CBS(P);
+  CBS.onTimerTick(RNG);
+  EXPECT_TRUE(CBS.onInvocationEvent());
+  EXPECT_TRUE(CBS.onInvocationEvent());
+  EXPECT_FALSE(CBS.armed());
+  CBS.onTimerTick(RNG);
+  EXPECT_TRUE(CBS.armed());
+  EXPECT_TRUE(CBS.onInvocationEvent());
+  EXPECT_EQ(CBS.samplesTaken(), 3u);
+  EXPECT_EQ(CBS.overlappingWindows(), 0u);
+}
+
+TEST(CBS, OverlappingWindowCountedAndWindowContinues) {
+  CBSParams P;
+  P.Stride = 4;
+  P.SamplesPerTick = 8;
+  P.Skip = SkipPolicy::Fixed;
+  RandomEngine RNG(1);
+  CounterBasedSampler CBS(P);
+  CBS.onTimerTick(RNG);
+  CBS.onInvocationEvent(); // Window still open (needs 32 events).
+  CBS.onTimerTick(RNG);    // Tick arrives early.
+  EXPECT_EQ(CBS.overlappingWindows(), 1u);
+  EXPECT_TRUE(CBS.armed());
+  // The countdown was not reset: 3 more events to the first sample.
+  EXPECT_FALSE(CBS.onInvocationEvent());
+  EXPECT_FALSE(CBS.onInvocationEvent());
+  EXPECT_TRUE(CBS.onInvocationEvent());
+}
+
+TEST(CBS, RoundRobinCyclesInitialSkip) {
+  CBSParams P;
+  P.Stride = 3;
+  P.SamplesPerTick = 1;
+  P.Skip = SkipPolicy::RoundRobin;
+  RandomEngine RNG(1);
+  CounterBasedSampler CBS(P);
+  std::vector<uint32_t> FirstSamplePos;
+  for (int Tick = 0; Tick != 6; ++Tick) {
+    CBS.onTimerTick(RNG);
+    for (uint32_t E = 0; CBS.armed(); ++E)
+      if (CBS.onInvocationEvent()) {
+        FirstSamplePos.push_back(E);
+        break;
+      }
+  }
+  EXPECT_EQ(FirstSamplePos, (std::vector<uint32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(CBS, RandomSkipWithinStrideAndCoversAll) {
+  CBSParams P;
+  P.Stride = 5;
+  P.SamplesPerTick = 1;
+  P.Skip = SkipPolicy::Random;
+  RandomEngine RNG(99);
+  CounterBasedSampler CBS(P);
+  std::vector<int> Seen(5, 0);
+  for (int Tick = 0; Tick != 200; ++Tick) {
+    CBS.onTimerTick(RNG);
+    for (uint32_t E = 0; CBS.armed(); ++E) {
+      ASSERT_LT(E, 5u) << "first sample must come within Stride events";
+      if (CBS.onInvocationEvent()) {
+        ++Seen[E];
+        break;
+      }
+    }
+  }
+  for (int Count : Seen)
+    EXPECT_GT(Count, 10); // Uniform-ish coverage of all positions.
+}
+
+TEST(CBS, StrideOneRandomEqualsFixed) {
+  CBSParams P;
+  P.Stride = 1;
+  P.SamplesPerTick = 3;
+  P.Skip = SkipPolicy::Random;
+  auto Pos = samplePositions(P, 10);
+  EXPECT_EQ(Pos, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+// Property sweep: for every (stride, samples) combination the window
+// consumes exactly stride*samples events under the Fixed policy and
+// yields exactly `samples` samples, spaced exactly `stride` apart.
+struct CBSGridCase {
+  uint32_t Stride;
+  uint32_t Samples;
+};
+
+class CBSGridTest : public ::testing::TestWithParam<CBSGridCase> {};
+
+TEST_P(CBSGridTest, WindowGeometry) {
+  auto [Stride, Samples] = GetParam();
+  CBSParams P;
+  P.Stride = Stride;
+  P.SamplesPerTick = Samples;
+  P.Skip = SkipPolicy::Fixed;
+  RandomEngine RNG(1);
+  CounterBasedSampler CBS(P);
+  CBS.onTimerTick(RNG);
+  std::vector<uint32_t> Pos;
+  uint32_t Events = 0;
+  while (CBS.armed()) {
+    if (CBS.onInvocationEvent())
+      Pos.push_back(Events);
+    ++Events;
+  }
+  EXPECT_EQ(Events, Stride * Samples);
+  ASSERT_EQ(Pos.size(), Samples);
+  for (size_t I = 0; I != Pos.size(); ++I)
+    EXPECT_EQ(Pos[I], Stride - 1 + I * Stride);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CBSGridTest,
+    ::testing::Values(CBSGridCase{1, 1}, CBSGridCase{1, 8},
+                      CBSGridCase{2, 4}, CBSGridCase{3, 16},
+                      CBSGridCase{7, 32}, CBSGridCase{15, 2},
+                      CBSGridCase{31, 1}, CBSGridCase{63, 5},
+                      CBSGridCase{127, 3}));
+
+//===----------------------------------------------------------------------===//
+// TimerSampler
+//===----------------------------------------------------------------------===//
+
+TEST(Timer, OneSamplePerTick) {
+  TimerSampler T;
+  T.onTimerTick();
+  EXPECT_TRUE(T.armed());
+  EXPECT_TRUE(T.onInvocationEvent());
+  EXPECT_FALSE(T.armed());
+  EXPECT_EQ(T.samplesTaken(), 1u);
+}
+
+TEST(Timer, MissedTicksCounted) {
+  TimerSampler T;
+  T.onTimerTick();
+  T.onTimerTick(); // No yieldpoint ran in between.
+  EXPECT_EQ(T.missedTicks(), 1u);
+  EXPECT_TRUE(T.armed());
+  T.onInvocationEvent();
+  EXPECT_EQ(T.samplesTaken(), 1u);
+}
+
+TEST(Timer, BackedgeCancelLosesSample) {
+  TimerSampler T;
+  T.onTimerTick();
+  T.cancel(); // First yieldpoint after the tick was a backedge.
+  EXPECT_FALSE(T.armed());
+  EXPECT_EQ(T.samplesTaken(), 0u);
+  EXPECT_EQ(T.lostToBackedge(), 1u);
+}

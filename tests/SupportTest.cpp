@@ -1,0 +1,237 @@
+//===- tests/SupportTest.cpp - support library tests ---------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cbs;
+
+//===----------------------------------------------------------------------===//
+// RandomEngine
+//===----------------------------------------------------------------------===//
+
+TEST(RandomEngine, DeterministicForSeed) {
+  RandomEngine A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomEngine, DifferentSeedsDiffer) {
+  RandomEngine A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(RandomEngine, ReseedRestartsStream) {
+  RandomEngine A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RandomEngine, NextBelowRespectsBound) {
+  RandomEngine RNG(3);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(RNG.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RandomEngine, NextBelowOneAlwaysZero) {
+  RandomEngine RNG(5);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(RNG.nextBelow(1), 0u);
+}
+
+TEST(RandomEngine, NextBelowCoversAllResidues) {
+  RandomEngine RNG(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(RNG.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RandomEngine, NextInRangeInclusive) {
+  RandomEngine RNG(13);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = RNG.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomEngine, NextDoubleInUnitInterval) {
+  RandomEngine RNG(17);
+  for (int I = 0; I < 1000; ++I) {
+    double D = RNG.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomEngine, NextBoolExtremes) {
+  RandomEngine RNG(19);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(RNG.nextBool(0.0));
+    EXPECT_TRUE(RNG.nextBool(1.0));
+  }
+}
+
+TEST(RandomEngine, NextBoolRoughlyCalibrated) {
+  RandomEngine RNG(23);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += RNG.nextBool(0.25);
+  EXPECT_NEAR(Hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RandomEngine, ShufflePreservesElements) {
+  RandomEngine RNG(29);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Sorted = V;
+  RNG.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(RandomEngine, PickWeightedFollowsWeights) {
+  RandomEngine RNG(31);
+  std::vector<double> Weights = {1.0, 3.0};
+  int Count1 = 0;
+  for (int I = 0; I < 8000; ++I)
+    if (RNG.pickWeighted(Weights) == 1)
+      ++Count1;
+  EXPECT_NEAR(Count1 / 8000.0, 0.75, 0.03);
+}
+
+TEST(RandomEngine, PickWeightedSkipsZeroWeights) {
+  RandomEngine RNG(37);
+  std::vector<double> Weights = {0.0, 1.0, 0.0};
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(RNG.pickWeighted(Weights), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ZipfDistribution
+//===----------------------------------------------------------------------===//
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfDistribution Z(16, 1.0);
+  double Sum = 0;
+  for (size_t I = 0; I != Z.size(); ++I)
+    Sum += Z.probability(I);
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroIsHeaviest) {
+  ZipfDistribution Z(10, 1.2);
+  for (size_t I = 1; I != Z.size(); ++I)
+    EXPECT_GT(Z.probability(0), Z.probability(I));
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfDistribution Z(8, 0.0);
+  for (size_t I = 0; I != Z.size(); ++I)
+    EXPECT_NEAR(Z.probability(I), 1.0 / 8, 1e-9);
+}
+
+TEST(Zipf, SampleMatchesDistribution) {
+  ZipfDistribution Z(4, 1.0);
+  RandomEngine RNG(41);
+  std::vector<int> Counts(4, 0);
+  const int N = 40000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[Z.sample(RNG)];
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_NEAR(Counts[I] / double(N), Z.probability(I), 0.02);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0);
+  EXPECT_DOUBLE_EQ(mean({-2, 2}), 0);
+}
+
+TEST(Statistics, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7}), 7);
+  EXPECT_DOUBLE_EQ(median({}), 0);
+}
+
+TEST(Statistics, MedianIgnoresOutliers) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4, 1000}), 3);
+}
+
+TEST(Statistics, Geomean) {
+  EXPECT_NEAR(geomean({1, 100}), 10, 1e-9);
+  EXPECT_NEAR(geomean({2, 8}), 4, 1e-9);
+  EXPECT_DOUBLE_EQ(geomean({}), 0);
+}
+
+TEST(Statistics, StdDev) {
+  EXPECT_DOUBLE_EQ(stddev({5}), 0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.01);
+}
+
+TEST(Statistics, Percentile) {
+  std::vector<double> V = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 25);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter TP;
+  TP.setHeader({"name", "value"});
+  TP.addRow({"a", "1"});
+  TP.addRow({"long-name", "22"});
+  std::string Out = TP.render();
+  EXPECT_NE(Out.find("long-name"), std::string::npos);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  // Every line has the same length (aligned columns).
+  size_t FirstNL = Out.find('\n');
+  ASSERT_NE(FirstNL, std::string::npos);
+}
+
+TEST(TablePrinter, FormatDouble) {
+  EXPECT_EQ(TablePrinter::formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::formatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(TablePrinter::formatPercent(38.0, 0), "38");
+}
+
+TEST(TablePrinter, SeparatorAndPadding) {
+  TablePrinter TP;
+  TP.setHeader({"a"});
+  TP.addRow({"1", "extra"});
+  TP.addSeparator();
+  TP.addRow({});
+  std::string Out = TP.render();
+  EXPECT_NE(Out.find("extra"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}

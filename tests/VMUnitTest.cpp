@@ -1,0 +1,224 @@
+//===- tests/VMUnitTest.cpp - VM component unit tests --------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit coverage for the smaller VM components: the heap, the code
+// cache, the cost model, and the sample buffer / organizer coupling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "profiling/SampleBuffer.h"
+#include "vm/CodeCache.h"
+#include "vm/CostModel.h"
+#include "vm/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+namespace {
+
+Program tinyProgram() {
+  ProgramBuilder PB;
+  MethodId Leaf = PB.declareStatic("leaf", {}, /*HasResult=*/true);
+  {
+    MethodBuilder MB = PB.defineMethod(Leaf);
+    MB.work(5).iconst(1).iret();
+    MB.finish();
+  }
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.invokeStatic(Leaf).print();
+    MB.finish();
+  }
+  return PB.finish(Main);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Heap
+//===----------------------------------------------------------------------===//
+
+TEST(Heap, AllocatesZeroedObjects) {
+  ProgramBuilder PB;
+  ClassId C = PB.addClass("C", InvalidClassId, 3);
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.finish();
+  }
+  Program P = PB.finish(Main);
+
+  vm::Heap H;
+  vm::Ref R = H.allocate(P.hierarchy().classOf(C));
+  EXPECT_TRUE(H.validRef(R));
+  EXPECT_EQ(H.classOf(R), C);
+  EXPECT_EQ(H.numFields(R), 3u);
+  for (uint32_t F = 0; F != 3; ++F)
+    EXPECT_EQ(H.getField(R, F), 0);
+}
+
+TEST(Heap, FieldsAreIndependentAcrossObjects) {
+  ProgramBuilder PB;
+  ClassId C = PB.addClass("C", InvalidClassId, 2);
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.finish();
+  }
+  Program P = PB.finish(Main);
+
+  vm::Heap H;
+  vm::Ref A = H.allocate(P.hierarchy().classOf(C));
+  vm::Ref B = H.allocate(P.hierarchy().classOf(C));
+  H.putField(A, 0, 11);
+  H.putField(B, 0, 22);
+  EXPECT_EQ(H.getField(A, 0), 11);
+  EXPECT_EQ(H.getField(B, 0), 22);
+}
+
+TEST(Heap, NullAndOutOfRangeRefsAreInvalid) {
+  vm::Heap H;
+  EXPECT_FALSE(H.validRef(0));
+  EXPECT_FALSE(H.validRef(1));
+  EXPECT_FALSE(H.validRef(100));
+}
+
+TEST(Heap, TracksBytesAndReset) {
+  ProgramBuilder PB;
+  ClassId C = PB.addClass("C", InvalidClassId, 4);
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.finish();
+  }
+  Program P = PB.finish(Main);
+
+  vm::Heap H;
+  H.allocate(P.hierarchy().classOf(C));
+  H.allocate(P.hierarchy().classOf(C));
+  // 16 header + 8 * 4 fields = 48 bytes each.
+  EXPECT_EQ(H.bytesAllocated(), 96u);
+  EXPECT_EQ(H.numObjects(), 2u);
+  H.reset();
+  EXPECT_EQ(H.numObjects(), 0u);
+  EXPECT_FALSE(H.validRef(1));
+}
+
+//===----------------------------------------------------------------------===//
+// CodeCache
+//===----------------------------------------------------------------------===//
+
+TEST(CodeCache, BaselineCompileCopiesOriginal) {
+  Program P = tinyProgram();
+  vm::CostModel Costs;
+  vm::CompiledMethod CM =
+      vm::CodeCache::compileBaseline(P, 0, /*Level=*/0, Costs);
+  EXPECT_EQ(CM.Code.size(), P.method(0).Code.size());
+  EXPECT_EQ(CM.ScaleQ8, 256u);
+  EXPECT_GT(CM.CompileCostCycles, 0u);
+}
+
+TEST(CodeCache, LevelsScaleExecutionAndCost) {
+  Program P = tinyProgram();
+  vm::CostModel Costs;
+  vm::CompiledMethod L0 = vm::CodeCache::compileBaseline(P, 0, 0, Costs);
+  vm::CompiledMethod L1 = vm::CodeCache::compileBaseline(P, 0, 1, Costs);
+  vm::CompiledMethod L2 = vm::CodeCache::compileBaseline(P, 0, 2, Costs);
+  EXPECT_GT(L0.ScaleQ8, L1.ScaleQ8);
+  EXPECT_GT(L1.ScaleQ8, L2.ScaleQ8);
+  EXPECT_LT(L0.CompileCostCycles, L1.CompileCostCycles);
+  EXPECT_LT(L1.CompileCostCycles, L2.CompileCostCycles);
+}
+
+TEST(CodeCache, InstallRetiresButKeepsOldVersionsAlive) {
+  Program P = tinyProgram();
+  vm::CostModel Costs;
+  vm::CodeCache Cache(P);
+  EXPECT_EQ(Cache.active(0), nullptr);
+  EXPECT_EQ(Cache.activeLevel(0), -1);
+
+  const vm::CompiledMethod *V0 =
+      Cache.install(vm::CodeCache::compileBaseline(P, 0, 0, Costs));
+  EXPECT_EQ(Cache.activeLevel(0), 0);
+  const vm::CompiledMethod *V2 =
+      Cache.install(vm::CodeCache::compileBaseline(P, 0, 2, Costs));
+  EXPECT_EQ(Cache.activeLevel(0), 2);
+  EXPECT_NE(V0, V2);
+  // The retired version's storage must still be readable (frames pin
+  // old versions; no on-stack replacement).
+  EXPECT_EQ(V0->Level, 0);
+  EXPECT_FALSE(V0->Code.empty());
+  EXPECT_EQ(Cache.numCompiles(), 2u);
+  EXPECT_EQ(Cache.numRecompiles(), 1u);
+}
+
+TEST(CodeCache, ScaledCostUsesQ8Fixedpoint) {
+  vm::CompiledMethod CM;
+  CM.ScaleQ8 = 128; // 0.5x
+  EXPECT_EQ(CM.scaledCost(100), 50u);
+  CM.ScaleQ8 = 256; // 1.0x
+  EXPECT_EQ(CM.scaledCost(100), 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// CostModel
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, WorkChargesItsOperand) {
+  vm::CostModel Costs;
+  EXPECT_EQ(Costs.cost(Instruction(Opcode::Work, 123)), 123u);
+}
+
+TEST(CostModel, VirtualCallsCostMoreThanStatic) {
+  vm::CostModel Costs;
+  EXPECT_GT(Costs.cost(Instruction(Opcode::InvokeVirtual, 0, 1)),
+            Costs.cost(Instruction(Opcode::InvokeStatic, 0, 0)));
+}
+
+TEST(CostModel, EveryOpcodeHasPositiveCost) {
+  vm::CostModel Costs;
+  for (int Op = 0; Op <= static_cast<int>(Opcode::Spawn); ++Op) {
+    Instruction I(static_cast<Opcode>(Op), /*A=*/1, /*B=*/0);
+    EXPECT_GT(Costs.cost(I), 0u) << opcodeName(static_cast<Opcode>(Op));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SampleBuffer (listener/organizer decoupling)
+//===----------------------------------------------------------------------===//
+
+TEST(SampleBuffer, SignalsFullAtCapacity) {
+  prof::SampleBuffer Buffer(3);
+  EXPECT_FALSE(Buffer.append({1, 1}));
+  EXPECT_FALSE(Buffer.append({2, 2}));
+  EXPECT_TRUE(Buffer.append({3, 3}));
+  EXPECT_EQ(Buffer.pendingCount(), 3u);
+}
+
+TEST(SampleBuffer, DrainFoldsIntoRepository) {
+  prof::SampleBuffer Buffer(8);
+  Buffer.append({1, 1});
+  Buffer.append({1, 1});
+  Buffer.append({2, 2});
+  prof::DynamicCallGraph Repo;
+  Buffer.drainInto(Repo);
+  EXPECT_EQ(Repo.weight({1, 1}), 2u);
+  EXPECT_EQ(Repo.weight({2, 2}), 1u);
+  EXPECT_EQ(Buffer.pendingCount(), 0u);
+  EXPECT_EQ(Buffer.drainCount(), 1u);
+}
+
+TEST(SampleBuffer, DrainIsIdempotentWhenEmpty) {
+  prof::SampleBuffer Buffer(4);
+  prof::DynamicCallGraph Repo;
+  Buffer.drainInto(Repo);
+  Buffer.drainInto(Repo);
+  EXPECT_TRUE(Repo.empty());
+}

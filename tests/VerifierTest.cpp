@@ -1,0 +1,388 @@
+//===- tests/VerifierTest.cpp - bytecode verifier tests ------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The verifier is what lets the interpreter run untyped slots at full
+// speed, so these tests cover both directions extensively: valid shapes
+// must pass, and every class of malformed code must be rejected.
+// Synthetic (builder-unreachable) code is checked via verifyMethodBody.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace cbs;
+using namespace cbs::bc;
+
+namespace {
+
+/// A program with one static method "f" (int arg, int result) plus a
+/// virtual selector for call tests; f's body is replaced per test via
+/// verifyMethodBody.
+struct Fixture {
+  Fixture() {
+    Helper = PB.declareStatic("helper", {ValKind::Int}, /*HasResult=*/true);
+    {
+      MethodBuilder MB = PB.defineMethod(Helper);
+      MB.iload(0).iret();
+      MB.finish();
+    }
+    VoidHelper = PB.declareStatic("voidHelper");
+    {
+      MethodBuilder MB = PB.defineMethod(VoidHelper);
+      MB.finish();
+    }
+    Klass = PB.addClass("K", InvalidClassId, 2);
+    Sel = PB.addSelector("m", 2);
+    VMeth = PB.declareVirtual(Klass, Sel, "", {}, /*HasResult=*/true);
+    {
+      MethodBuilder MB = PB.defineMethod(VMeth);
+      MB.iload(1).iret();
+      MB.finish();
+    }
+    F = PB.declareStatic("f", {ValKind::Int}, /*HasResult=*/true);
+    {
+      MethodBuilder MB = PB.defineMethod(F);
+      MB.iload(0).iret();
+      MB.finish();
+    }
+    Main = PB.declareStatic("main");
+    {
+      MethodBuilder MB = PB.defineMethod(Main);
+      MB.finish();
+    }
+    P = PB.finish(Main);
+  }
+
+  VerifyResult check(std::vector<Instruction> Code, uint32_t NumLocals = 4) {
+    return verifyMethodBody(*P, F, Code, NumLocals);
+  }
+
+  ProgramBuilder PB;
+  MethodId Helper, VoidHelper, VMeth, F, Main;
+  ClassId Klass;
+  SelectorId Sel;
+  std::optional<Program> P;
+};
+
+using I = Instruction;
+using O = Opcode;
+
+} // namespace
+
+TEST(Verifier, AcceptsMinimalBody) {
+  Fixture FX;
+  EXPECT_TRUE(FX.check({{O::IConst, 1}, {O::IReturn}}).ok());
+}
+
+TEST(Verifier, RejectsEmptyBody) {
+  Fixture FX;
+  EXPECT_FALSE(FX.check({}).ok());
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  Fixture FX;
+  VerifyResult R = FX.check({{O::IConst, 1}});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("falls off the end"), std::string::npos);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  Fixture FX;
+  EXPECT_FALSE(FX.check({{O::IAdd}, {O::IReturn}}).ok());
+  EXPECT_FALSE(FX.check({{O::IConst, 1}, {O::IAdd}, {O::IReturn}}).ok());
+  EXPECT_FALSE(FX.check({{O::IStore, 1}, {O::IConst, 0}, {O::IReturn}}).ok());
+  EXPECT_FALSE(FX.check({{O::Print}, {O::IConst, 0}, {O::IReturn}}).ok());
+}
+
+TEST(Verifier, RejectsKindMismatch) {
+  Fixture FX;
+  // Storing an int as a ref.
+  EXPECT_FALSE(FX.check({{O::IConst, 1}, {O::AStore, 1}, {O::IConst, 0},
+                         {O::IReturn}})
+                   .ok());
+  // getfield on an int.
+  EXPECT_FALSE(
+      FX.check({{O::IConst, 1}, {O::GetField, 0}, {O::IReturn}}).ok());
+  // Arithmetic on a ref.
+  EXPECT_FALSE(FX.check({{O::AConstNull}, {O::IConst, 1}, {O::IAdd},
+                         {O::IReturn}})
+                   .ok());
+  // Returning a ref from an int method.
+  EXPECT_FALSE(FX.check({{O::AConstNull}, {O::AReturn}}).ok());
+}
+
+TEST(Verifier, AcceptsRefDiscipline) {
+  Fixture FX;
+  EXPECT_TRUE(FX.check({{O::New, 0},
+                        {O::AStore, 1},
+                        {O::ALoad, 1},
+                        {O::GetField, 1},
+                        {O::IReturn}})
+                  .ok());
+}
+
+TEST(Verifier, RejectsUninitializedLocal) {
+  Fixture FX;
+  VerifyResult R = FX.check({{O::ILoad, 2}, {O::IReturn}});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("uninitialized"), std::string::npos);
+}
+
+TEST(Verifier, ArgumentsAreInitialized) {
+  Fixture FX;
+  EXPECT_TRUE(FX.check({{O::ILoad, 0}, {O::IReturn}}).ok());
+}
+
+TEST(Verifier, RejectsLocalOutOfRange) {
+  Fixture FX;
+  EXPECT_FALSE(FX.check({{O::ILoad, 9}, {O::IReturn}}, 4).ok());
+  EXPECT_FALSE(
+      FX.check({{O::IConst, 1}, {O::IStore, 4}, {O::IConst, 0}, {O::IReturn}},
+               4)
+          .ok());
+  EXPECT_FALSE(FX.check({{O::IInc, 4, 1}, {O::IConst, 0}, {O::IReturn}}, 4)
+                   .ok());
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange) {
+  Fixture FX;
+  EXPECT_FALSE(FX.check({{O::Goto, 99}, {O::IConst, 0}, {O::IReturn}}).ok());
+  EXPECT_FALSE(FX.check({{O::Goto, -1}, {O::IConst, 0}, {O::IReturn}}).ok());
+}
+
+TEST(Verifier, RejectsStackDepthMismatchAtMerge) {
+  Fixture FX;
+  // Path A pushes one value, path B pushes two, merging at pc 5.
+  EXPECT_FALSE(FX.check({{O::ILoad, 0},    // 0: cond
+                         {O::IfEq, 4},     // 1: if 0 goto 4
+                         {O::IConst, 1},   // 2
+                         {O::Goto, 6},     // 3 -> merge with depth 1
+                         {O::IConst, 1},   // 4
+                         {O::IConst, 2},   // 5 (falls to 6 with depth 2)
+                         {O::IReturn}})    // 6
+                   .ok());
+}
+
+TEST(Verifier, AcceptsBalancedMerge) {
+  Fixture FX;
+  EXPECT_TRUE(FX.check({{O::ILoad, 0},
+                        {O::IfEq, 4},
+                        {O::IConst, 1},
+                        {O::Goto, 5},
+                        {O::IConst, 2},
+                        {O::IReturn}})
+                  .ok());
+}
+
+TEST(Verifier, ConflictingLocalKindsOnlyErrorWhenUsed) {
+  Fixture FX;
+  // Local 1 holds an int on one path, a ref on the other; never read:
+  // allowed.
+  EXPECT_TRUE(FX.check({{O::ILoad, 0},
+                        {O::IfEq, 5},
+                        {O::IConst, 1},
+                        {O::IStore, 1},
+                        {O::Goto, 7},
+                        {O::AConstNull},
+                        {O::AStore, 1},
+                        {O::IConst, 0},
+                        {O::IReturn}})
+                  .ok());
+  // Same, but read afterwards: rejected.
+  EXPECT_FALSE(FX.check({{O::ILoad, 0},
+                         {O::IfEq, 5},
+                         {O::IConst, 1},
+                         {O::IStore, 1},
+                         {O::Goto, 7},
+                         {O::AConstNull},
+                         {O::AStore, 1},
+                         {O::ILoad, 1},
+                         {O::IReturn}})
+                   .ok());
+}
+
+TEST(Verifier, CallArityAndKinds) {
+  Fixture FX;
+  SiteId S0 = 0; // Any site id is fine for verifyMethodBody.
+  // Correct call.
+  EXPECT_TRUE(FX.check({{O::IConst, 5},
+                        I(O::InvokeStatic, static_cast<int32_t>(FX.Helper), 1,
+                          S0),
+                        {O::IReturn}})
+                  .ok());
+  // Wrong declared arity.
+  EXPECT_FALSE(FX.check({{O::IConst, 5},
+                         I(O::InvokeStatic, static_cast<int32_t>(FX.Helper),
+                           2, S0),
+                         {O::IReturn}})
+                   .ok());
+  // Wrong operand kind.
+  EXPECT_FALSE(FX.check({{O::AConstNull},
+                         I(O::InvokeStatic, static_cast<int32_t>(FX.Helper),
+                           1, S0),
+                         {O::IReturn}})
+                   .ok());
+  // Unknown method id.
+  EXPECT_FALSE(FX.check({{O::IConst, 5},
+                         I(O::InvokeStatic, 12345, 1, S0),
+                         {O::IReturn}})
+                   .ok());
+  // Void helper leaves nothing on the stack.
+  EXPECT_FALSE(FX.check({I(O::InvokeStatic,
+                           static_cast<int32_t>(FX.VoidHelper), 0, S0),
+                         {O::IReturn}})
+                   .ok());
+}
+
+TEST(Verifier, VirtualCallChecks) {
+  Fixture FX;
+  // Correct: receiver + int arg.
+  EXPECT_TRUE(FX.check({{O::New, static_cast<int32_t>(FX.Klass)},
+                        {O::IConst, 3},
+                        I(O::InvokeVirtual, static_cast<int32_t>(FX.Sel), 2,
+                          0),
+                        {O::IReturn}})
+                  .ok());
+  // Receiver must be a ref.
+  EXPECT_FALSE(FX.check({{O::IConst, 1},
+                         {O::IConst, 3},
+                         I(O::InvokeVirtual, static_cast<int32_t>(FX.Sel), 2,
+                           0),
+                         {O::IReturn}})
+                   .ok());
+  // Unknown selector.
+  EXPECT_FALSE(FX.check({{O::New, static_cast<int32_t>(FX.Klass)},
+                         {O::IConst, 3},
+                         I(O::InvokeVirtual, 777, 2, 0),
+                         {O::IReturn}})
+                   .ok());
+}
+
+TEST(Verifier, ReturnKindChecks) {
+  Fixture FX;
+  // Void return from an int method.
+  EXPECT_FALSE(FX.check({{O::Return}}).ok());
+}
+
+TEST(Verifier, WorkMustBePositive) {
+  Fixture FX;
+  EXPECT_FALSE(FX.check({{O::Work, 0}, {O::IConst, 0}, {O::IReturn}}).ok());
+  EXPECT_TRUE(FX.check({{O::Work, 1}, {O::IConst, 0}, {O::IReturn}}).ok());
+}
+
+TEST(Verifier, UnknownClassRejected) {
+  Fixture FX;
+  EXPECT_FALSE(FX.check({{O::New, 55}, {O::AStore, 1}, {O::IConst, 0},
+                         {O::IReturn}})
+                   .ok());
+  EXPECT_FALSE(FX.check({{O::AConstNull}, {O::ClassEq, 55}, {O::IReturn}})
+                   .ok());
+}
+
+TEST(Verifier, SpawnTargetChecks) {
+  Fixture FX;
+  // Spawn of a void argumentless method: fine.
+  EXPECT_TRUE(FX.check({I(O::Spawn, static_cast<int32_t>(FX.VoidHelper)),
+                        {O::IConst, 0},
+                        {O::IReturn}})
+                  .ok());
+  // Spawn of a method with arguments / result: rejected.
+  EXPECT_FALSE(FX.check({I(O::Spawn, static_cast<int32_t>(FX.Helper)),
+                         {O::IConst, 0},
+                         {O::IReturn}})
+                   .ok());
+}
+
+TEST(Verifier, LoopWithConsistentState) {
+  Fixture FX;
+  EXPECT_TRUE(FX.check({{O::IConst, 10},
+                        {O::IStore, 1},
+                        {O::ILoad, 1},   // 2: loop head
+                        {O::IfLe, 6},
+                        {O::IInc, 1, -1},
+                        {O::Goto, 2},
+                        {O::ILoad, 1},
+                        {O::IReturn}})
+                  .ok());
+}
+
+TEST(Verifier, LoopAccumulatingStackRejected) {
+  Fixture FX;
+  // Each iteration pushes without popping: depth mismatch at the head.
+  EXPECT_FALSE(FX.check({{O::IConst, 0},  // 0 (head target: depth varies)
+                         {O::ILoad, 0},
+                         {O::IfEq, 0},
+                         {O::IReturn}})
+                   .ok());
+}
+
+TEST(Verifier, WholeProgramChecksEntrySignature) {
+  ProgramBuilder PB;
+  MethodId Entry = PB.declareStatic("entry", {ValKind::Int});
+  {
+    MethodBuilder MB = PB.defineMethod(Entry);
+    MB.finish();
+  }
+  Program P = PB.finish(Entry);
+  VerifyResult R = verifyProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("entry method"), std::string::npos);
+}
+
+TEST(Verifier, WholeProgramChecksSelectorSignatureConsistency) {
+  ProgramBuilder PB;
+  ClassId A = PB.addClass("A", InvalidClassId, 0);
+  ClassId B = PB.addClass("B", InvalidClassId, 0);
+  SelectorId Sel = PB.addSelector("m", 1);
+  MethodId MA = PB.declareVirtual(A, Sel, "", {}, /*HasResult=*/true);
+  MethodId MB_ = PB.declareVirtual(B, Sel, "", {}, /*HasResult=*/false);
+  {
+    MethodBuilder MB = PB.defineMethod(MA);
+    MB.iconst(1).iret();
+    MB.finish();
+  }
+  {
+    MethodBuilder MB = PB.defineMethod(MB_);
+    MB.finish();
+  }
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.finish();
+  }
+  Program P = PB.finish(Main);
+  VerifyResult R = verifyProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("mismatched signatures"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsConditionalFamilies) {
+  Fixture FX;
+  for (O Cond : {O::IfEq, O::IfNe, O::IfLt, O::IfLe, O::IfGt, O::IfGe}) {
+    EXPECT_TRUE(FX.check({{O::ILoad, 0},
+                          {Cond, 3},
+                          {O::Nop},
+                          {O::IConst, 0},
+                          {O::IReturn}})
+                    .ok())
+        << opcodeName(Cond);
+  }
+  for (O Cmp : {O::IfICmpEq, O::IfICmpNe, O::IfICmpLt, O::IfICmpGe}) {
+    EXPECT_TRUE(FX.check({{O::ILoad, 0},
+                          {O::IConst, 2},
+                          {Cmp, 4},
+                          {O::Nop},
+                          {O::IConst, 0},
+                          {O::IReturn}})
+                    .ok())
+        << opcodeName(Cmp);
+  }
+}

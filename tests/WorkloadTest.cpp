@@ -1,0 +1,273 @@
+//===- tests/WorkloadTest.cpp - benchmark suite tests --------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Verifier.h"
+#include "experiments/Experiments.h"
+#include "profiling/OverlapMetric.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cbs;
+using namespace cbs::wl;
+
+class WorkloadSuiteTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadSuiteTest, BuildsAndVerifies) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  for (InputSize Size : {InputSize::Small, InputSize::Large}) {
+    bc::Program P = W->Build(Size, 1);
+    bc::VerifyResult V = bc::verifyProgram(P);
+    EXPECT_TRUE(V.ok()) << W->Name << "-" << inputSizeName(Size) << "\n"
+                        << V.str();
+  }
+}
+
+TEST_P(WorkloadSuiteTest, RunsToCompletionDeterministically) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  bc::Program P = W->Build(InputSize::Small, 2);
+  auto Run = [&] {
+    vm::VMConfig Config;
+    Config.MaxCycles = 2'000'000'000;
+    vm::VirtualMachine VM(P, Config);
+    EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
+    return std::pair(VM.output(), VM.stats().Cycles);
+  };
+  auto A = Run(), B = Run();
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.first.empty()) << "workloads print a checksum";
+}
+
+TEST_P(WorkloadSuiteTest, SeedsVaryTheProgram) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  bc::Program A = W->Build(InputSize::Small, 1);
+  bc::Program B = W->Build(InputSize::Small, 99);
+  // The structure is fixed; seed-dependent work constants differ.
+  EXPECT_EQ(A.numMethods(), B.numMethods());
+  bool AnyDifference = false;
+  for (bc::MethodId M = 0; M != A.numMethods(); ++M) {
+    if (A.method(M).Code.size() != B.method(M).Code.size()) {
+      AnyDifference = true;
+      break;
+    }
+    for (size_t PC = 0; PC != A.method(M).Code.size(); ++PC)
+      if (A.method(M).Code[PC].A != B.method(M).Code[PC].A) {
+        AnyDifference = true;
+        break;
+      }
+  }
+  EXPECT_TRUE(AnyDifference);
+}
+
+TEST_P(WorkloadSuiteTest, LargeRunsLongerThanSmall) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  auto Cycles = [&](InputSize Size) {
+    bc::Program P = W->Build(Size, 1);
+    vm::VMConfig Config;
+    Config.MaxCycles = 2'000'000'000;
+    vm::VirtualMachine VM(P, Config);
+    VM.run();
+    return VM.stats().Cycles;
+  };
+  uint64_t Small = Cycles(InputSize::Small);
+  uint64_t Large = Cycles(InputSize::Large);
+  EXPECT_GT(Large, 3 * Small);
+  // Small inputs land in the calibrated range (~4-25M cycles).
+  EXPECT_GT(Small, 2'000'000u);
+  EXPECT_LT(Small, 40'000'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadSuiteTest,
+    ::testing::Values("compress", "jess", "db", "javac", "mpegaudio",
+                      "mtrt", "jack", "ipsixql", "xerces", "daikon",
+                      "kawa", "jbb", "soot"));
+
+TEST(Workloads, SuiteHasThirteenBenchmarks) {
+  EXPECT_EQ(suite().size(), 13u);
+  EXPECT_EQ(findWorkload("nosuch"), nullptr);
+}
+
+TEST(Workloads, MultithreadedFlagsMatchSpawnUsage) {
+  for (const WorkloadInfo &W : suite()) {
+    bc::Program P = W.Build(InputSize::Small, 1);
+    bool HasSpawn = false;
+    for (bc::MethodId M = 0; M != P.numMethods(); ++M)
+      for (const bc::Instruction &I : P.method(M).Code)
+        HasSpawn |= I.Op == bc::Opcode::Spawn;
+    EXPECT_EQ(HasSpawn, W.Multithreaded) << W.Name;
+  }
+}
+
+TEST(Workloads, MethodsExecutedTrackTable1) {
+  // Paper Table 1 methods-executed counts; ours should be within ~25%.
+  struct Expect {
+    const char *Name;
+    size_t Paper;
+  };
+  const Expect Expected[] = {
+      {"compress", 243}, {"jess", 662},   {"db", 258},    {"javac", 939},
+      {"mpegaudio", 416}, {"mtrt", 368},  {"jack", 477},  {"ipsixql", 459},
+      {"xerces", 719},   {"daikon", 1671}, {"kawa", 1794}, {"jbb", 597},
+      {"soot", 1215},
+  };
+  for (const Expect &E : Expected) {
+    const WorkloadInfo *W = findWorkload(E.Name);
+    bc::Program P = W->Build(InputSize::Small, 1);
+    exp::PerfectProfile PP =
+        exp::runPerfect(P, vm::Personality::JikesRVM, 1);
+    double Ratio =
+        static_cast<double>(PP.MethodsExecuted) / static_cast<double>(E.Paper);
+    EXPECT_GT(Ratio, 0.70) << E.Name << " executed " << PP.MethodsExecuted;
+    EXPECT_LT(Ratio, 1.30) << E.Name << " executed " << PP.MethodsExecuted;
+  }
+}
+
+TEST(Workloads, Figure1ProgramShape) {
+  bc::Program P = buildFigure1(500, 1000);
+  ASSERT_TRUE(bc::verifyProgram(P).ok());
+  exp::PerfectProfile PP = exp::runPerfect(P, vm::Personality::JikesRVM, 1);
+  // Exactly two hot edges, equal weight.
+  ASSERT_EQ(PP.DCG.numEdges(), 2u);
+  auto Edges = PP.DCG.sortedEdges();
+  EXPECT_EQ(Edges[0].second, Edges[1].second);
+}
+
+TEST(Workloads, Figure1TimerBiasReproduces) {
+  // The paper's Figure 1 claim: timer sampling sees call_1 hot and
+  // call_2 cold, while both execute equally often.
+  bc::Program P = buildFigure1(800, 200'000);
+  vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+  Config.Profiler.Kind = vm::ProfilerKind::Timer;
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  const prof::DynamicCallGraph &DCG = VM.profile();
+  ASSERT_GE(DCG.numEdges(), 1u);
+  auto Dist0 = DCG.siteDistribution(0); // call_1's site
+  auto Dist1 = DCG.siteDistribution(1); // call_2's site
+  uint64_t W1 = Dist0.empty() ? 0 : Dist0.front().second;
+  uint64_t W2 = Dist1.empty() ? 0 : Dist1.front().second;
+  EXPECT_GT(W1, 10 * std::max<uint64_t>(W2, 1))
+      << "timer sampling must massively over-weight call_1";
+}
+
+TEST(Workloads, Figure1CBSSplitsEvenly) {
+  bc::Program P = buildFigure1(800, 200'000);
+  vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+  Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
+  vm::VirtualMachine VM(P, Config);
+  VM.run();
+  const prof::DynamicCallGraph &DCG = VM.profile();
+  auto Dist0 = DCG.siteDistribution(0);
+  auto Dist1 = DCG.siteDistribution(1);
+  ASSERT_FALSE(Dist0.empty());
+  ASSERT_FALSE(Dist1.empty());
+  double Ratio = static_cast<double>(Dist0.front().second) /
+                 static_cast<double>(Dist1.front().second);
+  EXPECT_NEAR(Ratio, 1.0, 0.15) << "CBS must see both calls equally";
+}
+
+TEST(Workloads, AdversaryDefeatsFixedSkipOnly) {
+  // §4: with a fixed initial skip aligned to the burst, CBS keeps
+  // sampling the same calls; randomizing the skip fixes it.
+  uint32_t Stride = 4, Samples = 2;
+  bc::Program P = buildAdversary(Stride * Samples + 1, 120'000);
+  auto DecoyShare = [&](prof::SkipPolicy Skip) {
+    vm::VMConfig Config =
+        exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+    Config.Profiler.Kind = vm::ProfilerKind::CBS;
+    Config.Profiler.CBS.Stride = Stride;
+    Config.Profiler.CBS.SamplesPerTick = Samples;
+    Config.Profiler.CBS.Skip = Skip;
+    vm::VirtualMachine VM(P, Config);
+    VM.run();
+    const prof::DynamicCallGraph &DCG = VM.profile();
+    uint64_t Decoy = 0, Total = DCG.totalWeight();
+    DCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
+      if (P.qualifiedName(E.Callee) == "decoy")
+        Decoy += W;
+    });
+    return Total == 0 ? 0.0
+                      : static_cast<double>(Decoy) /
+                            static_cast<double>(Total);
+  };
+  double FixedShare = DecoyShare(prof::SkipPolicy::Fixed);
+  double RandomShare = DecoyShare(prof::SkipPolicy::Random);
+  double TrueShare = 1.0 / (Stride * Samples + 1);
+  // Randomized skips track the true share far better than fixed.
+  EXPECT_LT(std::abs(RandomShare - TrueShare),
+            std::abs(FixedShare - TrueShare))
+      << "fixed=" << FixedShare << " random=" << RandomShare
+      << " true=" << TrueShare;
+}
+
+TEST(Workloads, PhasedProgramShiftsHotSet) {
+  bc::Program P = buildPhased(InputSize::Small, 1);
+  ASSERT_TRUE(bc::verifyProgram(P).ok());
+  // Run exhaustively to the midpoint and to the end: the two halves'
+  // profiles must be nearly disjoint in their hot edges.
+  vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+  Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+  Config.Profiler.ChargeExhaustiveCounters = false;
+  vm::VirtualMachine Whole(P, Config);
+  Whole.run();
+  uint64_t Mid = Whole.stats().Cycles / 2;
+
+  vm::VirtualMachine VM(P, Config);
+  VM.run(Mid);
+  prof::DynamicCallGraph FirstHalf = VM.profile();
+  prof::DynamicCallGraph WholeDCG = Whole.profile();
+  prof::DynamicCallGraph SecondHalf;
+  WholeDCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
+    uint64_t Before = FirstHalf.weight(E);
+    if (W > Before)
+      SecondHalf.addSample(E, W - Before);
+  });
+  EXPECT_LT(prof::overlap(FirstHalf, SecondHalf), 40.0)
+      << "phases must have mostly disjoint profiles";
+}
+
+TEST(Workloads, DecayTracksPhaseShift) {
+  bc::Program P = buildPhased(InputSize::Small, 1);
+  // Phase-B ground truth.
+  vm::VMConfig ExConfig =
+      exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+  ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+  ExConfig.Profiler.ChargeExhaustiveCounters = false;
+  vm::VirtualMachine Whole(P, ExConfig);
+  Whole.run();
+  uint64_t Mid = Whole.stats().Cycles / 2;
+  vm::VirtualMachine Half(P, ExConfig);
+  Half.run(Mid);
+  prof::DynamicCallGraph PhaseB;
+  {
+    prof::DynamicCallGraph FirstHalf = Half.profile();
+    Whole.profile().forEachEdge([&](prof::CallEdge E, uint64_t W) {
+      uint64_t Before = FirstHalf.weight(E);
+      if (W > Before)
+        PhaseB.addSample(E, W - Before);
+    });
+  }
+
+  auto FinalAccuracy = [&](bool Decay) {
+    vm::VMConfig Config =
+        exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+    Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
+    if (Decay) {
+      Config.Profiler.DecayEveryTicks = 8;
+      Config.Profiler.DecayFactor = 0.7;
+    }
+    vm::VirtualMachine VM(P, Config);
+    VM.run();
+    return prof::accuracy(VM.profile(), PhaseB);
+  };
+  double Plain = FinalAccuracy(false);
+  double Decayed = FinalAccuracy(true);
+  EXPECT_GT(Decayed, Plain + 10.0)
+      << "decay must make the repository track the current phase";
+}

@@ -1,0 +1,249 @@
+//===- tools/cbsvm.cpp - command-line driver ------------------------------------===//
+//
+// Part of the CBSVM project.
+//
+// A command-line front end over the library:
+//
+//   cbsvm list
+//     List the built-in workloads.
+//
+//   cbsvm run <workload> [options]
+//     Execute a workload under a chosen profiler and report the run
+//     statistics and the hottest call edges.
+//       --size small|large       input size            (default small)
+//       --profiler none|timer|cbs|patching|exhaustive  (default cbs)
+//       --stride N --samples N   CBS window geometry   (default 3, 16)
+//       --personality jikes|j9                         (default jikes)
+//       --seed N                                       (default 1)
+//       --edges N                top edges to print    (default 15)
+//       --save FILE              write the profile (cbsvm-dcg format)
+//       --accuracy               also run exhaustively and score the
+//                                sampled profile with the overlap metric
+//
+//   cbsvm disasm <workload> [--size small|large] [--method NAME]
+//     Disassemble a workload (or one method of it).
+//
+//   cbsvm compare <fileA> <fileB>
+//     Overlap percentage between two saved profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Printer.h"
+#include "experiments/Experiments.h"
+#include "profiling/OverlapMetric.h"
+#include "profiling/ProfileIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cbs;
+
+namespace {
+
+[[noreturn]] void usageError(const std::string &Message) {
+  std::fprintf(stderr, "cbsvm: %s\n", Message.c_str());
+  std::fprintf(stderr, "usage: cbsvm list | run <workload> [options] | "
+                       "disasm <workload> | compare <a> <b>\n");
+  std::exit(2);
+}
+
+struct ArgParser {
+  ArgParser(int Argc, char **Argv) : Args(Argv + 1, Argv + Argc) {}
+
+  std::string positional(const char *What) {
+    for (size_t I = 0; I != Args.size(); ++I)
+      if (!Args[I].empty() && Args[I][0] != '-' && !Consumed[I]) {
+        Consumed[I] = true;
+        return Args[I];
+      }
+    usageError(std::string("missing ") + What);
+  }
+
+  std::string option(const char *Name, const char *Default) {
+    for (size_t I = 0; I + 1 < Args.size(); ++I)
+      if (Args[I] == Name) {
+        Consumed[I] = Consumed[I + 1] = true;
+        return Args[I + 1];
+      }
+    return Default;
+  }
+
+  bool flag(const char *Name) {
+    for (size_t I = 0; I != Args.size(); ++I)
+      if (Args[I] == Name) {
+        Consumed[I] = true;
+        return true;
+      }
+    return false;
+  }
+
+  std::vector<std::string> Args;
+  std::vector<bool> Consumed = std::vector<bool>(Args.size(), false);
+};
+
+wl::InputSize parseSize(const std::string &S) {
+  if (S == "small")
+    return wl::InputSize::Small;
+  if (S == "large")
+    return wl::InputSize::Large;
+  if (S == "steady")
+    return wl::InputSize::Steady;
+  usageError("unknown size '" + S + "'");
+}
+
+vm::Personality parsePersonality(const std::string &S) {
+  if (S == "jikes")
+    return vm::Personality::JikesRVM;
+  if (S == "j9")
+    return vm::Personality::J9;
+  usageError("unknown personality '" + S + "'");
+}
+
+int cmdList() {
+  std::printf("built-in workloads (Table 1 suite):\n");
+  for (const wl::WorkloadInfo &W : wl::suite())
+    std::printf("  %-10s %s\n", W.Name,
+                W.Multithreaded ? "(multithreaded)" : "");
+  std::printf("see also: figure1 / adversary / phased programs via the "
+              "library API\n");
+  return 0;
+}
+
+int cmdRun(ArgParser &Args) {
+  std::string Name = Args.positional("workload name");
+  const wl::WorkloadInfo *W = wl::findWorkload(Name);
+  if (!W)
+    usageError("unknown workload '" + Name + "' (try 'cbsvm list')");
+
+  wl::InputSize Size = parseSize(Args.option("--size", "small"));
+  vm::Personality Pers =
+      parsePersonality(Args.option("--personality", "jikes"));
+  uint64_t Seed = std::stoull(Args.option("--seed", "1"));
+  std::string ProfilerName = Args.option("--profiler", "cbs");
+  size_t Edges = std::stoull(Args.option("--edges", "15"));
+
+  bc::Program P = W->Build(Size, Seed);
+  vm::VMConfig Config = exp::jitOnlyConfig(P, Pers, Seed);
+  if (ProfilerName == "none")
+    Config.Profiler.Kind = vm::ProfilerKind::None;
+  else if (ProfilerName == "timer")
+    Config.Profiler.Kind = vm::ProfilerKind::Timer;
+  else if (ProfilerName == "cbs")
+    Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  else if (ProfilerName == "patching")
+    Config.Profiler.Kind = vm::ProfilerKind::CodePatching;
+  else if (ProfilerName == "exhaustive") {
+    Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+    Config.Profiler.ChargeExhaustiveCounters = false;
+  } else
+    usageError("unknown profiler '" + ProfilerName + "'");
+  Config.Profiler.CBS.Stride =
+      static_cast<uint32_t>(std::stoul(Args.option("--stride", "3")));
+  Config.Profiler.CBS.SamplesPerTick = static_cast<uint32_t>(
+      std::stoul(Args.option("--samples", "16")));
+
+  vm::VirtualMachine VM(P, Config);
+  vm::RunState State = VM.run();
+  std::printf("%s-%s: %s after %.2fM cycles (%.2fM instructions, %llu "
+              "calls, %llu ticks, %llu samples)\n",
+              W->Name, wl::inputSizeName(Size), vm::runStateName(State),
+              VM.stats().Cycles / 1e6, VM.stats().Instructions / 1e6,
+              static_cast<unsigned long long>(VM.stats().CallsExecuted),
+              static_cast<unsigned long long>(VM.stats().TimerTicks),
+              static_cast<unsigned long long>(VM.stats().SamplesTaken));
+  if (State == vm::RunState::Trapped) {
+    std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
+    return 1;
+  }
+
+  const prof::DynamicCallGraph &DCG = VM.profile();
+  std::printf("\n%s", DCG.str(P, Edges).c_str());
+
+  if (Args.flag("--accuracy")) {
+    exp::PerfectProfile Perfect = exp::runPerfect(P, Pers, Seed);
+    double Overhead =
+        100.0 *
+        (static_cast<double>(VM.stats().Cycles) -
+         static_cast<double>(Perfect.BaseCycles)) /
+        static_cast<double>(Perfect.BaseCycles);
+    std::printf("\naccuracy (overlap vs exhaustive): %.1f%%   overhead: "
+                "%.2f%%\n",
+                prof::accuracy(DCG, Perfect.DCG), Overhead);
+  }
+
+  std::string SavePath = Args.option("--save", "");
+  if (!SavePath.empty()) {
+    std::ofstream Out(SavePath);
+    if (!Out)
+      usageError("cannot write '" + SavePath + "'");
+    Out << prof::serializeDCG(DCG);
+    std::printf("\nprofile written to %s\n", SavePath.c_str());
+  }
+  return 0;
+}
+
+int cmdDisasm(ArgParser &Args) {
+  std::string Name = Args.positional("workload name");
+  const wl::WorkloadInfo *W = wl::findWorkload(Name);
+  if (!W)
+    usageError("unknown workload '" + Name + "'");
+  bc::Program P =
+      W->Build(parseSize(Args.option("--size", "small")), /*Seed=*/1);
+  std::string MethodName = Args.option("--method", "");
+  if (MethodName.empty()) {
+    std::fputs(bc::printProgram(P).c_str(), stdout);
+    return 0;
+  }
+  for (bc::MethodId M = 0; M != P.numMethods(); ++M)
+    if (P.qualifiedName(M) == MethodName) {
+      std::fputs(bc::printMethod(P, M).c_str(), stdout);
+      return 0;
+    }
+  usageError("no method named '" + MethodName + "'");
+}
+
+int cmdCompare(ArgParser &Args) {
+  auto Load = [](const std::string &Path) {
+    std::ifstream In(Path);
+    if (!In)
+      usageError("cannot read '" + Path + "'");
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    prof::ParseResult R = prof::parseDCG(SS.str());
+    if (!R.ok())
+      usageError(Path + ": " + R.Error);
+    return *R.Graph;
+  };
+  std::string PathA = Args.positional("first profile");
+  std::string PathB = Args.positional("second profile");
+  prof::DynamicCallGraph A = Load(PathA);
+  prof::DynamicCallGraph B = Load(PathB);
+  std::printf("%-30s %zu edges, weight %llu\n", PathA.c_str(), A.numEdges(),
+              static_cast<unsigned long long>(A.totalWeight()));
+  std::printf("%-30s %zu edges, weight %llu\n", PathB.c_str(), B.numEdges(),
+              static_cast<unsigned long long>(B.totalWeight()));
+  std::printf("overlap: %.2f%%\n", prof::overlap(A, B));
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usageError("missing command");
+  std::string Command = Argv[1];
+  ArgParser Args(Argc - 1, Argv + 1);
+  if (Command == "list")
+    return cmdList();
+  if (Command == "run")
+    return cmdRun(Args);
+  if (Command == "disasm")
+    return cmdDisasm(Args);
+  if (Command == "compare")
+    return cmdCompare(Args);
+  usageError("unknown command '" + Command + "'");
+}
