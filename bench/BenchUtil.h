@@ -18,10 +18,14 @@
 
 #include "experiments/Experiments.h"
 #include "profiling/OverlapMetric.h"
+#include "support/Json.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cbs::bench {
 
@@ -45,6 +49,132 @@ inline std::string cell(const exp::AccuracyCell &C) {
 inline const char *personalityName(vm::Personality Pers) {
   return Pers == vm::Personality::JikesRVM ? "Jikes RVM" : "J9";
 }
+
+/// Machine-readable mirror of a bench binary's printed tables. The
+/// binary feeds it the same cells it hands to TablePrinter; when the
+/// command line carries `--json FILE`, the destructor writes
+///
+///   {"artifact": ..., "tables": [{"name", "columns", "rows"}...],
+///    "meta": {...}}
+///
+/// to FILE ("-" for stdout). Cells that lex fully as numbers are
+/// emitted as JSON numbers, everything else as strings. Without
+/// `--json` every call is a no-op, so the mirroring costs nothing in
+/// the normal text mode.
+class BenchReport {
+public:
+  BenchReport(int Argc, char **Argv, std::string Artifact)
+      : Artifact(std::move(Artifact)) {
+    for (int I = 1; I + 1 < Argc; ++I)
+      if (std::string(Argv[I]) == "--json")
+        Path = Argv[I + 1];
+  }
+
+  ~BenchReport() {
+    if (Path.empty())
+      return;
+    std::string Doc = render();
+    if (Path == "-") {
+      std::fputs(Doc.c_str(), stdout);
+      std::fputc('\n', stdout);
+      return;
+    }
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+      return;
+    }
+    Out << Doc;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  void beginTable(std::string Name, std::vector<std::string> Columns) {
+    if (!enabled())
+      return;
+    Tables.push_back({std::move(Name), std::move(Columns), {}});
+  }
+
+  void addRow(std::vector<std::string> Cells) {
+    if (!enabled())
+      return;
+    Tables.back().Rows.push_back(std::move(Cells));
+  }
+
+  void note(std::string Key, std::string Value) {
+    if (!enabled())
+      return;
+    Meta.emplace_back(std::move(Key), std::move(Value));
+  }
+
+private:
+  /// Numbers pass through as raw JSON; anything else is escaped. The
+  /// character whitelist keeps strtod's extras (inf/nan/hex) out of the
+  /// raw path — those are not valid JSON numbers.
+  static void emitCell(json::JsonWriter &W, const std::string &Cell) {
+    bool Numeric = !Cell.empty();
+    for (char C : Cell)
+      if (!(C >= '0' && C <= '9') && C != '+' && C != '-' && C != '.' &&
+          C != 'e' && C != 'E')
+        Numeric = false;
+    if (Numeric)
+      Numeric = json::parseJson(Cell).ok();
+    if (Numeric)
+      W.raw(Cell);
+    else
+      W.value(Cell);
+  }
+
+  std::string render() const {
+    json::JsonWriter W;
+    W.beginObject();
+    W.key("artifact");
+    W.value(Artifact);
+    W.key("tables");
+    W.beginArray();
+    for (const Table &T : Tables) {
+      W.beginObject();
+      W.key("name");
+      W.value(T.Name);
+      W.key("columns");
+      W.beginArray();
+      for (const std::string &C : T.Columns)
+        W.value(C);
+      W.endArray();
+      W.key("rows");
+      W.beginArray();
+      for (const std::vector<std::string> &Row : T.Rows) {
+        W.beginArray();
+        for (const std::string &Cell : Row)
+          emitCell(W, Cell);
+        W.endArray();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    W.key("meta");
+    W.beginObject();
+    for (const auto &[Key, Value] : Meta) {
+      W.key(Key);
+      emitCell(W, Value);
+    }
+    W.endObject();
+    W.endObject();
+    return W.take();
+  }
+
+  struct Table {
+    std::string Name;
+    std::vector<std::string> Columns;
+    std::vector<std::vector<std::string>> Rows;
+  };
+
+  std::string Artifact;
+  std::string Path;
+  std::vector<Table> Tables;
+  std::vector<std::pair<std::string, std::string>> Meta;
+};
 
 } // namespace cbs::bench
 

@@ -18,7 +18,8 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report(Argc, Argv, "Convergence");
   printHeader("Convergence", "accuracy vs elapsed virtual time (jess-large)");
 
   const wl::WorkloadInfo &W = *wl::findWorkload("jess");
@@ -47,6 +48,7 @@ int main() {
   for (uint64_t C : Checkpoints)
     Header.push_back(std::to_string(C / 1'000'000) + "Mcyc");
   TP.setHeader(Header);
+  Report.beginTable("accuracy_pct", Header);
 
   for (const Curve &C : Curves) {
     vm::VMConfig Config =
@@ -62,6 +64,7 @@ int main() {
           prof::accuracy(VM.profile(), Perfect.DCG), 0));
     }
     TP.addRow(Row);
+    Report.addRow(Row);
   }
   std::fputs(TP.render().c_str(), stdout);
   std::printf("\nCBS converges within the first few Mcycles — while the "

@@ -52,13 +52,16 @@ Split measure(const bc::Program &P, const exp::PerfectProfile &Perfect,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report(Argc, Argv, "Figure 1");
   printHeader("Figure 1",
               "Timer-based sampling misattributes call frequency");
 
   TablePrinter TP;
-  TP.setHeader({"Non-call work", "timer call_1 %", "timer acc",
-                "cbs call_1 %", "cbs acc"});
+  std::vector<std::string> Header{"Non-call work", "timer call_1 %",
+                                  "timer acc", "cbs call_1 %", "cbs acc"};
+  TP.setHeader(Header);
+  Report.beginTable("timer_bias", Header);
 
   vm::ProfilerOptions Timer;
   Timer.Kind = vm::ProfilerKind::Timer;
@@ -70,11 +73,13 @@ int main() {
         exp::runPerfect(P, vm::Personality::JikesRVM, 1);
     Split T = measure(P, Perfect, Timer);
     Split C = measure(P, Perfect, CBS);
-    TP.addRow({std::to_string(Work),
-               TablePrinter::formatDouble(T.Call1Share, 1),
-               TablePrinter::formatDouble(T.Accuracy, 0),
-               TablePrinter::formatDouble(C.Call1Share, 1),
-               TablePrinter::formatDouble(C.Accuracy, 0)});
+    std::vector<std::string> Row{std::to_string(Work),
+                                 TablePrinter::formatDouble(T.Call1Share, 1),
+                                 TablePrinter::formatDouble(T.Accuracy, 0),
+                                 TablePrinter::formatDouble(C.Call1Share, 1),
+                                 TablePrinter::formatDouble(C.Accuracy, 0)};
+    TP.addRow(Row);
+    Report.addRow(Row);
   }
   std::fputs(TP.render().c_str(), stdout);
   std::printf("\nGround truth: call_1 and call_2 each execute 50%% of the "

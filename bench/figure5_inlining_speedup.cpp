@@ -28,7 +28,8 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report(Argc, Argv, "Figure 5");
   printHeader("Figure 5",
               "Speedup of profile-directed inlining: timer-only vs cbs");
 
@@ -43,8 +44,10 @@ int main() {
     std::printf("--- Jikes RVM personality: new inliner, speedup over "
                 "no-profile inlining ---\n");
     TablePrinter TP;
-    TP.setHeader({"Benchmark", "timer-only %", "cbs %", "recompiles",
-                  "compile Mcyc (cbs)"});
+    std::vector<std::string> Header{"Benchmark", "timer-only %", "cbs %",
+                                    "recompiles", "compile Mcyc (cbs)"};
+    TP.setHeader(Header);
+    Report.beginTable("jikes_speedup", Header);
     std::vector<double> TimerAll, CBSAll;
     for (const wl::WorkloadInfo &W : wl::suite()) {
       bc::Program P = W.Build(wl::InputSize::Steady, 1);
@@ -67,14 +70,20 @@ int main() {
       double CBSPct = exp::speedupPercent(CBSR, BaseR);
       TimerAll.push_back(TimerPct);
       CBSAll.push_back(CBSPct);
-      TP.addRow({W.Name, TablePrinter::formatDouble(TimerPct, 1),
-                 TablePrinter::formatDouble(CBSPct, 1),
-                 std::to_string(CBSR.Recompilations),
-                 TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)});
+      std::vector<std::string> Row{
+          W.Name, TablePrinter::formatDouble(TimerPct, 1),
+          TablePrinter::formatDouble(CBSPct, 1),
+          std::to_string(CBSR.Recompilations),
+          TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)};
+      TP.addRow(Row);
+      Report.addRow(Row);
     }
     TP.addSeparator();
-    TP.addRow({"Average", TablePrinter::formatDouble(mean(TimerAll), 1),
-               TablePrinter::formatDouble(mean(CBSAll), 1), "", ""});
+    std::vector<std::string> AvgRow{
+        "Average", TablePrinter::formatDouble(mean(TimerAll), 1),
+        TablePrinter::formatDouble(mean(CBSAll), 1), "", ""};
+    TP.addRow(AvgRow);
+    Report.addRow(AvgRow);
     std::fputs(TP.render().c_str(), stdout);
     std::printf("\n");
   }
@@ -84,8 +93,11 @@ int main() {
     std::printf("--- J9 personality: dynamic heuristics, speedup over "
                 "static-only heuristics ---\n");
     TablePrinter TP;
-    TP.setHeader({"Benchmark", "timer-only %", "cbs %",
-                  "compile Mcyc static", "compile Mcyc cbs"});
+    std::vector<std::string> Header{"Benchmark", "timer-only %", "cbs %",
+                                    "compile Mcyc static",
+                                    "compile Mcyc cbs"};
+    TP.setHeader(Header);
+    Report.beginTable("j9_speedup", Header);
     std::vector<double> TimerAll, CBSAll, CompileDelta;
     for (const wl::WorkloadInfo &W : wl::suite()) {
       bc::Program P = W.Build(wl::InputSize::Steady, 1);
@@ -115,14 +127,20 @@ int main() {
                                (static_cast<double>(CBSR.CompileCycles) /
                                     BaseR.CompileCycles -
                                 1.0));
-      TP.addRow({W.Name, TablePrinter::formatDouble(TimerPct, 1),
-                 TablePrinter::formatDouble(CBSPct, 1),
-                 TablePrinter::formatDouble(BaseR.CompileCycles / 1e6, 1),
-                 TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)});
+      std::vector<std::string> Row{
+          W.Name, TablePrinter::formatDouble(TimerPct, 1),
+          TablePrinter::formatDouble(CBSPct, 1),
+          TablePrinter::formatDouble(BaseR.CompileCycles / 1e6, 1),
+          TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)};
+      TP.addRow(Row);
+      Report.addRow(Row);
     }
     TP.addSeparator();
-    TP.addRow({"Average", TablePrinter::formatDouble(mean(TimerAll), 1),
-               TablePrinter::formatDouble(mean(CBSAll), 1), "", ""});
+    std::vector<std::string> AvgRow{
+        "Average", TablePrinter::formatDouble(mean(TimerAll), 1),
+        TablePrinter::formatDouble(mean(CBSAll), 1), "", ""};
+    TP.addRow(AvgRow);
+    Report.addRow(AvgRow);
     std::fputs(TP.render().c_str(), stdout);
     std::printf("\nAOS compile-cycle change (hot methods only), "
                 "dynamic(cbs) vs static-only: %.1f%%\n",
@@ -140,7 +158,10 @@ int main() {
     std::printf("\n--- whole-program compile cost: dynamic(cbs profile) "
                 "vs static-only plans ---\n");
     TablePrinter TP;
-    TP.setHeader({"Benchmark", "static Mcyc", "dynamic Mcyc", "change %"});
+    std::vector<std::string> Header{"Benchmark", "static Mcyc",
+                                    "dynamic Mcyc", "change %"};
+    TP.setHeader(Header);
+    Report.beginTable("whole_program_compile_cost", Header);
     vm::CostModel Costs;
     std::vector<double> Deltas;
     for (const wl::WorkloadInfo &W : wl::suite()) {
@@ -167,13 +188,19 @@ int main() {
       double Delta =
           100.0 * (static_cast<double>(DynCost) / StaticCost - 1.0);
       Deltas.push_back(Delta);
-      TP.addRow({W.Name, TablePrinter::formatDouble(StaticCost / 1e6, 1),
-                 TablePrinter::formatDouble(DynCost / 1e6, 1),
-                 TablePrinter::formatDouble(Delta, 1)});
+      std::vector<std::string> Row{
+          W.Name, TablePrinter::formatDouble(StaticCost / 1e6, 1),
+          TablePrinter::formatDouble(DynCost / 1e6, 1),
+          TablePrinter::formatDouble(Delta, 1)};
+      TP.addRow(Row);
+      Report.addRow(Row);
     }
     TP.addSeparator();
-    TP.addRow({"Average", "", "",
-               TablePrinter::formatDouble(mean(Deltas), 1)});
+    std::vector<std::string> AvgRow{"Average", "", "",
+                                    TablePrinter::formatDouble(mean(Deltas),
+                                                               1)};
+    TP.addRow(AvgRow);
+    Report.addRow(AvgRow);
     std::fputs(TP.render().c_str(), stdout);
     std::printf("\npaper landmark: dynamic heuristics reduced compilation "
                 "time ~9%% on average.\n");

@@ -14,6 +14,8 @@
 #include "profiling/CounterBasedSampler.h"
 #include "profiling/DynamicCallGraph.h"
 #include "profiling/OverlapMetric.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/TraceSink.h"
 #include "vm/StackWalker.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/Workloads.h"
@@ -104,5 +106,57 @@ static void BM_InterpreterWithCBS(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * 1'000'000);
 }
 BENCHMARK(BM_InterpreterWithCBS);
+
+// BM_InterpreterWithCBS vs this: the cost of an installed trace sink.
+// Compare BM_InterpreterWithCBS against BM_InterpreterThroughput for
+// the no-sink case — the telemetry rework must keep them identical
+// (the only added work is one null check on already-slow paths).
+static void BM_InterpreterWithRingSink(benchmark::State &State) {
+  bc::Program P = wl::buildJess(wl::InputSize::Steady, 1);
+  tel::RingBufferSink Sink;
+  vm::VMConfig Config;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  Config.Profiler.CBS.Stride = 3;
+  Config.Profiler.CBS.SamplesPerTick = 16;
+  Config.Trace = &Sink;
+  vm::VirtualMachine VM(P, Config);
+  VM.run(1'000'000);
+  for (auto _ : State) {
+    uint64_t Before = VM.stats().Instructions;
+    VM.run(1'000'000);
+    benchmark::DoNotOptimize(VM.stats().Instructions - Before);
+  }
+  State.SetItemsProcessed(State.iterations() * 1'000'000);
+}
+BENCHMARK(BM_InterpreterWithRingSink);
+
+static void BM_CounterIncrement(benchmark::State &State) {
+  tel::MetricRegistry Registry;
+  tel::Counter &C = Registry.counter("bench.counter");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(++C);
+}
+BENCHMARK(BM_CounterIncrement);
+
+static void BM_HistogramRecord(benchmark::State &State) {
+  tel::MetricRegistry Registry;
+  tel::Histogram &H = Registry.histogram("bench.histogram");
+  uint64_t V = 0;
+  for (auto _ : State) {
+    H.record(V);
+    V = (V + 97) & 8191;
+  }
+  benchmark::DoNotOptimize(H.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_RingSinkEvent(benchmark::State &State) {
+  tel::RingBufferSink Sink;
+  uint64_t Cycle = 0;
+  for (auto _ : State)
+    Sink.event(tel::TraceEvent::sample(++Cycle, 0, 5, 7));
+  benchmark::DoNotOptimize(Sink.totalEvents());
+}
+BENCHMARK(BM_RingSinkEvent);
 
 BENCHMARK_MAIN();

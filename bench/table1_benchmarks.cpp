@@ -15,12 +15,16 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report(Argc, Argv, "Table 1");
   printHeader("Table 1", "Benchmarks used in this study");
 
   TablePrinter TP;
-  TP.setHeader({"Benchmark", "Cycles(M) small", "Meth exe", "Size (K)",
-                "Cycles(M) large", "Meth exe", "Size (K)"});
+  std::vector<std::string> Header{"Benchmark", "Cycles(M) small", "Meth exe",
+                                  "Size (K)", "Cycles(M) large", "Meth exe",
+                                  "Size (K)"};
+  TP.setHeader(Header);
+  Report.beginTable("benchmarks", Header);
 
   for (const wl::WorkloadInfo &W : wl::suite()) {
     std::vector<std::string> Row{W.Name};
@@ -36,6 +40,7 @@ int main() {
       Row.push_back(TablePrinter::formatDouble(ExecutedBytes / 1024.0, 0));
     }
     TP.addRow(Row);
+    Report.addRow(Row);
   }
   std::fputs(TP.render().c_str(), stdout);
   std::printf("\nPaper reference (small input): compress 243 methods/22K, "

@@ -15,7 +15,8 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report(Argc, Argv, "Table 2B");
   printHeader("Table 2B",
               "Overhead%/Accuracy over the Stride x Samples grid (J9 "
               "personality)");
@@ -42,6 +43,26 @@ int main() {
   for (uint32_t S : R.Strides)
     Header.push_back(std::to_string(S));
   TP.setHeader(Header);
+  // The JSON mirror splits the "overhead/accuracy" cells into two
+  // numeric tables.
+  Report.note("personality", "j9");
+  Report.note("runs", std::to_string(Runs));
+  Report.beginTable("overhead_pct", Header);
+  for (size_t SI = 0; SI != R.SamplesPerTick.size(); ++SI) {
+    std::vector<std::string> Row{std::to_string(R.SamplesPerTick[SI])};
+    for (size_t TI = 0; TI != R.Strides.size(); ++TI)
+      Row.push_back(
+          TablePrinter::formatDouble(R.Cells[SI][TI].OverheadPct, 3));
+    Report.addRow(Row);
+  }
+  Report.beginTable("accuracy_pct", Header);
+  for (size_t SI = 0; SI != R.SamplesPerTick.size(); ++SI) {
+    std::vector<std::string> Row{std::to_string(R.SamplesPerTick[SI])};
+    for (size_t TI = 0; TI != R.Strides.size(); ++TI)
+      Row.push_back(
+          TablePrinter::formatDouble(R.Cells[SI][TI].AccuracyPct, 2));
+    Report.addRow(Row);
+  }
   for (size_t SI = 0; SI != R.SamplesPerTick.size(); ++SI) {
     std::vector<std::string> Row{std::to_string(R.SamplesPerTick[SI])};
     for (size_t TI = 0; TI != R.Strides.size(); ++TI)

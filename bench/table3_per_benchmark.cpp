@@ -23,10 +23,12 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report(Argc, Argv, "Table 3");
   unsigned Runs = exp::envRuns(3);
   printHeader("Table 3", "Per-benchmark overhead and accuracy breakdown");
   std::printf("runs per cell: %u (CBSVM_RUNS)\n\n", Runs);
+  Report.note("runs", std::to_string(Runs));
 
   for (vm::Personality Pers :
        {vm::Personality::JikesRVM, vm::Personality::J9}) {
@@ -39,8 +41,11 @@ int main() {
                 CBS.CBS.Stride, CBS.CBS.SamplesPerTick);
 
     TablePrinter TP;
-    TP.setHeader({"Benchmark", "Base ovh%", "Base acc", "CBS ovh%",
-                  "CBS acc"});
+    std::vector<std::string> Header{"Benchmark", "Base ovh%", "Base acc",
+                                    "CBS ovh%", "CBS acc"};
+    TP.setHeader(Header);
+    Report.beginTable(Pers == vm::Personality::JikesRVM ? "jikes" : "j9",
+                      Header);
     for (wl::InputSize Size :
          {wl::InputSize::Small, wl::InputSize::Large}) {
       std::vector<double> BaseAcc, CBSAcc, BaseOvh, CBSOvh;
@@ -49,21 +54,27 @@ int main() {
             exp::measureAccuracyMedian(W, Size, Pers, Base, Runs, 1);
         exp::AccuracyCell CBSCell =
             exp::measureAccuracyMedian(W, Size, Pers, CBS, Runs, 1);
-        TP.addRow({std::string(W.Name) + "-" + wl::inputSizeName(Size),
-                   TablePrinter::formatDouble(BaseCell.OverheadPct, 2),
-                   TablePrinter::formatDouble(BaseCell.AccuracyPct, 0),
-                   TablePrinter::formatDouble(CBSCell.OverheadPct, 2),
-                   TablePrinter::formatDouble(CBSCell.AccuracyPct, 0)});
+        std::vector<std::string> Row{
+            std::string(W.Name) + "-" + wl::inputSizeName(Size),
+            TablePrinter::formatDouble(BaseCell.OverheadPct, 2),
+            TablePrinter::formatDouble(BaseCell.AccuracyPct, 0),
+            TablePrinter::formatDouble(CBSCell.OverheadPct, 2),
+            TablePrinter::formatDouble(CBSCell.AccuracyPct, 0)};
+        TP.addRow(Row);
+        Report.addRow(Row);
         BaseAcc.push_back(BaseCell.AccuracyPct);
         CBSAcc.push_back(CBSCell.AccuracyPct);
         BaseOvh.push_back(BaseCell.OverheadPct);
         CBSOvh.push_back(CBSCell.OverheadPct);
       }
-      TP.addRow({std::string("Average ") + wl::inputSizeName(Size),
-                 TablePrinter::formatDouble(mean(BaseOvh), 2),
-                 TablePrinter::formatDouble(mean(BaseAcc), 0),
-                 TablePrinter::formatDouble(mean(CBSOvh), 2),
-                 TablePrinter::formatDouble(mean(CBSAcc), 0)});
+      std::vector<std::string> AvgRow{
+          std::string("Average ") + wl::inputSizeName(Size),
+          TablePrinter::formatDouble(mean(BaseOvh), 2),
+          TablePrinter::formatDouble(mean(BaseAcc), 0),
+          TablePrinter::formatDouble(mean(CBSOvh), 2),
+          TablePrinter::formatDouble(mean(CBSAcc), 0)};
+      TP.addRow(AvgRow);
+      Report.addRow(AvgRow);
       TP.addSeparator();
     }
     std::fputs(TP.render().c_str(), stdout);

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an observability smoke test.
+#
+# Usage: scripts/check.sh [build-dir]
+#
+# Environment:
+#   CBSVM_SANITIZE=address|undefined|...  configure the build with
+#       -DCBSVM_SANITIZE (fresh configure only; an existing build dir
+#       keeps its cached setting).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+CMAKE_ARGS=()
+if [[ -n "${CBSVM_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=("-DCBSVM_SANITIZE=${CBSVM_SANITIZE}")
+fi
+
+echo "== configure =="
+cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}"
+
+echo "== build =="
+cmake --build "$BUILD" -j
+
+echo "== tests =="
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+
+echo "== observability smoke =="
+TRACE=$(mktemp /tmp/cbsvm-trace.XXXXXX.json)
+METRICS=$(mktemp /tmp/cbsvm-metrics.XXXXXX.json)
+STATS=$(mktemp /tmp/cbsvm-stats.XXXXXX.json)
+trap 'rm -f "$TRACE" "$METRICS" "$STATS"' EXIT
+
+CBSVM="$BUILD/tools/cbsvm"
+"$CBSVM" run compress --trace "$TRACE" --metrics-json "$METRICS"
+"$CBSVM" jsoncheck "$TRACE"
+"$CBSVM" jsoncheck "$METRICS"
+"$CBSVM" stats compress --json "$STATS" >/dev/null
+"$CBSVM" jsoncheck "$STATS"
+
+# The trace and the metrics registry must agree on the sample count.
+python3 - "$TRACE" "$METRICS" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+metrics = json.load(open(sys.argv[2]))
+samples = sum(1 for e in trace["traceEvents"] if e["name"] == "sample")
+ticks = sum(1 for e in trace["traceEvents"] if e["name"] == "timer_tick")
+assert samples == metrics["counters"]["vm.samples_taken"], \
+    (samples, metrics["counters"]["vm.samples_taken"])
+assert ticks == metrics["counters"]["vm.timer_ticks"], \
+    (ticks, metrics["counters"]["vm.timer_ticks"])
+print(f"trace/metrics agree: {samples} samples, {ticks} ticks")
+EOF
+
+echo "== all checks passed =="

@@ -6,12 +6,35 @@
 
 #include "aos/AdaptiveSystem.h"
 
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/TraceSink.h"
+
+#include <algorithm>
+
 using namespace cbs;
 using namespace cbs::aos;
 
 AdaptiveSystem::AdaptiveSystem(const opt::InlineOracle *Oracle,
                                AOSConfig Config)
     : Oracle(Oracle), Config(Config) {}
+
+void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
+  if (!Gauges.Ticks) {
+    tel::MetricRegistry &R = VM.metricsRegistry();
+    Gauges.Ticks = &R.gauge("aos.ticks");
+    Gauges.Recompilations = &R.gauge("aos.recompilations");
+    Gauges.PlansComputed = &R.gauge("aos.plans_computed");
+    Gauges.PromotionsToL1 = &R.gauge("aos.promotions_l1");
+    Gauges.PromotionsToL2 = &R.gauge("aos.promotions_l2");
+    Gauges.Reoptimizations = &R.gauge("aos.reoptimizations");
+  }
+  *Gauges.Ticks = Stats.Ticks;
+  *Gauges.Recompilations = Stats.Recompilations;
+  *Gauges.PlansComputed = Stats.PlansComputed;
+  *Gauges.PromotionsToL1 = Stats.PromotionsToL1;
+  *Gauges.PromotionsToL2 = Stats.PromotionsToL2;
+  *Gauges.Reoptimizations = Stats.Reoptimizations;
+}
 
 const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   if (HavePlan && PlanAgeTicks < Config.PlanRefreshTicks)
@@ -23,6 +46,27 @@ const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   PlanAgeTicks = 0;
   ++PlanGeneration;
   ++Stats.PlansComputed;
+
+  // Trace each non-trivial decision of the fresh plan. The plan map is
+  // unordered; emit in site order so traces stay byte-reproducible.
+  if (tel::TraceSink *Sink = VM.traceSink()) {
+    std::vector<std::pair<bc::SiteId, const opt::InlineDecision *>> Sorted;
+    Sorted.reserve(Plan.Decisions.size());
+    for (const auto &[Site, Decision] : Plan.Decisions)
+      if (Decision.K != opt::InlineDecision::Kind::None)
+        Sorted.emplace_back(Site, &Decision);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &L, const auto &R) { return L.first < R.first; });
+    for (const auto &[Site, Decision] : Sorted) {
+      bool Direct = Decision->K == opt::InlineDecision::Kind::Direct;
+      bc::MethodId Target = Direct ? Decision->Target
+                            : Decision->Guarded.empty()
+                                ? bc::InvalidMethodId
+                                : Decision->Guarded.front().Target;
+      Sink->event(tel::TraceEvent::inlineDecision(VM.cycles(), Target, Site,
+                                                  Direct ? 1 : 2));
+    }
+  }
   return Plan;
 }
 
@@ -96,4 +140,5 @@ void AdaptiveSystem::onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) {
     if (Stats.Recompilations == Before)
       break;
   }
+  publishMetrics(VM);
 }

@@ -32,6 +32,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace cbs::tel {
+struct Gauge;
+}
+
 namespace cbs::aos {
 
 struct AOSConfig {
@@ -79,10 +83,23 @@ public:
 private:
   void maybePromote(vm::VirtualMachine &VM, bc::MethodId Method);
   const opt::InlinePlan &currentPlan(vm::VirtualMachine &VM);
+  /// Mirrors AOSStats into the VM's metric registry ("aos.*" gauges)
+  /// and caches the gauge addresses on first use.
+  void publishMetrics(vm::VirtualMachine &VM);
 
   const opt::InlineOracle *Oracle;
   AOSConfig Config;
   AOSStats Stats;
+
+  struct GaugeSet {
+    tel::Gauge *Ticks = nullptr;
+    tel::Gauge *Recompilations = nullptr;
+    tel::Gauge *PlansComputed = nullptr;
+    tel::Gauge *PromotionsToL1 = nullptr;
+    tel::Gauge *PromotionsToL2 = nullptr;
+    tel::Gauge *Reoptimizations = nullptr;
+  };
+  GaugeSet Gauges;
 
   opt::InlinePlan Plan;
   uint64_t PlanAgeTicks = 0;

@@ -192,6 +192,7 @@ ThroughputResult exp::measureThroughput(const bc::Program &P,
   vm::VMConfig Config = jitOnlyConfig(P, Options.Pers, Options.Seed);
   Config.Profiler = Options.Prof;
   Config.MaxCycles = UINT64_MAX;
+  Config.Trace = Options.Trace;
 
   vm::VirtualMachine VM(P, Config);
   aos::AdaptiveSystem AOS(Options.Oracle, Options.AOS);

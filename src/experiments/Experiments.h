@@ -111,6 +111,8 @@ struct SpeedupOptions {
   uint64_t WarmupCycles = 24'000'000;
   uint64_t MeasureCycles = 24'000'000;
   uint64_t Seed = 1;
+  /// Optional trace sink installed on the VM (non-owning; may be null).
+  tel::TraceSink *Trace = nullptr;
 };
 
 struct ThroughputResult {

@@ -1,0 +1,122 @@
+//===- telemetry/MetricRegistry.cpp - Named metrics --------------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/MetricRegistry.h"
+
+#include "support/Json.h"
+#include "support/TablePrinter.h"
+
+#include <cassert>
+
+using namespace cbs;
+using namespace cbs::tel;
+
+Counter &MetricRegistry::counter(const std::string &Name) {
+  assert(!Gauges.count(Name) && !Histograms.count(Name) &&
+         "metric name registered with a different type");
+  return Counters[Name];
+}
+
+Gauge &MetricRegistry::gauge(const std::string &Name) {
+  assert(!Counters.count(Name) && !Histograms.count(Name) &&
+         "metric name registered with a different type");
+  return Gauges[Name];
+}
+
+Histogram &MetricRegistry::histogram(const std::string &Name) {
+  assert(!Counters.count(Name) && !Gauges.count(Name) &&
+         "metric name registered with a different type");
+  return Histograms[Name];
+}
+
+const Counter *MetricRegistry::findCounter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? nullptr : &It->second;
+}
+
+const Gauge *MetricRegistry::findGauge(const std::string &Name) const {
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? nullptr : &It->second;
+}
+
+const Histogram *MetricRegistry::findHistogram(const std::string &Name) const {
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : &It->second;
+}
+
+void MetricRegistry::writeJson(json::JsonWriter &W) const {
+  W.beginObject();
+
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, C] : Counters) {
+    W.key(Name);
+    W.value(C.Value);
+  }
+  W.endObject();
+
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, G] : Gauges) {
+    W.key(Name);
+    W.value(G.Value);
+  }
+  W.endObject();
+
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name);
+    W.beginObject();
+    W.key("count");
+    W.value(H.count());
+    W.key("sum");
+    W.value(H.sum());
+    W.key("min");
+    W.value(H.min());
+    W.key("max");
+    W.value(H.max());
+    W.key("buckets");
+    W.beginArray();
+    for (size_t I = 0; I != Histogram::NumBuckets; ++I) {
+      if (H.bucketCount(I) == 0)
+        continue;
+      W.beginObject();
+      W.key("lo");
+      W.value(Histogram::bucketLow(I));
+      W.key("count");
+      W.value(H.bucketCount(I));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+}
+
+std::string MetricRegistry::toJson() const {
+  json::JsonWriter W;
+  writeJson(W);
+  return W.take();
+}
+
+std::string MetricRegistry::toText() const {
+  TablePrinter TP;
+  TP.setHeader({"metric", "type", "value"});
+  for (const auto &[Name, C] : Counters)
+    TP.addRow({Name, "counter", std::to_string(C.Value)});
+  for (const auto &[Name, G] : Gauges)
+    TP.addRow({Name, "gauge", std::to_string(G.Value)});
+  for (const auto &[Name, H] : Histograms)
+    TP.addRow({Name, "histogram",
+               "count=" + std::to_string(H.count()) +
+                   " sum=" + std::to_string(H.sum()) +
+                   " min=" + std::to_string(H.min()) +
+                   " max=" + std::to_string(H.max())});
+  return TP.render();
+}

@@ -1,0 +1,147 @@
+//===- telemetry/MetricRegistry.h - Named metrics ----------------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM-wide metrics registry: components register Counters, Gauges,
+/// and Histograms by dotted name ("vm.cycles", "aos.recompilations")
+/// and update them through plain references, so a hot-path increment
+/// costs exactly what a struct-field increment costs. The registry owns
+/// the storage (std::map nodes are address-stable), enumerates metrics
+/// in sorted-name order for deterministic output, and renders itself as
+/// text or JSON.
+///
+/// `vm::VMStats` remains the stable façade the experiment harness
+/// consumes; the VirtualMachine populates it from this registry on
+/// demand (see VirtualMachine::stats()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_TELEMETRY_METRICREGISTRY_H
+#define CBSVM_TELEMETRY_METRICREGISTRY_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cbs::json {
+class JsonWriter;
+}
+
+namespace cbs::tel {
+
+/// A monotonically increasing count. Implicitly converts to uint64_t so
+/// registered counters can replace raw struct fields in expressions.
+struct Counter {
+  uint64_t Value = 0;
+
+  Counter &operator++() {
+    ++Value;
+    return *this;
+  }
+  Counter &operator+=(uint64_t N) {
+    Value += N;
+    return *this;
+  }
+  operator uint64_t() const { return Value; }
+};
+
+/// A point-in-time value (settable, not monotonic).
+struct Gauge {
+  uint64_t Value = 0;
+
+  Gauge &operator=(uint64_t V) {
+    Value = V;
+    return *this;
+  }
+  void accumulateMax(uint64_t V) { Value = std::max(Value, V); }
+  operator uint64_t() const { return Value; }
+};
+
+/// A histogram over uint64 values with fixed log2 buckets: bucket 0
+/// holds the value 0 and bucket k (k >= 1) holds values in
+/// [2^(k-1), 2^k). Also tracks count/sum/min/max.
+class Histogram {
+public:
+  /// Bucket 0 plus one bucket per possible bit width.
+  static constexpr size_t NumBuckets = 65;
+
+  /// Bucket index of \p V: 0 for 0, else 1 + floor(log2(V)).
+  static size_t bucketIndex(uint64_t V) {
+    return static_cast<size_t>(std::bit_width(V));
+  }
+  /// Smallest value falling into bucket \p I.
+  static uint64_t bucketLow(size_t I) {
+    return I == 0 ? 0 : uint64_t(1) << (I - 1);
+  }
+
+  void record(uint64_t V) {
+    ++Buckets[bucketIndex(V)];
+    ++NumSamples;
+    Sum += V;
+    Min = std::min(Min, V);
+    Max = std::max(Max, V);
+  }
+
+  uint64_t count() const { return NumSamples; }
+  uint64_t sum() const { return Sum; }
+  /// Minimum recorded value; 0 when empty.
+  uint64_t min() const { return NumSamples == 0 ? 0 : Min; }
+  uint64_t max() const { return Max; }
+  double meanValue() const {
+    return NumSamples == 0
+               ? 0.0
+               : static_cast<double>(Sum) / static_cast<double>(NumSamples);
+  }
+  uint64_t bucketCount(size_t I) const { return Buckets[I]; }
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t NumSamples = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = UINT64_MAX;
+  uint64_t Max = 0;
+};
+
+/// Owns every metric. counter()/gauge()/histogram() create on first use
+/// and always return the same address for the same name afterwards, so
+/// components can cache references at construction time and update them
+/// without lookups. A name must not be reused across metric types.
+class MetricRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Lookup without creation (nullptr when absent).
+  const Counter *findCounter(const std::string &Name) const;
+  const Gauge *findGauge(const std::string &Name) const;
+  const Histogram *findHistogram(const std::string &Name) const;
+
+  size_t size() const {
+    return Counters.size() + Gauges.size() + Histograms.size();
+  }
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}}; names in sorted order, histogram buckets restricted to
+  /// non-empty ones. Deterministic for a deterministic run.
+  void writeJson(json::JsonWriter &W) const;
+  std::string toJson() const;
+
+  /// Human-oriented aligned table of every metric.
+  std::string toText() const;
+
+private:
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace cbs::tel
+
+#endif // CBSVM_TELEMETRY_METRICREGISTRY_H

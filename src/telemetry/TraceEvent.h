@@ -1,0 +1,101 @@
+//===- telemetry/TraceEvent.h - Typed VM trace events -----------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured event vocabulary of the VM's tracer. Every event
+/// carries the virtual-cycle timestamp and the emitting green thread;
+/// the remaining fields are kind-specific (see the factory functions).
+/// Events are small PODs so a ring-buffer sink can retain them without
+/// allocation.
+///
+/// Event taxonomy (what fires when):
+///   timer_tick     virtual timer interrupt delivered (A = top method)
+///   window_arm     CBS profiling window opened by a tick (A = samples/tick)
+///   window_disarm  CBS window closed after its last sample
+///   sample         profiler sample taken (A = callee, B = site of the
+///                  walked edge; Invalid ids if no edge was on stack)
+///   compile_start  method (re)compilation begins (A = method, B = level)
+///   compile_finish compilation done (A = method, B = level, C = cost)
+///   inline_decision oracle decision in a new inline plan (A = target,
+///                  B = site, C = 1 direct / 2 guarded)
+///   gc             collection pause serviced (C = heap bytes allocated)
+///   thread_switch  scheduler moved to another thread (A = new thread)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_TELEMETRY_TRACEEVENT_H
+#define CBSVM_TELEMETRY_TRACEEVENT_H
+
+#include <cstdint>
+
+namespace cbs::tel {
+
+enum class EventKind : uint8_t {
+  TimerTick,
+  WindowArm,
+  WindowDisarm,
+  Sample,
+  CompileStart,
+  CompileFinish,
+  InlineDecision,
+  GC,
+  ThreadSwitch,
+};
+
+inline constexpr unsigned NumEventKinds = 9;
+
+const char *eventKindName(EventKind K);
+
+struct TraceEvent {
+  EventKind Kind = EventKind::TimerTick;
+  uint32_t Thread = 0; ///< emitting green thread
+  uint64_t Cycles = 0; ///< virtual-cycle timestamp
+  uint32_t A = 0;      ///< kind-specific (see file comment)
+  uint32_t B = 0;
+  uint64_t C = 0;
+
+  static TraceEvent timerTick(uint64_t Cycles, uint32_t Thread,
+                              uint32_t TopMethod) {
+    return {EventKind::TimerTick, Thread, Cycles, TopMethod, 0, 0};
+  }
+  static TraceEvent windowArm(uint64_t Cycles, uint32_t Thread,
+                              uint32_t SamplesPerTick) {
+    return {EventKind::WindowArm, Thread, Cycles, SamplesPerTick, 0, 0};
+  }
+  static TraceEvent windowDisarm(uint64_t Cycles, uint32_t Thread) {
+    return {EventKind::WindowDisarm, Thread, Cycles, 0, 0, 0};
+  }
+  static TraceEvent sample(uint64_t Cycles, uint32_t Thread, uint32_t Callee,
+                           uint32_t Site) {
+    return {EventKind::Sample, Thread, Cycles, Callee, Site, 0};
+  }
+  static TraceEvent compileStart(uint64_t Cycles, uint32_t Thread,
+                                 uint32_t Method, uint32_t Level) {
+    return {EventKind::CompileStart, Thread, Cycles, Method, Level, 0};
+  }
+  static TraceEvent compileFinish(uint64_t Cycles, uint32_t Thread,
+                                  uint32_t Method, uint32_t Level,
+                                  uint64_t CostCycles) {
+    return {EventKind::CompileFinish, Thread, Cycles, Method, Level,
+            CostCycles};
+  }
+  static TraceEvent inlineDecision(uint64_t Cycles, uint32_t Target,
+                                   uint32_t Site, uint64_t DecisionKind) {
+    return {EventKind::InlineDecision, 0, Cycles, Target, Site, DecisionKind};
+  }
+  static TraceEvent gc(uint64_t Cycles, uint32_t Thread,
+                       uint64_t HeapBytes) {
+    return {EventKind::GC, Thread, Cycles, 0, 0, HeapBytes};
+  }
+  static TraceEvent threadSwitch(uint64_t Cycles, uint32_t FromThread,
+                                 uint32_t ToThread) {
+    return {EventKind::ThreadSwitch, FromThread, Cycles, ToThread, 0, 0};
+  }
+};
+
+} // namespace cbs::tel
+
+#endif // CBSVM_TELEMETRY_TRACEEVENT_H

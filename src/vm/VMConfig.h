@@ -27,6 +27,10 @@ namespace cbs::bc {
 class Program;
 }
 
+namespace cbs::tel {
+class TraceSink;
+}
+
 namespace cbs::vm {
 
 /// Which of the paper's two VM implementations to model (§5).
@@ -114,6 +118,13 @@ struct VMConfig {
   bool ExplicitEntryCheck = false;
 
   uint64_t Seed = 1;
+
+  /// Optional structured-event tracer (non-owning; must outlive the
+  /// VM). Null by default: with no sink installed every emission site
+  /// reduces to a single pointer test on an already-slow path, which
+  /// preserves the paper's free-when-disarmed property. The sink is an
+  /// observer — installing one must not change what the run computes.
+  tel::TraceSink *Trace = nullptr;
 
   /// Optional compile pipeline (trivial inlining, the optimizer, an
   /// inline plan); when unset the VM installs straight baseline

@@ -11,6 +11,11 @@
 /// the experiments is measured the way the paper measures it, by
 /// comparing against a separate ProfilerKind::None run).
 ///
+/// This struct is the stable façade over the VM's telemetry registry:
+/// the live counters are owned by tel::MetricRegistry (names "vm.*";
+/// see VirtualMachine::metrics()) and VirtualMachine::stats() snapshots
+/// them into this shape. New metrics go into the registry, not here.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CBSVM_VM_VMSTATS_H

@@ -6,6 +6,7 @@
 
 #include "vm/VirtualMachine.h"
 
+#include "telemetry/TraceSink.h"
 #include "vm/StackWalker.h"
 
 #include <cassert>
@@ -32,8 +33,54 @@ const char *vm::runStateName(RunState S) {
 
 VMClient::~VMClient() = default;
 
+VirtualMachine::LiveStats::LiveStats(tel::MetricRegistry &R)
+    : Cycles(R.counter("vm.cycles")),
+      Instructions(R.counter("vm.instructions")),
+      CallsExecuted(R.counter("vm.calls_executed")),
+      VirtualCallsExecuted(R.counter("vm.virtual_calls_executed")),
+      TimerTicks(R.counter("vm.timer_ticks")),
+      YieldpointsTaken(R.counter("vm.yieldpoints_taken")),
+      SamplesTaken(R.counter("vm.samples_taken")),
+      ProfilingCycles(R.counter("vm.profiling_cycles")),
+      CompileCycles(R.counter("vm.compile_cycles")),
+      GCCount(R.counter("vm.gc_count")),
+      ThreadSwitches(R.counter("vm.thread_switches")),
+      ThreadsSpawned(R.counter("vm.threads_spawned")),
+      MaxStackDepth(R.gauge("vm.max_stack_depth")),
+      SampleStackDepth(R.histogram("vm.sample_stack_depth")),
+      CompileCostCycles(R.histogram("vm.compile_cost_cycles")) {}
+
+const VMStats &VirtualMachine::stats() const {
+  Facade.Cycles = Stats.Cycles;
+  Facade.Instructions = Stats.Instructions;
+  Facade.CallsExecuted = Stats.CallsExecuted;
+  Facade.VirtualCallsExecuted = Stats.VirtualCallsExecuted;
+  Facade.TimerTicks = Stats.TimerTicks;
+  Facade.YieldpointsTaken = Stats.YieldpointsTaken;
+  Facade.SamplesTaken = Stats.SamplesTaken;
+  Facade.ProfilingCycles = Stats.ProfilingCycles;
+  Facade.CompileCycles = Stats.CompileCycles;
+  Facade.GCCount = Stats.GCCount;
+  Facade.ThreadSwitches = Stats.ThreadSwitches;
+  Facade.ThreadsSpawned = Stats.ThreadsSpawned;
+  Facade.MaxStackDepth = Stats.MaxStackDepth;
+  return Facade;
+}
+
+const tel::MetricRegistry &VirtualMachine::metrics() {
+  Registry.gauge("heap.bytes_allocated") = TheHeap.bytesAllocated();
+  Registry.gauge("heap.objects") = TheHeap.numObjects();
+  Registry.gauge("code.compiles") = Cache.numCompiles();
+  Registry.gauge("code.recompiles") = Cache.numRecompiles();
+  Registry.gauge("code.active_instructions") = Cache.activeCodeInstructions();
+  Registry.gauge("vm.methods_executed") = methodsExecuted();
+  Registry.gauge("vm.threads_live") = countRunnable();
+  return Registry;
+}
+
 VirtualMachine::VirtualMachine(const bc::Program &P, VMConfig Config)
-    : P(P), Config(std::move(Config)), Cache(P), RNG(this->Config.Seed),
+    : P(P), Config(std::move(Config)), Stats(Registry),
+      Trace(this->Config.Trace), Cache(P), RNG(this->Config.Seed),
       InvocationCounts(P.numMethods(), 0), TickSamples(P.numMethods(), 0) {
   if (this->Config.Profiler.Kind == ProfilerKind::CodePatching)
     Patching = std::make_unique<prof::CodePatchingProfiler>(
@@ -62,17 +109,34 @@ Thread &VirtualMachine::spawnThread(bc::MethodId Entry) {
 const CompiledMethod *VirtualMachine::ensureCompiled(bc::MethodId Id) {
   if (const CompiledMethod *CM = Cache.active(Id))
     return CM;
+  uint32_t Thr = Threads.empty() ? 0 : Threads[Current]->Id;
+  if (Trace)
+    Trace->event(tel::TraceEvent::compileStart(
+        Stats.Cycles, Thr, Id, static_cast<uint32_t>(Config.JITLevel)));
   CompiledMethod CM =
       Config.CompileHook
           ? Config.CompileHook(P, Id, Config.JITLevel)
           : CodeCache::compileBaseline(P, Id, Config.JITLevel, Config.Costs);
   assert(CM.Id == Id && "compile hook returned code for the wrong method");
   Stats.CompileCycles += CM.CompileCostCycles;
+  Stats.CompileCostCycles.record(CM.CompileCostCycles);
+  if (Trace)
+    Trace->event(tel::TraceEvent::compileFinish(
+        Stats.Cycles, Thr, Id, CM.Level, CM.CompileCostCycles));
   return Cache.install(std::move(CM));
 }
 
 void VirtualMachine::installCompiled(CompiledMethod CM) {
   Stats.CompileCycles += CM.CompileCostCycles;
+  Stats.CompileCostCycles.record(CM.CompileCostCycles);
+  if (Trace) {
+    uint32_t Thr = Threads.empty() ? 0 : Threads[Current]->Id;
+    Trace->event(tel::TraceEvent::compileStart(Stats.Cycles, Thr, CM.Id,
+                                               CM.Level));
+    Trace->event(tel::TraceEvent::compileFinish(Stats.Cycles, Thr, CM.Id,
+                                                CM.Level,
+                                                CM.CompileCostCycles));
+  }
   Cache.install(std::move(CM));
 }
 
@@ -137,6 +201,11 @@ void VirtualMachine::fireTimer() {
   if (countRunnable() > 1)
     SwitchPending = true;
 
+  if (Trace)
+    Trace->event(tel::TraceEvent::timerTick(
+        Stats.Cycles, T.Id,
+        T.Frames.empty() ? bc::InvalidMethodId : T.top().CM->Id));
+
   if (!T.Frames.empty()) {
     bc::MethodId Top = T.top().CM->Id;
     ++TickSamples[Top];
@@ -155,9 +224,13 @@ void VirtualMachine::maybeSwitch() {
     if (Threads[Next]->Finished)
       continue;
     if (Next != Current) {
+      uint32_t From = Threads[Current]->Id;
       Current = Next;
       ++Stats.ThreadSwitches;
       Stats.Cycles += Config.Costs.ThreadSwitch;
+      if (Trace)
+        Trace->event(tel::TraceEvent::threadSwitch(Stats.Cycles, From,
+                                                   Threads[Next]->Id));
     }
     return;
   }
@@ -165,8 +238,14 @@ void VirtualMachine::maybeSwitch() {
 
 void VirtualMachine::recordEdgeSample(Thread &T) {
   ++Stats.SamplesTaken;
+  Stats.SampleStackDepth.record(T.Frames.size());
   chargeProf(Config.Costs.StackSampleBase);
-  if (std::optional<prof::CallEdge> Edge = topEdge(T))
+  std::optional<prof::CallEdge> Edge = topEdge(T);
+  if (Trace)
+    Trace->event(tel::TraceEvent::sample(
+        Stats.Cycles, T.Id, Edge ? Edge->Callee : bc::InvalidMethodId,
+        Edge ? Edge->Site : bc::InvalidSiteId));
+  if (Edge)
     if (Buffer.append(*Edge))
       Buffer.drainInto(DCG);
   if (Config.Profiler.ContextSensitive) {
@@ -186,6 +265,9 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
     ++Stats.GCCount;
     Stats.Cycles += Config.Costs.GCPause;
     NextGCAt = TheHeap.bytesAllocated() + Config.GCThresholdBytes;
+    if (Trace)
+      Trace->event(tel::TraceEvent::gc(Stats.Cycles, T.Id,
+                                       TheHeap.bytesAllocated()));
   }
 
   ProfilerKind Kind = Config.Profiler.Kind;
@@ -199,6 +281,9 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
       // until the window closes.
       T.CBS.onTimerTick(RNG);
       T.Word = YieldWord::CBSArmed;
+      if (Trace)
+        Trace->event(tel::TraceEvent::windowArm(
+            Stats.Cycles, T.Id, Config.Profiler.CBS.SamplesPerTick));
       if (SwitchPending) {
         T.DeferredSwitch = true;
         SwitchPending = false;
@@ -226,6 +311,8 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
     if (T.CBS.onInvocationEvent()) {
       recordEdgeSample(T);
       if (!T.CBS.armed()) {
+        if (Trace)
+          Trace->event(tel::TraceEvent::windowDisarm(Stats.Cycles, T.Id));
         T.Word = YieldWord::Clear;
         if (T.DeferredSwitch) {
           T.DeferredSwitch = false;
@@ -507,6 +594,12 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
           chargeProf(Costs.AllocSampleCost);
           AllocProfile.addSample(static_cast<bc::ClassId>(I.A));
           ++Stats.SamplesTaken;
+          // Allocation samples have no walked call edge; the invariant
+          // "one sample event per SamplesTaken increment" still holds.
+          if (Trace)
+            Trace->event(tel::TraceEvent::sample(Stats.Cycles, T.Id,
+                                                 bc::InvalidMethodId,
+                                                 bc::InvalidSiteId));
         }
       }
       push(TheHeap.allocate(

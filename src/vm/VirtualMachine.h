@@ -30,6 +30,7 @@
 #include "profiling/AllocationProfile.h"
 #include "profiling/CallingContextTree.h"
 #include "profiling/SampleBuffer.h"
+#include "telemetry/MetricRegistry.h"
 #include "vm/CodeCache.h"
 #include "vm/Heap.h"
 #include "vm/Thread.h"
@@ -38,6 +39,10 @@
 
 #include <memory>
 #include <string>
+
+namespace cbs::tel {
+class TraceSink;
+}
 
 namespace cbs::vm {
 
@@ -67,7 +72,10 @@ public:
   RunState run(uint64_t CycleBudget = UINT64_MAX);
 
   RunState state() const { return State; }
-  const VMStats &stats() const { return Stats; }
+  /// The stable statistics façade. Populated on demand from the metrics
+  /// registry (the registry is the source of truth); callers must not
+  /// hold the reference across further execution.
+  const VMStats &stats() const;
   const std::vector<int64_t> &output() const { return Output; }
   const std::string &trapMessage() const { return TrapMsg; }
   const bc::Program &program() const { return P; }
@@ -108,6 +116,16 @@ public:
   Heap &heap() { return TheHeap; }
   void setClient(VMClient *C) { Client = C; }
 
+  /// The full metrics registry, with derived gauges (heap, code cache,
+  /// methods executed) refreshed to the current run state. Supersets
+  /// stats(): every VMStats field is a "vm.*" entry here.
+  const tel::MetricRegistry &metrics();
+  /// Mutable registry access for cooperating components (the adaptive
+  /// system registers its "aos.*" metrics here).
+  tel::MetricRegistry &metricsRegistry() { return Registry; }
+  /// The installed trace sink (null when tracing is off).
+  tel::TraceSink *traceSink() const { return Trace; }
+
   /// Installs a recompiled version (AOS path). Compile cycles are
   /// tracked in stats().CompileCycles, not charged to execution time
   /// (compilation runs on a background thread in the modelled VMs).
@@ -115,6 +133,30 @@ public:
 
 private:
   enum class Where : uint8_t { Prologue, Epilogue, Backedge };
+
+  /// Hot-path views into the registry-owned counters. Field names
+  /// mirror VMStats so the interpreter updates read identically to the
+  /// plain-struct era; each access costs one extra (loop-invariant)
+  /// pointer load over a direct member.
+  struct LiveStats {
+    explicit LiveStats(tel::MetricRegistry &R);
+
+    tel::Counter &Cycles;
+    tel::Counter &Instructions;
+    tel::Counter &CallsExecuted;
+    tel::Counter &VirtualCallsExecuted;
+    tel::Counter &TimerTicks;
+    tel::Counter &YieldpointsTaken;
+    tel::Counter &SamplesTaken;
+    tel::Counter &ProfilingCycles;
+    tel::Counter &CompileCycles;
+    tel::Counter &GCCount;
+    tel::Counter &ThreadSwitches;
+    tel::Counter &ThreadsSpawned;
+    tel::Gauge &MaxStackDepth;
+    tel::Histogram &SampleStackDepth;
+    tel::Histogram &CompileCostCycles;
+  };
 
   void fireTimer();
   void processTaken(Thread &T, Where W);
@@ -135,6 +177,10 @@ private:
 
   const bc::Program &P;
   VMConfig Config;
+  tel::MetricRegistry Registry;
+  LiveStats Stats; ///< must follow Registry (references into it)
+  tel::TraceSink *Trace = nullptr;
+  mutable VMStats Facade;
   CodeCache Cache;
   Heap TheHeap;
   RandomEngine RNG;
@@ -160,7 +206,6 @@ private:
   RunState State = RunState::Running;
   std::string TrapMsg;
   std::vector<int64_t> Output;
-  VMStats Stats;
 };
 
 } // namespace cbs::vm

@@ -17,8 +17,15 @@
 //       --seed N                                       (default 1)
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
+//       --trace FILE             write a Chrome trace_event JSON trace
+//       --metrics-json FILE      write the metric registry as JSON
 //       --accuracy               also run exhaustively and score the
 //                                sampled profile with the overlap metric
+//
+//   cbsvm stats <workload> [run options] [--json FILE]
+//     Execute a workload and dump the full metric registry (every
+//     counter, gauge, and histogram) as an aligned table, or as JSON
+//     when --json is given (FILE of "-" writes to stdout).
 //
 //   cbsvm disasm <workload> [--size small|large] [--method NAME]
 //     Disassemble a workload (or one method of it).
@@ -26,12 +33,21 @@
 //   cbsvm compare <fileA> <fileB>
 //     Overlap percentage between two saved profiles.
 //
+//   cbsvm jsoncheck <file>
+//     Validate that a file parses as JSON (used by scripts/check.sh).
+//
+// Unknown or unconsumed arguments are an error: every subcommand calls
+// ArgParser::finish() once it has pulled everything it understands.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Printer.h"
 #include "experiments/Experiments.h"
 #include "profiling/OverlapMetric.h"
 #include "profiling/ProfileIO.h"
+#include "support/Json.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/TraceSink.h"
 
 #include <cstdio>
 #include <cstring>
@@ -46,8 +62,10 @@ namespace {
 
 [[noreturn]] void usageError(const std::string &Message) {
   std::fprintf(stderr, "cbsvm: %s\n", Message.c_str());
-  std::fprintf(stderr, "usage: cbsvm list | run <workload> [options] | "
-                       "disasm <workload> | compare <a> <b>\n");
+  std::fprintf(stderr,
+               "usage: cbsvm list | run <workload> [options] | "
+               "stats <workload> [options] | disasm <workload> | "
+               "compare <a> <b> | jsoncheck <file>\n");
   std::exit(2);
 }
 
@@ -81,6 +99,14 @@ struct ArgParser {
     return false;
   }
 
+  /// Called after a subcommand has pulled everything it understands;
+  /// anything left over is a typo or an option of another subcommand.
+  void finish() {
+    for (size_t I = 0; I != Args.size(); ++I)
+      if (!Consumed[I])
+        usageError("unexpected argument '" + Args[I] + "'");
+  }
+
   std::vector<std::string> Args;
   std::vector<bool> Consumed = std::vector<bool>(Args.size(), false);
 };
@@ -103,7 +129,59 @@ vm::Personality parsePersonality(const std::string &S) {
   usageError("unknown personality '" + S + "'");
 }
 
-int cmdList() {
+/// Workload + VM configuration shared by `run` and `stats`.
+struct RunSetup {
+  const wl::WorkloadInfo *W = nullptr;
+  wl::InputSize Size = wl::InputSize::Small;
+  vm::Personality Pers = vm::Personality::JikesRVM;
+  uint64_t Seed = 1;
+  bc::Program P;
+  vm::VMConfig Config;
+};
+
+RunSetup parseRunSetup(ArgParser &Args) {
+  RunSetup S;
+  std::string Name = Args.positional("workload name");
+  S.W = wl::findWorkload(Name);
+  if (!S.W)
+    usageError("unknown workload '" + Name + "' (try 'cbsvm list')");
+
+  S.Size = parseSize(Args.option("--size", "small"));
+  S.Pers = parsePersonality(Args.option("--personality", "jikes"));
+  S.Seed = std::stoull(Args.option("--seed", "1"));
+  std::string ProfilerName = Args.option("--profiler", "cbs");
+
+  S.P = S.W->Build(S.Size, S.Seed);
+  S.Config = exp::jitOnlyConfig(S.P, S.Pers, S.Seed);
+  if (ProfilerName == "none")
+    S.Config.Profiler.Kind = vm::ProfilerKind::None;
+  else if (ProfilerName == "timer")
+    S.Config.Profiler.Kind = vm::ProfilerKind::Timer;
+  else if (ProfilerName == "cbs")
+    S.Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  else if (ProfilerName == "patching")
+    S.Config.Profiler.Kind = vm::ProfilerKind::CodePatching;
+  else if (ProfilerName == "exhaustive") {
+    S.Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+    S.Config.Profiler.ChargeExhaustiveCounters = false;
+  } else
+    usageError("unknown profiler '" + ProfilerName + "'");
+  S.Config.Profiler.CBS.Stride =
+      static_cast<uint32_t>(std::stoul(Args.option("--stride", "3")));
+  S.Config.Profiler.CBS.SamplesPerTick =
+      static_cast<uint32_t>(std::stoul(Args.option("--samples", "16")));
+  return S;
+}
+
+void writeFileOrDie(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  if (!Out)
+    usageError("cannot write '" + Path + "'");
+  Out << Contents;
+}
+
+int cmdList(ArgParser &Args) {
+  Args.finish();
   std::printf("built-in workloads (Table 1 suite):\n");
   for (const wl::WorkloadInfo &W : wl::suite())
     std::printf("  %-10s %s\n", W.Name,
@@ -114,43 +192,29 @@ int cmdList() {
 }
 
 int cmdRun(ArgParser &Args) {
-  std::string Name = Args.positional("workload name");
-  const wl::WorkloadInfo *W = wl::findWorkload(Name);
-  if (!W)
-    usageError("unknown workload '" + Name + "' (try 'cbsvm list')");
-
-  wl::InputSize Size = parseSize(Args.option("--size", "small"));
-  vm::Personality Pers =
-      parsePersonality(Args.option("--personality", "jikes"));
-  uint64_t Seed = std::stoull(Args.option("--seed", "1"));
-  std::string ProfilerName = Args.option("--profiler", "cbs");
+  RunSetup S = parseRunSetup(Args);
   size_t Edges = std::stoull(Args.option("--edges", "15"));
+  bool WantAccuracy = Args.flag("--accuracy");
+  std::string SavePath = Args.option("--save", "");
+  std::string TracePath = Args.option("--trace", "");
+  std::string MetricsPath = Args.option("--metrics-json", "");
+  Args.finish();
 
-  bc::Program P = W->Build(Size, Seed);
-  vm::VMConfig Config = exp::jitOnlyConfig(P, Pers, Seed);
-  if (ProfilerName == "none")
-    Config.Profiler.Kind = vm::ProfilerKind::None;
-  else if (ProfilerName == "timer")
-    Config.Profiler.Kind = vm::ProfilerKind::Timer;
-  else if (ProfilerName == "cbs")
-    Config.Profiler.Kind = vm::ProfilerKind::CBS;
-  else if (ProfilerName == "patching")
-    Config.Profiler.Kind = vm::ProfilerKind::CodePatching;
-  else if (ProfilerName == "exhaustive") {
-    Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-    Config.Profiler.ChargeExhaustiveCounters = false;
-  } else
-    usageError("unknown profiler '" + ProfilerName + "'");
-  Config.Profiler.CBS.Stride =
-      static_cast<uint32_t>(std::stoul(Args.option("--stride", "3")));
-  Config.Profiler.CBS.SamplesPerTick = static_cast<uint32_t>(
-      std::stoul(Args.option("--samples", "16")));
+  tel::ChromeTraceSink Sink;
+  if (!TracePath.empty())
+    S.Config.Trace = &Sink;
 
-  vm::VirtualMachine VM(P, Config);
+  vm::VirtualMachine VM(S.P, S.Config);
+  if (!TracePath.empty()) {
+    const bc::Program &P = VM.program();
+    Sink.setMethodNamer([&P](uint32_t M) {
+      return M < P.numMethods() ? P.qualifiedName(M) : std::string();
+    });
+  }
   vm::RunState State = VM.run();
   std::printf("%s-%s: %s after %.2fM cycles (%.2fM instructions, %llu "
               "calls, %llu ticks, %llu samples)\n",
-              W->Name, wl::inputSizeName(Size), vm::runStateName(State),
+              S.W->Name, wl::inputSizeName(S.Size), vm::runStateName(State),
               VM.stats().Cycles / 1e6, VM.stats().Instructions / 1e6,
               static_cast<unsigned long long>(VM.stats().CallsExecuted),
               static_cast<unsigned long long>(VM.stats().TimerTicks),
@@ -161,10 +225,10 @@ int cmdRun(ArgParser &Args) {
   }
 
   const prof::DynamicCallGraph &DCG = VM.profile();
-  std::printf("\n%s", DCG.str(P, Edges).c_str());
+  std::printf("\n%s", DCG.str(S.P, Edges).c_str());
 
-  if (Args.flag("--accuracy")) {
-    exp::PerfectProfile Perfect = exp::runPerfect(P, Pers, Seed);
+  if (WantAccuracy) {
+    exp::PerfectProfile Perfect = exp::runPerfect(S.P, S.Pers, S.Seed);
     double Overhead =
         100.0 *
         (static_cast<double>(VM.stats().Cycles) -
@@ -175,13 +239,43 @@ int cmdRun(ArgParser &Args) {
                 prof::accuracy(DCG, Perfect.DCG), Overhead);
   }
 
-  std::string SavePath = Args.option("--save", "");
   if (!SavePath.empty()) {
-    std::ofstream Out(SavePath);
-    if (!Out)
-      usageError("cannot write '" + SavePath + "'");
-    Out << prof::serializeDCG(DCG);
+    writeFileOrDie(SavePath, prof::serializeDCG(DCG));
     std::printf("\nprofile written to %s\n", SavePath.c_str());
+  }
+  if (!TracePath.empty()) {
+    writeFileOrDie(TracePath, Sink.str());
+    std::printf("trace written to %s (%zu events)\n", TracePath.c_str(),
+                Sink.numEvents());
+  }
+  if (!MetricsPath.empty()) {
+    writeFileOrDie(MetricsPath, VM.metrics().toJson());
+    std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
+  return 0;
+}
+
+int cmdStats(ArgParser &Args) {
+  RunSetup S = parseRunSetup(Args);
+  std::string JsonPath = Args.option("--json", "");
+  Args.finish();
+
+  vm::VirtualMachine VM(S.P, S.Config);
+  vm::RunState State = VM.run();
+  if (State == vm::RunState::Trapped) {
+    std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
+    return 1;
+  }
+
+  if (JsonPath.empty()) {
+    std::printf("%s-%s: %s\n\n%s", S.W->Name, wl::inputSizeName(S.Size),
+                vm::runStateName(State), VM.metrics().toText().c_str());
+  } else if (JsonPath == "-") {
+    std::fputs(VM.metrics().toJson().c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    writeFileOrDie(JsonPath, VM.metrics().toJson());
+    std::printf("metrics written to %s\n", JsonPath.c_str());
   }
   return 0;
 }
@@ -194,6 +288,7 @@ int cmdDisasm(ArgParser &Args) {
   bc::Program P =
       W->Build(parseSize(Args.option("--size", "small")), /*Seed=*/1);
   std::string MethodName = Args.option("--method", "");
+  Args.finish();
   if (MethodName.empty()) {
     std::fputs(bc::printProgram(P).c_str(), stdout);
     return 0;
@@ -220,6 +315,7 @@ int cmdCompare(ArgParser &Args) {
   };
   std::string PathA = Args.positional("first profile");
   std::string PathB = Args.positional("second profile");
+  Args.finish();
   prof::DynamicCallGraph A = Load(PathA);
   prof::DynamicCallGraph B = Load(PathB);
   std::printf("%-30s %zu edges, weight %llu\n", PathA.c_str(), A.numEdges(),
@@ -227,6 +323,23 @@ int cmdCompare(ArgParser &Args) {
   std::printf("%-30s %zu edges, weight %llu\n", PathB.c_str(), B.numEdges(),
               static_cast<unsigned long long>(B.totalWeight()));
   std::printf("overlap: %.2f%%\n", prof::overlap(A, B));
+  return 0;
+}
+
+int cmdJsonCheck(ArgParser &Args) {
+  std::string Path = Args.positional("json file");
+  Args.finish();
+  std::ifstream In(Path);
+  if (!In)
+    usageError("cannot read '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  json::JsonParseResult R = json::parseJson(SS.str());
+  if (!R.Value) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), R.Error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON\n", Path.c_str());
   return 0;
 }
 
@@ -238,12 +351,16 @@ int main(int Argc, char **Argv) {
   std::string Command = Argv[1];
   ArgParser Args(Argc - 1, Argv + 1);
   if (Command == "list")
-    return cmdList();
+    return cmdList(Args);
   if (Command == "run")
     return cmdRun(Args);
+  if (Command == "stats")
+    return cmdStats(Args);
   if (Command == "disasm")
     return cmdDisasm(Args);
   if (Command == "compare")
     return cmdCompare(Args);
+  if (Command == "jsoncheck")
+    return cmdJsonCheck(Args);
   usageError("unknown command '" + Command + "'");
 }
