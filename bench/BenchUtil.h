@@ -17,17 +17,59 @@
 #define CBSVM_BENCH_BENCHUTIL_H
 
 #include "experiments/Experiments.h"
+#include "experiments/ParallelRunner.h"
 #include "profiling/OverlapMetric.h"
 #include "support/Json.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace cbs::bench {
+
+/// Resolves the worker count for a bench binary: `--jobs N` on the
+/// command line wins, then the CBSVM_JOBS environment variable, then
+/// hardware concurrency. `--jobs 1` is the serial path; any other value
+/// produces byte-identical tables and JSON (see ParallelRunner.h).
+inline unsigned jobsFromArgs(int Argc, char **Argv) {
+  unsigned Requested = 0;
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == "--jobs") {
+      long V = std::strtol(Argv[I + 1], nullptr, 10);
+      if (V < 1 || V > 1024) {
+        std::fprintf(stderr, "--jobs must be in [1, 1024], got '%s'\n",
+                     Argv[I + 1]);
+        std::exit(2);
+      }
+      Requested = static_cast<unsigned>(V);
+    }
+  return exp::resolveJobs(Requested);
+}
+
+/// Prints the engine's `runner.*` accounting to stderr (stderr so that
+/// stdout and `--json` output stay byte-identical across job counts —
+/// wall-clock numbers are inherently nondeterministic).
+inline void printRunnerSummary(const tel::MetricRegistry &R) {
+  const tel::Counter *Tasks = R.findCounter("runner.tasks");
+  const tel::Counter *Wall = R.findCounter("runner.wall_us");
+  const tel::Counter *Busy = R.findCounter("runner.busy_us");
+  const tel::Gauge *Jobs = R.findGauge("runner.jobs");
+  const tel::Gauge *Speedup = R.findGauge("runner.speedup_x100");
+  if (!Tasks || !Wall || !Busy || !Jobs || !Speedup)
+    return;
+  std::fprintf(stderr,
+               "runner: jobs=%llu tasks=%llu wall=%.2fs busy=%.2fs "
+               "speedup=%.2fx\n",
+               static_cast<unsigned long long>(Jobs->Value),
+               static_cast<unsigned long long>(Tasks->Value),
+               static_cast<double>(Wall->Value) / 1e6,
+               static_cast<double>(Busy->Value) / 1e6,
+               static_cast<double>(Speedup->Value) / 100.0);
+}
 
 inline void printHeader(const char *Artifact, const char *Description) {
   std::printf("==============================================================="

@@ -39,6 +39,16 @@ int main(int Argc, char **Argv) {
   StaticParams.UseDynamic = false;
   opt::J9Oracle J9Static(StaticParams);
 
+  // Each benchmark's three steady-state runs (base / timer / cbs) are
+  // one task; rows commit in suite order so output is byte-identical
+  // at any job count. The oracles are shared across workers read-only.
+  unsigned Jobs = jobsFromArgs(Argc, Argv);
+  tel::MetricRegistry RunnerMetrics;
+  exp::ParallelConfig Par;
+  Par.Jobs = Jobs;
+  Par.Metrics = &RunnerMetrics;
+  const std::vector<wl::WorkloadInfo> &Suite = wl::suite();
+
   // --- Left: Jikes RVM -----------------------------------------------------
   {
     std::printf("--- Jikes RVM personality: new inliner, speedup over "
@@ -49,35 +59,46 @@ int main(int Argc, char **Argv) {
     TP.setHeader(Header);
     Report.beginTable("jikes_speedup", Header);
     std::vector<double> TimerAll, CBSAll;
-    for (const wl::WorkloadInfo &W : wl::suite()) {
-      bc::Program P = W.Build(wl::InputSize::Steady, 1);
+    struct JikesResult {
+      exp::ThroughputResult Base, Timer, CBS;
+    };
+    std::vector<JikesResult> Results(Suite.size());
+    exp::ParallelRunner Runner(Par);
+    Runner.run(
+        Suite.size(),
+        [&](exp::ParallelRunner::TaskContext &Ctx) {
+          bc::Program P = Suite[Ctx.Index].Build(wl::InputSize::Steady, 1);
 
-      exp::SpeedupOptions Base;
-      Base.Pers = vm::Personality::JikesRVM;
-      Base.Oracle = &NewInliner; // Static decisions from an empty DCG.
-      Base.Prof.Kind = vm::ProfilerKind::None;
-      exp::ThroughputResult BaseR = exp::measureThroughput(P, Base);
+          exp::SpeedupOptions Base;
+          Base.Pers = vm::Personality::JikesRVM;
+          Base.Oracle = &NewInliner; // Static decisions from an empty DCG.
+          Base.Prof.Kind = vm::ProfilerKind::None;
 
-      exp::SpeedupOptions Timer = Base;
-      Timer.Prof = exp::baseProfiler(vm::Personality::JikesRVM);
-      exp::ThroughputResult TimerR = exp::measureThroughput(P, Timer);
+          exp::SpeedupOptions Timer = Base;
+          Timer.Prof = exp::baseProfiler(vm::Personality::JikesRVM);
 
-      exp::SpeedupOptions CBS = Base;
-      CBS.Prof = exp::chosenCBS(vm::Personality::JikesRVM);
-      exp::ThroughputResult CBSR = exp::measureThroughput(P, CBS);
+          exp::SpeedupOptions CBS = Base;
+          CBS.Prof = exp::chosenCBS(vm::Personality::JikesRVM);
 
-      double TimerPct = exp::speedupPercent(TimerR, BaseR);
-      double CBSPct = exp::speedupPercent(CBSR, BaseR);
-      TimerAll.push_back(TimerPct);
-      CBSAll.push_back(CBSPct);
-      std::vector<std::string> Row{
-          W.Name, TablePrinter::formatDouble(TimerPct, 1),
-          TablePrinter::formatDouble(CBSPct, 1),
-          std::to_string(CBSR.Recompilations),
-          TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)};
-      TP.addRow(Row);
-      Report.addRow(Row);
-    }
+          Results[Ctx.Index] = {exp::measureThroughput(P, Base),
+                                exp::measureThroughput(P, Timer),
+                                exp::measureThroughput(P, CBS)};
+          Ctx.Metrics.counter("exp.vm_runs") += 3;
+        },
+        [&](exp::ParallelRunner::TaskContext &Ctx) {
+          const JikesResult &R = Results[Ctx.Index];
+          double TimerPct = exp::speedupPercent(R.Timer, R.Base);
+          double CBSPct = exp::speedupPercent(R.CBS, R.Base);
+          TimerAll.push_back(TimerPct);
+          CBSAll.push_back(CBSPct);
+          std::vector<std::string> Row{
+              Suite[Ctx.Index].Name, TablePrinter::formatDouble(TimerPct, 1),
+              TablePrinter::formatDouble(CBSPct, 1),
+              std::to_string(R.CBS.Recompilations),
+              TablePrinter::formatDouble(R.CBS.CompileCycles / 1e6, 1)};
+          TP.addRow(Row);
+          Report.addRow(Row);
+        });
     TP.addSeparator();
     std::vector<std::string> AvgRow{
         "Average", TablePrinter::formatDouble(mean(TimerAll), 1),
@@ -99,42 +120,53 @@ int main(int Argc, char **Argv) {
     TP.setHeader(Header);
     Report.beginTable("j9_speedup", Header);
     std::vector<double> TimerAll, CBSAll, CompileDelta;
-    for (const wl::WorkloadInfo &W : wl::suite()) {
-      bc::Program P = W.Build(wl::InputSize::Steady, 1);
+    struct J9Result {
+      exp::ThroughputResult Base, Timer, CBS;
+    };
+    std::vector<J9Result> Results(Suite.size());
+    exp::ParallelRunner Runner(Par);
+    Runner.run(
+        Suite.size(),
+        [&](exp::ParallelRunner::TaskContext &Ctx) {
+          bc::Program P = Suite[Ctx.Index].Build(wl::InputSize::Steady, 1);
 
-      exp::SpeedupOptions Base;
-      Base.Pers = vm::Personality::J9;
-      Base.Oracle = &J9Static;
-      Base.Prof.Kind = vm::ProfilerKind::None;
-      exp::ThroughputResult BaseR = exp::measureThroughput(P, Base);
+          exp::SpeedupOptions Base;
+          Base.Pers = vm::Personality::J9;
+          Base.Oracle = &J9Static;
+          Base.Prof.Kind = vm::ProfilerKind::None;
 
-      exp::SpeedupOptions Timer = Base;
-      Timer.Prof = exp::baseProfiler(vm::Personality::J9);
-      Timer.Oracle = &J9Dynamic;
-      exp::ThroughputResult TimerR = exp::measureThroughput(P, Timer);
+          exp::SpeedupOptions Timer = Base;
+          Timer.Prof = exp::baseProfiler(vm::Personality::J9);
+          Timer.Oracle = &J9Dynamic;
 
-      exp::SpeedupOptions CBS = Base;
-      CBS.Prof = exp::chosenCBS(vm::Personality::J9);
-      CBS.Oracle = &J9Dynamic;
-      exp::ThroughputResult CBSR = exp::measureThroughput(P, CBS);
+          exp::SpeedupOptions CBS = Base;
+          CBS.Prof = exp::chosenCBS(vm::Personality::J9);
+          CBS.Oracle = &J9Dynamic;
 
-      double TimerPct = exp::speedupPercent(TimerR, BaseR);
-      double CBSPct = exp::speedupPercent(CBSR, BaseR);
-      TimerAll.push_back(TimerPct);
-      CBSAll.push_back(CBSPct);
-      if (BaseR.CompileCycles > 0)
-        CompileDelta.push_back(100.0 *
-                               (static_cast<double>(CBSR.CompileCycles) /
-                                    BaseR.CompileCycles -
-                                1.0));
-      std::vector<std::string> Row{
-          W.Name, TablePrinter::formatDouble(TimerPct, 1),
-          TablePrinter::formatDouble(CBSPct, 1),
-          TablePrinter::formatDouble(BaseR.CompileCycles / 1e6, 1),
-          TablePrinter::formatDouble(CBSR.CompileCycles / 1e6, 1)};
-      TP.addRow(Row);
-      Report.addRow(Row);
-    }
+          Results[Ctx.Index] = {exp::measureThroughput(P, Base),
+                                exp::measureThroughput(P, Timer),
+                                exp::measureThroughput(P, CBS)};
+          Ctx.Metrics.counter("exp.vm_runs") += 3;
+        },
+        [&](exp::ParallelRunner::TaskContext &Ctx) {
+          const J9Result &R = Results[Ctx.Index];
+          double TimerPct = exp::speedupPercent(R.Timer, R.Base);
+          double CBSPct = exp::speedupPercent(R.CBS, R.Base);
+          TimerAll.push_back(TimerPct);
+          CBSAll.push_back(CBSPct);
+          if (R.Base.CompileCycles > 0)
+            CompileDelta.push_back(
+                100.0 * (static_cast<double>(R.CBS.CompileCycles) /
+                             R.Base.CompileCycles -
+                         1.0));
+          std::vector<std::string> Row{
+              Suite[Ctx.Index].Name, TablePrinter::formatDouble(TimerPct, 1),
+              TablePrinter::formatDouble(CBSPct, 1),
+              TablePrinter::formatDouble(R.Base.CompileCycles / 1e6, 1),
+              TablePrinter::formatDouble(R.CBS.CompileCycles / 1e6, 1)};
+          TP.addRow(Row);
+          Report.addRow(Row);
+        });
     TP.addSeparator();
     std::vector<std::string> AvgRow{
         "Average", TablePrinter::formatDouble(mean(TimerAll), 1),
@@ -164,37 +196,46 @@ int main(int Argc, char **Argv) {
     Report.beginTable("whole_program_compile_cost", Header);
     vm::CostModel Costs;
     std::vector<double> Deltas;
-    for (const wl::WorkloadInfo &W : wl::suite()) {
-      bc::Program P = W.Build(wl::InputSize::Small, 1);
-      // Mature cbs profile from a full small-input run.
-      vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::J9, 1);
-      Config.Profiler = exp::chosenCBS(vm::Personality::J9);
-      vm::VirtualMachine VM(P, Config);
-      VM.run();
+    std::vector<std::pair<uint64_t, uint64_t>> CostPairs(Suite.size());
+    exp::ParallelRunner Runner(Par);
+    Runner.run(
+        Suite.size(),
+        [&](exp::ParallelRunner::TaskContext &Ctx) {
+          bc::Program P = Suite[Ctx.Index].Build(wl::InputSize::Small, 1);
+          // Mature cbs profile from a full small-input run.
+          vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::J9, 1);
+          Config.Profiler = exp::chosenCBS(vm::Personality::J9);
+          vm::VirtualMachine VM(P, Config);
+          VM.run();
 
-      opt::InlinePlan StaticPlan =
-          J9Static.plan(P, prof::DynamicCallGraph());
-      opt::InlinePlan DynPlan = J9Dynamic.plan(P, VM.profile());
+          opt::InlinePlan StaticPlan =
+              J9Static.plan(P, prof::DynamicCallGraph());
+          opt::InlinePlan DynPlan = J9Dynamic.plan(P, VM.profile());
 
-      auto totalCompile = [&](const opt::InlinePlan &Plan) {
-        uint64_t Total = 0;
-        for (bc::MethodId M = 0; M != P.numMethods(); ++M)
-          Total += opt::compileMethod(P, M, 2, Plan, Costs)
-                       .CompileCostCycles;
-        return Total;
-      };
-      uint64_t StaticCost = totalCompile(StaticPlan);
-      uint64_t DynCost = totalCompile(DynPlan);
-      double Delta =
-          100.0 * (static_cast<double>(DynCost) / StaticCost - 1.0);
-      Deltas.push_back(Delta);
-      std::vector<std::string> Row{
-          W.Name, TablePrinter::formatDouble(StaticCost / 1e6, 1),
-          TablePrinter::formatDouble(DynCost / 1e6, 1),
-          TablePrinter::formatDouble(Delta, 1)};
-      TP.addRow(Row);
-      Report.addRow(Row);
-    }
+          auto totalCompile = [&](const opt::InlinePlan &Plan) {
+            uint64_t Total = 0;
+            for (bc::MethodId M = 0; M != P.numMethods(); ++M)
+              Total += opt::compileMethod(P, M, 2, Plan, Costs)
+                           .CompileCostCycles;
+            return Total;
+          };
+          CostPairs[Ctx.Index] = {totalCompile(StaticPlan),
+                                  totalCompile(DynPlan)};
+          Ctx.Metrics.counter("exp.vm_runs") += 1;
+        },
+        [&](exp::ParallelRunner::TaskContext &Ctx) {
+          auto [StaticCost, DynCost] = CostPairs[Ctx.Index];
+          double Delta =
+              100.0 * (static_cast<double>(DynCost) / StaticCost - 1.0);
+          Deltas.push_back(Delta);
+          std::vector<std::string> Row{
+              Suite[Ctx.Index].Name,
+              TablePrinter::formatDouble(StaticCost / 1e6, 1),
+              TablePrinter::formatDouble(DynCost / 1e6, 1),
+              TablePrinter::formatDouble(Delta, 1)};
+          TP.addRow(Row);
+          Report.addRow(Row);
+        });
     TP.addSeparator();
     std::vector<std::string> AvgRow{"Average", "", "",
                                     TablePrinter::formatDouble(mean(Deltas),
@@ -205,5 +246,6 @@ int main(int Argc, char **Argv) {
     std::printf("\npaper landmark: dynamic heuristics reduced compilation "
                 "time ~9%% on average.\n");
   }
+  printRunnerSummary(RunnerMetrics);
   return 0;
 }

@@ -1,0 +1,93 @@
+//===- bench/micro_parallel_runner.cpp - parallel engine microbench ------------===//
+//
+// Part of the CBSVM project.
+//
+// Google-benchmark scaling curves for the deterministic parallel
+// experiment engine (experiments/ParallelRunner.h) as *host* code:
+//
+//  - BM_RunnerDispatchOverhead: empty tasks — the per-task cost of the
+//    pool itself (context construction, queueing, index-order commit).
+//  - BM_RunnerVMGrid/<jobs>: a realistic grid of short VM accuracy runs
+//    fanned out over 1/2/4/8 workers. On a multi-core host, items/sec
+//    should scale nearly linearly until jobs exceeds physical cores;
+//    the committed results are byte-identical at every point on the
+//    curve (asserted here per iteration).
+//  - BM_MetricRegistryMerge: the commit-phase merge cost per registry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiments.h"
+#include "experiments/ParallelRunner.h"
+#include "telemetry/MetricRegistry.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cbs;
+
+static void BM_RunnerDispatchOverhead(benchmark::State &State) {
+  exp::ParallelConfig Par;
+  Par.Jobs = static_cast<unsigned>(State.range(0));
+  constexpr size_t Tasks = 512;
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    exp::ParallelRunner Runner(Par);
+    Runner.run(
+        Tasks, [](exp::ParallelRunner::TaskContext &) {},
+        [&](exp::ParallelRunner::TaskContext &Ctx) { Sum += Ctx.Index; });
+    if (Sum != Tasks * (Tasks - 1) / 2)
+      State.SkipWithError("commit sum mismatch");
+  }
+  State.SetItemsProcessed(State.iterations() * Tasks);
+}
+BENCHMARK(BM_RunnerDispatchOverhead)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_RunnerVMGrid(benchmark::State &State) {
+  exp::ParallelConfig Par;
+  Par.Jobs = static_cast<unsigned>(State.range(0));
+  const wl::WorkloadInfo &W = *wl::findWorkload("jess");
+  constexpr size_t Tasks = 8;
+
+  // Serial reference for the determinism assertion.
+  exp::ParallelConfig Serial;
+  Serial.Jobs = 1;
+  exp::AccuracyCell Reference = exp::measureAccuracyMedian(
+      W, wl::InputSize::Small, vm::Personality::JikesRVM,
+      exp::chosenCBS(vm::Personality::JikesRVM), Tasks, 1, Serial);
+
+  for (auto _ : State) {
+    exp::AccuracyCell Cell = exp::measureAccuracyMedian(
+        W, wl::InputSize::Small, vm::Personality::JikesRVM,
+        exp::chosenCBS(vm::Personality::JikesRVM), Tasks, 1, Par);
+    benchmark::DoNotOptimize(Cell);
+    if (Cell.AccuracyPct != Reference.AccuracyPct ||
+        Cell.OverheadPct != Reference.OverheadPct)
+      State.SkipWithError("parallel result diverged from serial schedule");
+  }
+  State.SetItemsProcessed(State.iterations() * Tasks);
+}
+BENCHMARK(BM_RunnerVMGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+static void BM_MetricRegistryMerge(benchmark::State &State) {
+  tel::MetricRegistry Source;
+  for (int I = 0; I != 32; ++I) {
+    Source.counter("bench.counter." + std::to_string(I)) += I;
+    Source.histogram("bench.histogram." + std::to_string(I)).record(I * 7);
+  }
+  for (auto _ : State) {
+    tel::MetricRegistry Parent;
+    Parent.merge(Source);
+    benchmark::DoNotOptimize(Parent.size());
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_MetricRegistryMerge);
+
+BENCHMARK_MAIN();

@@ -31,6 +31,7 @@ int main(int Argc, char **Argv) {
   std::vector<uint32_t> Samples = {1,  2,   4,   8,    16,  32,
                                    64, 128, 256, 1024, 4096, 8192};
   unsigned Runs = exp::envRuns(3);
+  unsigned Jobs = jobsFromArgs(Argc, Argv);
 
   std::vector<const wl::WorkloadInfo *> Workloads;
   for (const wl::WorkloadInfo &W : wl::suite())
@@ -40,9 +41,14 @@ int main(int Argc, char **Argv) {
               "(CBSVM_RUNS)\n\n",
               Workloads.size(), Runs);
 
+  tel::MetricRegistry RunnerMetrics;
+  exp::ParallelConfig Par;
+  Par.Jobs = Jobs;
+  Par.Metrics = &RunnerMetrics;
   exp::SweepResult R =
       exp::runSweep(vm::Personality::JikesRVM, Workloads,
-                    wl::InputSize::Small, Strides, Samples, Runs, 1);
+                    wl::InputSize::Small, Strides, Samples, Runs, 1, Par);
+  printRunnerSummary(RunnerMetrics);
 
   TablePrinter TP;
   std::vector<std::string> Header{"Samples\\Stride"};

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an observability smoke test.
+# Tier-1 verification plus an observability smoke test, a ThreadSanitizer
+# pass over the parallel experiment engine, and a determinism check that
+# --jobs 8 produces byte-identical JSON to --jobs 1.
 #
 # Usage: scripts/check.sh [build-dir]
 #
@@ -7,6 +9,8 @@
 #   CBSVM_SANITIZE=address|undefined|...  configure the build with
 #       -DCBSVM_SANITIZE (fresh configure only; an existing build dir
 #       keeps its cached setting).
+#   CBSVM_SKIP_TSAN=1  skip the ThreadSanitizer stage (it maintains a
+#       second build tree at <build-dir>-tsan).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,7 +34,9 @@ echo "== observability smoke =="
 TRACE=$(mktemp /tmp/cbsvm-trace.XXXXXX.json)
 METRICS=$(mktemp /tmp/cbsvm-metrics.XXXXXX.json)
 STATS=$(mktemp /tmp/cbsvm-stats.XXXXXX.json)
-trap 'rm -f "$TRACE" "$METRICS" "$STATS"' EXIT
+JOBS1=$(mktemp /tmp/cbsvm-jobs1.XXXXXX.json)
+JOBS8=$(mktemp /tmp/cbsvm-jobs8.XXXXXX.json)
+trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
 "$CBSVM" run compress --trace "$TRACE" --metrics-json "$METRICS"
@@ -52,5 +58,21 @@ assert ticks == metrics["counters"]["vm.timer_ticks"], \
     (ticks, metrics["counters"]["vm.timer_ticks"])
 print(f"trace/metrics agree: {samples} samples, {ticks} ticks")
 EOF
+
+echo "== parallel determinism =="
+# One sweep serial, one fanned out over 8 workers: the JSON reports must
+# be byte-identical (the engine commits results in grid-index order).
+CBSVM_RUNS=1 "$BUILD/bench/table2a_jikes_sweep" --json "$JOBS1" --jobs 1 >/dev/null
+CBSVM_RUNS=1 "$BUILD/bench/table2a_jikes_sweep" --json "$JOBS8" --jobs 8 >/dev/null
+cmp "$JOBS1" "$JOBS8"
+echo "jobs=1 and jobs=8 sweeps are byte-identical"
+
+if [[ "${CBSVM_SKIP_TSAN:-}" != "1" ]]; then
+  echo "== thread sanitizer: parallel engine =="
+  TSAN_BUILD="${BUILD}-tsan"
+  cmake -B "$TSAN_BUILD" -S . -DCBSVM_SANITIZE=thread
+  cmake --build "$TSAN_BUILD" -j --target ParallelRunnerTest
+  (cd "$TSAN_BUILD" && CBSVM_JOBS=8 ctest --output-on-failure -R '^ParallelRunner')
+fi
 
 echo "== all checks passed =="

@@ -95,18 +95,34 @@ AccuracyCell exp::measureAccuracyMedian(const wl::WorkloadInfo &W,
                                         wl::InputSize Size,
                                         vm::Personality Pers,
                                         const vm::ProfilerOptions &Prof,
-                                        unsigned Runs, uint64_t BaseSeed) {
+                                        unsigned Runs, uint64_t BaseSeed,
+                                        const ParallelConfig &Par) {
   std::vector<double> Overheads, Accuracies;
   uint64_t Samples = 0;
-  for (unsigned R = 0; R != Runs; ++R) {
-    uint64_t Seed = BaseSeed + R;
-    bc::Program P = W.Build(Size, Seed);
-    PerfectProfile Perfect = runPerfect(P, Pers, Seed);
-    AccuracyCell Cell = measureAccuracy(P, Pers, Prof, Perfect, Seed);
-    Overheads.push_back(Cell.OverheadPct);
-    Accuracies.push_back(Cell.AccuracyPct);
-    Samples += Cell.SamplesTaken;
-  }
+
+  // One task per seed. Each task writes only its own slot of Cells (the
+  // disjoint per-index slot the ownership contract allows); the commit
+  // phase folds the slots into the shared accumulators in seed order.
+  std::vector<AccuracyCell> Cells(Runs);
+  ParallelRunner Runner(Par);
+  Runner.run(
+      Runs,
+      [&](ParallelRunner::TaskContext &Ctx) {
+        uint64_t Seed = BaseSeed + Ctx.Index;
+        bc::Program P = W.Build(Size, Seed);
+        PerfectProfile Perfect = runPerfect(P, Pers, Seed);
+        Cells[Ctx.Index] = measureAccuracy(P, Pers, Prof, Perfect, Seed);
+        Ctx.Metrics.counter("exp.vm_runs") += 2;
+        Ctx.Metrics.counter("exp.samples_taken") +=
+            Cells[Ctx.Index].SamplesTaken;
+      },
+      [&](ParallelRunner::TaskContext &Ctx) {
+        const AccuracyCell &Cell = Cells[Ctx.Index];
+        Overheads.push_back(Cell.OverheadPct);
+        Accuracies.push_back(Cell.AccuracyPct);
+        Samples += Cell.SamplesTaken;
+      });
+
   AccuracyCell Median;
   Median.OverheadPct = median(Overheads);
   Median.AccuracyPct = median(Accuracies);
@@ -118,7 +134,8 @@ SweepResult exp::runSweep(
     vm::Personality Pers,
     const std::vector<const wl::WorkloadInfo *> &Workloads,
     wl::InputSize Size, std::vector<uint32_t> Strides,
-    std::vector<uint32_t> SamplesPerTick, unsigned Runs, uint64_t BaseSeed) {
+    std::vector<uint32_t> SamplesPerTick, unsigned Runs, uint64_t BaseSeed,
+    const ParallelConfig &Par) {
   SweepResult Result;
   Result.Strides = std::move(Strides);
   Result.SamplesPerTick = std::move(SamplesPerTick);
@@ -130,33 +147,57 @@ SweepResult exp::runSweep(
   std::vector<std::vector<double>> OverheadBySeed(NumCells),
       AccuracyBySeed(NumCells);
 
-  for (unsigned R = 0; R != Runs; ++R) {
-    uint64_t Seed = BaseSeed + R;
-    std::vector<double> OverheadSum(NumCells, 0), AccuracySum(NumCells, 0);
-    for (const wl::WorkloadInfo *W : Workloads) {
-      bc::Program P = W->Build(Size, Seed);
-      PerfectProfile Perfect = runPerfect(P, Pers, Seed);
-      for (size_t SI = 0; SI != Result.SamplesPerTick.size(); ++SI) {
-        for (size_t TI = 0; TI != Result.Strides.size(); ++TI) {
-          vm::ProfilerOptions Prof;
-          Prof.Kind = vm::ProfilerKind::CBS;
-          Prof.CBS.Stride = Result.Strides[TI];
-          Prof.CBS.SamplesPerTick = Result.SamplesPerTick[SI];
-          AccuracyCell Cell =
-              measureAccuracy(P, Pers, Prof, Perfect, Seed);
-          size_t Idx = SI * Result.Strides.size() + TI;
-          OverheadSum[Idx] += Cell.OverheadPct;
-          AccuracySum[Idx] += Cell.AccuracyPct;
+  // One task per (seed, workload) pair, seed-major so index-order
+  // commits reproduce the serial accumulation order exactly: within a
+  // seed, workloads fold into the running sums in suite order, and the
+  // per-seed averages are pushed when the seed's last workload commits.
+  size_t TasksPerSeed = Workloads.size();
+  std::vector<std::vector<AccuracyCell>> TaskCells(Runs * TasksPerSeed);
+  std::vector<double> OverheadSum(NumCells, 0), AccuracySum(NumCells, 0);
+
+  ParallelRunner Runner(Par);
+  Runner.run(
+      Runs * TasksPerSeed,
+      [&](ParallelRunner::TaskContext &Ctx) {
+        uint64_t Seed = BaseSeed + Ctx.Index / TasksPerSeed;
+        const wl::WorkloadInfo *W = Workloads[Ctx.Index % TasksPerSeed];
+        bc::Program P = W->Build(Size, Seed);
+        PerfectProfile Perfect = runPerfect(P, Pers, Seed);
+        std::vector<AccuracyCell> &Cells = TaskCells[Ctx.Index];
+        Cells.resize(NumCells);
+        for (size_t SI = 0; SI != Result.SamplesPerTick.size(); ++SI) {
+          for (size_t TI = 0; TI != Result.Strides.size(); ++TI) {
+            vm::ProfilerOptions Prof;
+            Prof.Kind = vm::ProfilerKind::CBS;
+            Prof.CBS.Stride = Result.Strides[TI];
+            Prof.CBS.SamplesPerTick = Result.SamplesPerTick[SI];
+            Cells[SI * Result.Strides.size() + TI] =
+                measureAccuracy(P, Pers, Prof, Perfect, Seed);
+          }
         }
-      }
-    }
-    for (size_t Idx = 0; Idx != NumCells; ++Idx) {
-      OverheadBySeed[Idx].push_back(OverheadSum[Idx] /
-                                    static_cast<double>(Workloads.size()));
-      AccuracyBySeed[Idx].push_back(AccuracySum[Idx] /
-                                    static_cast<double>(Workloads.size()));
-    }
-  }
+        Ctx.Metrics.counter("exp.vm_runs") += 1 + NumCells;
+        for (const AccuracyCell &Cell : Cells)
+          Ctx.Metrics.counter("exp.samples_taken") += Cell.SamplesTaken;
+      },
+      [&](ParallelRunner::TaskContext &Ctx) {
+        std::vector<AccuracyCell> &Cells = TaskCells[Ctx.Index];
+        for (size_t Idx = 0; Idx != NumCells; ++Idx) {
+          OverheadSum[Idx] += Cells[Idx].OverheadPct;
+          AccuracySum[Idx] += Cells[Idx].AccuracyPct;
+        }
+        Cells.clear();
+        Cells.shrink_to_fit();
+        if (Ctx.Index % TasksPerSeed == TasksPerSeed - 1) {
+          for (size_t Idx = 0; Idx != NumCells; ++Idx) {
+            OverheadBySeed[Idx].push_back(
+                OverheadSum[Idx] / static_cast<double>(Workloads.size()));
+            AccuracyBySeed[Idx].push_back(
+                AccuracySum[Idx] / static_cast<double>(Workloads.size()));
+          }
+          OverheadSum.assign(NumCells, 0);
+          AccuracySum.assign(NumCells, 0);
+        }
+      });
 
   for (size_t SI = 0; SI != Result.SamplesPerTick.size(); ++SI)
     for (size_t TI = 0; TI != Result.Strides.size(); ++TI) {

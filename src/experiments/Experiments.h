@@ -26,6 +26,7 @@
 #define CBSVM_EXPERIMENTS_EXPERIMENTS_H
 
 #include "aos/AdaptiveSystem.h"
+#include "experiments/ParallelRunner.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/Workloads.h"
 
@@ -68,10 +69,14 @@ AccuracyCell measureAccuracy(const bc::Program &P, vm::Personality Pers,
                              const PerfectProfile &Perfect, uint64_t Seed);
 
 /// Median-over-seeds accuracy/overhead for one workload+configuration.
+/// Seeds fan out across \p Par's worker pool (one task per seed);
+/// results commit in seed order, so every statistic is byte-identical
+/// to the serial schedule at any job count.
 AccuracyCell measureAccuracyMedian(const wl::WorkloadInfo &W,
                                    wl::InputSize Size, vm::Personality Pers,
                                    const vm::ProfilerOptions &Prof,
-                                   unsigned Runs, uint64_t BaseSeed);
+                                   unsigned Runs, uint64_t BaseSeed,
+                                   const ParallelConfig &Par = {});
 
 /// The Table 2 grid: overhead/accuracy per (Samples, Stride) cell,
 /// averaged over \p Workloads, median over \p Runs seeds.
@@ -82,11 +87,16 @@ struct SweepResult {
   std::vector<std::vector<AccuracyCell>> Cells;
 };
 
+/// The grid fans out across \p Par's worker pool as one task per
+/// (seed, workload) pair — each task is a pure function of its grid
+/// index — and commits in grid order, so the result (including every
+/// floating-point accumulation) is byte-identical to the serial
+/// schedule at any job count.
 SweepResult runSweep(vm::Personality Pers,
                      const std::vector<const wl::WorkloadInfo *> &Workloads,
                      wl::InputSize Size, std::vector<uint32_t> Strides,
                      std::vector<uint32_t> SamplesPerTick, unsigned Runs,
-                     uint64_t BaseSeed);
+                     uint64_t BaseSeed, const ParallelConfig &Par = {});
 
 /// The paper's chosen "knee" CBS configurations (Table 3 / Figure 5):
 /// Stride=3, Samples=16 for the Jikes RVM personality and Stride=7,

@@ -1,0 +1,151 @@
+//===- experiments/ParallelRunner.cpp - Deterministic task pool ----------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/ParallelRunner.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace cbs;
+using namespace cbs::exp;
+
+unsigned exp::resolveJobs(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  if (const char *Env = std::getenv("CBSVM_JOBS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V >= 1 && V <= 1024)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ParallelRunner::ParallelRunner(ParallelConfig Config)
+    : Config(Config), Jobs(resolveJobs(Config.Jobs)) {}
+
+namespace {
+
+uint64_t nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+void ParallelRunner::commit(TaskContext &Ctx, const CommitFn &Commit) {
+  // Calling thread only. Merge order is the index order, which makes
+  // parent-registry contents independent of worker scheduling.
+  if (Config.Metrics)
+    Config.Metrics->merge(Ctx.Metrics);
+  if (Config.Trace)
+    Ctx.Trace.drainTo(*Config.Trace);
+  if (Commit)
+    Commit(Ctx);
+  Last.BusyMicros += Ctx.TaskMicros;
+}
+
+void ParallelRunner::run(size_t NumTasks, const TaskFn &Task,
+                         const CommitFn &Commit) {
+  Last = RunStats();
+  Last.Jobs = Jobs;
+  Last.Tasks = NumTasks;
+  uint64_t WallStart = nowMicros();
+
+  auto makeContext = [&](size_t Index) {
+    auto Ctx = std::make_unique<TaskContext>();
+    Ctx->Index = Index;
+    Ctx->RNG.reseed(Config.SeedBase + Index);
+    return Ctx;
+  };
+  auto runTask = [&](TaskContext &Ctx) {
+    uint64_t Start = nowMicros();
+    Task(Ctx);
+    Ctx.TaskMicros = nowMicros() - Start;
+  };
+
+  if (Jobs == 1 || NumTasks <= 1) {
+    // The serial path: no threads, same per-task seeding and commit
+    // order as the pool, so the two paths are interchangeable.
+    for (size_t I = 0; I != NumTasks; ++I) {
+      auto Ctx = makeContext(I);
+      runTask(*Ctx);
+      commit(*Ctx, Commit);
+    }
+  } else {
+    // Fixed-size pool. Workers claim indices from a shared cursor and
+    // park finished contexts in their slot; the calling thread commits
+    // slots in index order as they become ready (pipelined: commits of
+    // early indices overlap execution of later ones).
+    std::mutex Mutex;
+    std::condition_variable Ready;
+    std::vector<std::unique_ptr<TaskContext>> Finished(NumTasks);
+    size_t NextIndex = 0;
+
+    auto worker = [&] {
+      for (;;) {
+        size_t Index;
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          if (NextIndex == NumTasks)
+            return;
+          Index = NextIndex++;
+        }
+        auto Ctx = makeContext(Index);
+        runTask(*Ctx);
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          Finished[Index] = std::move(Ctx);
+        }
+        Ready.notify_one();
+      }
+    };
+
+    std::vector<std::thread> Pool;
+    unsigned NumWorkers =
+        static_cast<unsigned>(std::min<size_t>(Jobs, NumTasks));
+    Pool.reserve(NumWorkers);
+    for (unsigned W = 0; W != NumWorkers; ++W)
+      Pool.emplace_back(worker);
+
+    for (size_t I = 0; I != NumTasks; ++I) {
+      std::unique_ptr<TaskContext> Ctx;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        Ready.wait(Lock, [&] { return Finished[I] != nullptr; });
+        Ctx = std::move(Finished[I]);
+      }
+      commit(*Ctx, Commit);
+    }
+
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Last.WallMicros = nowMicros() - WallStart;
+  if (Config.Metrics)
+    publishMetrics(*Config.Metrics, Last);
+}
+
+void ParallelRunner::publishMetrics(tel::MetricRegistry &R,
+                                    const RunStats &Stats) {
+  R.counter("runner.tasks") += Stats.Tasks;
+  R.counter("runner.wall_us") += Stats.WallMicros;
+  R.counter("runner.busy_us") += Stats.BusyMicros;
+  R.gauge("runner.jobs") = Stats.Jobs;
+  // Aggregate speedup over every region published so far.
+  uint64_t Wall = R.counter("runner.wall_us");
+  uint64_t Busy = R.counter("runner.busy_us");
+  R.gauge("runner.speedup_x100") =
+      Wall == 0 ? 100 : (Busy * 100 + Wall / 2) / Wall;
+}

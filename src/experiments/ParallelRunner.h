@@ -1,0 +1,144 @@
+//===- experiments/ParallelRunner.h - Deterministic task pool ---*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic parallel experiment engine. Every table and figure
+/// is a grid of independent runs — each run is a pure function of
+/// (program, VMConfig, seed) — so the grid can fan out across cores
+/// without changing a single output byte, provided the *observable*
+/// side effects are committed in the serial order. This engine makes
+/// that contract explicit:
+///
+///  - A fixed-size worker pool executes tasks keyed by grid index.
+///  - Each task owns a TaskContext: a RandomEngine seeded from the grid
+///    index, a private tel::MetricRegistry, and a private trace
+///    collector. Workers never touch shared mutable state.
+///  - Results are committed on the *calling* thread in strict index
+///    order (task k's commit happens-after task k-1's), so reductions
+///    over floating-point sums, metric merges, and trace replays are
+///    byte-identical to the serial schedule regardless of job count.
+///
+/// Thread-ownership contract (see DESIGN.md §8):
+///  - The task callback runs on a worker thread. It may mutate only its
+///    TaskContext, task-local objects, and state owned exclusively by
+///    its grid index (e.g. slot k of a preallocated results vector);
+///    everything else it reads from the enclosing scope must be
+///    immutable for the duration of run().
+///  - The commit callback runs on the calling thread, in index order,
+///    and is the only place allowed to touch shared accumulators.
+///  - The parent registry / trace sink are touched only by the calling
+///    thread (merges happen at commit time, never from workers).
+///
+/// Jobs == 1 runs everything inline on the calling thread — the exact
+/// serial path, no threads spawned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_EXPERIMENTS_PARALLELRUNNER_H
+#define CBSVM_EXPERIMENTS_PARALLELRUNNER_H
+
+#include "support/Random.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/TraceSink.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace cbs::exp {
+
+/// Resolves a job count: \p Requested if nonzero, else the CBSVM_JOBS
+/// environment variable (1..1024), else std::thread::hardware_concurrency
+/// (at least 1). This is the single knob behind every bench binary's
+/// `--jobs N` flag.
+unsigned resolveJobs(unsigned Requested = 0);
+
+/// How a parallel region plugs into its caller: job count plus optional
+/// parent telemetry. Both parent pointers are non-owning and touched
+/// only from the calling thread.
+struct ParallelConfig {
+  /// 0 = resolveJobs() (CBSVM_JOBS, then hardware concurrency).
+  unsigned Jobs = 0;
+  /// Merge target for per-task registries and the engine's own
+  /// `runner.*` metrics (tasks, wall/busy micros, jobs, speedup).
+  tel::MetricRegistry *Metrics = nullptr;
+  /// Per-task trace events are replayed into this sink at commit time,
+  /// in index order — the interleaving matches a serial run.
+  tel::TraceSink *Trace = nullptr;
+  /// Added to the grid index to seed each TaskContext's RandomEngine.
+  uint64_t SeedBase = 0;
+};
+
+class ParallelRunner {
+public:
+  /// Everything a task owns. Created fresh per grid index; never shared
+  /// between tasks or threads.
+  struct TaskContext {
+    /// The grid index this task is keyed by.
+    size_t Index = 0;
+    /// Deterministic per-task stream: reseeded from SeedBase + Index,
+    /// independent of the worker the task lands on.
+    RandomEngine RNG;
+    /// Private per-run registry, merged into ParallelConfig::Metrics at
+    /// commit time (index order).
+    tel::MetricRegistry Metrics;
+    /// Private per-run trace buffer, replayed into
+    /// ParallelConfig::Trace at commit time (index order).
+    tel::CollectorSink Trace;
+    /// Host-time cost of the task body (filled by the engine).
+    uint64_t TaskMicros = 0;
+  };
+
+  using TaskFn = std::function<void(TaskContext &)>;
+  using CommitFn = std::function<void(TaskContext &)>;
+
+  explicit ParallelRunner(ParallelConfig Config = {});
+
+  /// The resolved worker count.
+  unsigned jobs() const { return Jobs; }
+
+  /// Executes Task(ctx) for every index in [0, NumTasks) across the
+  /// pool, then for each index, in strictly increasing order on the
+  /// calling thread: merges ctx.Metrics into the parent registry,
+  /// replays ctx.Trace into the parent sink, and invokes \p Commit.
+  /// Output is byte-identical to Jobs == 1 for any job count.
+  void run(size_t NumTasks, const TaskFn &Task, const CommitFn &Commit = {});
+
+  /// Host wall-clock accounting of the most recent run().
+  struct RunStats {
+    unsigned Jobs = 1;
+    uint64_t Tasks = 0;
+    uint64_t WallMicros = 0;
+    /// Sum of per-task host times: the serial-equivalent cost.
+    uint64_t BusyMicros = 0;
+    /// Busy / wall — the realized parallel speedup.
+    double speedup() const {
+      return WallMicros == 0
+                 ? 1.0
+                 : static_cast<double>(BusyMicros) /
+                       static_cast<double>(WallMicros);
+    }
+  };
+  const RunStats &lastRun() const { return Last; }
+
+  /// Publishes the engine's accumulated accounting as `runner.*`
+  /// metrics into \p R: counters runner.tasks / runner.wall_us /
+  /// runner.busy_us plus gauges runner.jobs and runner.speedup_x100
+  /// (recomputed from the registry's accumulated totals, so repeated
+  /// regions aggregate). Host-time values are nondeterministic by
+  /// nature and must never feed result tables.
+  static void publishMetrics(tel::MetricRegistry &R, const RunStats &Stats);
+
+private:
+  void commit(TaskContext &Ctx, const CommitFn &Commit);
+
+  ParallelConfig Config;
+  unsigned Jobs;
+  RunStats Last;
+};
+
+} // namespace cbs::exp
+
+#endif // CBSVM_EXPERIMENTS_PARALLELRUNNER_H

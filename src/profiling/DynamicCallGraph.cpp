@@ -7,6 +7,7 @@
 #include "profiling/DynamicCallGraph.h"
 
 #include "bytecode/Program.h"
+#include "support/ErrorHandling.h"
 
 #include <algorithm>
 #include <sstream>
@@ -55,12 +56,26 @@ DynamicCallGraph::sortedEdges() const {
 }
 
 void DynamicCallGraph::merge(const DynamicCallGraph &Other) {
+  if (&Other == this) {
+    // Self-merge must not iterate Weights while addSample() inserts
+    // into it (a rehash would invalidate the iterator). Doubling in
+    // place is the semantic equivalent.
+    for (auto &[Edge, Weight] : Weights)
+      Weight *= 2;
+    Total *= 2;
+    return;
+  }
   for (const auto &[Edge, Weight] : Other.Weights)
     addSample(Edge, Weight);
 }
 
 void DynamicCallGraph::decay(double Factor) {
-  assert(Factor > 0 && Factor < 1 && "decay factor must be in (0, 1)");
+  // Checked in release builds too: a factor >= 1 silently disables
+  // decay (the profile grows forever) and a factor <= 0 wipes the
+  // repository — both are caller bugs worth failing loudly on.
+  if (!(Factor > 0 && Factor < 1))
+    reportFatalError("DynamicCallGraph::decay factor must be in (0, 1), got " +
+                     std::to_string(Factor));
   Total = 0;
   for (auto It = Weights.begin(); It != Weights.end();) {
     uint64_t Decayed =

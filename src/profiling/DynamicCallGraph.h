@@ -56,14 +56,17 @@ public:
   /// All edges sorted heaviest first.
   std::vector<std::pair<CallEdge, uint64_t>> sortedEdges() const;
 
-  /// Merges \p Other into this graph.
+  /// Merges \p Other into this graph. Self-merge is well-defined and
+  /// doubles every weight in place.
   void merge(const DynamicCallGraph &Other);
 
   /// Exponentially decays every edge weight by \p Factor in (0, 1);
   /// edges whose weight rounds to zero are dropped. Jikes RVM's AOS
   /// periodically decays its sample data so the profile tracks *recent*
   /// behaviour — without decay, a long-lived profile is dominated by
-  /// history and adapts slowly to phase changes.
+  /// history and adapts slowly to phase changes. A factor outside
+  /// (0, 1) is a fatal usage error, enforced in release builds too
+  /// (>= 1 would grow the profile forever; <= 0 would wipe it).
   void decay(double Factor);
 
   /// Removes all edges and weights.

@@ -75,6 +75,20 @@ ParseResult prof::parseDCG(const std::string &Text) {
           "line " + std::to_string(LineNo) + ": zero weight edge";
       return Result;
     }
+    // Ids are 32-bit; range-check before narrowing so an oversized (or
+    // negative, which istream wraps to huge) id errors instead of
+    // silently truncating to some unrelated valid edge. The all-ones
+    // values are the Invalid sentinels and equally unusable.
+    if (Site >= bc::InvalidSiteId) {
+      Result.Error = "line " + std::to_string(LineNo) +
+                     ": site id out of range: " + std::to_string(Site);
+      return Result;
+    }
+    if (Callee >= bc::InvalidMethodId) {
+      Result.Error = "line " + std::to_string(LineNo) +
+                     ": callee id out of range: " + std::to_string(Callee);
+      return Result;
+    }
     CallEdge E{static_cast<bc::SiteId>(Site),
                static_cast<bc::MethodId>(Callee)};
     if (DCG.weight(E) != 0) {

@@ -32,6 +32,15 @@ Histogram &MetricRegistry::histogram(const std::string &Name) {
   return Histograms[Name];
 }
 
+void MetricRegistry::merge(const MetricRegistry &Other) {
+  for (const auto &[Name, C] : Other.Counters)
+    counter(Name) += C.Value;
+  for (const auto &[Name, G] : Other.Gauges)
+    gauge(Name) = G.Value;
+  for (const auto &[Name, H] : Other.Histograms)
+    histogram(Name).merge(H);
+}
+
 const Counter *MetricRegistry::findCounter(const std::string &Name) const {
   auto It = Counters.find(Name);
   return It == Counters.end() ? nullptr : &It->second;

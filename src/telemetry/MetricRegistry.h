@@ -88,6 +88,17 @@ public:
     Max = std::max(Max, V);
   }
 
+  /// Pointwise accumulation of \p Other: buckets, count, and sum add;
+  /// min/max combine. Equivalent to replaying Other's samples here.
+  void merge(const Histogram &Other) {
+    for (size_t I = 0; I != NumBuckets; ++I)
+      Buckets[I] += Other.Buckets[I];
+    NumSamples += Other.NumSamples;
+    Sum += Other.Sum;
+    Min = std::min(Min, Other.Min);
+    Max = std::max(Max, Other.Max);
+  }
+
   uint64_t count() const { return NumSamples; }
   uint64_t sum() const { return Sum; }
   /// Minimum recorded value; 0 when empty.
@@ -112,11 +123,24 @@ private:
 /// and always return the same address for the same name afterwards, so
 /// components can cache references at construction time and update them
 /// without lookups. A name must not be reused across metric types.
+///
+/// Thread-ownership contract: a registry is single-threaded state. The
+/// parallel experiment engine gives every task its own registry and
+/// merges them into the parent *after* the worker barrier, on the
+/// owning thread, in grid-index order (see experiments/ParallelRunner.h)
+/// — there is no locked shared registry on any hot path.
 class MetricRegistry {
 public:
   Counter &counter(const std::string &Name);
   Gauge &gauge(const std::string &Name);
   Histogram &histogram(const std::string &Name);
+
+  /// Folds \p Other into this registry as if Other's updates had been
+  /// replayed here after our own: counters and histograms accumulate;
+  /// gauges take Other's value (last write wins — merge order is the
+  /// caller's serial order, so this matches a shared serial registry).
+  /// A name present in both registries must have the same metric type.
+  void merge(const MetricRegistry &Other);
 
   /// Lookup without creation (nullptr when absent).
   const Counter *findCounter(const std::string &Name) const;

@@ -84,6 +84,60 @@ TEST(DCG, MergeAddsWeights) {
   EXPECT_EQ(A.totalWeight(), 9u);
 }
 
+TEST(DCG, SelfMergeDoublesEveryWeight) {
+  // Regression: merging a graph into itself used to iterate the edge
+  // map while inserting into it — a rehash mid-merge corrupted the
+  // weights. Self-merge is now doubling in place.
+  DynamicCallGraph DCG;
+  for (uint32_t I = 0; I != 100; ++I)
+    DCG.addSample(edge(I, I % 7), I + 1);
+  size_t EdgesBefore = DCG.numEdges();
+  uint64_t TotalBefore = DCG.totalWeight();
+  DCG.merge(DCG);
+  EXPECT_EQ(DCG.numEdges(), EdgesBefore);
+  EXPECT_EQ(DCG.totalWeight(), TotalBefore * 2);
+  for (uint32_t I = 0; I != 100; ++I)
+    EXPECT_EQ(DCG.weight(edge(I, I % 7)), uint64_t(I + 1) * 2);
+}
+
+TEST(DCG, SelfMergeMatchesMergingACopy) {
+  RandomEngine RNG(3);
+  DynamicCallGraph A = randomDCG(RNG, 200, 1000);
+  DynamicCallGraph B = A;    // independent copy
+  DynamicCallGraph Copy = A; // merge source snapshot
+  A.merge(A);
+  B.merge(Copy);
+  EXPECT_EQ(A.totalWeight(), B.totalWeight());
+  EXPECT_EQ(A.numEdges(), B.numEdges());
+  A.forEachEdge(
+      [&](CallEdge E, uint64_t W) { EXPECT_EQ(B.weight(E), W); });
+}
+
+TEST(DCG, DecayHalvesAndDropsZeroEdges) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(0, 0), 100);
+  DCG.addSample(edge(1, 1), 1); // rounds to zero at factor 0.5
+  DCG.decay(0.5);
+  EXPECT_EQ(DCG.weight(edge(0, 0)), 50u);
+  EXPECT_EQ(DCG.weight(edge(1, 1)), 0u);
+  EXPECT_EQ(DCG.numEdges(), 1u);
+  EXPECT_EQ(DCG.totalWeight(), 50u);
+}
+
+TEST(DCGDeathTest, DecayRejectsFactorAtOrAboveOne) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(0, 0), 10);
+  EXPECT_DEATH(DCG.decay(1.0), "factor must be in \\(0, 1\\)");
+  EXPECT_DEATH(DCG.decay(2.5), "factor must be in \\(0, 1\\)");
+}
+
+TEST(DCGDeathTest, DecayRejectsFactorAtOrBelowZero) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(0, 0), 10);
+  EXPECT_DEATH(DCG.decay(0.0), "factor must be in \\(0, 1\\)");
+  EXPECT_DEATH(DCG.decay(-0.5), "factor must be in \\(0, 1\\)");
+}
+
 TEST(DCG, ClearResets) {
   DynamicCallGraph DCG;
   DCG.addSample(edge(1, 1), 5);

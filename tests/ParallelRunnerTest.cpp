@@ -1,0 +1,287 @@
+//===- tests/ParallelRunnerTest.cpp - parallel engine tests --------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The deterministic parallel experiment engine: job resolution, the
+// every-index-exactly-once and strict-commit-order guarantees, per-task
+// RNG independence from worker placement, telemetry merge/replay
+// ordering, and — the property everything else exists for — bitwise
+// equality of experiment results between --jobs 1 and --jobs 8.
+//
+// All suites here are named ParallelRunner* so `ctest -R
+// '^ParallelRunner'` selects exactly this file (the TSan stage of
+// scripts/check.sh relies on that).
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiments.h"
+#include "experiments/ParallelRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace cbs;
+using namespace cbs::exp;
+
+namespace {
+
+ParallelConfig withJobs(unsigned Jobs) {
+  ParallelConfig Par;
+  Par.Jobs = Jobs;
+  return Par;
+}
+
+/// Restores (or clears) CBSVM_JOBS on scope exit so tests cannot leak
+/// the variable into each other.
+class ScopedJobsEnv {
+public:
+  explicit ScopedJobsEnv(const char *Value) {
+    const char *Old = std::getenv("CBSVM_JOBS");
+    HadOld = Old != nullptr;
+    if (HadOld)
+      OldValue = Old;
+    if (Value)
+      setenv("CBSVM_JOBS", Value, 1);
+    else
+      unsetenv("CBSVM_JOBS");
+  }
+  ~ScopedJobsEnv() {
+    if (HadOld)
+      setenv("CBSVM_JOBS", OldValue.c_str(), 1);
+    else
+      unsetenv("CBSVM_JOBS");
+  }
+
+private:
+  bool HadOld;
+  std::string OldValue;
+};
+
+} // namespace
+
+TEST(ParallelRunnerJobs, ExplicitRequestWins) {
+  ScopedJobsEnv Env("7");
+  EXPECT_EQ(resolveJobs(3), 3u);
+}
+
+TEST(ParallelRunnerJobs, EnvironmentVariableApplies) {
+  ScopedJobsEnv Env("7");
+  EXPECT_EQ(resolveJobs(), 7u);
+}
+
+TEST(ParallelRunnerJobs, BogusEnvironmentFallsThrough) {
+  for (const char *Bad : {"0", "-3", "garbage", "9999"}) {
+    ScopedJobsEnv Env(Bad);
+    EXPECT_GE(resolveJobs(), 1u) << "CBSVM_JOBS=" << Bad;
+  }
+}
+
+TEST(ParallelRunnerJobs, DefaultIsAtLeastOne) {
+  ScopedJobsEnv Env(nullptr);
+  EXPECT_GE(resolveJobs(), 1u);
+}
+
+TEST(ParallelRunnerPool, EveryIndexRunsExactlyOnce) {
+  constexpr size_t Tasks = 100;
+  std::mutex M;
+  std::multiset<size_t> Seen;
+  ParallelRunner Runner(withJobs(4));
+  Runner.run(Tasks, [&](ParallelRunner::TaskContext &Ctx) {
+    std::lock_guard<std::mutex> Lock(M);
+    Seen.insert(Ctx.Index);
+  });
+  ASSERT_EQ(Seen.size(), Tasks);
+  for (size_t I = 0; I != Tasks; ++I)
+    EXPECT_EQ(Seen.count(I), 1u) << "index " << I;
+}
+
+TEST(ParallelRunnerPool, CommitsInStrictIndexOrderOnCallingThread) {
+  constexpr size_t Tasks = 64;
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> Order;
+  ParallelRunner Runner(withJobs(8));
+  Runner.run(
+      Tasks, [](ParallelRunner::TaskContext &) {},
+      [&](ParallelRunner::TaskContext &Ctx) {
+        EXPECT_EQ(std::this_thread::get_id(), Caller);
+        Order.push_back(Ctx.Index);
+      });
+  ASSERT_EQ(Order.size(), Tasks);
+  for (size_t I = 0; I != Tasks; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ParallelRunnerPool, ZeroTasksIsANoOp) {
+  ParallelRunner Runner(withJobs(8));
+  bool Ran = false;
+  Runner.run(0, [&](ParallelRunner::TaskContext &) { Ran = true; },
+             [&](ParallelRunner::TaskContext &) { Ran = true; });
+  EXPECT_FALSE(Ran);
+  EXPECT_EQ(Runner.lastRun().Tasks, 0u);
+}
+
+TEST(ParallelRunnerPool, TaskRNGIsAFunctionOfIndexNotWorker) {
+  constexpr size_t Tasks = 32;
+  auto Draws = [](unsigned Jobs, uint64_t SeedBase) {
+    ParallelConfig Par = withJobs(Jobs);
+    Par.SeedBase = SeedBase;
+    std::vector<uint64_t> Values(Tasks);
+    ParallelRunner Runner(Par);
+    Runner.run(Tasks, [&](ParallelRunner::TaskContext &Ctx) {
+      Values[Ctx.Index] = Ctx.RNG.next();
+    });
+    return Values;
+  };
+  std::vector<uint64_t> Serial = Draws(1, 42);
+  EXPECT_EQ(Draws(8, 42), Serial);
+  EXPECT_EQ(Draws(3, 42), Serial);
+  // Distinct indices get distinct streams, and the base seed matters.
+  EXPECT_NE(Serial[0], Serial[1]);
+  EXPECT_NE(Draws(1, 43), Serial);
+  // The stream matches a directly seeded engine.
+  EXPECT_EQ(Serial[5], RandomEngine(42 + 5).next());
+}
+
+TEST(ParallelRunnerTelemetry, MetricsMergeInIndexOrder) {
+  constexpr size_t Tasks = 16;
+  tel::MetricRegistry Parent;
+  ParallelConfig Par = withJobs(8);
+  Par.Metrics = &Parent;
+  ParallelRunner Runner(Par);
+  Runner.run(Tasks, [](ParallelRunner::TaskContext &Ctx) {
+    Ctx.Metrics.counter("t.count") += Ctx.Index;
+    Ctx.Metrics.gauge("t.last") = Ctx.Index;
+    Ctx.Metrics.histogram("t.hist").record(Ctx.Index);
+  });
+  // Counters accumulate across all tasks.
+  ASSERT_NE(Parent.findCounter("t.count"), nullptr);
+  EXPECT_EQ(uint64_t(*Parent.findCounter("t.count")),
+            Tasks * (Tasks - 1) / 2);
+  // Gauges are last-write-wins, and commit order makes "last" the
+  // highest grid index no matter which worker finished last.
+  ASSERT_NE(Parent.findGauge("t.last"), nullptr);
+  EXPECT_EQ(uint64_t(*Parent.findGauge("t.last")), Tasks - 1);
+  // Histograms merge pointwise.
+  ASSERT_NE(Parent.findHistogram("t.hist"), nullptr);
+  EXPECT_EQ(Parent.findHistogram("t.hist")->count(), Tasks);
+  EXPECT_EQ(Parent.findHistogram("t.hist")->max(), Tasks - 1);
+}
+
+TEST(ParallelRunnerTelemetry, TraceReplayMatchesSerialInterleaving) {
+  constexpr size_t Tasks = 24;
+  tel::CollectorSink Parent;
+  ParallelConfig Par = withJobs(8);
+  Par.Trace = &Parent;
+  ParallelRunner Runner(Par);
+  Runner.run(Tasks, [](ParallelRunner::TaskContext &Ctx) {
+    // Two events per task; A carries the grid index.
+    Ctx.Trace.event(tel::TraceEvent::timerTick(
+        Ctx.Index, 0, static_cast<uint32_t>(Ctx.Index)));
+    Ctx.Trace.event(tel::TraceEvent::sample(
+        Ctx.Index, 0, static_cast<uint32_t>(Ctx.Index), 0));
+  });
+  ASSERT_EQ(Parent.numEvents(), Tasks * 2);
+  for (size_t I = 0; I != Tasks; ++I) {
+    EXPECT_EQ(Parent.events()[2 * I].Kind, tel::EventKind::TimerTick);
+    EXPECT_EQ(Parent.events()[2 * I].A, I);
+    EXPECT_EQ(Parent.events()[2 * I + 1].Kind, tel::EventKind::Sample);
+    EXPECT_EQ(Parent.events()[2 * I + 1].A, I);
+  }
+}
+
+TEST(ParallelRunnerTelemetry, PublishMetricsAggregatesAcrossRegions) {
+  tel::MetricRegistry R;
+  ParallelRunner::RunStats A;
+  A.Jobs = 4;
+  A.Tasks = 10;
+  A.WallMicros = 1000;
+  A.BusyMicros = 3000;
+  ParallelRunner::publishMetrics(R, A);
+  ParallelRunner::RunStats B;
+  B.Jobs = 4;
+  B.Tasks = 6;
+  B.WallMicros = 500;
+  B.BusyMicros = 1500;
+  ParallelRunner::publishMetrics(R, B);
+  EXPECT_EQ(uint64_t(*R.findCounter("runner.tasks")), 16u);
+  EXPECT_EQ(uint64_t(*R.findCounter("runner.wall_us")), 1500u);
+  EXPECT_EQ(uint64_t(*R.findCounter("runner.busy_us")), 4500u);
+  EXPECT_EQ(uint64_t(*R.findGauge("runner.jobs")), 4u);
+  // Speedup recomputed from the accumulated totals: 4500/1500 = 3.00x.
+  EXPECT_EQ(uint64_t(*R.findGauge("runner.speedup_x100")), 300u);
+}
+
+TEST(ParallelRunnerTelemetry, RunStatsAccountForEveryTask) {
+  constexpr size_t Tasks = 12;
+  ParallelRunner Runner(withJobs(3));
+  Runner.run(Tasks, [](ParallelRunner::TaskContext &) {});
+  const ParallelRunner::RunStats &S = Runner.lastRun();
+  EXPECT_EQ(S.Tasks, Tasks);
+  EXPECT_EQ(S.Jobs, 3u);
+  EXPECT_GE(S.speedup(), 0.0);
+}
+
+TEST(ParallelRunnerDeterminism, MedianAccuracyBitwiseEqualAcrossJobs) {
+  const wl::WorkloadInfo &W = *wl::findWorkload("jess");
+  AccuracyCell Serial =
+      measureAccuracyMedian(W, wl::InputSize::Small, vm::Personality::JikesRVM,
+                            chosenCBS(vm::Personality::JikesRVM), 5, 1,
+                            withJobs(1));
+  AccuracyCell Parallel =
+      measureAccuracyMedian(W, wl::InputSize::Small, vm::Personality::JikesRVM,
+                            chosenCBS(vm::Personality::JikesRVM), 5, 1,
+                            withJobs(8));
+  // Bitwise, not approximate: the engine promises the identical
+  // floating-point accumulation order.
+  EXPECT_EQ(Serial.OverheadPct, Parallel.OverheadPct);
+  EXPECT_EQ(Serial.AccuracyPct, Parallel.AccuracyPct);
+  EXPECT_EQ(Serial.SamplesTaken, Parallel.SamplesTaken);
+}
+
+TEST(ParallelRunnerDeterminism, SweepBitwiseEqualAcrossJobs) {
+  std::vector<const wl::WorkloadInfo *> Workloads = {
+      wl::findWorkload("jess"), wl::findWorkload("db")};
+  auto Sweep = [&](unsigned Jobs) {
+    return runSweep(vm::Personality::JikesRVM, Workloads,
+                    wl::InputSize::Small, {1, 3}, {1, 4}, 2, 1,
+                    withJobs(Jobs));
+  };
+  SweepResult Serial = Sweep(1);
+  SweepResult Parallel = Sweep(8);
+  ASSERT_EQ(Serial.Cells.size(), Parallel.Cells.size());
+  for (size_t S = 0; S != Serial.Cells.size(); ++S) {
+    ASSERT_EQ(Serial.Cells[S].size(), Parallel.Cells[S].size());
+    for (size_t T = 0; T != Serial.Cells[S].size(); ++T) {
+      EXPECT_EQ(Serial.Cells[S][T].OverheadPct,
+                Parallel.Cells[S][T].OverheadPct)
+          << "cell " << S << "," << T;
+      EXPECT_EQ(Serial.Cells[S][T].AccuracyPct,
+                Parallel.Cells[S][T].AccuracyPct)
+          << "cell " << S << "," << T;
+      EXPECT_EQ(Serial.Cells[S][T].SamplesTaken,
+                Parallel.Cells[S][T].SamplesTaken)
+          << "cell " << S << "," << T;
+    }
+  }
+}
+
+TEST(ParallelRunnerDeterminism, ExperimentCountersMatchAcrossJobs) {
+  const wl::WorkloadInfo &W = *wl::findWorkload("jess");
+  auto Run = [&](unsigned Jobs) {
+    tel::MetricRegistry Parent;
+    ParallelConfig Par = withJobs(Jobs);
+    Par.Metrics = &Parent;
+    measureAccuracyMedian(W, wl::InputSize::Small, vm::Personality::JikesRVM,
+                          chosenCBS(vm::Personality::JikesRVM), 4, 1, Par);
+    ASSERT_NE(Parent.findCounter("exp.vm_runs"), nullptr);
+    EXPECT_EQ(uint64_t(*Parent.findCounter("exp.vm_runs")), 8u);
+  };
+  Run(1);
+  Run(8);
+}

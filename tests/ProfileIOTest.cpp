@@ -70,6 +70,40 @@ TEST(ProfileIO, RejectsMalformedLines) {
       << "duplicate edge";
 }
 
+TEST(ProfileIO, RejectsOutOfRangeIds) {
+  // Regression: ids are 32-bit, but the parser read them as uint64 and
+  // silently truncated on the narrowing cast — an id of 2^32 + 5
+  // became edge (5, ...) and corrupted the profile instead of failing.
+  ParseResult Site = parseDCG("cbsvm-dcg 1\n4294967301 2 3\n");
+  ASSERT_FALSE(Site.ok());
+  EXPECT_NE(Site.Error.find("line 2"), std::string::npos) << Site.Error;
+  EXPECT_NE(Site.Error.find("site id out of range"), std::string::npos)
+      << Site.Error;
+
+  ParseResult Callee = parseDCG("cbsvm-dcg 1\n1 4294967301 3\n");
+  ASSERT_FALSE(Callee.ok());
+  EXPECT_NE(Callee.Error.find("callee id out of range"), std::string::npos)
+      << Callee.Error;
+}
+
+TEST(ProfileIO, RejectsInvalidSentinelAndNegativeIds) {
+  // The all-ones value is the Invalid sentinel — never a legal edge.
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n4294967295 2 3\n").ok());
+  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 4294967295 3\n").ok());
+  // A negative id wraps to a huge uint64 in istream extraction and must
+  // hit the same range check, not truncate to a plausible small id.
+  ParseResult Neg = parseDCG("cbsvm-dcg 1\n-1 2 3\n");
+  ASSERT_FALSE(Neg.ok());
+  EXPECT_NE(Neg.Error.find("out of range"), std::string::npos) << Neg.Error;
+}
+
+TEST(ProfileIO, AcceptsMaximalValidIds) {
+  // One below the sentinels is still a legal id and must parse.
+  ParseResult R = parseDCG("cbsvm-dcg 1\n4294967294 4294967294 3\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Graph->weight({4294967294u, 4294967294u}), 3u);
+}
+
 TEST(ProfileIO, SkipsCommentsAndBlankLines) {
   ParseResult R = parseDCG("cbsvm-dcg 1\n# hello\n\n1 2 3\n");
   ASSERT_TRUE(R.ok()) << R.Error;

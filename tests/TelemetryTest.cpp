@@ -133,6 +133,55 @@ TEST(MetricRegistry, SameNameSameAddress) {
   EXPECT_EQ(R.size(), 2u);
 }
 
+TEST(MetricRegistry, MergeAccumulatesByKind) {
+  MetricRegistry Parent, Child;
+  Parent.counter("c") += 10;
+  Parent.gauge("g") = 1;
+  Parent.histogram("h").record(4);
+  Child.counter("c") += 5;
+  Child.counter("only.child") += 2;
+  Child.gauge("g") = 9;
+  Child.histogram("h").record(100);
+
+  Parent.merge(Child);
+  // Counters add; names unique to the child are created.
+  EXPECT_EQ(uint64_t(*Parent.findCounter("c")), 15u);
+  EXPECT_EQ(uint64_t(*Parent.findCounter("only.child")), 2u);
+  // Gauges take the merged-in value (last write wins).
+  EXPECT_EQ(uint64_t(*Parent.findGauge("g")), 9u);
+  // Histograms merge pointwise: counts/sums add, extrema combine.
+  const Histogram *H = Parent.findHistogram("h");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->count(), 2u);
+  EXPECT_EQ(H->sum(), 104u);
+  EXPECT_EQ(H->min(), 4u);
+  EXPECT_EQ(H->max(), 100u);
+  // The child is untouched.
+  EXPECT_EQ(uint64_t(*Child.findCounter("c")), 5u);
+}
+
+TEST(MetricRegistry, MergeEmptyIsANoOp) {
+  MetricRegistry Parent, Empty;
+  Parent.counter("c") += 3;
+  std::string Before = Parent.toJson();
+  Parent.merge(Empty);
+  EXPECT_EQ(Parent.toJson(), Before);
+}
+
+TEST(TraceSink, CollectorDrainReplaysInOrderAndClears) {
+  CollectorSink Child, Parent;
+  for (uint32_t I = 0; I != 10; ++I)
+    Child.event(TraceEvent::timerTick(I, 0, I));
+  Child.drainTo(Parent);
+  EXPECT_EQ(Child.numEvents(), 0u);
+  ASSERT_EQ(Parent.numEvents(), 10u);
+  for (uint32_t I = 0; I != 10; ++I)
+    EXPECT_EQ(Parent.events()[I].A, I);
+  // Draining an empty collector adds nothing.
+  Child.drainTo(Parent);
+  EXPECT_EQ(Parent.numEvents(), 10u);
+}
+
 TEST(MetricRegistry, JsonIsSortedAndValid) {
   MetricRegistry R;
   R.counter("z.last") += 2;
