@@ -19,6 +19,7 @@
 #include "experiments/Experiments.h"
 #include "experiments/ParallelRunner.h"
 #include "profiling/OverlapMetric.h"
+#include "support/ArgParser.h"
 #include "support/Json.h"
 #include "support/TablePrinter.h"
 
@@ -35,19 +36,15 @@ namespace cbs::bench {
 /// command line wins, then the CBSVM_JOBS environment variable, then
 /// hardware concurrency. `--jobs 1` is the serial path; any other value
 /// produces byte-identical tables and JSON (see ParallelRunner.h).
-inline unsigned jobsFromArgs(int Argc, char **Argv) {
-  unsigned Requested = 0;
-  for (int I = 1; I + 1 < Argc; ++I)
-    if (std::string(Argv[I]) == "--jobs") {
-      long V = std::strtol(Argv[I + 1], nullptr, 10);
-      if (V < 1 || V > 1024) {
-        std::fprintf(stderr, "--jobs must be in [1, 1024], got '%s'\n",
-                     Argv[I + 1]);
-        std::exit(2);
-      }
-      Requested = static_cast<unsigned>(V);
-    }
-  return exp::resolveJobs(Requested);
+inline unsigned jobsFromArgs(support::ArgParser &Args) {
+  return exp::resolveJobs(
+      static_cast<unsigned>(Args.optionUInt("--jobs", 0, 1, 1024)));
+}
+
+/// Seed for bench binaries that accept one; uniform across the suite.
+inline uint64_t seedFromArgs(support::ArgParser &Args,
+                             uint64_t Default = 1) {
+  return Args.optionUInt("--seed", Default, 1, UINT64_MAX);
 }
 
 /// Prints the engine's `runner.*` accounting to stderr (stderr so that
@@ -105,12 +102,8 @@ inline const char *personalityName(vm::Personality Pers) {
 /// the normal text mode.
 class BenchReport {
 public:
-  BenchReport(int Argc, char **Argv, std::string Artifact)
-      : Artifact(std::move(Artifact)) {
-    for (int I = 1; I + 1 < Argc; ++I)
-      if (std::string(Argv[I]) == "--json")
-        Path = Argv[I + 1];
-  }
+  BenchReport(support::ArgParser &Args, std::string Artifact)
+      : Artifact(std::move(Artifact)), Path(Args.option("--json", "")) {}
 
   ~BenchReport() {
     if (Path.empty())

@@ -17,7 +17,9 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  support::ArgParser Args(Argc, Argv);
+  Args.finish();
   printHeader("Ablation: overloaded vs explicit entry check",
               "the zero-overhead-when-disarmed claim (§4)");
 

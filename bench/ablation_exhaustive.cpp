@@ -16,7 +16,9 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  support::ArgParser Args(Argc, Argv);
+  Args.finish();
   printHeader("Ablation: exhaustive per-call counters vs CBS",
               "the Vortex 15-50% overhead tradeoff (§3.1)");
 

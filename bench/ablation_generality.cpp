@@ -18,7 +18,9 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  support::ArgParser Args(Argc, Argv);
+  Args.finish();
   printHeader("Ablation: generality (§8)",
               "the same sampler over allocation events");
 

@@ -38,7 +38,7 @@ double adversaryDecoyError(prof::SkipPolicy Skip, uint32_t Stride,
   Config.TimerJitterPct = 0;
   vm::VirtualMachine VM(P, Config);
   VM.run();
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   uint64_t Decoy = 0;
   DCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
     if (P.qualifiedName(E.Callee) == "decoy")
@@ -65,7 +65,9 @@ const char *skipName(prof::SkipPolicy Skip) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  support::ArgParser Args(Argc, Argv);
+  Args.finish();
   printHeader("Ablation: initial skip policy",
               "pseudo-random vs round-robin vs fixed (§4)");
 

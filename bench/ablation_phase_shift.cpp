@@ -29,8 +29,8 @@ namespace {
 /// subtract the phase-A-end snapshot. Easiest deterministic route: run
 /// the phased program and snapshot the exhaustive profile at the
 /// midpoint.
-prof::DynamicCallGraph phaseBProfile(const bc::Program &P,
-                                     uint64_t &MidCycles) {
+prof::DCGSnapshot phaseBProfile(const bc::Program &P,
+                                uint64_t &MidCycles) {
   vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
   Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
   Config.Profiler.ChargeExhaustiveCounters = false;
@@ -42,28 +42,30 @@ prof::DynamicCallGraph phaseBProfile(const bc::Program &P,
 
   vm::VirtualMachine First(P, Config);
   First.run(MidCycles);
-  prof::DynamicCallGraph PhaseA = First.profile();
+  prof::DCGSnapshot PhaseA = First.profile();
   First.run();
-  prof::DynamicCallGraph Whole = First.profile();
+  prof::DCGSnapshot Whole = First.profile();
 
-  prof::DynamicCallGraph PhaseB;
+  std::vector<prof::DCGSnapshot::Edge> PhaseB;
   Whole.forEachEdge([&](prof::CallEdge E, uint64_t W) {
     uint64_t Before = PhaseA.weight(E);
     if (W > Before)
-      PhaseB.addSample(E, W - Before);
+      PhaseB.push_back({E, W - Before});
   });
-  return PhaseB;
+  return prof::DCGSnapshot::fromEdges(std::move(PhaseB));
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  support::ArgParser Args(Argc, Argv);
+  Args.finish();
   printHeader("Ablation: phase shift",
               "continuous profiling vs windows vs decay (§1, §3.2)");
 
   bc::Program P = wl::buildPhased(wl::InputSize::Small, 1);
   uint64_t MidCycles = 0;
-  prof::DynamicCallGraph PhaseB = phaseBProfile(P, MidCycles);
+  prof::DCGSnapshot PhaseB = phaseBProfile(P, MidCycles);
 
   struct Config {
     const char *Name;

@@ -19,13 +19,16 @@ using namespace cbs;
 using namespace cbs::bench;
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Convergence");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Convergence");
+  uint64_t Seed = seedFromArgs(Args);
+  Args.finish();
   printHeader("Convergence", "accuracy vs elapsed virtual time (jess-large)");
 
   const wl::WorkloadInfo &W = *wl::findWorkload("jess");
-  bc::Program P = W.Build(wl::InputSize::Large, 1);
+  bc::Program P = W.Build(wl::InputSize::Large, Seed);
   exp::PerfectProfile Perfect =
-      exp::runPerfect(P, vm::Personality::JikesRVM, 1);
+      exp::runPerfect(P, vm::Personality::JikesRVM, Seed);
 
   struct Curve {
     const char *Name;
@@ -52,7 +55,7 @@ int main(int Argc, char **Argv) {
 
   for (const Curve &C : Curves) {
     vm::VMConfig Config =
-        exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
+        exp::jitOnlyConfig(P, vm::Personality::JikesRVM, Seed);
     Config.Profiler = C.Prof;
     vm::VirtualMachine VM(P, Config);
     std::vector<std::string> Row{C.Name};

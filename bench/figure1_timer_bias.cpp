@@ -33,7 +33,7 @@ Split measure(const bc::Program &P, const exp::PerfectProfile &Perfect,
   Config.Profiler = Prof;
   vm::VirtualMachine VM(P, Config);
   VM.run();
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   uint64_t W1 = 0, W2 = 0;
   DCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
     std::string Name = P.qualifiedName(E.Callee);
@@ -53,7 +53,9 @@ Split measure(const bc::Program &P, const exp::PerfectProfile &Perfect,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Figure 1");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Figure 1");
+  Args.finish();
   printHeader("Figure 1",
               "Timer-based sampling misattributes call frequency");
 

@@ -29,7 +29,10 @@ using namespace cbs;
 using namespace cbs::bench;
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Figure 5");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Figure 5");
+  unsigned Jobs = jobsFromArgs(Args);
+  Args.finish();
   printHeader("Figure 5",
               "Speedup of profile-directed inlining: timer-only vs cbs");
 
@@ -42,7 +45,6 @@ int main(int Argc, char **Argv) {
   // Each benchmark's three steady-state runs (base / timer / cbs) are
   // one task; rows commit in suite order so output is byte-identical
   // at any job count. The oracles are shared across workers read-only.
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
   tel::MetricRegistry RunnerMetrics;
   exp::ParallelConfig Par;
   Par.Jobs = Jobs;
@@ -209,7 +211,7 @@ int main(int Argc, char **Argv) {
           VM.run();
 
           opt::InlinePlan StaticPlan =
-              J9Static.plan(P, prof::DynamicCallGraph());
+              J9Static.plan(P, prof::DCGSnapshot());
           opt::InlinePlan DynPlan = J9Dynamic.plan(P, VM.profile());
 
           auto totalCompile = [&](const opt::InlinePlan &Plan) {

@@ -28,7 +28,9 @@
 using namespace cbs;
 using namespace cbs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  support::ArgParser Args(Argc, Argv);
+  Args.finish();
   printHeader("Metrics comparison",
               "accuracy is client-dependent (§6.2 / §5.1)");
 
@@ -51,7 +53,7 @@ int main() {
         Config.Profiler.Kind = vm::ProfilerKind::Timer;
       vm::VirtualMachine VM(P, Config);
       VM.run();
-      const prof::DynamicCallGraph &DCG = VM.profile();
+      prof::DCGSnapshot DCG = VM.profile();
       // The old inliner's hot set: edges above 1% of total weight.
       size_t NumHot = 0;
       Perfect.DCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {

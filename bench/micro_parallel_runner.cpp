@@ -18,6 +18,7 @@
 
 #include "experiments/Experiments.h"
 #include "experiments/ParallelRunner.h"
+#include "support/ArgParser.h"
 #include "telemetry/MetricRegistry.h"
 #include "workloads/Workloads.h"
 
@@ -90,4 +91,13 @@ static void BM_MetricRegistryMerge(benchmark::State &State) {
 }
 BENCHMARK(BM_MetricRegistryMerge);
 
-BENCHMARK_MAIN();
+// benchmark::Initialize consumes the flags it understands and compacts
+// argv; anything left over is strict-rejected like every other binary.
+int main(int Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  cbs::support::ArgParser Args(Argc, Argv);
+  Args.finish();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

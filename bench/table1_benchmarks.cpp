@@ -16,7 +16,9 @@ using namespace cbs;
 using namespace cbs::bench;
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Table 1");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Table 1");
+  Args.finish();
   printHeader("Table 1", "Benchmarks used in this study");
 
   TablePrinter TP;

@@ -22,7 +22,11 @@ using namespace cbs;
 using namespace cbs::bench;
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Table 2A");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Table 2A");
+  unsigned Jobs = jobsFromArgs(Args);
+  uint64_t Seed = seedFromArgs(Args);
+  Args.finish();
   printHeader("Table 2A",
               "Overhead%/Accuracy over the Stride x Samples grid (Jikes "
               "RVM personality)");
@@ -31,7 +35,6 @@ int main(int Argc, char **Argv) {
   std::vector<uint32_t> Samples = {1,  2,   4,   8,    16,  32,
                                    64, 128, 256, 1024, 4096, 8192};
   unsigned Runs = exp::envRuns(3);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
 
   std::vector<const wl::WorkloadInfo *> Workloads;
   for (const wl::WorkloadInfo &W : wl::suite())
@@ -47,7 +50,7 @@ int main(int Argc, char **Argv) {
   Par.Metrics = &RunnerMetrics;
   exp::SweepResult R =
       exp::runSweep(vm::Personality::JikesRVM, Workloads,
-                    wl::InputSize::Small, Strides, Samples, Runs, 1, Par);
+                    wl::InputSize::Small, Strides, Samples, Runs, Seed, Par);
   printRunnerSummary(RunnerMetrics);
 
   TablePrinter TP;

@@ -16,7 +16,11 @@ using namespace cbs;
 using namespace cbs::bench;
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Table 2B");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Table 2B");
+  unsigned Jobs = jobsFromArgs(Args);
+  uint64_t Seed = seedFromArgs(Args);
+  Args.finish();
   printHeader("Table 2B",
               "Overhead%/Accuracy over the Stride x Samples grid (J9 "
               "personality)");
@@ -25,7 +29,6 @@ int main(int Argc, char **Argv) {
   std::vector<uint32_t> Samples = {1,  2,   4,   8,    16,  32,
                                    64, 128, 256, 1024, 4096, 8192};
   unsigned Runs = exp::envRuns(3);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
 
   std::vector<const wl::WorkloadInfo *> Workloads;
   for (const wl::WorkloadInfo &W : wl::suite())
@@ -41,7 +44,7 @@ int main(int Argc, char **Argv) {
   Par.Metrics = &RunnerMetrics;
   exp::SweepResult R =
       exp::runSweep(vm::Personality::J9, Workloads, wl::InputSize::Small,
-                    Strides, Samples, Runs, 1, Par);
+                    Strides, Samples, Runs, Seed, Par);
   printRunnerSummary(RunnerMetrics);
 
   TablePrinter TP;

@@ -24,9 +24,12 @@ using namespace cbs;
 using namespace cbs::bench;
 
 int main(int Argc, char **Argv) {
-  BenchReport Report(Argc, Argv, "Table 3");
+  support::ArgParser Args(Argc, Argv);
+  BenchReport Report(Args, "Table 3");
+  unsigned Jobs = jobsFromArgs(Args);
+  uint64_t Seed = seedFromArgs(Args);
+  Args.finish();
   unsigned Runs = exp::envRuns(3);
-  unsigned Jobs = jobsFromArgs(Argc, Argv);
   printHeader("Table 3", "Per-benchmark overhead and accuracy breakdown");
   std::printf("runs per cell: %u (CBSVM_RUNS)\n\n", Runs);
   Report.note("runs", std::to_string(Runs));
@@ -69,9 +72,9 @@ int main(int Argc, char **Argv) {
           [&](exp::ParallelRunner::TaskContext &Ctx) {
             const wl::WorkloadInfo &W = Suite[Ctx.Index];
             Cells[Ctx.Index] = {
-                exp::measureAccuracyMedian(W, Size, Pers, Base, Runs, 1,
+                exp::measureAccuracyMedian(W, Size, Pers, Base, Runs, Seed,
                                            Serial),
-                exp::measureAccuracyMedian(W, Size, Pers, CBS, Runs, 1,
+                exp::measureAccuracyMedian(W, Size, Pers, CBS, Runs, Seed,
                                            Serial)};
           },
           [&](exp::ParallelRunner::TaskContext &Ctx) {

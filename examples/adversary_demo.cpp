@@ -31,7 +31,7 @@ static void runOnce(const bc::Program &P, prof::SkipPolicy Skip,
   vm::VirtualMachine VM(P, Config);
   VM.run();
 
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   uint64_t Decoy = 0, Victim = 0;
   DCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
     if (P.qualifiedName(E.Callee) == "decoy")

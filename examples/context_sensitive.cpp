@@ -27,7 +27,7 @@ int main() {
   VM.run();
 
   const prof::CallingContextTree &CCT = VM.contextTree();
-  const prof::DynamicCallGraph &Flat = VM.profile();
+  prof::DCGSnapshot Flat = VM.profile();
 
   std::printf("samples:          %llu\n",
               static_cast<unsigned long long>(VM.stats().SamplesTaken));
@@ -41,7 +41,7 @@ int main() {
               "frames.\n\n");
 
   // Projections: the context-insensitive view is recoverable.
-  prof::DynamicCallGraph Projected = CCT.projectLeafEdges();
+  prof::DCGSnapshot Projected = CCT.projectLeafEdges();
   std::printf("projectLeafEdges() total weight %llu == flat profile "
               "weight %llu\n",
               static_cast<unsigned long long>(Projected.totalWeight()),

@@ -40,7 +40,7 @@ int main() {
   Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
   vm::VirtualMachine VM(P, Config);
   VM.run();
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   std::printf("profiled %llu samples over %llu ticks\n\n",
               static_cast<unsigned long long>(VM.stats().SamplesTaken),
               static_cast<unsigned long long>(VM.stats().TimerTicks));

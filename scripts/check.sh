@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus an observability smoke test, a ThreadSanitizer
-# pass over the parallel experiment engine, and a determinism check that
-# --jobs 8 produces byte-identical JSON to --jobs 1.
+# pass over the parallel experiment engine and the sharded profile
+# repository, and two determinism checks: --jobs 8 produces
+# byte-identical JSON to --jobs 1, and --dcg-shards 8 produces a
+# byte-identical saved profile and metrics report to --dcg-shards 1.
 #
 # Usage: scripts/check.sh [build-dir]
 #
@@ -36,7 +38,12 @@ METRICS=$(mktemp /tmp/cbsvm-metrics.XXXXXX.json)
 STATS=$(mktemp /tmp/cbsvm-stats.XXXXXX.json)
 JOBS1=$(mktemp /tmp/cbsvm-jobs1.XXXXXX.json)
 JOBS8=$(mktemp /tmp/cbsvm-jobs8.XXXXXX.json)
-trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8"' EXIT
+SHARD1=$(mktemp /tmp/cbsvm-shard1.XXXXXX.dcg)
+SHARD8=$(mktemp /tmp/cbsvm-shard8.XXXXXX.dcg)
+SHARD1M=$(mktemp /tmp/cbsvm-shard1m.XXXXXX.json)
+SHARD8M=$(mktemp /tmp/cbsvm-shard8m.XXXXXX.json)
+trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
+  "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
 "$CBSVM" run compress --trace "$TRACE" --metrics-json "$METRICS"
@@ -67,12 +74,23 @@ CBSVM_RUNS=1 "$BUILD/bench/table2a_jikes_sweep" --json "$JOBS8" --jobs 8 >/dev/n
 cmp "$JOBS1" "$JOBS8"
 echo "jobs=1 and jobs=8 sweeps are byte-identical"
 
+echo "== shard determinism =="
+# The same run through a 1-shard and an 8-shard repository must save the
+# same profile and report the same metrics (snapshots are canonically
+# ordered, weights are commutative sums).
+"$CBSVM" run jess --dcg-shards 1 --save "$SHARD1" --metrics-json "$SHARD1M" >/dev/null
+"$CBSVM" run jess --dcg-shards 8 --save "$SHARD8" --metrics-json "$SHARD8M" >/dev/null
+cmp "$SHARD1" "$SHARD8"
+cmp "$SHARD1M" "$SHARD8M"
+echo "dcg-shards=1 and dcg-shards=8 runs are byte-identical"
+
 if [[ "${CBSVM_SKIP_TSAN:-}" != "1" ]]; then
-  echo "== thread sanitizer: parallel engine =="
+  echo "== thread sanitizer: parallel engine + sharded DCG =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S . -DCBSVM_SANITIZE=thread
-  cmake --build "$TSAN_BUILD" -j --target ParallelRunnerTest
-  (cd "$TSAN_BUILD" && CBSVM_JOBS=8 ctest --output-on-failure -R '^ParallelRunner')
+  cmake --build "$TSAN_BUILD" -j --target ParallelRunnerTest DCGConcurrencyTest
+  (cd "$TSAN_BUILD" && CBSVM_JOBS=8 \
+    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency)')
 fi
 
 echo "== all checks passed =="

@@ -40,7 +40,7 @@ vm::VMConfig exp::jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
   // that trivial methods would be inlined, but all other calls
   // remain").
   auto Plan = std::make_shared<opt::InlinePlan>(
-      opt::TrivialOracle().plan(P, prof::DynamicCallGraph()));
+      opt::TrivialOracle().plan(P, prof::DCGSnapshot()));
   opt::CompileOptions CO;
   CO.RunOptimizer = false;
   Config.CompileHook = opt::makeCompileHook(std::move(Plan), Config.Costs, CO);

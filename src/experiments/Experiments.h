@@ -46,7 +46,7 @@ vm::VMConfig jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
 
 /// The exhaustive ground-truth run: perfect DCG plus baseline cycles.
 struct PerfectProfile {
-  prof::DynamicCallGraph DCG;
+  prof::DCGSnapshot DCG;
   uint64_t BaseCycles = 0;
   uint64_t Instructions = 0;
   uint64_t Calls = 0;

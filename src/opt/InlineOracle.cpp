@@ -71,7 +71,7 @@ bool trivialDecision(const Program &P, const Instruction &I,
 /// whose share of the site distribution is at least \p MinShare, sized
 /// under \p SizeThreshold, at most \p MaxTargets of them.
 std::vector<GuardedTarget>
-pickGuardedTargets(const Program &P, const prof::DynamicCallGraph &DCG,
+pickGuardedTargets(const Program &P, const prof::DCGSnapshot &DCG,
                    SiteId Site, SelectorId Selector, double MinShare,
                    uint32_t SizeThreshold, uint32_t MaxTargets) {
   std::vector<GuardedTarget> Result;
@@ -108,7 +108,7 @@ pickGuardedTargets(const Program &P, const prof::DynamicCallGraph &DCG,
 //===----------------------------------------------------------------------===//
 
 InlinePlan TrivialOracle::plan(const Program &P,
-                               const prof::DynamicCallGraph &) const {
+                               const prof::DCGSnapshot &) const {
   InlinePlan Plan;
   forEachSite(P, [&](SiteId Site, const Instruction &I) {
     InlineDecision D;
@@ -123,7 +123,7 @@ InlinePlan TrivialOracle::plan(const Program &P,
 //===----------------------------------------------------------------------===//
 
 InlinePlan OldJikesOracle::plan(const Program &P,
-                                const prof::DynamicCallGraph &DCG) const {
+                                const prof::DCGSnapshot &DCG) const {
   InlinePlan Plan;
   forEachSite(P, [&](SiteId Site, const Instruction &I) {
     InlineDecision D;
@@ -172,7 +172,7 @@ InlinePlan OldJikesOracle::plan(const Program &P,
 //===----------------------------------------------------------------------===//
 
 InlinePlan NewJikesOracle::plan(const Program &P,
-                                const prof::DynamicCallGraph &DCG) const {
+                                const prof::DCGSnapshot &DCG) const {
   InlinePlan Plan;
   forEachSite(P, [&](SiteId Site, const Instruction &I) {
     InlineDecision D;
@@ -227,7 +227,7 @@ InlinePlan NewJikesOracle::plan(const Program &P,
 //===----------------------------------------------------------------------===//
 
 InlinePlan J9Oracle::plan(const Program &P,
-                          const prof::DynamicCallGraph &DCG) const {
+                          const prof::DCGSnapshot &DCG) const {
   InlinePlan Plan;
   bool Dynamic =
       Config.UseDynamic && DCG.totalWeight() >= Config.MinProfileWeight;

@@ -32,7 +32,7 @@
 #define CBSVM_OPT_INLINEORACLE_H
 
 #include "opt/InlinePlan.h"
-#include "profiling/DynamicCallGraph.h"
+#include "profiling/DCGSnapshot.h"
 
 namespace cbs::bc {
 class Program;
@@ -45,7 +45,7 @@ public:
   virtual ~InlineOracle();
   /// Builds a whole-program plan from the current profile.
   virtual InlinePlan plan(const bc::Program &P,
-                          const prof::DynamicCallGraph &DCG) const = 0;
+                          const prof::DCGSnapshot &DCG) const = 0;
   virtual const char *name() const = 0;
 };
 
@@ -56,7 +56,7 @@ inline constexpr uint32_t TrivialSizeBytes = 14;
 class TrivialOracle : public InlineOracle {
 public:
   InlinePlan plan(const bc::Program &P,
-                  const prof::DynamicCallGraph &DCG) const override;
+                  const prof::DCGSnapshot &DCG) const override;
   const char *name() const override { return "trivial"; }
 };
 
@@ -70,7 +70,7 @@ public:
   OldJikesOracle() = default;
   explicit OldJikesOracle(Params Config) : Config(Config) {}
   InlinePlan plan(const bc::Program &P,
-                  const prof::DynamicCallGraph &DCG) const override;
+                  const prof::DCGSnapshot &DCG) const override;
   const char *name() const override { return "old-jikes"; }
 
 private:
@@ -93,7 +93,7 @@ public:
   NewJikesOracle() = default;
   explicit NewJikesOracle(Params Config) : Config(Config) {}
   InlinePlan plan(const bc::Program &P,
-                  const prof::DynamicCallGraph &DCG) const override;
+                  const prof::DCGSnapshot &DCG) const override;
   const char *name() const override { return "new-jikes"; }
 
 private:
@@ -130,7 +130,7 @@ public:
   J9Oracle() = default;
   explicit J9Oracle(Params Config) : Config(Config) {}
   InlinePlan plan(const bc::Program &P,
-                  const prof::DynamicCallGraph &DCG) const override;
+                  const prof::DCGSnapshot &DCG) const override;
   const char *name() const override { return "j9"; }
 
 private:

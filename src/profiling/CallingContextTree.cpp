@@ -54,26 +54,26 @@ size_t CallingContextTree::maxDepth() const {
   return Max;
 }
 
-DynamicCallGraph CallingContextTree::projectLeafEdges() const {
-  DynamicCallGraph DCG;
+DCGSnapshot CallingContextTree::projectLeafEdges() const {
+  std::vector<DCGSnapshot::Edge> Edges;
   for (size_t I = 1, E = Nodes.size(); I != E; ++I) {
     const Node &N = Nodes[I];
     if (N.LeafWeight == 0 || N.Step.Site == bc::InvalidSiteId)
       continue;
-    DCG.addSample({N.Step.Site, N.Step.Method}, N.LeafWeight);
+    Edges.push_back({{N.Step.Site, N.Step.Method}, N.LeafWeight});
   }
-  return DCG;
+  return DCGSnapshot::fromEdges(std::move(Edges));
 }
 
-DynamicCallGraph CallingContextTree::projectAllEdges() const {
-  DynamicCallGraph DCG;
+DCGSnapshot CallingContextTree::projectAllEdges() const {
+  std::vector<DCGSnapshot::Edge> Edges;
   for (size_t I = 1, E = Nodes.size(); I != E; ++I) {
     const Node &N = Nodes[I];
     if (N.Step.Site == bc::InvalidSiteId)
       continue;
-    DCG.addSample({N.Step.Site, N.Step.Method}, N.TraverseWeight);
+    Edges.push_back({{N.Step.Site, N.Step.Method}, N.TraverseWeight});
   }
-  return DCG;
+  return DCGSnapshot::fromEdges(std::move(Edges));
 }
 
 std::string CallingContextTree::str(const bc::Program &P,

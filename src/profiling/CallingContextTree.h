@@ -50,18 +50,19 @@ public:
   /// Maximum depth over all nodes (root = 0).
   size_t maxDepth() const;
 
-  /// Projects the tree onto a context-insensitive DCG: each tree edge
-  /// (site, callee) contributes the subtree-leaf weights that passed
-  /// through it... more precisely, each sampled path contributes its
-  /// leaf edge once, matching what the context-insensitive sampler
-  /// would have recorded for the same sample.
-  DynamicCallGraph projectLeafEdges() const;
+  /// Projects the tree onto a context-insensitive profile snapshot:
+  /// each tree edge (site, callee) contributes the subtree-leaf weights
+  /// that passed through it... more precisely, each sampled path
+  /// contributes its leaf edge once, matching what the
+  /// context-insensitive sampler would have recorded for the same
+  /// sample.
+  DCGSnapshot projectLeafEdges() const;
 
   /// Projects *every* edge of every sampled path (a calling-context
   /// tree built from full stack walks contains strictly more
   /// information than leaf edges; this recovers the "edges seen on any
   /// sampled stack" view, weighted by traversal counts).
-  DynamicCallGraph projectAllEdges() const;
+  DCGSnapshot projectAllEdges() const;
 
   /// Human-readable dump (depth-first), at most \p MaxNodes rows.
   std::string str(const bc::Program &P, size_t MaxNodes = 64) const;

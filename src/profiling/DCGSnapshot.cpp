@@ -1,0 +1,103 @@
+//===- profiling/DCGSnapshot.cpp - Immutable DCG view ---------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/DCGSnapshot.h"
+
+#include "bytecode/Program.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+DCGSnapshot DCGSnapshot::fromEdges(std::vector<Edge> Edges) {
+  std::sort(Edges.begin(), Edges.end(),
+            [](const Edge &L, const Edge &R) { return L.first < R.first; });
+  // Coalesce duplicates so fromEdges accepts raw sample lists.
+  size_t Out = 0;
+  for (size_t I = 0; I != Edges.size(); ++I) {
+    if (Out != 0 && Edges[Out - 1].first == Edges[I].first) {
+      Edges[Out - 1].second += Edges[I].second;
+      continue;
+    }
+    Edges[Out++] = Edges[I];
+  }
+  Edges.resize(Out);
+
+  auto D = std::make_shared<Data>();
+  D->Edges = std::move(Edges);
+  for (const Edge &E : D->Edges)
+    D->Total += E.second;
+  return DCGSnapshot(std::move(D));
+}
+
+uint64_t DCGSnapshot::weight(CallEdge E) const {
+  if (!D)
+    return 0;
+  auto It = std::lower_bound(
+      D->Edges.begin(), D->Edges.end(), E,
+      [](const Edge &L, const CallEdge &R) { return L.first < R; });
+  if (It == D->Edges.end() || !(It->first == E))
+    return 0;
+  return It->second;
+}
+
+double DCGSnapshot::fraction(CallEdge E) const {
+  uint64_t Total = totalWeight();
+  if (Total == 0)
+    return 0;
+  return static_cast<double>(weight(E)) / static_cast<double>(Total);
+}
+
+std::vector<DCGSnapshot::Edge>
+DCGSnapshot::siteDistribution(bc::SiteId Site) const {
+  std::vector<Edge> Result;
+  if (!D)
+    return Result;
+  // Edges are sorted by (Site, Callee), so the site's edges form one
+  // contiguous run.
+  auto First = std::lower_bound(
+      D->Edges.begin(), D->Edges.end(), Site,
+      [](const Edge &L, bc::SiteId S) { return L.first.Site < S; });
+  for (auto It = First; It != D->Edges.end() && It->first.Site == Site; ++It)
+    Result.push_back(*It);
+  std::sort(Result.begin(), Result.end(), [](const Edge &L, const Edge &R) {
+    if (L.second != R.second)
+      return L.second > R.second;
+    return L.first < R.first;
+  });
+  return Result;
+}
+
+const std::vector<DCGSnapshot::Edge> &DCGSnapshot::sortedEdges() const {
+  static const std::vector<Edge> Empty;
+  return D ? D->Edges : Empty;
+}
+
+std::string DCGSnapshot::str(const bc::Program &P, size_t MaxEdges) const {
+  std::vector<Edge> Edges = sortedEdges();
+  std::sort(Edges.begin(), Edges.end(), [](const Edge &L, const Edge &R) {
+    if (L.second != R.second)
+      return L.second > R.second;
+    return L.first < R.first;
+  });
+  std::ostringstream OS;
+  OS << "DCG: " << Edges.size() << " edges, total weight " << totalWeight()
+     << '\n';
+  size_t Shown = 0;
+  for (const auto &[E, W] : Edges) {
+    if (Shown++ == MaxEdges) {
+      OS << "  ... (" << (Edges.size() - MaxEdges) << " more)\n";
+      break;
+    }
+    const bc::SiteInfo &Site = P.site(E.Site);
+    OS << "  " << P.qualifiedName(Site.Caller) << "@" << Site.PC << " -> "
+       << P.qualifiedName(E.Callee) << "  " << W << " ("
+       << static_cast<int>(fraction(E) * 1000) / 10.0 << "%)\n";
+  }
+  return OS.str();
+}

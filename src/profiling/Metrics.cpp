@@ -16,8 +16,7 @@ using namespace cbs::prof;
 
 namespace {
 
-std::vector<std::pair<CallEdge, uint64_t>>
-topEdges(const DynamicCallGraph &DCG, size_t N) {
+std::vector<DCGSnapshot::Edge> topEdges(const DCGSnapshot &DCG, size_t N) {
   auto Edges = DCG.sortedEdges();
   std::stable_sort(Edges.begin(), Edges.end(),
                    [](const auto &L, const auto &R) {
@@ -30,8 +29,8 @@ topEdges(const DynamicCallGraph &DCG, size_t N) {
 
 } // namespace
 
-double prof::hotEdgeCoverage(const DynamicCallGraph &Sampled,
-                             const DynamicCallGraph &Perfect, size_t N) {
+double prof::hotEdgeCoverage(const DCGSnapshot &Sampled,
+                             const DCGSnapshot &Perfect, size_t N) {
   auto Hot = topEdges(Perfect, N);
   if (Hot.empty())
     return 1.0;
@@ -42,8 +41,8 @@ double prof::hotEdgeCoverage(const DynamicCallGraph &Sampled,
   return static_cast<double>(Found) / static_cast<double>(Hot.size());
 }
 
-double prof::hotOrderAgreement(const DynamicCallGraph &Sampled,
-                               const DynamicCallGraph &Perfect, size_t N) {
+double prof::hotOrderAgreement(const DCGSnapshot &Sampled,
+                               const DCGSnapshot &Perfect, size_t N) {
   auto Hot = topEdges(Perfect, N);
   double Score = 0;
   size_t Pairs = 0;
@@ -65,8 +64,8 @@ double prof::hotOrderAgreement(const DynamicCallGraph &Sampled,
   return Score / static_cast<double>(Pairs);
 }
 
-double prof::siteDistributionError(const DynamicCallGraph &Sampled,
-                                   const DynamicCallGraph &Perfect) {
+double prof::siteDistributionError(const DCGSnapshot &Sampled,
+                                   const DCGSnapshot &Perfect) {
   std::set<bc::SiteId> Sites;
   Perfect.forEachEdge(
       [&](CallEdge E, uint64_t) { Sites.insert(E.Site); });

@@ -22,35 +22,37 @@
 ///    receiver distributions — the quantity behind the new inliner's
 ///    40% rule and guarded-target selection.
 ///
+/// Like the overlap metric, these compare immutable DCGSnapshot views.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CBSVM_PROFILING_METRICS_H
 #define CBSVM_PROFILING_METRICS_H
 
-#include "profiling/DynamicCallGraph.h"
+#include "profiling/DCGSnapshot.h"
 
 namespace cbs::prof {
 
 /// Fraction (0-1) of \p Perfect's heaviest \p N edges that appear in
 /// \p Sampled with nonzero weight. Returns 1 for an empty perfect
 /// profile.
-double hotEdgeCoverage(const DynamicCallGraph &Sampled,
-                       const DynamicCallGraph &Perfect, size_t N);
+double hotEdgeCoverage(const DCGSnapshot &Sampled, const DCGSnapshot &Perfect,
+                       size_t N);
 
 /// Pairwise order agreement (0-1) between the sampled weights of
 /// \p Perfect's heaviest \p N edges and their true order: for every
 /// pair with distinct true weights, score 1 if the sampled weights
 /// order the same way (missing edges count as weight 0), 0.5 on
 /// sampled ties. Returns 1 when fewer than two comparable edges exist.
-double hotOrderAgreement(const DynamicCallGraph &Sampled,
-                         const DynamicCallGraph &Perfect, size_t N);
+double hotOrderAgreement(const DCGSnapshot &Sampled, const DCGSnapshot &Perfect,
+                         size_t N);
 
 /// Mean, over call sites present in \p Perfect, of the L1 distance
 /// between the normalized per-site receiver distributions (0 = every
 /// site's distribution matches exactly; 2 = completely disjoint).
 /// Sites the sample never saw contribute the maximal distance 2.
-double siteDistributionError(const DynamicCallGraph &Sampled,
-                             const DynamicCallGraph &Perfect);
+double siteDistributionError(const DCGSnapshot &Sampled,
+                             const DCGSnapshot &Perfect);
 
 } // namespace cbs::prof
 

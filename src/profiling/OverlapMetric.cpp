@@ -11,7 +11,7 @@
 using namespace cbs;
 using namespace cbs::prof;
 
-double prof::overlap(const DynamicCallGraph &A, const DynamicCallGraph &B) {
+double prof::overlap(const DCGSnapshot &A, const DCGSnapshot &B) {
   if (A.empty() && B.empty())
     return 100.0;
   if (A.empty() || B.empty())
@@ -31,7 +31,6 @@ double prof::overlap(const DynamicCallGraph &A, const DynamicCallGraph &B) {
   return Sum;
 }
 
-double prof::accuracy(const DynamicCallGraph &Sampled,
-                      const DynamicCallGraph &Perfect) {
+double prof::accuracy(const DCGSnapshot &Sampled, const DCGSnapshot &Perfect) {
   return overlap(Sampled, Perfect);
 }

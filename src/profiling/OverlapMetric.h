@@ -17,23 +17,25 @@
 /// sampled profile's accuracy is its overlap with the exhaustive
 /// profile.
 ///
+/// Operates on DCGSnapshot: profiles are compared as immutable
+/// point-in-time views, never against a live repository mid-update.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CBSVM_PROFILING_OVERLAPMETRIC_H
 #define CBSVM_PROFILING_OVERLAPMETRIC_H
 
-#include "profiling/DynamicCallGraph.h"
+#include "profiling/DCGSnapshot.h"
 
 namespace cbs::prof {
 
-/// Overlap percentage in [0, 100]. Two empty graphs overlap 100 (they
+/// Overlap percentage in [0, 100]. Two empty profiles overlap 100 (they
 /// contain identical — vacuous — information); an empty vs non-empty
 /// pair overlaps 0.
-double overlap(const DynamicCallGraph &A, const DynamicCallGraph &B);
+double overlap(const DCGSnapshot &A, const DCGSnapshot &B);
 
 /// accuracy(sampled) = overlap(sampled, perfect).
-double accuracy(const DynamicCallGraph &Sampled,
-                const DynamicCallGraph &Perfect);
+double accuracy(const DCGSnapshot &Sampled, const DCGSnapshot &Perfect);
 
 } // namespace cbs::prof
 

@@ -9,6 +9,7 @@
 #include "bytecode/Program.h"
 
 #include <sstream>
+#include <unordered_set>
 
 using namespace cbs;
 using namespace cbs::prof;
@@ -16,7 +17,7 @@ using namespace cbs::prof;
 static constexpr const char *Magic = "cbsvm-dcg";
 static constexpr int Version = 1;
 
-std::string prof::serializeDCG(const DynamicCallGraph &DCG) {
+std::string prof::serializeDCG(const DCGSnapshot &DCG) {
   std::ostringstream OS;
   OS << Magic << ' ' << Version << '\n';
   OS << "# edges: " << DCG.numEdges() << ", total weight: "
@@ -51,7 +52,8 @@ ParseResult prof::parseDCG(const std::string &Text) {
     }
   }
 
-  DynamicCallGraph DCG;
+  std::vector<DCGSnapshot::Edge> Edges;
+  std::unordered_set<CallEdge, CallEdgeHash> Seen;
   size_t LineNo = 1;
   while (std::getline(IS, Line)) {
     ++LineNo;
@@ -91,18 +93,18 @@ ParseResult prof::parseDCG(const std::string &Text) {
     }
     CallEdge E{static_cast<bc::SiteId>(Site),
                static_cast<bc::MethodId>(Callee)};
-    if (DCG.weight(E) != 0) {
+    if (!Seen.insert(E).second) {
       Result.Error =
           "line " + std::to_string(LineNo) + ": duplicate edge";
       return Result;
     }
-    DCG.addSample(E, Weight);
+    Edges.emplace_back(E, Weight);
   }
-  Result.Graph = std::move(DCG);
+  Result.Graph = DCGSnapshot::fromEdges(std::move(Edges));
   return Result;
 }
 
-std::string prof::validateAgainst(const DynamicCallGraph &DCG,
+std::string prof::validateAgainst(const DCGSnapshot &DCG,
                                   const bc::Program &P) {
   std::string Problem;
   DCG.forEachEdge([&](CallEdge E, uint64_t) {

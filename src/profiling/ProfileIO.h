@@ -11,6 +11,11 @@
 /// "offline profile data" validation, and what any adopter of the
 /// library needs to regression-track profiles).
 ///
+/// Serialization operates on DCGSnapshot — the immutable,
+/// canonically-ordered view — so equal profiles serialize
+/// byte-identically regardless of how (or how concurrently) they were
+/// collected.
+///
 /// Format (line-oriented, versioned):
 ///
 ///   cbsvm-dcg 1
@@ -18,7 +23,7 @@
 ///   <site> <callee> <weight>
 ///
 /// Sites and callees are numeric ids, valid relative to the program the
-/// profile was collected from; resolveAgainst() can sanity-check a
+/// profile was collected from; validateAgainst() can sanity-check a
 /// loaded profile against a Program.
 ///
 //===----------------------------------------------------------------------===//
@@ -26,7 +31,7 @@
 #ifndef CBSVM_PROFILING_PROFILEIO_H
 #define CBSVM_PROFILING_PROFILEIO_H
 
-#include "profiling/DynamicCallGraph.h"
+#include "profiling/DCGSnapshot.h"
 
 #include <optional>
 #include <string>
@@ -37,13 +42,13 @@ class Program;
 
 namespace cbs::prof {
 
-/// Serializes \p DCG. Edges are emitted in deterministic (sorted key)
-/// order so equal profiles serialize identically.
-std::string serializeDCG(const DynamicCallGraph &DCG);
+/// Serializes \p DCG. Edges are emitted in the snapshot's canonical
+/// (sorted key) order so equal profiles serialize identically.
+std::string serializeDCG(const DCGSnapshot &DCG);
 
-/// Parse result: the graph, or an error description.
+/// Parse result: the profile snapshot, or an error description.
 struct ParseResult {
-  std::optional<DynamicCallGraph> Graph;
+  std::optional<DCGSnapshot> Graph;
   std::string Error;
 
   bool ok() const { return Graph.has_value(); }
@@ -57,8 +62,7 @@ ParseResult parseDCG(const std::string &Text);
 /// \p P and that the callee is plausible for the site (static target
 /// matches; virtual callee implements the site's selector). Returns an
 /// empty string if fine, else a description of the first problem.
-std::string validateAgainst(const DynamicCallGraph &DCG,
-                            const bc::Program &P);
+std::string validateAgainst(const DCGSnapshot &DCG, const bc::Program &P);
 
 } // namespace cbs::prof
 

@@ -1,0 +1,79 @@
+//===- support/ArgParser.cpp - Strict command-line parsing -------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cbs::support;
+
+ArgParser::ArgParser(int Argc, char *const *Argv)
+    : Args(Argv + (Argc > 0 ? 1 : 0), Argv + Argc),
+      Consumed(Args.size(), false) {}
+
+ArgParser::ArgParser(std::vector<std::string> Arguments)
+    : Args(std::move(Arguments)), Consumed(Args.size(), false) {}
+
+void ArgParser::fail(const std::string &Message) {
+  if (Handler)
+    Handler(Message);
+  else
+    std::fprintf(stderr, "error: %s\n", Message.c_str());
+  std::exit(2);
+}
+
+std::string ArgParser::positional(const char *What) {
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (!Args[I].empty() && Args[I][0] != '-' && !Consumed[I]) {
+      Consumed[I] = true;
+      return Args[I];
+    }
+  fail(std::string("missing ") + What);
+}
+
+std::string ArgParser::option(const char *Name, const char *Default) {
+  for (size_t I = 0; I + 1 < Args.size(); ++I)
+    if (Args[I] == Name && !Consumed[I]) {
+      Consumed[I] = Consumed[I + 1] = true;
+      return Args[I + 1];
+    }
+  // A trailing "--opt" with no value is an error, not a silent miss.
+  if (!Args.empty() && Args.back() == Name && !Consumed.back())
+    fail(std::string(Name) + " requires a value");
+  return Default;
+}
+
+uint64_t ArgParser::optionUInt(const char *Name, uint64_t Default, uint64_t Min,
+                               uint64_t Max) {
+  std::string V = option(Name, "");
+  if (V.empty())
+    return Default;
+  const char *Begin = V.c_str();
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Begin, &End, 10);
+  if (End == Begin || *End != '\0' || !(V[0] >= '0' && V[0] <= '9'))
+    fail(std::string(Name) + " expects an unsigned integer, got '" + V + "'");
+  if (Parsed < Min || Parsed > Max)
+    fail(std::string(Name) + " must be in [" + std::to_string(Min) + ", " +
+         std::to_string(Max) + "], got '" + V + "'");
+  return Parsed;
+}
+
+bool ArgParser::flag(const char *Name) {
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (Args[I] == Name && !Consumed[I]) {
+      Consumed[I] = true;
+      return true;
+    }
+  return false;
+}
+
+void ArgParser::finish() {
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (!Consumed[I])
+      fail("unexpected argument '" + Args[I] + "'");
+}

@@ -21,6 +21,7 @@
 #define CBSVM_VM_THREAD_H
 
 #include "profiling/CounterBasedSampler.h"
+#include "profiling/SampleBuffer.h"
 #include "profiling/TimerSampler.h"
 #include "vm/CompiledMethod.h"
 
@@ -61,6 +62,11 @@ struct Thread {
   /// §8 generalization: the same state machine over allocation events.
   prof::CounterBasedSampler Alloc;
   prof::TimerSampler Timer;
+  /// Per-thread raw-sample staging (the paper's listener side): appends
+  /// are thread-local and lock-free; the VM flushes the buffer into the
+  /// shared repository as one batch when it fills, at thread switches,
+  /// and at shutdown/snapshot points.
+  prof::SampleBuffer Buffer;
 
   Frame &top() { return Frames.back(); }
   const Frame &top() const { return Frames.back(); }

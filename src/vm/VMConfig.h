@@ -82,6 +82,17 @@ struct ProfilerOptions {
   uint32_t DecayEveryTicks = 0;
   /// Multiplier applied at each decay.
   double DecayFactor = 0.8;
+
+  /// Lock stripes in the shared profile repository (rounded up to a
+  /// power of two, clamped to DynamicCallGraph::MaxShards). The default
+  /// of 1 keeps the single-threaded configuration on the repository's
+  /// one-shard fast path; any value produces the same profile content —
+  /// sharding only spreads writer contention.
+  unsigned DCGShards = 1;
+  /// Capacity of each thread's SampleBuffer: raw samples are appended
+  /// lock-free and flushed into the repository as one atomic batch (one
+  /// set of shard lock acquisitions per batch, not per sample).
+  size_t SampleBufferCapacity = 256;
 };
 
 struct VMConfig {

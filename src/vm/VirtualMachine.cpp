@@ -46,6 +46,8 @@ VirtualMachine::LiveStats::LiveStats(tel::MetricRegistry &R)
       GCCount(R.counter("vm.gc_count")),
       ThreadSwitches(R.counter("vm.thread_switches")),
       ThreadsSpawned(R.counter("vm.threads_spawned")),
+      DCGFlushes(R.counter("dcg.flushes")),
+      DCGDropped(R.counter("dcg.dropped_samples")),
       MaxStackDepth(R.gauge("vm.max_stack_depth")),
       SampleStackDepth(R.histogram("vm.sample_stack_depth")),
       CompileCostCycles(R.histogram("vm.compile_cost_cycles")) {}
@@ -75,12 +77,14 @@ const tel::MetricRegistry &VirtualMachine::metrics() {
   Registry.gauge("code.active_instructions") = Cache.activeCodeInstructions();
   Registry.gauge("vm.methods_executed") = methodsExecuted();
   Registry.gauge("vm.threads_live") = countRunnable();
+  Registry.gauge("dcg.shard_contention") = DCG.contentionCount();
   return Registry;
 }
 
 VirtualMachine::VirtualMachine(const bc::Program &P, VMConfig Config)
     : P(P), Config(std::move(Config)), Stats(Registry),
       Trace(this->Config.Trace), Cache(P), RNG(this->Config.Seed),
+      DCG(this->Config.Profiler.DCGShards),
       InvocationCounts(P.numMethods(), 0), TickSamples(P.numMethods(), 0) {
   if (this->Config.Profiler.Kind == ProfilerKind::CodePatching)
     Patching = std::make_unique<prof::CodePatchingProfiler>(
@@ -98,6 +102,7 @@ Thread &VirtualMachine::spawnThread(bc::MethodId Entry) {
   T->Id = static_cast<uint32_t>(Threads.size());
   T->CBS = prof::CounterBasedSampler(Config.Profiler.CBS);
   T->Alloc = prof::CounterBasedSampler(Config.Profiler.AllocCBS);
+  T->Buffer = prof::SampleBuffer(Config.Profiler.SampleBufferCapacity);
   T->Values.resize(CM->NumLocals, 0);
   T->Frames.push_back({CM, 0, 0});
   ++InvocationCounts[Entry];
@@ -189,7 +194,9 @@ void VirtualMachine::fireTimer() {
 
   if (Config.Profiler.DecayEveryTicks != 0 &&
       Stats.TimerTicks % Config.Profiler.DecayEveryTicks == 0) {
-    Buffer.drainInto(DCG);
+    // Pending samples predate the decay point and must decay with the
+    // rest of the repository, so flush them first.
+    flushAllBuffers();
     DCG.decay(Config.Profiler.DecayFactor);
   }
 
@@ -225,6 +232,9 @@ void VirtualMachine::maybeSwitch() {
       continue;
     if (Next != Current) {
       uint32_t From = Threads[Current]->Id;
+      // Yieldpoint flush: the outgoing thread's staged samples enter
+      // the repository before another thread runs.
+      flushThreadBuffer(*Threads[Current]);
       Current = Next;
       ++Stats.ThreadSwitches;
       Stats.Cycles += Config.Costs.ThreadSwitch;
@@ -246,8 +256,8 @@ void VirtualMachine::recordEdgeSample(Thread &T) {
         Stats.Cycles, T.Id, Edge ? Edge->Callee : bc::InvalidMethodId,
         Edge ? Edge->Site : bc::InvalidSiteId));
   if (Edge)
-    if (Buffer.append(*Edge))
-      Buffer.drainInto(DCG);
+    if (T.Buffer.append(*Edge))
+      flushThreadBuffer(T);
   if (Config.Profiler.ContextSensitive) {
     chargeProf(Config.Costs.StackSamplePerFrame *
                static_cast<uint32_t>(T.Frames.size()));
@@ -335,9 +345,12 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
 
 void VirtualMachine::invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
                             bc::SiteId Site) {
-  // Exhaustive profiler: record the edge at the call itself.
+  // Exhaustive profiler: record the edge at the call itself. Routed
+  // through the thread's buffer like sampled edges — weights are
+  // commutative sums, so batching does not change the profile.
   if (Config.Profiler.Kind == ProfilerKind::Exhaustive) {
-    DCG.addSample({Site, Callee});
+    if (T.Buffer.append({Site, Callee}))
+      flushThreadBuffer(T);
     if (Config.Profiler.ChargeExhaustiveCounters)
       chargeProf(Config.Costs.ExhaustiveCounter);
   }
@@ -381,11 +394,25 @@ prof::AllocationProfile VirtualMachine::trueAllocationProfile() const {
   return Truth;
 }
 
-const prof::DynamicCallGraph &VirtualMachine::profile() {
-  Buffer.drainInto(DCG);
+void VirtualMachine::flushThreadBuffer(Thread &T) {
+  if (uint64_t Dropped = T.Buffer.takeDroppedDelta())
+    Stats.DCGDropped += Dropped;
+  if (T.Buffer.pendingCount() == 0)
+    return;
+  T.Buffer.flushInto(DCG);
+  ++Stats.DCGFlushes;
+}
+
+void VirtualMachine::flushAllBuffers() {
+  for (const auto &T : Threads)
+    flushThreadBuffer(*T);
+}
+
+prof::DCGSnapshot VirtualMachine::profile() {
+  flushAllBuffers();
   if (Patching && State != RunState::Running)
     Patching->flushIncomplete(Stats.Cycles, DCG);
-  return DCG;
+  return DCG.snapshot();
 }
 
 RunState VirtualMachine::run(uint64_t CycleBudget) {
@@ -685,6 +712,9 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
       T.Values.resize(LocalBase);
       if (T.Frames.empty()) {
         T.Finished = true;
+        // Shutdown flush: a finished thread's staged samples must not
+        // sit in a dead buffer.
+        flushThreadBuffer(T);
         if (countRunnable() == 0) {
           State = RunState::Finished;
         } else {

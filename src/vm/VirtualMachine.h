@@ -18,7 +18,7 @@
 ///   Config.Profiler.CBS = {/*Stride=*/3, /*SamplesPerTick=*/32};
 ///   vm::VirtualMachine VM(Program, Config);
 ///   VM.run();
-///   const prof::DynamicCallGraph &DCG = VM.profile();
+///   prof::DCGSnapshot DCG = VM.profile();
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -82,9 +82,11 @@ public:
   const VMConfig &config() const { return Config; }
   uint64_t cycles() const { return Stats.Cycles; }
 
-  /// The profile repository. Drains pending listener samples first; once
-  /// the run has ended, also flushes incomplete code-patching windows.
-  const prof::DynamicCallGraph &profile();
+  /// An immutable snapshot of the profile repository. Flushes every
+  /// thread's pending samples first; once the run has ended, also
+  /// flushes incomplete code-patching windows. Cheap to copy and stays
+  /// valid after further execution or VM destruction.
+  prof::DCGSnapshot profile();
 
   /// The context-sensitive profile (populated when
   /// ProfilerOptions::ContextSensitive is set).
@@ -153,6 +155,8 @@ private:
     tel::Counter &GCCount;
     tel::Counter &ThreadSwitches;
     tel::Counter &ThreadsSpawned;
+    tel::Counter &DCGFlushes;
+    tel::Counter &DCGDropped;
     tel::Gauge &MaxStackDepth;
     tel::Histogram &SampleStackDepth;
     tel::Histogram &CompileCostCycles;
@@ -163,6 +167,10 @@ private:
   void maybeSwitch();
   size_t countRunnable() const;
   void recordEdgeSample(Thread &T);
+  /// Organizer step: batch-flush \p T's sample buffer into the shared
+  /// repository, folding drop/flush counts into the dcg.* metrics.
+  void flushThreadBuffer(Thread &T);
+  void flushAllBuffers();
   void chargeProf(uint32_t Cost) {
     Stats.Cycles += Cost;
     Stats.ProfilingCycles += Cost;
@@ -194,7 +202,6 @@ private:
   uint64_t NextGCAt = 0;
 
   prof::DynamicCallGraph DCG;
-  prof::SampleBuffer Buffer;
   prof::CallingContextTree CCT;
   prof::AllocationProfile AllocProfile;
   std::unique_ptr<prof::CodePatchingProfiler> Patching;

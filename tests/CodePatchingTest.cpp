@@ -62,8 +62,8 @@ TEST(CodePatching, FrequencyCorrectionWeighsHotMethodsMore) {
     CP.onListenedEntry(0, {1, 0}, I * 100, Repo); // hot: 400 cycles
   for (uint64_t I = 1; I <= 4; ++I)
     CP.onListenedEntry(1, {2, 1}, I * 1000, Repo); // cold: 4000 cycles
-  uint64_t HotWeight = Repo.weight({1, 0});
-  uint64_t ColdWeight = Repo.weight({2, 1});
+  uint64_t HotWeight = Repo.snapshot().weight({1, 0});
+  uint64_t ColdWeight = Repo.snapshot().weight({2, 1});
   ASSERT_GT(ColdWeight, 0u);
   EXPECT_NEAR(static_cast<double>(HotWeight) / ColdWeight, 10.0, 1.0);
 }
@@ -97,6 +97,7 @@ TEST(CodePatching, DistinctEdgesWithinOneMethod) {
     CP.onListenedEntry(0, {11, 0}, 40 + 10 * I, Repo);
   CP.onListenedEntry(0, {12, 0}, 60, Repo);
   ASSERT_EQ(Repo.numEdges(), 3u);
-  EXPECT_GT(Repo.weight({10, 0}), Repo.weight({11, 0}));
-  EXPECT_GT(Repo.weight({11, 0}), Repo.weight({12, 0}));
+  prof::DCGSnapshot S = Repo.snapshot();
+  EXPECT_GT(S.weight({10, 0}), S.weight({11, 0}));
+  EXPECT_GT(S.weight({11, 0}), S.weight({12, 0}));
 }

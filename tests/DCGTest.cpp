@@ -30,7 +30,7 @@ DynamicCallGraph randomDCG(RandomEngine &RNG, size_t NumEdges,
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// DynamicCallGraph
+// DynamicCallGraph (write side) read through snapshots
 //===----------------------------------------------------------------------===//
 
 TEST(DCG, AccumulatesWeights) {
@@ -38,9 +38,12 @@ TEST(DCG, AccumulatesWeights) {
   DCG.addSample(edge(1, 2));
   DCG.addSample(edge(1, 2), 4);
   DCG.addSample(edge(1, 3), 5);
-  EXPECT_EQ(DCG.weight(edge(1, 2)), 5u);
-  EXPECT_EQ(DCG.weight(edge(1, 3)), 5u);
-  EXPECT_EQ(DCG.weight(edge(9, 9)), 0u);
+  DCGSnapshot S = DCG.snapshot();
+  EXPECT_EQ(S.weight(edge(1, 2)), 5u);
+  EXPECT_EQ(S.weight(edge(1, 3)), 5u);
+  EXPECT_EQ(S.weight(edge(9, 9)), 0u);
+  EXPECT_EQ(S.totalWeight(), 10u);
+  EXPECT_EQ(S.numEdges(), 2u);
   EXPECT_EQ(DCG.totalWeight(), 10u);
   EXPECT_EQ(DCG.numEdges(), 2u);
 }
@@ -49,15 +52,17 @@ TEST(DCG, FractionNormalizes) {
   DynamicCallGraph DCG;
   DCG.addSample(edge(0, 1), 3);
   DCG.addSample(edge(0, 2), 1);
-  EXPECT_DOUBLE_EQ(DCG.fraction(edge(0, 1)), 0.75);
-  EXPECT_DOUBLE_EQ(DCG.fraction(edge(0, 2)), 0.25);
-  EXPECT_DOUBLE_EQ(DCG.fraction(edge(5, 5)), 0.0);
+  DCGSnapshot S = DCG.snapshot();
+  EXPECT_DOUBLE_EQ(S.fraction(edge(0, 1)), 0.75);
+  EXPECT_DOUBLE_EQ(S.fraction(edge(0, 2)), 0.25);
+  EXPECT_DOUBLE_EQ(S.fraction(edge(5, 5)), 0.0);
 }
 
 TEST(DCG, EmptyFractionIsZero) {
   DynamicCallGraph DCG;
-  EXPECT_DOUBLE_EQ(DCG.fraction(edge(0, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(DCG.snapshot().fraction(edge(0, 1)), 0.0);
   EXPECT_TRUE(DCG.empty());
+  EXPECT_TRUE(DCG.snapshot().empty());
 }
 
 TEST(DCG, SiteDistributionSortedHeaviestFirst) {
@@ -66,7 +71,7 @@ TEST(DCG, SiteDistributionSortedHeaviestFirst) {
   DCG.addSample(edge(7, 2), 30);
   DCG.addSample(edge(7, 3), 20);
   DCG.addSample(edge(8, 1), 99); // Different site: excluded.
-  auto Dist = DCG.siteDistribution(7);
+  auto Dist = DCG.snapshot().siteDistribution(7);
   ASSERT_EQ(Dist.size(), 3u);
   EXPECT_EQ(Dist[0].first.Callee, 2u);
   EXPECT_EQ(Dist[1].first.Callee, 3u);
@@ -79,9 +84,10 @@ TEST(DCG, MergeAddsWeights) {
   B.addSample(edge(1, 1), 3);
   B.addSample(edge(2, 2), 4);
   A.merge(B);
-  EXPECT_EQ(A.weight(edge(1, 1)), 5u);
-  EXPECT_EQ(A.weight(edge(2, 2)), 4u);
-  EXPECT_EQ(A.totalWeight(), 9u);
+  DCGSnapshot S = A.snapshot();
+  EXPECT_EQ(S.weight(edge(1, 1)), 5u);
+  EXPECT_EQ(S.weight(edge(2, 2)), 4u);
+  EXPECT_EQ(S.totalWeight(), 9u);
 }
 
 TEST(DCG, SelfMergeDoublesEveryWeight) {
@@ -96,8 +102,9 @@ TEST(DCG, SelfMergeDoublesEveryWeight) {
   DCG.merge(DCG);
   EXPECT_EQ(DCG.numEdges(), EdgesBefore);
   EXPECT_EQ(DCG.totalWeight(), TotalBefore * 2);
+  DCGSnapshot S = DCG.snapshot();
   for (uint32_t I = 0; I != 100; ++I)
-    EXPECT_EQ(DCG.weight(edge(I, I % 7)), uint64_t(I + 1) * 2);
+    EXPECT_EQ(S.weight(edge(I, I % 7)), uint64_t(I + 1) * 2);
 }
 
 TEST(DCG, SelfMergeMatchesMergingACopy) {
@@ -109,8 +116,7 @@ TEST(DCG, SelfMergeMatchesMergingACopy) {
   B.merge(Copy);
   EXPECT_EQ(A.totalWeight(), B.totalWeight());
   EXPECT_EQ(A.numEdges(), B.numEdges());
-  A.forEachEdge(
-      [&](CallEdge E, uint64_t W) { EXPECT_EQ(B.weight(E), W); });
+  EXPECT_EQ(A.snapshot().sortedEdges(), B.snapshot().sortedEdges());
 }
 
 TEST(DCG, DecayHalvesAndDropsZeroEdges) {
@@ -118,10 +124,11 @@ TEST(DCG, DecayHalvesAndDropsZeroEdges) {
   DCG.addSample(edge(0, 0), 100);
   DCG.addSample(edge(1, 1), 1); // rounds to zero at factor 0.5
   DCG.decay(0.5);
-  EXPECT_EQ(DCG.weight(edge(0, 0)), 50u);
-  EXPECT_EQ(DCG.weight(edge(1, 1)), 0u);
-  EXPECT_EQ(DCG.numEdges(), 1u);
-  EXPECT_EQ(DCG.totalWeight(), 50u);
+  DCGSnapshot S = DCG.snapshot();
+  EXPECT_EQ(S.weight(edge(0, 0)), 50u);
+  EXPECT_EQ(S.weight(edge(1, 1)), 0u);
+  EXPECT_EQ(S.numEdges(), 1u);
+  EXPECT_EQ(S.totalWeight(), 50u);
 }
 
 TEST(DCGDeathTest, DecayRejectsFactorAtOrAboveOne) {
@@ -144,16 +151,128 @@ TEST(DCG, ClearResets) {
   DCG.clear();
   EXPECT_TRUE(DCG.empty());
   EXPECT_EQ(DCG.totalWeight(), 0u);
+  EXPECT_TRUE(DCG.snapshot().empty());
 }
 
-TEST(DCG, SortedEdgesDeterministic) {
+//===----------------------------------------------------------------------===//
+// Sharding
+//===----------------------------------------------------------------------===//
+
+TEST(DCG, ShardCountClampsToPowerOfTwo) {
+  EXPECT_EQ(DynamicCallGraph(0).numShards(), 1u);
+  EXPECT_EQ(DynamicCallGraph(1).numShards(), 1u);
+  EXPECT_EQ(DynamicCallGraph(2).numShards(), 2u);
+  EXPECT_EQ(DynamicCallGraph(3).numShards(), 4u);
+  EXPECT_EQ(DynamicCallGraph(8).numShards(), 8u);
+  EXPECT_EQ(DynamicCallGraph(33).numShards(), 64u);
+  EXPECT_EQ(DynamicCallGraph(100000).numShards(),
+            DynamicCallGraph::MaxShards);
+}
+
+TEST(DCG, ShardedSnapshotMatchesSerial) {
+  // The shard count is a concurrency knob, never a semantics knob: the
+  // same samples produce bitwise-identical snapshots at any count.
+  RandomEngine RNG(23);
+  std::vector<std::pair<CallEdge, uint64_t>> Samples;
+  for (int I = 0; I != 500; ++I)
+    Samples.push_back({edge(static_cast<uint32_t>(RNG.nextBelow(128)),
+                            static_cast<uint32_t>(RNG.nextBelow(32))),
+                       RNG.nextBelow(50) + 1});
+  DynamicCallGraph Serial(1), Sharded(8);
+  for (const auto &[E, W] : Samples) {
+    Serial.addSample(E, W);
+    Sharded.addSample(E, W);
+  }
+  EXPECT_EQ(Serial.snapshot().sortedEdges(), Sharded.snapshot().sortedEdges());
+  EXPECT_EQ(Serial.totalWeight(), Sharded.totalWeight());
+  EXPECT_EQ(Serial.numEdges(), Sharded.numEdges());
+}
+
+TEST(DCG, AddBatchMatchesPerSampleAdds) {
+  std::vector<CallEdge> Batch;
+  for (uint32_t I = 0; I != 300; ++I)
+    Batch.push_back(edge(I % 17, I % 5));
+  for (unsigned Shards : {1u, 8u}) {
+    DynamicCallGraph ByBatch(Shards), BySample(Shards);
+    ByBatch.addBatch(Batch.data(), Batch.size());
+    for (CallEdge E : Batch)
+      BySample.addSample(E);
+    EXPECT_EQ(ByBatch.snapshot().sortedEdges(),
+              BySample.snapshot().sortedEdges());
+  }
+}
+
+TEST(DCG, CopyAndMergeAcrossShardCounts) {
+  DynamicCallGraph A(8);
+  for (uint32_t I = 0; I != 64; ++I)
+    A.addSample(edge(I, I % 3), I + 1);
+  DynamicCallGraph B = A; // copy keeps shard count and weights
+  EXPECT_EQ(B.numShards(), 8u);
+  EXPECT_EQ(A.snapshot().sortedEdges(), B.snapshot().sortedEdges());
+
+  DynamicCallGraph C(2);
+  C.addSample(edge(0, 0), 5);
+  C.merge(A); // merging across different shard counts
+  EXPECT_EQ(C.totalWeight(), A.totalWeight() + 5);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+TEST(DCGSnapshotTest, ImmutableUnderLaterMutation) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(1, 1), 10);
+  DCGSnapshot Before = DCG.snapshot();
+  DCG.addSample(edge(1, 1), 90);
+  DCG.addSample(edge(2, 2), 7);
+  EXPECT_EQ(Before.weight(edge(1, 1)), 10u);
+  EXPECT_EQ(Before.numEdges(), 1u);
+  EXPECT_EQ(Before.totalWeight(), 10u);
+  DCGSnapshot After = DCG.snapshot();
+  EXPECT_EQ(After.weight(edge(1, 1)), 100u);
+  EXPECT_EQ(After.numEdges(), 2u);
+}
+
+TEST(DCGSnapshotTest, EpochCacheReusesUnchangedSnapshot) {
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(1, 1), 3);
+  DCGSnapshot A = DCG.snapshot();
+  DCGSnapshot B = DCG.snapshot();
+  // No mutation in between: both snapshots share one materialization.
+  EXPECT_EQ(&A.sortedEdges(), &B.sortedEdges());
+  EXPECT_EQ(A.epoch(), B.epoch());
+  DCG.addSample(edge(1, 1));
+  DCGSnapshot C = DCG.snapshot();
+  EXPECT_NE(&A.sortedEdges(), &C.sortedEdges());
+  EXPECT_GT(C.epoch(), A.epoch());
+}
+
+TEST(DCGSnapshotTest, SortedEdgesCanonicalOrder) {
   RandomEngine RNG(5);
-  DynamicCallGraph DCG = randomDCG(RNG, 100, 50);
-  auto A = DCG.sortedEdges();
-  auto B = DCG.sortedEdges();
-  EXPECT_EQ(A, B);
+  DCGSnapshot S = randomDCG(RNG, 100, 50).snapshot();
+  const auto &A = S.sortedEdges();
   for (size_t I = 1; I < A.size(); ++I)
     EXPECT_TRUE(A[I - 1].first < A[I].first);
+}
+
+TEST(DCGSnapshotTest, FromEdgesCoalescesDuplicates) {
+  std::vector<DCGSnapshot::Edge> Edges = {
+      {edge(3, 1), 5}, {edge(1, 1), 2}, {edge(3, 1), 7}, {edge(1, 1), 1}};
+  DCGSnapshot S = DCGSnapshot::fromEdges(std::move(Edges));
+  EXPECT_EQ(S.numEdges(), 2u);
+  EXPECT_EQ(S.weight(edge(1, 1)), 3u);
+  EXPECT_EQ(S.weight(edge(3, 1)), 12u);
+  EXPECT_EQ(S.totalWeight(), 15u);
+}
+
+TEST(DCGSnapshotTest, DefaultConstructedIsEmpty) {
+  DCGSnapshot S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.numEdges(), 0u);
+  EXPECT_EQ(S.totalWeight(), 0u);
+  EXPECT_TRUE(S.siteDistribution(0).empty());
+  EXPECT_DOUBLE_EQ(S.fraction(edge(0, 0)), 0.0);
 }
 
 //===----------------------------------------------------------------------===//
@@ -162,8 +281,8 @@ TEST(DCG, SortedEdgesDeterministic) {
 
 TEST(Overlap, IdenticalProfilesScore100) {
   RandomEngine RNG(7);
-  DynamicCallGraph DCG = randomDCG(RNG, 50, 100);
-  EXPECT_NEAR(overlap(DCG, DCG), 100.0, 1e-9);
+  DCGSnapshot S = randomDCG(RNG, 50, 100).snapshot();
+  EXPECT_NEAR(overlap(S, S), 100.0, 1e-9);
 }
 
 TEST(Overlap, ScaledProfilesScore100) {
@@ -174,29 +293,30 @@ TEST(Overlap, ScaledProfilesScore100) {
   A.addSample(edge(2, 2), 7);
   B.addSample(edge(1, 1), 6);
   B.addSample(edge(2, 2), 14);
-  EXPECT_NEAR(overlap(A, B), 100.0, 1e-9);
+  EXPECT_NEAR(overlap(A.snapshot(), B.snapshot()), 100.0, 1e-9);
 }
 
 TEST(Overlap, DisjointProfilesScore0) {
   DynamicCallGraph A, B;
   A.addSample(edge(1, 1), 5);
   B.addSample(edge(2, 2), 5);
-  EXPECT_DOUBLE_EQ(overlap(A, B), 0.0);
+  EXPECT_DOUBLE_EQ(overlap(A.snapshot(), B.snapshot()), 0.0);
 }
 
 TEST(Overlap, EmptyRules) {
-  DynamicCallGraph Empty, NonEmpty;
+  DynamicCallGraph NonEmpty;
   NonEmpty.addSample(edge(1, 1));
+  DCGSnapshot Empty, Full = NonEmpty.snapshot();
   EXPECT_DOUBLE_EQ(overlap(Empty, Empty), 100.0);
-  EXPECT_DOUBLE_EQ(overlap(Empty, NonEmpty), 0.0);
-  EXPECT_DOUBLE_EQ(overlap(NonEmpty, Empty), 0.0);
+  EXPECT_DOUBLE_EQ(overlap(Empty, Full), 0.0);
+  EXPECT_DOUBLE_EQ(overlap(Full, Empty), 0.0);
 }
 
 TEST(Overlap, IsSymmetric) {
   RandomEngine RNG(11);
   for (int Trial = 0; Trial != 20; ++Trial) {
-    DynamicCallGraph A = randomDCG(RNG, 30, 40);
-    DynamicCallGraph B = randomDCG(RNG, 30, 40);
+    DCGSnapshot A = randomDCG(RNG, 30, 40).snapshot();
+    DCGSnapshot B = randomDCG(RNG, 30, 40).snapshot();
     EXPECT_NEAR(overlap(A, B), overlap(B, A), 1e-9);
   }
 }
@@ -204,8 +324,8 @@ TEST(Overlap, IsSymmetric) {
 TEST(Overlap, BoundedZeroToHundred) {
   RandomEngine RNG(13);
   for (int Trial = 0; Trial != 50; ++Trial) {
-    DynamicCallGraph A = randomDCG(RNG, 20, 30);
-    DynamicCallGraph B = randomDCG(RNG, 20, 30);
+    DCGSnapshot A = randomDCG(RNG, 20, 30).snapshot();
+    DCGSnapshot B = randomDCG(RNG, 20, 30).snapshot();
     double V = overlap(A, B);
     EXPECT_GE(V, 0.0);
     EXPECT_LE(V, 100.0 + 1e-9);
@@ -218,7 +338,7 @@ TEST(Overlap, HalfWeightMatch) {
   A.addSample(edge(1, 1), 50);
   A.addSample(edge(2, 2), 50);
   B.addSample(edge(1, 1), 100);
-  EXPECT_NEAR(overlap(A, B), 50.0, 1e-9);
+  EXPECT_NEAR(overlap(A.snapshot(), B.snapshot()), 50.0, 1e-9);
 }
 
 TEST(Overlap, SkewMismatchScoresPartial) {
@@ -228,7 +348,7 @@ TEST(Overlap, SkewMismatchScoresPartial) {
   B.addSample(edge(1, 1), 20);
   B.addSample(edge(2, 2), 80);
   // min(80,20) + min(20,80) = 40.
-  EXPECT_NEAR(overlap(A, B), 40.0, 1e-9);
+  EXPECT_NEAR(overlap(A.snapshot(), B.snapshot()), 40.0, 1e-9);
 }
 
 TEST(Overlap, PerfectSubsampleConvergence) {
@@ -248,7 +368,7 @@ TEST(Overlap, PerfectSubsampleConvergence) {
     DynamicCallGraph Sampled;
     for (size_t K = 0; K != N; ++K)
       Sampled.addSample(Population[RNG.nextBelow(Population.size())]);
-    double Acc = accuracy(Sampled, Perfect);
+    double Acc = accuracy(Sampled.snapshot(), Perfect.snapshot());
     EXPECT_GE(Acc, Prev - 5.0) << "accuracy should improve with samples";
     Prev = Acc;
   }
@@ -262,5 +382,5 @@ TEST(Overlap, MissingTailCapsAccuracy) {
   Perfect.addSample(edge(0, 0), 60);
   Perfect.addSample(edge(1, 1), 40);
   HeadOnly.addSample(edge(0, 0), 1000);
-  EXPECT_NEAR(accuracy(HeadOnly, Perfect), 60.0, 1e-9);
+  EXPECT_NEAR(accuracy(HeadOnly.snapshot(), Perfect.snapshot()), 60.0, 1e-9);
 }

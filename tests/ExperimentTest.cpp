@@ -212,7 +212,7 @@ TEST(Speedup, DynamicHeuristicsReduceCompileCost) {
     return Total;
   };
   uint64_t StaticCost =
-      TotalCompile(Static.plan(P, prof::DynamicCallGraph()));
+      TotalCompile(Static.plan(P, prof::DCGSnapshot()));
   uint64_t DynCost = TotalCompile(Dyn.plan(P, VM.profile()));
   EXPECT_LT(DynCost, StaticCost)
       << "dynamic heuristics must reduce total inlining/compile cost";

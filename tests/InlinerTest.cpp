@@ -324,7 +324,7 @@ TEST(Inliner, SizeBudgetFallsBackToCalls) {
 
 TEST(Inliner, CompileMethodTracksCostAndScale) {
   Program P = fuzz::generateRandomProgram(3);
-  InlinePlan Plan = TrivialOracle().plan(P, prof::DynamicCallGraph());
+  InlinePlan Plan = TrivialOracle().plan(P, prof::DCGSnapshot());
   vm::CostModel Costs;
   vm::CompiledMethod L0 =
       compileMethod(P, P.entryMethod(), 0, Plan, Costs);
@@ -351,7 +351,7 @@ TEST_P(InlineDifferentialTest, OraclePlansPreserveSemantics) {
   ExConfig.Profiler.ChargeExhaustiveCounters = false;
   vm::VirtualMachine ExVM(P, ExConfig);
   ExVM.run();
-  const prof::DynamicCallGraph &DCG = ExVM.profile();
+  prof::DCGSnapshot DCG = ExVM.profile();
 
   TrivialOracle Trivial;
   OldJikesOracle Old;

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "profiling/DynamicCallGraph.h"
 #include "profiling/Metrics.h"
 
 #include <gtest/gtest.h>
@@ -13,8 +14,16 @@ using namespace cbs::prof;
 
 namespace {
 
-DynamicCallGraph graph(std::initializer_list<std::pair<uint32_t, uint64_t>>
-                           EdgesAndWeights) {
+DCGSnapshot graph(std::initializer_list<std::pair<uint32_t, uint64_t>>
+                      EdgesAndWeights) {
+  std::vector<DCGSnapshot::Edge> Edges;
+  for (auto [Id, W] : EdgesAndWeights)
+    Edges.push_back({{Id, Id}, W});
+  return DCGSnapshot::fromEdges(std::move(Edges));
+}
+
+DynamicCallGraph liveGraph(std::initializer_list<std::pair<uint32_t, uint64_t>>
+                               EdgesAndWeights) {
   DynamicCallGraph DCG;
   for (auto [Id, W] : EdgesAndWeights)
     DCG.addSample({Id, Id}, W);
@@ -24,113 +33,112 @@ DynamicCallGraph graph(std::initializer_list<std::pair<uint32_t, uint64_t>>
 } // namespace
 
 TEST(HotEdgeCoverage, FullWhenAllHotEdgesPresent) {
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 50}, {2, 1}});
-  DynamicCallGraph Sampled = graph({{0, 3}, {1, 1}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 50}, {2, 1}});
+  DCGSnapshot Sampled = graph({{0, 3}, {1, 1}});
   EXPECT_DOUBLE_EQ(hotEdgeCoverage(Sampled, Perfect, 2), 1.0);
 }
 
 TEST(HotEdgeCoverage, PenalizesMissingHotEdges) {
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 50}, {2, 25}, {3, 12}});
-  DynamicCallGraph Sampled = graph({{0, 10}, {3, 1}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 50}, {2, 25}, {3, 12}});
+  DCGSnapshot Sampled = graph({{0, 10}, {3, 1}});
   // Of the top 4, edges 0 and 3 are present.
   EXPECT_DOUBLE_EQ(hotEdgeCoverage(Sampled, Perfect, 4), 0.5);
 }
 
 TEST(HotEdgeCoverage, IgnoresWeightsOnlyPresence) {
   // Garbled weights don't matter to coverage — the old inliner's view.
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 99}});
-  DynamicCallGraph Garbled = graph({{0, 1}, {1, 1000}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 99}});
+  DCGSnapshot Garbled = graph({{0, 1}, {1, 1000}});
   EXPECT_DOUBLE_EQ(hotEdgeCoverage(Garbled, Perfect, 2), 1.0);
 }
 
 TEST(HotEdgeCoverage, EmptyPerfectIsVacuouslyCovered) {
-  DynamicCallGraph Empty;
+  DCGSnapshot Empty;
   EXPECT_DOUBLE_EQ(hotEdgeCoverage(Empty, Empty, 10), 1.0);
 }
 
 TEST(HotOrderAgreement, PerfectOrderScoresOne) {
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 50}, {2, 25}});
-  DynamicCallGraph Sampled = graph({{0, 9}, {1, 5}, {2, 2}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 50}, {2, 25}});
+  DCGSnapshot Sampled = graph({{0, 9}, {1, 5}, {2, 2}});
   EXPECT_DOUBLE_EQ(hotOrderAgreement(Sampled, Perfect, 3), 1.0);
 }
 
 TEST(HotOrderAgreement, InvertedOrderScoresZero) {
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 50}, {2, 25}});
-  DynamicCallGraph Sampled = graph({{0, 1}, {1, 5}, {2, 9}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 50}, {2, 25}});
+  DCGSnapshot Sampled = graph({{0, 1}, {1, 5}, {2, 9}});
   EXPECT_DOUBLE_EQ(hotOrderAgreement(Sampled, Perfect, 3), 0.0);
 }
 
 TEST(HotOrderAgreement, MissingEdgesCountAsZeroWeight) {
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 50}});
-  DynamicCallGraph Sampled = graph({{0, 5}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 50}});
+  DCGSnapshot Sampled = graph({{0, 5}});
   // Edge 1 missing => weight 0 < 5: order preserved.
   EXPECT_DOUBLE_EQ(hotOrderAgreement(Sampled, Perfect, 2), 1.0);
 }
 
 TEST(HotOrderAgreement, SampledTiesScoreHalf) {
-  DynamicCallGraph Perfect = graph({{0, 100}, {1, 50}});
-  DynamicCallGraph Sampled = graph({{0, 5}, {1, 5}});
+  DCGSnapshot Perfect = graph({{0, 100}, {1, 50}});
+  DCGSnapshot Sampled = graph({{0, 5}, {1, 5}});
   EXPECT_DOUBLE_EQ(hotOrderAgreement(Sampled, Perfect, 2), 0.5);
 }
 
 TEST(HotOrderAgreement, TrueTiesAreSkipped) {
-  DynamicCallGraph Perfect = graph({{0, 50}, {1, 50}});
-  DynamicCallGraph Sampled = graph({{0, 1}, {1, 99}});
+  DCGSnapshot Perfect = graph({{0, 50}, {1, 50}});
+  DCGSnapshot Sampled = graph({{0, 1}, {1, 99}});
   EXPECT_DOUBLE_EQ(hotOrderAgreement(Sampled, Perfect, 2), 1.0)
       << "no comparable pairs -> vacuous agreement";
 }
 
 TEST(SiteDistributionError, ZeroForMatchingDistributions) {
-  DynamicCallGraph Perfect, Sampled;
-  Perfect.addSample({7, 1}, 80);
-  Perfect.addSample({7, 2}, 20);
-  Sampled.addSample({7, 1}, 8);
-  Sampled.addSample({7, 2}, 2);
+  DCGSnapshot Perfect = DCGSnapshot::fromEdges(
+      {{{7, 1}, 80}, {{7, 2}, 20}});
+  DCGSnapshot Sampled = DCGSnapshot::fromEdges({{{7, 1}, 8}, {{7, 2}, 2}});
   EXPECT_NEAR(siteDistributionError(Sampled, Perfect), 0.0, 1e-9);
 }
 
 TEST(SiteDistributionError, MaxForUnsampledSites) {
-  DynamicCallGraph Perfect, Sampled;
-  Perfect.addSample({7, 1}, 80);
+  DCGSnapshot Perfect = DCGSnapshot::fromEdges({{{7, 1}, 80}});
+  DCGSnapshot Sampled;
   EXPECT_NEAR(siteDistributionError(Sampled, Perfect), 2.0, 1e-9);
 }
 
 TEST(SiteDistributionError, MeasuresSkewMismatch) {
-  DynamicCallGraph Perfect, Sampled;
-  Perfect.addSample({7, 1}, 50);
-  Perfect.addSample({7, 2}, 50);
-  Sampled.addSample({7, 1}, 100); // Sampler saw only one target.
+  DCGSnapshot Perfect = DCGSnapshot::fromEdges(
+      {{{7, 1}, 50}, {{7, 2}, 50}});
+  // Sampler saw only one target.
+  DCGSnapshot Sampled = DCGSnapshot::fromEdges({{{7, 1}, 100}});
   // |1.0-0.5| + |0-0.5| = 1.0.
   EXPECT_NEAR(siteDistributionError(Sampled, Perfect), 1.0, 1e-9);
 }
 
 TEST(SiteDistributionError, AveragesOverSites) {
-  DynamicCallGraph Perfect, Sampled;
-  Perfect.addSample({1, 1}, 10); // Site 1: matched exactly.
-  Sampled.addSample({1, 1}, 99);
-  Perfect.addSample({2, 2}, 10); // Site 2: never sampled.
+  DCGSnapshot Perfect = DCGSnapshot::fromEdges(
+      {{{1, 1}, 10}, {{2, 2}, 10}}); // Site 1 matched; site 2 unsampled.
+  DCGSnapshot Sampled = DCGSnapshot::fromEdges({{{1, 1}, 99}});
   EXPECT_NEAR(siteDistributionError(Sampled, Perfect), 1.0, 1e-9);
 }
 
 TEST(Decay, HalvesWeightsAndDropsDust) {
-  DynamicCallGraph DCG = graph({{0, 100}, {1, 1}});
+  DynamicCallGraph DCG = liveGraph({{0, 100}, {1, 1}});
   DCG.decay(0.5);
-  EXPECT_EQ(DCG.weight({0, 0}), 50u);
-  EXPECT_EQ(DCG.weight({1, 1}), 0u) << "decayed-to-zero edges drop";
-  EXPECT_EQ(DCG.numEdges(), 1u);
-  EXPECT_EQ(DCG.totalWeight(), 50u);
+  DCGSnapshot S = DCG.snapshot();
+  EXPECT_EQ(S.weight({0, 0}), 50u);
+  EXPECT_EQ(S.weight({1, 1}), 0u) << "decayed-to-zero edges drop";
+  EXPECT_EQ(S.numEdges(), 1u);
+  EXPECT_EQ(S.totalWeight(), 50u);
 }
 
 TEST(Decay, RepeatedDecayConvergesToEmpty) {
-  DynamicCallGraph DCG = graph({{0, 1000}});
+  DynamicCallGraph DCG = liveGraph({{0, 1000}});
   for (int I = 0; I != 30; ++I)
     DCG.decay(0.5);
   EXPECT_TRUE(DCG.empty());
 }
 
 TEST(Decay, PreservesRelativeOrder) {
-  DynamicCallGraph DCG = graph({{0, 1000}, {1, 500}, {2, 100}});
+  DynamicCallGraph DCG = liveGraph({{0, 1000}, {1, 500}, {2, 100}});
   DCG.decay(0.9);
-  EXPECT_GT(DCG.weight({0, 0}), DCG.weight({1, 1}));
-  EXPECT_GT(DCG.weight({1, 1}), DCG.weight({2, 2}));
+  DCGSnapshot S = DCG.snapshot();
+  EXPECT_GT(S.weight({0, 0}), S.weight({1, 1}));
+  EXPECT_GT(S.weight({1, 1}), S.weight({2, 2}));
 }

@@ -13,6 +13,7 @@
 
 #include "bytecode/Builder.h"
 #include "opt/InlineOracle.h"
+#include "profiling/DynamicCallGraph.h"
 
 #include <gtest/gtest.h>
 
@@ -70,7 +71,7 @@ struct OracleFixture {
   }
 
   /// DCG helper: weight per site as a fraction of Total.
-  prof::DynamicCallGraph
+  prof::DCGSnapshot
   makeDCG(uint64_t Site0, uint64_t Site1, uint64_t Site2,
           std::vector<uint64_t> VirtualSplit = {}) {
     prof::DynamicCallGraph DCG;
@@ -83,7 +84,7 @@ struct OracleFixture {
     for (size_t I = 0; I != VirtualSplit.size(); ++I)
       if (VirtualSplit[I])
         DCG.addSample({3, Impls[I]}, VirtualSplit[I]);
-    return DCG;
+    return DCG.snapshot();
   }
 
   ProgramBuilder PB;
@@ -98,7 +99,7 @@ struct OracleFixture {
 
 TEST(TrivialOracle, InlinesOnlyTinyCallees) {
   OracleFixture FX;
-  InlinePlan Plan = TrivialOracle().plan(*FX.P, prof::DynamicCallGraph());
+  InlinePlan Plan = TrivialOracle().plan(*FX.P, prof::DCGSnapshot());
   ASSERT_NE(Plan.decisionFor(0), nullptr);
   EXPECT_EQ(Plan.decisionFor(0)->K, InlineDecision::Kind::Direct);
   EXPECT_EQ(Plan.decisionFor(1), nullptr);
@@ -124,7 +125,7 @@ TEST(TrivialOracle, DevirtualizesCHAMonomorphic) {
     MB.finish();
   }
   Program P = PB.finish(Main);
-  InlinePlan Plan = TrivialOracle().plan(P, prof::DynamicCallGraph());
+  InlinePlan Plan = TrivialOracle().plan(P, prof::DCGSnapshot());
   ASSERT_NE(Plan.decisionFor(0), nullptr);
   EXPECT_EQ(Plan.decisionFor(0)->K, InlineDecision::Kind::Direct);
   EXPECT_EQ(Plan.decisionFor(0)->Target, Impl);
@@ -133,12 +134,12 @@ TEST(TrivialOracle, DevirtualizesCHAMonomorphic) {
 TEST(OldJikes, IgnoresNonHotProfileData) {
   OracleFixture FX;
   // Mid callee has 0.9% of total weight: below the 1% cliff.
-  prof::DynamicCallGraph DCG = FX.makeDCG(991, 9, 0);
+  prof::DCGSnapshot DCG = FX.makeDCG(991, 9, 0);
   InlinePlan Plan = OldJikesOracle().plan(*FX.P, DCG);
   EXPECT_EQ(Plan.decisionFor(1), nullptr)
       << "0.9% edge must be completely ignored (the old conservatism)";
   // Above the cliff it inlines.
-  prof::DynamicCallGraph Hot = FX.makeDCG(900, 100, 0);
+  prof::DCGSnapshot Hot = FX.makeDCG(900, 100, 0);
   Plan = OldJikesOracle().plan(*FX.P, Hot);
   ASSERT_NE(Plan.decisionFor(1), nullptr);
   EXPECT_EQ(Plan.decisionFor(1)->K, InlineDecision::Kind::Direct);
@@ -146,7 +147,7 @@ TEST(OldJikes, IgnoresNonHotProfileData) {
 
 TEST(OldJikes, HotSizeThresholdStillBoundsCallee) {
   OracleFixture FX;
-  prof::DynamicCallGraph DCG = FX.makeDCG(0, 0, 1000);
+  prof::DCGSnapshot DCG = FX.makeDCG(0, 0, 1000);
   InlinePlan Plan = OldJikesOracle().plan(*FX.P, DCG);
   // Large (~90B) exceeds HotSizeBytes (60): not inlined even at 100%.
   EXPECT_EQ(Plan.decisionFor(2), nullptr);
@@ -156,11 +157,11 @@ TEST(NewJikes, ThresholdScalesWithEdgeWeight) {
   OracleFixture FX;
   // Mid (~38B) exceeds the base threshold (24B), so a cold edge is not
   // inlined...
-  prof::DynamicCallGraph Cold = FX.makeDCG(1000, 1, 0);
+  prof::DCGSnapshot Cold = FX.makeDCG(1000, 1, 0);
   InlinePlan Plan = NewJikesOracle().plan(*FX.P, Cold);
   EXPECT_EQ(Plan.decisionFor(1), nullptr);
   // ...but there is no 1% cliff: a 3% edge already buys ~54B.
-  prof::DynamicCallGraph Warm = FX.makeDCG(970, 30, 0);
+  prof::DCGSnapshot Warm = FX.makeDCG(970, 30, 0);
   Plan = NewJikesOracle().plan(*FX.P, Warm);
   ASSERT_NE(Plan.decisionFor(1), nullptr)
       << "the new inliner exploits non-hot profile data";
@@ -171,7 +172,7 @@ TEST(NewJikes, MaxSizeBoundIsRespected) {
   OracleFixture FX;
   NewJikesOracle::Params Params;
   Params.MaxSizeBytes = 80;
-  prof::DynamicCallGraph AllHot = FX.makeDCG(0, 0, 1000);
+  prof::DCGSnapshot AllHot = FX.makeDCG(0, 0, 1000);
   InlinePlan Plan = NewJikesOracle(Params).plan(*FX.P, AllHot);
   EXPECT_EQ(Plan.decisionFor(2), nullptr)
       << "bounded by maximum allowable size (§5.1)";
@@ -180,7 +181,7 @@ TEST(NewJikes, MaxSizeBoundIsRespected) {
 TEST(NewJikes, FortyPercentRuleSelectsGuardedTargets) {
   OracleFixture FX;
   // Split 50/45/5: the first two targets pass the 40% bar.
-  prof::DynamicCallGraph DCG = FX.makeDCG(0, 0, 0, {50, 45, 5});
+  prof::DCGSnapshot DCG = FX.makeDCG(0, 0, 0, {50, 45, 5});
   InlinePlan Plan = NewJikesOracle().plan(*FX.P, DCG);
   ASSERT_NE(Plan.decisionFor(3), nullptr);
   const InlineDecision &D = *Plan.decisionFor(3);
@@ -190,14 +191,14 @@ TEST(NewJikes, FortyPercentRuleSelectsGuardedTargets) {
   EXPECT_EQ(D.Guarded[1].Target, FX.Impls[1]);
 
   // Megamorphic 34/33/33: nobody passes 40%, no guarded inlining.
-  prof::DynamicCallGraph Flat = FX.makeDCG(0, 0, 0, {34, 33, 33});
+  prof::DCGSnapshot Flat = FX.makeDCG(0, 0, 0, {34, 33, 33});
   Plan = NewJikesOracle().plan(*FX.P, Flat);
   EXPECT_EQ(Plan.decisionFor(3), nullptr);
 }
 
 TEST(NewJikes, GuardClassesComeFromHierarchy) {
   OracleFixture FX;
-  prof::DynamicCallGraph DCG = FX.makeDCG(0, 0, 0, {100, 0, 0});
+  prof::DCGSnapshot DCG = FX.makeDCG(0, 0, 0, {100, 0, 0});
   InlinePlan Plan = NewJikesOracle().plan(*FX.P, DCG);
   ASSERT_NE(Plan.decisionFor(3), nullptr);
   const InlineDecision &D = *Plan.decisionFor(3);
@@ -210,7 +211,7 @@ TEST(J9, StaticHeuristicsAreAggressive) {
   OracleFixture FX;
   J9Oracle::Params Params;
   Params.UseDynamic = false;
-  InlinePlan Plan = J9Oracle(Params).plan(*FX.P, prof::DynamicCallGraph());
+  InlinePlan Plan = J9Oracle(Params).plan(*FX.P, prof::DCGSnapshot());
   // Mid (~38B <= 48B) is inlined with no profile at all.
   ASSERT_NE(Plan.decisionFor(1), nullptr);
   EXPECT_EQ(Plan.decisionFor(1)->K, InlineDecision::Kind::Direct);
@@ -221,7 +222,7 @@ TEST(J9, StaticHeuristicsAreAggressive) {
 TEST(J9, ColdSitesOverrideStaticDecision) {
   OracleFixture FX;
   // Site 1 is present but far below the cold cutoff.
-  prof::DynamicCallGraph DCG = FX.makeDCG(1'000'000, 1, 0);
+  prof::DCGSnapshot DCG = FX.makeDCG(1'000'000, 1, 0);
   InlinePlan Plan = J9Oracle().plan(*FX.P, DCG);
   EXPECT_EQ(Plan.decisionFor(1), nullptr)
       << "cold call sites are not inlined (§5.2)";
@@ -234,7 +235,7 @@ TEST(J9, ColdSitesOverrideStaticDecision) {
 TEST(J9, HotSitesGetBoostedThresholds) {
   OracleFixture FX;
   // Large (~90B) exceeds the static 48B, but a 30% site boosts past it.
-  prof::DynamicCallGraph DCG = FX.makeDCG(700, 0, 300);
+  prof::DCGSnapshot DCG = FX.makeDCG(700, 0, 300);
   InlinePlan Plan = J9Oracle().plan(*FX.P, DCG);
   ASSERT_NE(Plan.decisionFor(2), nullptr);
   EXPECT_EQ(Plan.decisionFor(2)->K, InlineDecision::Kind::Direct);
@@ -244,7 +245,7 @@ TEST(J9, DynamicNeedsNonEmptyProfile) {
   OracleFixture FX;
   // With an empty DCG the dynamic heuristics fall back to static
   // behaviour rather than treating everything as cold.
-  InlinePlan Plan = J9Oracle().plan(*FX.P, prof::DynamicCallGraph());
+  InlinePlan Plan = J9Oracle().plan(*FX.P, prof::DCGSnapshot());
   ASSERT_NE(Plan.decisionFor(1), nullptr);
 }
 

@@ -18,18 +18,18 @@ using namespace cbs::prof;
 
 namespace {
 
-DynamicCallGraph sampleGraph() {
+DCGSnapshot sampleGraph() {
   DynamicCallGraph DCG;
   DCG.addSample({3, 7}, 100);
   DCG.addSample({1, 2}, 40);
   DCG.addSample({9, 0}, 1);
-  return DCG;
+  return DCG.snapshot();
 }
 
 } // namespace
 
 TEST(ProfileIO, RoundTripPreservesEverything) {
-  DynamicCallGraph DCG = sampleGraph();
+  DCGSnapshot DCG = sampleGraph();
   ParseResult R = parseDCG(serializeDCG(DCG));
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Graph->numEdges(), DCG.numEdges());
@@ -45,11 +45,11 @@ TEST(ProfileIO, SerializationIsDeterministic) {
   A.addSample({2, 2}, 7);
   B.addSample({2, 2}, 7);
   B.addSample({1, 1}, 5);
-  EXPECT_EQ(serializeDCG(A), serializeDCG(B));
+  EXPECT_EQ(serializeDCG(A.snapshot()), serializeDCG(B.snapshot()));
 }
 
 TEST(ProfileIO, EmptyGraphRoundTrips) {
-  DynamicCallGraph Empty;
+  DCGSnapshot Empty;
   ParseResult R = parseDCG(serializeDCG(Empty));
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_TRUE(R.Graph->empty());
@@ -124,11 +124,11 @@ TEST(ProfileIO, ValidateCatchesForeignEdges) {
   bc::Program P = fuzz::generateRandomProgram(6);
   DynamicCallGraph Bogus;
   Bogus.addSample({static_cast<bc::SiteId>(P.numSites() + 5), 0});
-  EXPECT_NE(validateAgainst(Bogus, P), "");
+  EXPECT_NE(validateAgainst(Bogus.snapshot(), P), "");
 
   DynamicCallGraph WrongCallee;
   WrongCallee.addSample({0, static_cast<bc::MethodId>(P.numMethods() + 3)});
-  EXPECT_NE(validateAgainst(WrongCallee, P), "");
+  EXPECT_NE(validateAgainst(WrongCallee.snapshot(), P), "");
 }
 
 TEST(ProfileIO, ValidateCatchesImpossibleDispatch) {
@@ -149,7 +149,7 @@ TEST(ProfileIO, ValidateCatchesImpossibleDispatch) {
   DynamicCallGraph Wrong;
   bc::MethodId Other = RealCallee == 0 ? 1 : 0;
   Wrong.addSample({StaticSite, Other});
-  EXPECT_NE(validateAgainst(Wrong, P), "");
+  EXPECT_NE(validateAgainst(Wrong.snapshot(), P), "");
 }
 
 TEST(ProfileIO, CollectedProfileSurvivesRoundTripAndValidates) {

@@ -86,7 +86,7 @@ TEST_P(RandomProgramTest, SampledProfileIsSubsetOfExhaustive) {
   ExConfig.Profiler.ChargeExhaustiveCounters = false;
   vm::VirtualMachine ExVM(P, ExConfig);
   ExVM.run();
-  const prof::DynamicCallGraph &Perfect = ExVM.profile();
+  prof::DCGSnapshot Perfect = ExVM.profile();
   EXPECT_EQ(Perfect.totalWeight(), ExVM.stats().CallsExecuted);
 
   vm::VMConfig Config;

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/ArgParser.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
@@ -11,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 using namespace cbs;
 
@@ -234,4 +236,103 @@ TEST(TablePrinter, SeparatorAndPadding) {
   std::string Out = TP.render();
   EXPECT_NE(Out.find("extra"), std::string::npos);
   EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parser over \p Arguments whose errors surface as exceptions, so the
+/// rejection paths are testable in-process (the default handler exits).
+support::ArgParser parser(std::vector<std::string> Arguments) {
+  support::ArgParser P(std::move(Arguments));
+  P.setErrorHandler(
+      [](const std::string &M) { throw std::runtime_error(M); });
+  return P;
+}
+
+} // namespace
+
+TEST(ArgParser, PositionalsComeInOrder) {
+  support::ArgParser P = parser({"run", "prog.cbs"});
+  EXPECT_EQ(P.positional("command"), "run");
+  EXPECT_EQ(P.positional("program"), "prog.cbs");
+  P.finish();
+}
+
+TEST(ArgParser, MissingPositionalFails) {
+  support::ArgParser P = parser({});
+  EXPECT_THROW(P.positional("command"), std::runtime_error);
+}
+
+TEST(ArgParser, OptionReturnsValueOrDefault) {
+  support::ArgParser P = parser({"--json", "out.json"});
+  EXPECT_EQ(P.option("--json", ""), "out.json");
+  EXPECT_EQ(P.option("--save", "none"), "none");
+  P.finish();
+}
+
+TEST(ArgParser, TrailingOptionWithoutValueFails) {
+  support::ArgParser P = parser({"--json"});
+  EXPECT_THROW(P.option("--json", ""), std::runtime_error);
+}
+
+TEST(ArgParser, OptionsAndPositionalsInterleave) {
+  // Options must be pulled before positionals: an option's value is
+  // indistinguishable from a positional until its name consumes it.
+  support::ArgParser P = parser({"--jobs", "4", "compare", "--seed", "9"});
+  EXPECT_EQ(P.optionUInt("--jobs", 0, 1, 1024), 4u);
+  EXPECT_EQ(P.optionUInt("--seed", 1, 1, UINT64_MAX), 9u);
+  EXPECT_EQ(P.positional("command"), "compare");
+  P.finish();
+}
+
+TEST(ArgParser, OptionUIntStrictness) {
+  // The whole value must lex as a plain decimal integer: no trailing
+  // junk, no sign, no whitespace — strtoull accepts all three.
+  for (const char *Bad : {"12x", "0x10", "+5", "-5", " 5", "5 "}) {
+    support::ArgParser P = parser({"--stride", Bad});
+    EXPECT_THROW(P.optionUInt("--stride", 1, 1, 100), std::runtime_error)
+        << "accepted '" << Bad << "'";
+  }
+}
+
+TEST(ArgParser, OptionUIntRangeChecked) {
+  EXPECT_THROW(parser({"--stride", "0"}).optionUInt("--stride", 1, 1, 100),
+               std::runtime_error);
+  EXPECT_THROW(parser({"--stride", "101"}).optionUInt("--stride", 1, 1, 100),
+               std::runtime_error);
+  EXPECT_EQ(parser({"--stride", "100"}).optionUInt("--stride", 1, 1, 100),
+            100u);
+}
+
+TEST(ArgParser, OptionUIntDefaultWhenAbsent) {
+  support::ArgParser P = parser({});
+  EXPECT_EQ(P.optionUInt("--jobs", 7, 1, 1024), 7u);
+  P.finish();
+}
+
+TEST(ArgParser, FlagConsumesAndReports) {
+  support::ArgParser P = parser({"--force"});
+  EXPECT_TRUE(P.flag("--force"));
+  EXPECT_FALSE(P.flag("--force")) << "second query sees it consumed";
+  EXPECT_FALSE(P.flag("--quiet"));
+  P.finish();
+}
+
+TEST(ArgParser, FinishRejectsLeftovers) {
+  support::ArgParser P = parser({"--jbos", "8"});
+  EXPECT_THROW(P.finish(), std::runtime_error)
+      << "typos must not be silently ignored";
+}
+
+TEST(ArgParser, SkipsArgvZero) {
+  const char *Argv[] = {"cbsvm", "run"};
+  support::ArgParser P(2, const_cast<char *const *>(Argv));
+  P.setErrorHandler(
+      [](const std::string &M) { throw std::runtime_error(M); });
+  EXPECT_EQ(P.positional("command"), "run");
+  P.finish();
 }

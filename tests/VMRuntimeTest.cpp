@@ -277,7 +277,7 @@ TEST(Runtime, ContextSensitiveCCTAgreesWithDCG) {
   EXPECT_EQ(VM.contextTree().totalWeight(), VM.stats().SamplesTaken);
   // Projecting leaf edges recovers (a superset of weights of) the flat
   // DCG: every flat sample that had a caller appears.
-  prof::DynamicCallGraph Flat = VM.contextTree().projectLeafEdges();
+  prof::DCGSnapshot Flat = VM.contextTree().projectLeafEdges();
   EXPECT_EQ(Flat.totalWeight(), VM.profile().totalWeight());
 }
 

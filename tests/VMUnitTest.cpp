@@ -202,23 +202,55 @@ TEST(SampleBuffer, SignalsFullAtCapacity) {
   EXPECT_EQ(Buffer.pendingCount(), 3u);
 }
 
-TEST(SampleBuffer, DrainFoldsIntoRepository) {
+TEST(SampleBuffer, FlushFoldsIntoRepository) {
   prof::SampleBuffer Buffer(8);
   Buffer.append({1, 1});
   Buffer.append({1, 1});
   Buffer.append({2, 2});
   prof::DynamicCallGraph Repo;
-  Buffer.drainInto(Repo);
-  EXPECT_EQ(Repo.weight({1, 1}), 2u);
-  EXPECT_EQ(Repo.weight({2, 2}), 1u);
+  Buffer.flushInto(Repo);
+  prof::DCGSnapshot S = Repo.snapshot();
+  EXPECT_EQ(S.weight({1, 1}), 2u);
+  EXPECT_EQ(S.weight({2, 2}), 1u);
   EXPECT_EQ(Buffer.pendingCount(), 0u);
-  EXPECT_EQ(Buffer.drainCount(), 1u);
+  EXPECT_EQ(Buffer.flushCount(), 1u);
 }
 
-TEST(SampleBuffer, DrainIsIdempotentWhenEmpty) {
+TEST(SampleBuffer, FlushIsIdempotentWhenEmpty) {
   prof::SampleBuffer Buffer(4);
   prof::DynamicCallGraph Repo;
-  Buffer.drainInto(Repo);
-  Buffer.drainInto(Repo);
+  Buffer.flushInto(Repo);
+  Buffer.flushInto(Repo);
   EXPECT_TRUE(Repo.empty());
+  EXPECT_EQ(Buffer.flushCount(), 0u) << "empty flushes are not counted";
+}
+
+TEST(SampleBuffer, OverflowDropsAndCounts) {
+  prof::SampleBuffer Buffer(2);
+  EXPECT_FALSE(Buffer.append({1, 1}));
+  EXPECT_TRUE(Buffer.append({2, 2})); // full: caller should flush now
+  // Caller ignored the signal: further appends drop, and are counted.
+  EXPECT_TRUE(Buffer.append({3, 3}));
+  EXPECT_TRUE(Buffer.append({4, 4}));
+  EXPECT_EQ(Buffer.pendingCount(), 2u);
+  EXPECT_EQ(Buffer.droppedCount(), 2u);
+  prof::DynamicCallGraph Repo;
+  Buffer.flushInto(Repo);
+  EXPECT_EQ(Repo.totalWeight(), 2u) << "dropped samples never land";
+  // The delta accessor hands out each drop exactly once.
+  EXPECT_EQ(Buffer.takeDroppedDelta(), 2u);
+  EXPECT_EQ(Buffer.takeDroppedDelta(), 0u);
+  EXPECT_EQ(Buffer.droppedCount(), 2u) << "cumulative count is preserved";
+}
+
+TEST(SampleBuffer, DrainedBufferAcceptsNewSamples) {
+  prof::SampleBuffer Buffer(2);
+  prof::DynamicCallGraph Repo;
+  Buffer.append({1, 1});
+  Buffer.append({1, 1});
+  Buffer.flushInto(Repo);
+  EXPECT_FALSE(Buffer.append({1, 1})) << "capacity is available again";
+  Buffer.flushInto(Repo);
+  EXPECT_EQ(Repo.snapshot().weight({1, 1}), 3u);
+  EXPECT_EQ(Buffer.droppedCount(), 0u);
 }

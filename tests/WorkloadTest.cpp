@@ -146,7 +146,7 @@ TEST(Workloads, Figure1TimerBiasReproduces) {
   Config.Profiler.Kind = vm::ProfilerKind::Timer;
   vm::VirtualMachine VM(P, Config);
   VM.run();
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   ASSERT_GE(DCG.numEdges(), 1u);
   auto Dist0 = DCG.siteDistribution(0); // call_1's site
   auto Dist1 = DCG.siteDistribution(1); // call_2's site
@@ -162,7 +162,7 @@ TEST(Workloads, Figure1CBSSplitsEvenly) {
   Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
   vm::VirtualMachine VM(P, Config);
   VM.run();
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   auto Dist0 = DCG.siteDistribution(0);
   auto Dist1 = DCG.siteDistribution(1);
   ASSERT_FALSE(Dist0.empty());
@@ -186,7 +186,7 @@ TEST(Workloads, AdversaryDefeatsFixedSkipOnly) {
     Config.Profiler.CBS.Skip = Skip;
     vm::VirtualMachine VM(P, Config);
     VM.run();
-    const prof::DynamicCallGraph &DCG = VM.profile();
+    prof::DCGSnapshot DCG = VM.profile();
     uint64_t Decoy = 0, Total = DCG.totalWeight();
     DCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
       if (P.qualifiedName(E.Callee) == "decoy")
@@ -220,14 +220,16 @@ TEST(Workloads, PhasedProgramShiftsHotSet) {
 
   vm::VirtualMachine VM(P, Config);
   VM.run(Mid);
-  prof::DynamicCallGraph FirstHalf = VM.profile();
-  prof::DynamicCallGraph WholeDCG = Whole.profile();
-  prof::DynamicCallGraph SecondHalf;
+  prof::DCGSnapshot FirstHalf = VM.profile();
+  prof::DCGSnapshot WholeDCG = Whole.profile();
+  std::vector<prof::DCGSnapshot::Edge> Shifted;
   WholeDCG.forEachEdge([&](prof::CallEdge E, uint64_t W) {
     uint64_t Before = FirstHalf.weight(E);
     if (W > Before)
-      SecondHalf.addSample(E, W - Before);
+      Shifted.push_back({E, W - Before});
   });
+  prof::DCGSnapshot SecondHalf =
+      prof::DCGSnapshot::fromEdges(std::move(Shifted));
   EXPECT_LT(prof::overlap(FirstHalf, SecondHalf), 40.0)
       << "phases must have mostly disjoint profiles";
 }
@@ -244,14 +246,16 @@ TEST(Workloads, DecayTracksPhaseShift) {
   uint64_t Mid = Whole.stats().Cycles / 2;
   vm::VirtualMachine Half(P, ExConfig);
   Half.run(Mid);
-  prof::DynamicCallGraph PhaseB;
+  prof::DCGSnapshot PhaseB;
   {
-    prof::DynamicCallGraph FirstHalf = Half.profile();
+    prof::DCGSnapshot FirstHalf = Half.profile();
+    std::vector<prof::DCGSnapshot::Edge> Shifted;
     Whole.profile().forEachEdge([&](prof::CallEdge E, uint64_t W) {
       uint64_t Before = FirstHalf.weight(E);
       if (W > Before)
-        PhaseB.addSample(E, W - Before);
+        Shifted.push_back({E, W - Before});
     });
+    PhaseB = prof::DCGSnapshot::fromEdges(std::move(Shifted));
   }
 
   auto FinalAccuracy = [&](bool Decay) {

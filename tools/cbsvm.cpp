@@ -15,6 +15,8 @@
 //       --stride N --samples N   CBS window geometry   (default 3, 16)
 //       --personality jikes|j9                         (default jikes)
 //       --seed N                                       (default 1)
+//       --dcg-shards N           profile repo shards   (default 1)
+//       --buffer-capacity N      per-thread sample buf (default 256)
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
 //       --trace FILE             write a Chrome trace_event JSON trace
@@ -45,6 +47,7 @@
 #include "experiments/Experiments.h"
 #include "profiling/OverlapMetric.h"
 #include "profiling/ProfileIO.h"
+#include "support/ArgParser.h"
 #include "support/Json.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/TraceSink.h"
@@ -69,47 +72,15 @@ namespace {
   std::exit(2);
 }
 
-struct ArgParser {
-  ArgParser(int Argc, char **Argv) : Args(Argv + 1, Argv + Argc) {}
+using support::ArgParser;
 
-  std::string positional(const char *What) {
-    for (size_t I = 0; I != Args.size(); ++I)
-      if (!Args[I].empty() && Args[I][0] != '-' && !Consumed[I]) {
-        Consumed[I] = true;
-        return Args[I];
-      }
-    usageError(std::string("missing ") + What);
-  }
-
-  std::string option(const char *Name, const char *Default) {
-    for (size_t I = 0; I + 1 < Args.size(); ++I)
-      if (Args[I] == Name) {
-        Consumed[I] = Consumed[I + 1] = true;
-        return Args[I + 1];
-      }
-    return Default;
-  }
-
-  bool flag(const char *Name) {
-    for (size_t I = 0; I != Args.size(); ++I)
-      if (Args[I] == Name) {
-        Consumed[I] = true;
-        return true;
-      }
-    return false;
-  }
-
-  /// Called after a subcommand has pulled everything it understands;
-  /// anything left over is a typo or an option of another subcommand.
-  void finish() {
-    for (size_t I = 0; I != Args.size(); ++I)
-      if (!Consumed[I])
-        usageError("unexpected argument '" + Args[I] + "'");
-  }
-
-  std::vector<std::string> Args;
-  std::vector<bool> Consumed = std::vector<bool>(Args.size(), false);
-};
+/// The shared strict parser, with errors routed to the driver's usage
+/// message.
+ArgParser makeParser(int Argc, char **Argv) {
+  ArgParser Args(Argc, Argv);
+  Args.setErrorHandler([](const std::string &M) { usageError(M); });
+  return Args;
+}
 
 wl::InputSize parseSize(const std::string &S) {
   if (S == "small")
@@ -148,7 +119,7 @@ RunSetup parseRunSetup(ArgParser &Args) {
 
   S.Size = parseSize(Args.option("--size", "small"));
   S.Pers = parsePersonality(Args.option("--personality", "jikes"));
-  S.Seed = std::stoull(Args.option("--seed", "1"));
+  S.Seed = Args.optionUInt("--seed", 1, 0, UINT64_MAX);
   std::string ProfilerName = Args.option("--profiler", "cbs");
 
   S.P = S.W->Build(S.Size, S.Seed);
@@ -167,9 +138,13 @@ RunSetup parseRunSetup(ArgParser &Args) {
   } else
     usageError("unknown profiler '" + ProfilerName + "'");
   S.Config.Profiler.CBS.Stride =
-      static_cast<uint32_t>(std::stoul(Args.option("--stride", "3")));
-  S.Config.Profiler.CBS.SamplesPerTick =
-      static_cast<uint32_t>(std::stoul(Args.option("--samples", "16")));
+      static_cast<uint32_t>(Args.optionUInt("--stride", 3, 1, UINT32_MAX));
+  S.Config.Profiler.CBS.SamplesPerTick = static_cast<uint32_t>(
+      Args.optionUInt("--samples", 16, 1, UINT32_MAX));
+  S.Config.Profiler.DCGShards = static_cast<unsigned>(Args.optionUInt(
+      "--dcg-shards", 1, 1, prof::DynamicCallGraph::MaxShards));
+  S.Config.Profiler.SampleBufferCapacity =
+      Args.optionUInt("--buffer-capacity", 256, 1, 1 << 20);
   return S;
 }
 
@@ -193,7 +168,7 @@ int cmdList(ArgParser &Args) {
 
 int cmdRun(ArgParser &Args) {
   RunSetup S = parseRunSetup(Args);
-  size_t Edges = std::stoull(Args.option("--edges", "15"));
+  size_t Edges = Args.optionUInt("--edges", 15, 1, 1 << 20);
   bool WantAccuracy = Args.flag("--accuracy");
   std::string SavePath = Args.option("--save", "");
   std::string TracePath = Args.option("--trace", "");
@@ -224,7 +199,7 @@ int cmdRun(ArgParser &Args) {
     return 1;
   }
 
-  const prof::DynamicCallGraph &DCG = VM.profile();
+  prof::DCGSnapshot DCG = VM.profile();
   std::printf("\n%s", DCG.str(S.P, Edges).c_str());
 
   if (WantAccuracy) {
@@ -316,8 +291,8 @@ int cmdCompare(ArgParser &Args) {
   std::string PathA = Args.positional("first profile");
   std::string PathB = Args.positional("second profile");
   Args.finish();
-  prof::DynamicCallGraph A = Load(PathA);
-  prof::DynamicCallGraph B = Load(PathB);
+  prof::DCGSnapshot A = Load(PathA);
+  prof::DCGSnapshot B = Load(PathB);
   std::printf("%-30s %zu edges, weight %llu\n", PathA.c_str(), A.numEdges(),
               static_cast<unsigned long long>(A.totalWeight()));
   std::printf("%-30s %zu edges, weight %llu\n", PathB.c_str(), B.numEdges(),
@@ -349,7 +324,7 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     usageError("missing command");
   std::string Command = Argv[1];
-  ArgParser Args(Argc - 1, Argv + 1);
+  ArgParser Args = makeParser(Argc - 1, Argv + 1);
   if (Command == "list")
     return cmdList(Args);
   if (Command == "run")
