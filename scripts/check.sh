@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an observability smoke test, a ThreadSanitizer
-# pass over the parallel experiment engine and the sharded profile
-# repository, and two determinism checks: --jobs 8 produces
-# byte-identical JSON to --jobs 1, and --dcg-shards 8 produces a
-# byte-identical saved profile and metrics report to --dcg-shards 1.
+# Tier-1 verification plus an observability smoke test, a differential
+# fuzzing smoke stage, a ThreadSanitizer pass over the parallel
+# experiment engine and the sharded profile repository, and two
+# determinism checks: --jobs 8 produces byte-identical JSON to --jobs 1,
+# and --dcg-shards 8 produces a byte-identical saved profile and metrics
+# report to --dcg-shards 1.
 #
 # Usage: scripts/check.sh [build-dir]
 #
@@ -29,7 +30,11 @@ cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}"
 echo "== build =="
 cmake --build "$BUILD" -j
 
-echo "== tests =="
+echo "== tests: fast tier =="
+# The quick pre-commit tier first: fail here and we skip the soaks.
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)" -L fast)
+
+echo "== tests: full suite =="
 (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
 
 echo "== observability smoke =="
@@ -43,7 +48,8 @@ SHARD8=$(mktemp /tmp/cbsvm-shard8.XXXXXX.dcg)
 SHARD1M=$(mktemp /tmp/cbsvm-shard1m.XXXXXX.json)
 SHARD8M=$(mktemp /tmp/cbsvm-shard8m.XXXXXX.json)
 trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
-  "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M"' EXIT
+  "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M" \
+  "${FUZZ1:-}" "${FUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
 "$CBSVM" run compress --trace "$TRACE" --metrics-json "$METRICS"
@@ -65,6 +71,31 @@ assert ticks == metrics["counters"]["vm.timer_ticks"], \
     (ticks, metrics["counters"]["vm.timer_ticks"])
 print(f"trace/metrics agree: {samples} samples, {ticks} ticks")
 EOF
+
+echo "== fuzz smoke =="
+# A short differential-fuzzing campaign: 25 seeds through every builtin
+# oracle must come back clean, and the parallel campaign must report
+# exactly what the serial one does.
+FUZZ1=$(mktemp /tmp/cbsvm-fuzz1.XXXXXX.txt)
+FUZZ8=$(mktemp /tmp/cbsvm-fuzz8.XXXXXX.txt)
+FUZZDIR=$(mktemp -d /tmp/cbsvm-fuzz-artifacts.XXXXXX)
+"$CBSVM" fuzz --runs 25 --seed 1 --jobs 1 | tee "$FUZZ1"
+"$CBSVM" fuzz --runs 25 --seed 1 --jobs 8 >"$FUZZ8"
+cmp "$FUZZ1" "$FUZZ8"
+echo "fuzz jobs=1 and jobs=8 reports are byte-identical"
+
+# The artifact pipeline end to end: a deliberately broken oracle must
+# produce a reduced, replayable artifact, and the replay must reproduce
+# the violation (exit 0 means reproduced).
+if "$CBSVM" fuzz --runs 1 --seed 1 --broken-oracle --oracle broken \
+    --artifact-dir "$FUZZDIR" >/dev/null; then
+  echo "broken oracle failed to flag anything" >&2
+  exit 1
+fi
+ARTIFACT=$(ls "$FUZZDIR"/broken-seed*.json | head -n 1)
+"$CBSVM" jsoncheck "$ARTIFACT"
+"$CBSVM" fuzz --broken-oracle --replay "$ARTIFACT"
+echo "broken-oracle artifact replays and reproduces"
 
 echo "== parallel determinism =="
 # One sweep serial, one fanned out over 8 workers: the JSON reports must

@@ -88,8 +88,12 @@ public:
 
 private:
   void error(uint32_t PC, const std::string &Message) {
+    // Qualified name, not M.Name: virtual implementations (and
+    // generator-produced methods) share a bare selector name or have
+    // none at all, and a diagnostic that reads "method ''" is useless
+    // for pinpointing which body is broken.
     std::ostringstream OS;
-    OS << "method '" << M.Name << "' pc " << PC << " ("
+    OS << "method '" << P.qualifiedName(M.Id) << "' pc " << PC << " ("
        << (PC < Code.size() ? opcodeName(Code[PC].Op) : "<end>")
        << "): " << Message;
     Errors.push_back(OS.str());
@@ -436,14 +440,20 @@ VerifyResult bc::verifyProgram(const Program &P) {
       if (!isCall(I.Op))
         continue;
       if (I.Site >= P.numSites()) {
-        Result.Errors.push_back("method '" + M.Name +
-                                "': call with an unknown site id");
+        Result.Errors.push_back(
+            "method '" + P.qualifiedName(M.Id) + "' pc " +
+            std::to_string(PC) + " (" + opcodeName(I.Op) +
+            "): call with an unknown site id " + std::to_string(I.Site));
         continue;
       }
       const SiteInfo &Info = P.site(I.Site);
       if (Info.Caller != M.Id || Info.PC != PC)
-        Result.Errors.push_back("method '" + M.Name +
-                                "': call site table mismatch");
+        Result.Errors.push_back(
+            "method '" + P.qualifiedName(M.Id) + "' pc " +
+            std::to_string(PC) + " (" + opcodeName(I.Op) +
+            "): call site table mismatch (site " + std::to_string(I.Site) +
+            " maps to method " + std::to_string(Info.Caller) + " pc " +
+            std::to_string(Info.PC) + ")");
     }
     MethodVerifier MV(P, M, M.Code, M.NumLocals, Sigs, Result.Errors);
     MV.run();

@@ -1,0 +1,85 @@
+//===- fuzz/Artifact.cpp - Replayable violation artifacts ------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Artifact.h"
+
+#include "support/Json.h"
+
+using namespace cbs;
+using namespace cbs::fuzz;
+
+std::string fuzz::writeArtifact(const Artifact &A) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("version");
+  W.value(Artifact::Version);
+  W.key("seed");
+  W.value(A.Seed);
+  W.key("oracle");
+  W.value(A.OracleId);
+  W.key("message");
+  W.value(A.Message);
+  W.key("shape");
+  writeShape(A.Shape, W);
+  W.key("spec");
+  writeSpec(A.Spec, W);
+  W.endObject();
+  return W.take();
+}
+
+Artifact fuzz::parseArtifact(const std::string &Text, std::string &Error) {
+  Artifact A;
+  Error.clear();
+
+  json::JsonParseResult Parsed = json::parseJson(Text);
+  if (!Parsed.ok()) {
+    Error = "artifact is not valid JSON: " + Parsed.Error;
+    return A;
+  }
+  const json::JsonValue &V = *Parsed.Value;
+  if (!V.isObject()) {
+    Error = "artifact is not a JSON object";
+    return A;
+  }
+
+  int Version = static_cast<int>(V.numberOr("version", 0));
+  if (Version != Artifact::Version) {
+    Error = "unsupported artifact version " + std::to_string(Version) +
+            " (expected " + std::to_string(Artifact::Version) + ")";
+    return A;
+  }
+
+  A.Seed = static_cast<uint64_t>(V.numberOr("seed", 1));
+
+  const json::JsonValue *OracleId = V.find("oracle");
+  if (!OracleId || !OracleId->isString()) {
+    Error = "artifact has no oracle id";
+    return A;
+  }
+  A.OracleId = OracleId->Str;
+
+  if (const json::JsonValue *Message = V.find("message");
+      Message && Message->isString())
+    A.Message = Message->Str;
+
+  if (const json::JsonValue *Shape = V.find("shape")) {
+    A.Shape = parseShape(*Shape, Error);
+    if (!Error.empty()) {
+      Error = "artifact shape: " + Error;
+      return A;
+    }
+  }
+
+  const json::JsonValue *Spec = V.find("spec");
+  if (!Spec) {
+    Error = "artifact has no program spec";
+    return A;
+  }
+  A.Spec = parseSpec(*Spec, Error);
+  if (!Error.empty())
+    Error = "artifact spec: " + Error;
+  return A;
+}

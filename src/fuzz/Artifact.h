@@ -1,0 +1,55 @@
+//===- fuzz/Artifact.h - Replayable violation artifacts ---------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replayable JSON artifact a fuzzing campaign emits for every
+/// oracle violation: the campaign seed, the shape knobs, the violated
+/// oracle's id and message, and the *reduced* program spec. The
+/// artifact is self-contained — `cbsvm fuzz --replay <file>` rebuilds
+/// the spec, re-runs the named oracle under the recorded seed, and
+/// reports whether the violation still reproduces, with no reference to
+/// the campaign that found it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_FUZZ_ARTIFACT_H
+#define CBSVM_FUZZ_ARTIFACT_H
+
+#include "fuzz/ProgramGenerator.h"
+#include "fuzz/ProgramSpec.h"
+
+#include <string>
+
+namespace cbs::fuzz {
+
+struct Artifact {
+  /// Format version (bumped on breaking artifact changes).
+  static constexpr int Version = 1;
+
+  /// Campaign seed the violation was found (and replays) under.
+  uint64_t Seed = 1;
+  /// Shape knobs the campaign ran with (provenance; the spec below is
+  /// already expanded, so replay does not regenerate from these).
+  ShapeConfig Shape;
+  /// Violated oracle's id.
+  std::string OracleId;
+  /// Violation message of the reduced program.
+  std::string Message;
+  /// The reduced, still-failing program spec.
+  ProgramSpec Spec;
+};
+
+/// Serializes \p A as a compact JSON document (deterministic: equal
+/// artifacts serialize byte-identically).
+std::string writeArtifact(const Artifact &A);
+
+/// Parses an artifact previously produced by writeArtifact. Returns the
+/// artifact, or sets \p Error and returns a default one.
+Artifact parseArtifact(const std::string &Text, std::string &Error);
+
+} // namespace cbs::fuzz
+
+#endif // CBSVM_FUZZ_ARTIFACT_H

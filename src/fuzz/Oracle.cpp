@@ -1,0 +1,385 @@
+//===- fuzz/Oracle.cpp - Differential invariant oracles --------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "experiments/Experiments.h"
+#include "experiments/ParallelRunner.h"
+#include "opt/Compiler.h"
+#include "opt/InlineOracle.h"
+#include "profiling/OverlapMetric.h"
+#include "profiling/ProfileIO.h"
+#include "vm/VirtualMachine.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::fuzz;
+
+Oracle::~Oracle() = default;
+
+void OracleRegistry::add(std::unique_ptr<Oracle> O) {
+  Oracles.push_back(std::move(O));
+}
+
+const Oracle *OracleRegistry::find(std::string_view Id) const {
+  for (const std::unique_ptr<Oracle> &O : Oracles)
+    if (Id == O->id())
+      return O.get();
+  return nullptr;
+}
+
+namespace {
+
+/// Cycle budget for every oracle-internal run: generated programs are
+/// small DAGs with bounded loops, so anything approaching this is a
+/// generator bug worth flagging, not a workload.
+constexpr uint64_t OracleMaxCycles = 200'000'000;
+
+/// Everything one run yields that oracles compare.
+struct RunResult {
+  vm::RunState State = vm::RunState::Running;
+  std::string Trap;
+  std::vector<int64_t> Output;
+  size_t HeapObjects = 0;
+  uint64_t HeapBytes = 0;
+  prof::DCGSnapshot Profile;
+  uint64_t Samples = 0;
+  uint64_t Calls = 0;
+};
+
+RunResult runProgram(const bc::Program &P, vm::VMConfig Config) {
+  Config.MaxCycles = std::min(Config.MaxCycles, OracleMaxCycles);
+  vm::VirtualMachine VM(P, Config);
+  RunResult R;
+  R.State = VM.run();
+  R.Trap = VM.trapMessage();
+  R.Output = VM.output();
+  R.HeapObjects = VM.heap().numObjects();
+  R.HeapBytes = VM.heap().bytesAllocated();
+  R.Profile = VM.profile();
+  R.Samples = VM.stats().SamplesTaken;
+  R.Calls = VM.stats().CallsExecuted;
+  return R;
+}
+
+/// "finished, printed [a b c], 12 objects / 96 bytes" — the compact
+/// divergence description used by violation messages.
+std::string describeRun(const RunResult &R) {
+  std::ostringstream OS;
+  OS << vm::runStateName(R.State);
+  if (!R.Trap.empty())
+    OS << " (" << R.Trap << ')';
+  OS << ", " << R.Output.size() << " values printed, " << R.HeapObjects
+     << " objects / " << R.HeapBytes << " heap bytes";
+  return OS.str();
+}
+
+/// Checks \p Candidate against \p Base; returns "" or the divergence.
+std::string compareRuns(const char *BaseName, const RunResult &Base,
+                        const char *CandName, const RunResult &Cand) {
+  std::ostringstream OS;
+  if (Cand.State != Base.State) {
+    OS << CandName << " run ended " << vm::runStateName(Cand.State)
+       << " but " << BaseName << " ended " << vm::runStateName(Base.State);
+    return OS.str();
+  }
+  if (Cand.Output != Base.Output) {
+    size_t I = 0;
+    while (I < Cand.Output.size() && I < Base.Output.size() &&
+           Cand.Output[I] == Base.Output[I])
+      ++I;
+    OS << CandName << " output diverges from " << BaseName << " at value "
+       << I << " (" << describeRun(Cand) << " vs " << describeRun(Base)
+       << ')';
+    return OS.str();
+  }
+  if (Cand.HeapObjects != Base.HeapObjects ||
+      Cand.HeapBytes != Base.HeapBytes) {
+    OS << CandName << " heap stats diverge from " << BaseName << " ("
+       << describeRun(Cand) << " vs " << describeRun(Base) << ')';
+    return OS.str();
+  }
+  return "";
+}
+
+vm::VMConfig plainConfig(uint64_t Seed) {
+  vm::VMConfig Config;
+  Config.Seed = Seed;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// output-stability
+//===----------------------------------------------------------------------===//
+
+class OutputStabilityOracle : public Oracle {
+public:
+  const char *id() const override { return "output-stability"; }
+  const char *describe() const override {
+    return "optimized/unoptimized and profiling-on/off runs print the "
+           "same values and allocate the same heap";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    // Profiling off, no compilation pipeline: the reference semantics.
+    RunResult Base = runProgram(In.P, plainConfig(In.Seed));
+    if (Base.State != vm::RunState::Finished)
+      return "baseline run did not finish: " + describeRun(Base);
+
+    // Profiling on, every profiler kind.
+    for (auto [Kind, Name] :
+         {std::pair(vm::ProfilerKind::Exhaustive, "exhaustive"),
+          std::pair(vm::ProfilerKind::Timer, "timer"),
+          std::pair(vm::ProfilerKind::CBS, "cbs"),
+          std::pair(vm::ProfilerKind::CodePatching, "patching")}) {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = Kind;
+      Config.Profiler.CBS.Stride = 2;
+      Config.Profiler.CBS.SamplesPerTick = 4;
+      if (std::string D =
+              compareRuns("profiling-off", Base, Name, runProgram(In.P, Config));
+          !D.empty())
+        return D;
+    }
+
+    // Optimized (trivial inlining, the accuracy-experiment pipeline).
+    vm::VMConfig Opt =
+        exp::jitOnlyConfig(In.P, vm::Personality::JikesRVM, In.Seed);
+    Opt.Profiler.Kind = vm::ProfilerKind::CBS;
+    if (std::string D = compareRuns("unoptimized", Base, "trivially-optimized",
+                                    runProgram(In.P, Opt));
+        !D.empty())
+      return D;
+
+    // Profile-directed inlining driven by the exhaustive profile.
+    vm::VMConfig ExConfig = plainConfig(In.Seed);
+    ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+    ExConfig.Profiler.ChargeExhaustiveCounters = false;
+    RunResult Exhaustive = runProgram(In.P, ExConfig);
+    auto Plan = std::make_shared<opt::InlinePlan>(
+        opt::NewJikesOracle().plan(In.P, Exhaustive.Profile));
+    vm::VMConfig Pgo = plainConfig(In.Seed);
+    Pgo.Profiler.Kind = vm::ProfilerKind::CBS;
+    Pgo.CompileHook =
+        opt::makeCompileHook(std::move(Plan), Pgo.Costs, opt::CompileOptions());
+    if (std::string D = compareRuns("unoptimized", Base, "profile-inlined",
+                                    runProgram(In.P, Pgo));
+        !D.empty())
+      return D;
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// cbs-subset
+//===----------------------------------------------------------------------===//
+
+class CbsSubsetOracle : public Oracle {
+public:
+  /// Overlap floor, applied only once the run has taken enough samples
+  /// for the overlap statistic to be meaningful. Seed-stable: runs are
+  /// deterministic, so a seed that clears the floor always will.
+  static constexpr uint64_t MinSamplesForFloor = 50;
+  static constexpr double OverlapFloorPct = 30.0;
+
+  const char *id() const override { return "cbs-subset"; }
+  const char *describe() const override {
+    return "CBS-sampled DCG support is a subset of the exhaustive "
+           "profile and overlaps it above the floor";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    vm::VMConfig ExConfig = plainConfig(In.Seed);
+    ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
+    ExConfig.Profiler.ChargeExhaustiveCounters = false;
+    RunResult Exhaustive = runProgram(In.P, ExConfig);
+    if (Exhaustive.Profile.totalWeight() != Exhaustive.Calls) {
+      std::ostringstream OS;
+      OS << "exhaustive profile weight " << Exhaustive.Profile.totalWeight()
+         << " does not equal the " << Exhaustive.Calls << " executed calls";
+      return OS.str();
+    }
+
+    vm::VMConfig Config = plainConfig(In.Seed);
+    Config.Profiler.Kind = vm::ProfilerKind::CBS;
+    Config.Profiler.CBS.Stride = 1;
+    Config.Profiler.CBS.SamplesPerTick = 1000;
+    // Short programs may take no samples; a tiny timer period opens
+    // enough windows.
+    Config.TimerPeriodCycles = 500;
+    RunResult Sampled = runProgram(In.P, Config);
+
+    std::string Problem;
+    Sampled.Profile.forEachEdge([&](prof::CallEdge E, uint64_t W) {
+      if (Problem.empty() && Exhaustive.Profile.weight(E) == 0) {
+        std::ostringstream OS;
+        OS << "sampled edge (site " << E.Site << " -> method " << E.Callee
+           << ", weight " << W << ") never executed";
+        Problem = OS.str();
+      }
+    });
+    if (!Problem.empty())
+      return Problem;
+
+    if (Sampled.Samples >= MinSamplesForFloor) {
+      double Overlap = prof::overlap(Sampled.Profile, Exhaustive.Profile);
+      if (Overlap < OverlapFloorPct) {
+        std::ostringstream OS;
+        OS << "overlap " << Overlap << "% below the " << OverlapFloorPct
+           << "% floor after " << Sampled.Samples << " samples";
+        return OS.str();
+      }
+    }
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// profile-roundtrip
+//===----------------------------------------------------------------------===//
+
+class ProfileRoundTripOracle : public Oracle {
+public:
+  const char *id() const override { return "profile-roundtrip"; }
+  const char *describe() const override {
+    return "serialize -> parse -> serialize of any sampled profile is "
+           "byte-identical and validates against the program";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    for (auto [Kind, Name] :
+         {std::pair(vm::ProfilerKind::Exhaustive, "exhaustive"),
+          std::pair(vm::ProfilerKind::CBS, "cbs")}) {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = Kind;
+      Config.Profiler.ChargeExhaustiveCounters = false;
+      Config.Profiler.CBS.SamplesPerTick = 64;
+      Config.TimerPeriodCycles = 2'000;
+      RunResult R = runProgram(In.P, Config);
+
+      if (std::string Problem = prof::validateAgainst(R.Profile, In.P);
+          !Problem.empty())
+        return std::string(Name) + " profile fails validation: " + Problem;
+
+      std::string First = prof::serializeDCG(R.Profile);
+      prof::ParseResult Parsed = prof::parseDCG(First);
+      if (!Parsed.ok())
+        return std::string(Name) +
+               " profile does not parse back: " + Parsed.Error;
+      std::string Second = prof::serializeDCG(*Parsed.Graph);
+      if (First != Second)
+        return std::string(Name) +
+               " profile round-trip is not byte-identical (" +
+               std::to_string(First.size()) + " vs " +
+               std::to_string(Second.size()) + " bytes)";
+    }
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// shard-determinism
+//===----------------------------------------------------------------------===//
+
+class ShardDeterminismOracle : public Oracle {
+public:
+  const char *id() const override { return "shard-determinism"; }
+  const char *describe() const override {
+    return "profiles are bitwise equal across dcg-shards 1/8 and "
+           "across ParallelRunner jobs 1/4";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    auto ProfileWithShards = [&](unsigned Shards) {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = vm::ProfilerKind::CBS;
+      Config.Profiler.CBS.SamplesPerTick = 64;
+      Config.Profiler.DCGShards = Shards;
+      Config.Profiler.SampleBufferCapacity = 8; // force frequent flushes
+      Config.TimerPeriodCycles = 2'000;
+      return runProgram(In.P, Config);
+    };
+    RunResult OneShard = ProfileWithShards(1);
+    RunResult EightShards = ProfileWithShards(8);
+    if (std::string D =
+            compareRuns("dcg-shards=1", OneShard, "dcg-shards=8", EightShards);
+        !D.empty())
+      return D;
+    if (prof::serializeDCG(OneShard.Profile) !=
+        prof::serializeDCG(EightShards.Profile))
+      return "dcg-shards=1 and dcg-shards=8 profiles serialize "
+             "differently";
+
+    // The same grid of runs through the parallel engine must commit
+    // byte-identical results at any job count.
+    auto SweepWithJobs = [&](unsigned Jobs) {
+      exp::ParallelConfig Par;
+      Par.Jobs = Jobs;
+      Par.SeedBase = In.Seed;
+      exp::ParallelRunner Runner(Par);
+      std::vector<std::string> Serialized(3);
+      std::string Committed;
+      Runner.run(
+          Serialized.size(),
+          [&](exp::ParallelRunner::TaskContext &Ctx) {
+            vm::VMConfig Config = plainConfig(In.Seed + Ctx.Index);
+            Config.Profiler.Kind = vm::ProfilerKind::CBS;
+            Config.Profiler.CBS.SamplesPerTick = 64;
+            Config.TimerPeriodCycles = 2'000;
+            Serialized[Ctx.Index] =
+                prof::serializeDCG(runProgram(In.P, Config).Profile);
+          },
+          [&](exp::ParallelRunner::TaskContext &Ctx) {
+            Committed += Serialized[Ctx.Index];
+          });
+      return Committed;
+    };
+    std::string Serial = SweepWithJobs(1);
+    std::string Parallel = SweepWithJobs(4);
+    if (Serial != Parallel)
+      return "ParallelRunner jobs=1 and jobs=4 commit different profile "
+             "bytes";
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The deliberately broken test oracle
+//===----------------------------------------------------------------------===//
+
+class BrokenOracleForTesting : public Oracle {
+public:
+  const char *id() const override { return "broken"; }
+  const char *describe() const override {
+    return "TEST ONLY: flags any program that prints (exercises the "
+           "reducer and replay path)";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    RunResult R = runProgram(In.P, plainConfig(In.Seed));
+    if (!R.Output.empty())
+      return "program printed " + std::to_string(R.Output.size()) +
+             " values (the broken oracle rejects all output)";
+    return "";
+  }
+};
+
+} // namespace
+
+OracleRegistry OracleRegistry::builtin() {
+  OracleRegistry R;
+  R.add(std::make_unique<OutputStabilityOracle>());
+  R.add(std::make_unique<CbsSubsetOracle>());
+  R.add(std::make_unique<ProfileRoundTripOracle>());
+  R.add(std::make_unique<ShardDeterminismOracle>());
+  return R;
+}
+
+void fuzz::addBrokenOracleForTesting(OracleRegistry &R) {
+  R.add(std::make_unique<BrokenOracleForTesting>());
+}

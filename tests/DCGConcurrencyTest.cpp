@@ -95,8 +95,11 @@ TEST(DCGConcurrency, SnapshotsAreBatchAtomic) {
     Buffer.flushInto(Repo);
     Done.store(true, std::memory_order_release);
   });
+  // Loop until the writer is done AND we got at least one snapshot in:
+  // under load the writer can finish before this thread is scheduled,
+  // and a post-completion snapshot still must see whole batches.
   unsigned Reads = 0;
-  while (!Done.load(std::memory_order_acquire)) {
+  while (!Done.load(std::memory_order_acquire) || Reads == 0) {
     DCGSnapshot S = Repo.snapshot();
     EXPECT_EQ(S.totalWeight() % BatchSize, 0u)
         << "snapshot observed a torn batch";

@@ -131,6 +131,35 @@ TEST(DCG, DecayHalvesAndDropsZeroEdges) {
   EXPECT_EQ(S.totalWeight(), 50u);
 }
 
+TEST(DCG, DecayImmediatelyFollowedBySnapshotIsFresh) {
+  // Regression guard for the snapshot epoch cache: a snapshot taken in
+  // the same instant as a decay (the AOS organizer does exactly this —
+  // decay on the tick, then publish) must see the decayed weights, not
+  // a cached pre-decay snapshot.
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(0, 0), 64);
+  DCG.addSample(edge(2, 3), 7);
+  DCGSnapshot Before = DCG.snapshot(); // primes the epoch cache
+  uint64_t EpochBefore = DCG.epoch();
+  DCG.decay(0.5);
+  EXPECT_GT(DCG.epoch(), EpochBefore) << "decay must bump the epoch";
+
+  DCGSnapshot After = DCG.snapshot();
+  EXPECT_EQ(After.weight(edge(0, 0)), 32u);
+  EXPECT_EQ(After.weight(edge(2, 3)), 3u);
+  EXPECT_EQ(Before.weight(edge(0, 0)), 64u)
+      << "the earlier snapshot stays frozen";
+
+  // Back-to-back decay + snapshot cycles keep agreeing (no stale
+  // cache reuse across repeated same-tick sequences).
+  DCG.decay(0.5);
+  EXPECT_EQ(DCG.snapshot().weight(edge(0, 0)), 16u);
+  DCG.decay(0.5);
+  EXPECT_EQ(DCG.snapshot().weight(edge(0, 0)), 8u);
+  EXPECT_EQ(DCG.snapshot().weight(edge(2, 3)), 0u)
+      << "7 -> 3 -> 1 -> 0: the edge decays away entirely";
+}
+
 TEST(DCGDeathTest, DecayRejectsFactorAtOrAboveOne) {
   DynamicCallGraph DCG;
   DCG.addSample(edge(0, 0), 10);

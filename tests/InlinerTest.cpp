@@ -12,12 +12,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/Builder.h"
 #include "bytecode/Printer.h"
 #include "bytecode/Verifier.h"
 #include "opt/Compiler.h"
 #include "opt/InlineOracle.h"
 #include "opt/Inliner.h"
-#include "RandomProgramGen.h"
+#include "fuzz/ProgramGenerator.h"
 #include "vm/VirtualMachine.h"
 
 #include <gtest/gtest.h>

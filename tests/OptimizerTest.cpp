@@ -9,7 +9,7 @@
 #include "opt/Inliner.h"
 #include "opt/Optimizer.h"
 #include "opt/Passes.h"
-#include "RandomProgramGen.h"
+#include "fuzz/ProgramGenerator.h"
 #include "vm/VirtualMachine.h"
 
 #include <gtest/gtest.h>

@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgramGen.h"
+#include "fuzz/ProgramGenerator.h"
 
 #include "profiling/OverlapMetric.h"
 #include "profiling/ProfileIO.h"
@@ -12,6 +12,9 @@
 #include "vm/VirtualMachine.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 using namespace cbs;
 using namespace cbs::prof;
@@ -108,6 +111,42 @@ TEST(ProfileIO, SkipsCommentsAndBlankLines) {
   ParseResult R = parseDCG("cbsvm-dcg 1\n# hello\n\n1 2 3\n");
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Graph->weight({1, 2}), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden file: the on-disk text format is a contract. If either of
+// these tests fails, the format changed — bump the version and write a
+// migration, don't regenerate the fixture.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string readFixture(const char *Name) {
+  std::ifstream In(std::string(CBSVM_FIXTURE_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << "missing fixture " << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+TEST(ProfileIO, GoldenFixtureMatchesSerializer) {
+  DynamicCallGraph DCG;
+  DCG.addSample({3, 7}, 100);
+  DCG.addSample({1, 2}, 40);
+  DCG.addSample({9, 0}, 1);
+  DCG.addSample({4294967294u, 4294967294u}, 12);
+  EXPECT_EQ(serializeDCG(DCG.snapshot()), readFixture("profile_v1.dcg"));
+}
+
+TEST(ProfileIO, GoldenFixtureRoundTripsByteExactly) {
+  std::string Golden = readFixture("profile_v1.dcg");
+  ParseResult R = parseDCG(Golden);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Graph->numEdges(), 4u);
+  EXPECT_EQ(R.Graph->totalWeight(), 153u);
+  EXPECT_EQ(serializeDCG(*R.Graph), Golden);
 }
 
 TEST(ProfileIO, ValidatesRealProfilesAgainstTheirProgram) {

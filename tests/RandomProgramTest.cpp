@@ -6,13 +6,14 @@
 //
 // Whole-system property tests over randomly generated programs: the
 // generator must produce verifier-clean, terminating, deterministic
-// programs, and the profilers must obey their invariants on arbitrary
-// call structures (samples are a subset of executed calls; exhaustive
-// weights equal call counts; profiling never perturbs program output).
+// programs, and every built-in differential oracle must hold on
+// arbitrary call structures — including the multi-threaded, phase-shift
+// shapes the default knobs don't reach.
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgramGen.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/ProgramGenerator.h"
 
 #include "bytecode/Verifier.h"
 #include "profiling/OverlapMetric.h"
@@ -58,51 +59,31 @@ TEST_P(RandomProgramTest, SameSeedSameProgram) {
   }
 }
 
-TEST_P(RandomProgramTest, ProfilersDoNotPerturbOutput) {
+// The oracle registry is the productized form of the old hand-written
+// property tests (profilers don't perturb output; sampled ⊆ exhaustive;
+// profiles round-trip; shards don't matter) — every built-in invariant
+// must hold on every seed.
+TEST_P(RandomProgramTest, BuiltinOraclesHold) {
   Program P = fuzz::generateRandomProgram(GetParam());
-  std::vector<std::vector<int64_t>> Outputs;
-  for (vm::ProfilerKind Kind :
-       {vm::ProfilerKind::None, vm::ProfilerKind::Exhaustive,
-        vm::ProfilerKind::Timer, vm::ProfilerKind::CBS,
-        vm::ProfilerKind::CodePatching}) {
-    vm::VMConfig Config;
-    Config.MaxCycles = 200'000'000;
-    Config.Profiler.Kind = Kind;
-    Config.Profiler.CBS.Stride = 2;
-    Config.Profiler.CBS.SamplesPerTick = 4;
-    vm::VirtualMachine VM(P, Config);
-    EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
-    Outputs.push_back(VM.output());
-  }
-  for (size_t I = 1; I != Outputs.size(); ++I)
-    EXPECT_EQ(Outputs[I], Outputs[0]);
-}
-
-TEST_P(RandomProgramTest, SampledProfileIsSubsetOfExhaustive) {
-  Program P = fuzz::generateRandomProgram(GetParam());
-
-  vm::VMConfig ExConfig;
-  ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-  ExConfig.Profiler.ChargeExhaustiveCounters = false;
-  vm::VirtualMachine ExVM(P, ExConfig);
-  ExVM.run();
-  prof::DCGSnapshot Perfect = ExVM.profile();
-  EXPECT_EQ(Perfect.totalWeight(), ExVM.stats().CallsExecuted);
-
-  vm::VMConfig Config;
-  Config.Profiler.Kind = vm::ProfilerKind::CBS;
-  Config.Profiler.CBS.Stride = 1;
-  Config.Profiler.CBS.SamplesPerTick = 1000;
-  // Short programs may take no samples; force a tiny timer period so at
-  // least some windows open.
-  Config.TimerPeriodCycles = 500;
-  vm::VirtualMachine VM(P, Config);
-  VM.run();
-  VM.profile().forEachEdge([&](prof::CallEdge E, uint64_t) {
-    EXPECT_GT(Perfect.weight(E), 0u)
-        << "sampled an edge that never executed";
-  });
+  fuzz::OracleRegistry Registry = fuzz::OracleRegistry::builtin();
+  for (const auto &O : Registry.all())
+    EXPECT_EQ(O->check({P, GetParam()}), "") << "oracle " << O->id();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
                          ::testing::Range<uint64_t>(1, 51));
+
+class ThreadedProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreadedProgramTest, ThreadedShapesVerifyAndHold) {
+  fuzz::ProgramGenerator Gen(fuzz::ShapeConfig::threaded());
+  Program P = Gen.generate(GetParam());
+  VerifyResult V = verifyProgram(P);
+  ASSERT_TRUE(V.ok()) << V.str();
+  fuzz::OracleRegistry Registry = fuzz::OracleRegistry::builtin();
+  for (const auto &O : Registry.all())
+    EXPECT_EQ(O->check({P, GetParam()}), "") << "oracle " << O->id();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedProgramTest,
+                         ::testing::Range<uint64_t>(1, 26));

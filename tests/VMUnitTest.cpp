@@ -14,6 +14,7 @@
 #include "vm/CodeCache.h"
 #include "vm/CostModel.h"
 #include "vm/Heap.h"
+#include "vm/StackWalker.h"
 
 #include <gtest/gtest.h>
 
@@ -253,4 +254,129 @@ TEST(SampleBuffer, DrainedBufferAcceptsNewSamples) {
   Buffer.flushInto(Repo);
   EXPECT_EQ(Repo.snapshot().weight({1, 1}), 3u);
   EXPECT_EQ(Buffer.droppedCount(), 0u);
+}
+
+TEST(SampleBuffer, CapacityOneSignalsFullOnEveryAppend) {
+  prof::SampleBuffer Buffer(1);
+  prof::DynamicCallGraph Repo;
+  // An owner that flushes whenever append() returns true never drops,
+  // even at the degenerate capacity.
+  for (int I = 0; I != 5; ++I) {
+    EXPECT_TRUE(Buffer.append({1, 1}));
+    Buffer.flushInto(Repo);
+  }
+  EXPECT_EQ(Buffer.droppedCount(), 0u);
+  EXPECT_EQ(Buffer.flushCount(), 5u);
+  EXPECT_EQ(Repo.snapshot().weight({1, 1}), 5u);
+}
+
+TEST(SampleBuffer, CapacityZeroDropsEverything) {
+  prof::SampleBuffer Buffer(0);
+  EXPECT_TRUE(Buffer.append({1, 1})) << "always 'full'";
+  EXPECT_TRUE(Buffer.append({2, 2}));
+  EXPECT_EQ(Buffer.pendingCount(), 0u);
+  EXPECT_EQ(Buffer.droppedCount(), 2u);
+  prof::DynamicCallGraph Repo;
+  Buffer.flushInto(Repo);
+  EXPECT_TRUE(Repo.snapshot().empty());
+  EXPECT_EQ(Buffer.flushCount(), 0u) << "empty flushes are not counted";
+}
+
+TEST(SampleBuffer, AccountingAtTheExactCapacityBoundary) {
+  prof::SampleBuffer Buffer(3);
+  EXPECT_FALSE(Buffer.append({1, 1}));
+  EXPECT_FALSE(Buffer.append({1, 1}));
+  EXPECT_TRUE(Buffer.append({1, 1})) << "the filling append signals full";
+  EXPECT_EQ(Buffer.pendingCount(), 3u);
+  EXPECT_EQ(Buffer.droppedCount(), 0u)
+      << "the append that fills the buffer is stored, not dropped";
+  // One past the boundary: dropped, and the delta accessor sees exactly
+  // that one even when interleaved with a flush.
+  EXPECT_TRUE(Buffer.append({2, 2}));
+  prof::DynamicCallGraph Repo;
+  Buffer.flushInto(Repo);
+  EXPECT_EQ(Buffer.takeDroppedDelta(), 1u);
+  EXPECT_EQ(Repo.snapshot().weight({1, 1}), 3u);
+  EXPECT_EQ(Repo.snapshot().weight({2, 2}), 0u);
+  // Refill to the boundary again: the cumulative count keeps growing
+  // but the delta restarts from the last report.
+  Buffer.append({1, 1});
+  Buffer.append({1, 1});
+  Buffer.append({1, 1});
+  Buffer.append({3, 3});
+  EXPECT_EQ(Buffer.droppedCount(), 2u);
+  EXPECT_EQ(Buffer.takeDroppedDelta(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// StackWalker (depth-0/1 stacks and non-call suspension points)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+vm::CompiledMethod madeMethod(bc::MethodId Id,
+                              std::vector<bc::Instruction> Code) {
+  vm::CompiledMethod CM;
+  CM.Id = Id;
+  CM.Code = std::move(Code);
+  return CM;
+}
+
+} // namespace
+
+TEST(StackWalker, EmptyStackHasNoEdgeAndNoPath) {
+  vm::Thread T;
+  EXPECT_EQ(vm::topEdge(T), std::nullopt);
+  EXPECT_TRUE(vm::walkStack(T).empty());
+}
+
+TEST(StackWalker, EntryFrameAloneYieldsNoEdge) {
+  vm::CompiledMethod Entry =
+      madeMethod(7, {bc::Instruction(bc::Opcode::Nop)});
+  vm::Thread T;
+  T.Frames.push_back({&Entry, 0, 0});
+
+  EXPECT_EQ(vm::topEdge(T), std::nullopt)
+      << "a depth-1 stack has no caller to attribute a sample to";
+  std::vector<prof::PathStep> Path = vm::walkStack(T);
+  ASSERT_EQ(Path.size(), 1u);
+  EXPECT_EQ(Path[0].Site, bc::InvalidSiteId) << "thread entry has no site";
+  EXPECT_EQ(Path[0].Method, 7u);
+}
+
+TEST(StackWalker, TopEdgeReadsTheCallersSuspendedSite) {
+  vm::CompiledMethod Caller = madeMethod(
+      3, {bc::Instruction(bc::Opcode::InvokeStatic, 4, 0, /*Site=*/11)});
+  vm::CompiledMethod Callee =
+      madeMethod(4, {bc::Instruction(bc::Opcode::Nop)});
+  vm::Thread T;
+  T.Frames.push_back({&Caller, 0, 0});
+  T.Frames.push_back({&Callee, 0, 0});
+
+  std::optional<prof::CallEdge> Edge = vm::topEdge(T);
+  ASSERT_TRUE(Edge.has_value());
+  EXPECT_EQ(Edge->Site, 11u);
+  EXPECT_EQ(Edge->Callee, 4u);
+
+  std::vector<prof::PathStep> Path = vm::walkStack(T);
+  ASSERT_EQ(Path.size(), 2u);
+  EXPECT_EQ(Path[0].Site, bc::InvalidSiteId);
+  EXPECT_EQ(Path[1].Site, 11u);
+  EXPECT_EQ(Path[1].Method, 4u);
+}
+
+TEST(StackWalker, NonCallSuspensionYieldsNoEdge) {
+  // A caller frame suspended at a non-call instruction (e.g. mid-walk
+  // during a GC-point sample) must not fabricate an edge.
+  vm::CompiledMethod Caller =
+      madeMethod(3, {bc::Instruction(bc::Opcode::Nop)});
+  vm::CompiledMethod Callee =
+      madeMethod(4, {bc::Instruction(bc::Opcode::Nop)});
+  vm::Thread T;
+  T.Frames.push_back({&Caller, 0, 0});
+  T.Frames.push_back({&Callee, 0, 0});
+  EXPECT_EQ(vm::topEdge(T), std::nullopt);
+  std::vector<prof::PathStep> Path = vm::walkStack(T);
+  ASSERT_EQ(Path.size(), 2u);
+  EXPECT_EQ(Path[1].Site, bc::InvalidSiteId);
 }

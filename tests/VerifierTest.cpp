@@ -364,6 +364,58 @@ TEST(Verifier, WholeProgramChecksSelectorSignatureConsistency) {
   EXPECT_NE(R.str().find("mismatched signatures"), std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Diagnostic shape: generated programs have opaque bodies, so a usable
+// error must carry the qualified method name and the instruction index.
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, ErrorsNameTheMethodAndInstruction) {
+  Fixture FX;
+  VerifyResult R = FX.check({{O::IConst, 1}, {O::IAdd}, {O::IReturn}});
+  ASSERT_FALSE(R.ok());
+  // Static method: plain name, the failing pc, and the opcode.
+  EXPECT_NE(R.str().find("method 'f' pc 1 (iadd)"), std::string::npos)
+      << R.str();
+}
+
+TEST(Verifier, VirtualMethodErrorsUseTheQualifiedName) {
+  // VMeth was declared with an empty name, so it inherits the bare
+  // selector name "m". The diagnostic must qualify it with the owner
+  // class — every implementation of a selector shares the bare name,
+  // and "method 'm'" would not say which body is broken.
+  Fixture FX;
+  VerifyResult R =
+      verifyMethodBody(*FX.P, FX.VMeth, {{O::IAdd}, {O::IReturn}}, 4);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("method 'K::m' pc 0 (iadd)"), std::string::npos)
+      << R.str();
+  EXPECT_EQ(R.str().find("method 'm'"), std::string::npos) << R.str();
+}
+
+TEST(Verifier, WholeProgramErrorsCarryTheQualifiedName) {
+  // Same shape requirement through verifyProgram, where the offending
+  // body sits inside a full program rather than being handed in.
+  ProgramBuilder PB;
+  ClassId K = PB.addClass("Widget", InvalidClassId, 0);
+  SelectorId Sel = PB.addSelector("spin", 1);
+  MethodId M = PB.declareVirtual(K, Sel, "", {}, /*HasResult=*/true);
+  {
+    MethodBuilder MB = PB.defineMethod(M);
+    MB.iadd().iret(); // Underflows at pc 0.
+    MB.finish();
+  }
+  MethodId Main = PB.declareStatic("main");
+  {
+    MethodBuilder MB = PB.defineMethod(Main);
+    MB.finish();
+  }
+  Program P = PB.finish(Main);
+  VerifyResult R = verifyProgram(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.str().find("method 'Widget::spin' pc 0"), std::string::npos)
+      << R.str();
+}
+
 TEST(Verifier, AcceptsConditionalFamilies) {
   Fixture FX;
   for (O Cond : {O::IfEq, O::IfNe, O::IfLt, O::IfLe, O::IfGt, O::IfGe}) {

@@ -38,6 +38,28 @@
 //   cbsvm jsoncheck <file>
 //     Validate that a file parses as JSON (used by scripts/check.sh).
 //
+//   cbsvm fuzz [options]
+//     Differential fuzzing campaign: generate seeded random programs
+//     and check every invariant oracle; violations are delta-debugged
+//     and written as replayable JSON artifacts. Exits nonzero if any
+//     oracle was violated.
+//       --runs N                 programs to generate  (default 100)
+//       --seed N                 first seed            (default 1)
+//       --jobs N                 worker threads        (default 1)
+//       --oracle ID              check only this oracle
+//       --artifact-dir DIR       where violation artifacts go
+//       --no-reduce              skip delta-debugging of violations
+//       --threads                multi-threaded program shape
+//       --max-methods N          method-DAG ceiling
+//       --max-steps N            per-method body-step ceiling
+//       --max-call-repeat N      main-call repeat ceiling (phase shift)
+//       --broken-oracle          also register the deliberately broken
+//                                test oracle (exercises the reducer)
+//       --metrics-json FILE      write fuzz.* counters as JSON
+//       --list-oracles           print oracle ids and exit
+//       --replay FILE            re-run one artifact instead of a
+//                                campaign; exits 0 iff it reproduces
+//
 // Unknown or unconsumed arguments are an error: every subcommand calls
 // ArgParser::finish() once it has pulled everything it understands.
 //
@@ -45,6 +67,7 @@
 
 #include "bytecode/Printer.h"
 #include "experiments/Experiments.h"
+#include "fuzz/Fuzzer.h"
 #include "profiling/OverlapMetric.h"
 #include "profiling/ProfileIO.h"
 #include "support/ArgParser.h"
@@ -68,7 +91,7 @@ namespace {
   std::fprintf(stderr,
                "usage: cbsvm list | run <workload> [options] | "
                "stats <workload> [options] | disasm <workload> | "
-               "compare <a> <b> | jsoncheck <file>\n");
+               "compare <a> <b> | jsoncheck <file> | fuzz [options]\n");
   std::exit(2);
 }
 
@@ -301,6 +324,75 @@ int cmdCompare(ArgParser &Args) {
   return 0;
 }
 
+int cmdFuzz(ArgParser &Args) {
+  fuzz::FuzzOptions Options;
+  Options.Runs =
+      static_cast<unsigned>(Args.optionUInt("--runs", 100, 1, 1u << 20));
+  Options.SeedBase = Args.optionUInt("--seed", 1, 0, UINT64_MAX);
+  Options.Jobs =
+      static_cast<unsigned>(Args.optionUInt("--jobs", 1, 1, 1024));
+  Options.OracleFilter = Args.option("--oracle", "");
+  Options.ArtifactDir = Args.option("--artifact-dir", "");
+  Options.Reduce = !Args.flag("--no-reduce");
+  if (Args.flag("--threads"))
+    Options.Shape = fuzz::ShapeConfig::threaded();
+  Options.Shape.MaxMethods = static_cast<uint32_t>(Args.optionUInt(
+      "--max-methods", Options.Shape.MaxMethods, 1, 1u << 10));
+  Options.Shape.MaxSteps = static_cast<uint32_t>(
+      Args.optionUInt("--max-steps", Options.Shape.MaxSteps, 1, 1u << 10));
+  Options.Shape.MaxCallRepeat = static_cast<uint32_t>(Args.optionUInt(
+      "--max-call-repeat", Options.Shape.MaxCallRepeat, 1, 1u << 10));
+  bool WithBroken = Args.flag("--broken-oracle");
+  bool ListOracles = Args.flag("--list-oracles");
+  std::string MetricsPath = Args.option("--metrics-json", "");
+  std::string ReplayPath = Args.option("--replay", "");
+  Args.finish();
+
+  fuzz::OracleRegistry Registry = fuzz::OracleRegistry::builtin();
+  if (WithBroken)
+    fuzz::addBrokenOracleForTesting(Registry);
+
+  if (ListOracles) {
+    for (const auto &O : Registry.all())
+      std::printf("%-20s %s\n", O->id(), O->describe());
+    return 0;
+  }
+
+  if (!ReplayPath.empty()) {
+    std::ifstream In(ReplayPath);
+    if (!In)
+      usageError("cannot read '" + ReplayPath + "'");
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Error;
+    fuzz::Artifact A = fuzz::parseArtifact(SS.str(), Error);
+    if (!Error.empty())
+      usageError(ReplayPath + ": " + Error);
+    std::string Message = fuzz::replayArtifact(A, Registry, Error);
+    if (!Error.empty())
+      usageError(ReplayPath + ": " + Error);
+    if (Message.empty()) {
+      std::printf("%s: violation of '%s' did NOT reproduce\n",
+                  ReplayPath.c_str(), A.OracleId.c_str());
+      return 1;
+    }
+    std::printf("%s: reproduced violation of '%s' under seed %llu: %s\n",
+                ReplayPath.c_str(), A.OracleId.c_str(),
+                static_cast<unsigned long long>(A.Seed), Message.c_str());
+    return 0;
+  }
+
+  tel::MetricRegistry Metrics;
+  std::ostringstream Log;
+  fuzz::FuzzReport Report = fuzz::runFuzz(Options, Registry, &Metrics, &Log);
+  std::fputs(Log.str().c_str(), stdout);
+  if (!MetricsPath.empty()) {
+    writeFileOrDie(MetricsPath, Metrics.toJson());
+    std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
+  return Report.clean() ? 0 : 1;
+}
+
 int cmdJsonCheck(ArgParser &Args) {
   std::string Path = Args.positional("json file");
   Args.finish();
@@ -337,5 +429,7 @@ int main(int Argc, char **Argv) {
     return cmdCompare(Args);
   if (Command == "jsoncheck")
     return cmdJsonCheck(Args);
+  if (Command == "fuzz")
+    return cmdFuzz(Args);
   usageError("unknown command '" + Command + "'");
 }
