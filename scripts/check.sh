@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus an observability smoke test, a differential
-# fuzzing smoke stage, a ThreadSanitizer pass over the parallel
-# experiment engine and the sharded profile repository, and two
+# fuzzing smoke stage, a self-observability report check (the quality
+# monitor must flag the phased workload's hot-set swap and the overhead
+# breakdown must sum to its total), a ThreadSanitizer pass over the
+# parallel experiment engine and the sharded profile repository, and
 # determinism checks: --jobs 8 produces byte-identical JSON to --jobs 1,
-# and --dcg-shards 8 produces a byte-identical saved profile and metrics
-# report to --dcg-shards 1.
+# --dcg-shards 8 produces byte-identical profiles, metrics, and
+# self-observability reports to --dcg-shards 1.
 #
 # Usage: scripts/check.sh [build-dir]
 #
@@ -47,8 +49,10 @@ SHARD1=$(mktemp /tmp/cbsvm-shard1.XXXXXX.dcg)
 SHARD8=$(mktemp /tmp/cbsvm-shard8.XXXXXX.dcg)
 SHARD1M=$(mktemp /tmp/cbsvm-shard1m.XXXXXX.json)
 SHARD8M=$(mktemp /tmp/cbsvm-shard8m.XXXXXX.json)
+REPORTA=$(mktemp /tmp/cbsvm-reporta.XXXXXX.json)
+REPORTB=$(mktemp /tmp/cbsvm-reportb.XXXXXX.json)
 trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
-  "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M" \
+  "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M" "$REPORTA" "$REPORTB" \
   "${FUZZ1:-}" "${FUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
@@ -114,6 +118,33 @@ echo "== shard determinism =="
 cmp "$SHARD1" "$SHARD8"
 cmp "$SHARD1M" "$SHARD8M"
 echo "dcg-shards=1 and dcg-shards=8 runs are byte-identical"
+
+echo "== self-observability report =="
+# The monitored phase-shift workload: the quality monitor must see the
+# hot-set swap (>= 1 phase_shift dump), the overhead components must
+# sum to the reported total fraction, and two seeded runs — one through
+# an 8-shard repository — must produce byte-identical reports.
+REPORT_ARGS=(report phased --decay-ticks 4 --decay-factor 0.5 \
+  --every-ticks 4 --phase-threshold 75)
+"$CBSVM" "${REPORT_ARGS[@]}" --json "$REPORTA" >/dev/null
+"$CBSVM" "${REPORT_ARGS[@]}" --dcg-shards 8 --json "$REPORTB" >/dev/null
+"$CBSVM" jsoncheck "$REPORTA"
+cmp "$REPORTA" "$REPORTB"
+echo "report runs (dcg-shards=1 vs 8) are byte-identical"
+python3 - "$REPORTA" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+dumps = [d["trigger"] for d in report["flightRecorder"]["dumps"]]
+assert "phase_shift" in dumps, dumps
+windows = report["quality"]["windows"]
+assert windows and report["quality"]["phaseShifts"] >= 1
+overhead = report["overhead"]
+total = sum(c["fractionPct"] for c in overhead["components"])
+assert abs(total - overhead["totalFractionPct"]) < 1e-9, \
+    (total, overhead["totalFractionPct"])
+print(f"report: {len(windows)} windows, {len(dumps)} dumps "
+      f"({', '.join(dumps)}), overhead {total:.3f}% fully attributed")
+EOF
 
 if [[ "${CBSVM_SKIP_TSAN:-}" != "1" ]]; then
   echo "== thread sanitizer: parallel engine + sharded DCG =="

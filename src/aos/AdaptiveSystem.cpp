@@ -27,6 +27,8 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
     Gauges.PromotionsToL1 = &R.gauge("aos.promotions_l1");
     Gauges.PromotionsToL2 = &R.gauge("aos.promotions_l2");
     Gauges.Reoptimizations = &R.gauge("aos.reoptimizations");
+    Gauges.PhaseShiftReplans = &R.gauge("aos.phase_shift_replans");
+    Gauges.PlanOverlapBp = &R.gauge("aos.plan_overlap_bp");
   }
   *Gauges.Ticks = Stats.Ticks;
   *Gauges.Recompilations = Stats.Recompilations;
@@ -34,11 +36,27 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
   *Gauges.PromotionsToL1 = Stats.PromotionsToL1;
   *Gauges.PromotionsToL2 = Stats.PromotionsToL2;
   *Gauges.Reoptimizations = Stats.Reoptimizations;
+  *Gauges.PhaseShiftReplans = Stats.PhaseShiftReplans;
+  *Gauges.PlanOverlapBp = PlanOverlapBp;
 }
 
 const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
-  if (HavePlan && PlanAgeTicks < Config.PlanRefreshTicks)
+  // Convergence state gates plan reuse: a phase shift flagged by the
+  // quality monitor means the DCG the plan was built from no longer
+  // describes the program, so rebuild now instead of serving the stale
+  // plan out to the end of its refresh interval.
+  const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor();
+  bool ShiftPending =
+      Monitor && Monitor->phaseShiftCount() > SeenPhaseShifts;
+  if (HavePlan && !ShiftPending && PlanAgeTicks < Config.PlanRefreshTicks)
     return Plan;
+  if (Monitor)
+    SeenPhaseShifts = Monitor->phaseShiftCount();
+  if (HavePlan && ShiftPending)
+    ++Stats.PhaseShiftReplans;
+  PlanOverlapBp = Monitor ? static_cast<uint64_t>(
+                                Monitor->lastOverlapPct() * 100.0 + 0.5)
+                          : 10'000;
   static const opt::TrivialOracle Trivial;
   const opt::InlineOracle &O = Oracle ? *Oracle : Trivial;
   Plan = O.plan(VM.program(), VM.profile());

@@ -67,6 +67,10 @@ struct AOSStats {
   uint64_t PromotionsToL1 = 0;
   uint64_t PromotionsToL2 = 0;
   uint64_t Reoptimizations = 0;
+  /// Plans rebuilt early because the quality monitor flagged a phase
+  /// shift (the profile no longer described the program the plan was
+  /// built for).
+  uint64_t PhaseShiftReplans = 0;
 };
 
 /// Attach with VirtualMachine::setClient. \p Oracle must outlive the
@@ -98,6 +102,8 @@ private:
     tel::Gauge *PromotionsToL1 = nullptr;
     tel::Gauge *PromotionsToL2 = nullptr;
     tel::Gauge *Reoptimizations = nullptr;
+    tel::Gauge *PhaseShiftReplans = nullptr;
+    tel::Gauge *PlanOverlapBp = nullptr;
   };
   GaugeSet Gauges;
 
@@ -105,6 +111,11 @@ private:
   uint64_t PlanAgeTicks = 0;
   uint64_t PlanGeneration = 0;
   bool HavePlan = false;
+  /// Quality-monitor phase shifts already acted upon.
+  uint64_t SeenPhaseShifts = 0;
+  /// Monitor overlap (basis points) when the current plan was built;
+  /// 10000 when no monitor is installed.
+  uint64_t PlanOverlapBp = 10'000;
 
   struct MethodState {
     uint64_t CompiledGeneration = 0;

@@ -1,0 +1,162 @@
+//===- profiling/QualityMonitor.cpp - Online DCG convergence -----------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/QualityMonitor.h"
+
+#include "profiling/OverlapMetric.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace {
+
+uint64_t pctToBp(double Pct) {
+  return static_cast<uint64_t>(Pct * 100.0 + 0.5);
+}
+
+} // namespace
+
+ProfileQualityMonitor::ProfileQualityMonitor(QualityMonitorParams Params,
+                                             tel::MetricRegistry &R)
+    : Params(Params), Windows(R.counter("dcg.quality.windows")),
+      PhaseShiftCount(R.counter("dcg.quality.phase_shifts")),
+      OverlapBp(R.gauge("dcg.quality.overlap_bp")),
+      HotNewGauge(R.gauge("dcg.quality.hot_new")),
+      HotVanishedGauge(R.gauge("dcg.quality.hot_vanished")),
+      EdgesGauge(R.gauge("dcg.quality.edges")),
+      WeightGauge(R.gauge("dcg.quality.total_weight")),
+      ConfidenceBp(R.gauge("dcg.quality.mean_confidence_bp")),
+      OverlapHist(R.histogram("dcg.quality.overlap_pct")),
+      ConfidenceHist(R.histogram("dcg.quality.edge_confidence_pct")) {
+  // The very first window has no predecessor; seed the gauge at the
+  // vacuous 100% so a pre-first-window read does not look like a
+  // collapse.
+  OverlapBp = pctToBp(100.0);
+}
+
+double ProfileQualityMonitor::edgeConfidencePct(uint64_t Weight) {
+  if (Weight == 0)
+    return 0.0;
+  double C = 100.0 * (1.0 - 1.0 / std::sqrt(static_cast<double>(Weight)));
+  return C < 0.0 ? 0.0 : C;
+}
+
+std::vector<CallEdge> ProfileQualityMonitor::hotSet(
+    const DCGSnapshot &S) const {
+  std::vector<DCGSnapshot::Edge> Edges = S.sortedEdges();
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const DCGSnapshot::Edge &L, const DCGSnapshot::Edge &R) {
+                     return L.second > R.second;
+                   });
+  if (Edges.size() > Params.HotEdges)
+    Edges.resize(Params.HotEdges);
+  std::vector<CallEdge> Hot;
+  Hot.reserve(Edges.size());
+  for (const auto &[E, W] : Edges)
+    Hot.push_back(E);
+  std::sort(Hot.begin(), Hot.end());
+  return Hot;
+}
+
+const QualityWindow &ProfileQualityMonitor::onWindow(const DCGSnapshot &Snap,
+                                                     uint64_t Tick,
+                                                     uint64_t Cycles) {
+  QualityWindow W;
+  W.Index = History.size() + 1;
+  W.Tick = Tick;
+  W.Cycles = Cycles;
+  W.Edges = Snap.numEdges();
+  W.TotalWeight = Snap.totalWeight();
+
+  std::vector<CallEdge> Hot = hotSet(Snap);
+  if (HavePrev) {
+    W.OverlapPct = overlap(Prev, Snap);
+    // Churn = symmetric difference of the hot sets (both sorted by key).
+    for (CallEdge E : Hot)
+      if (!std::binary_search(PrevHot.begin(), PrevHot.end(), E))
+        ++W.HotNew;
+    for (CallEdge E : PrevHot)
+      if (!std::binary_search(Hot.begin(), Hot.end(), E))
+        ++W.HotVanished;
+    // A profile that is still filling in (or was decayed to nothing)
+    // is *immature*, not shifted: only flag windows where both sides
+    // held real data and the weight moved off the old edges.
+    W.PhaseShift = !Prev.empty() && !Snap.empty() &&
+                   W.OverlapPct < Params.PhaseShiftOverlapPct;
+  }
+
+  double ConfidenceSum = 0.0;
+  Snap.forEachEdge([&](CallEdge, uint64_t Weight) {
+    double C = edgeConfidencePct(Weight);
+    ConfidenceSum += C;
+    ConfidenceHist.record(static_cast<uint64_t>(C + 0.5));
+  });
+  if (W.Edges != 0)
+    W.MeanConfidencePct = ConfidenceSum / static_cast<double>(W.Edges);
+
+  ++Windows;
+  if (W.PhaseShift) {
+    ++PhaseShifts;
+    ++PhaseShiftCount;
+  }
+  OverlapBp = pctToBp(W.OverlapPct);
+  HotNewGauge = W.HotNew;
+  HotVanishedGauge = W.HotVanished;
+  EdgesGauge = W.Edges;
+  WeightGauge = W.TotalWeight;
+  ConfidenceBp = pctToBp(W.MeanConfidencePct);
+  OverlapHist.record(static_cast<uint64_t>(W.OverlapPct + 0.5));
+
+  Prev = Snap;
+  PrevHot = std::move(Hot);
+  HavePrev = true;
+  History.push_back(W);
+  return History.back();
+}
+
+void ProfileQualityMonitor::writeJson(json::JsonWriter &W) const {
+  W.beginObject();
+  W.key("everyTicks");
+  W.value(static_cast<uint64_t>(Params.EveryTicks));
+  W.key("phaseThresholdPct");
+  W.value(Params.PhaseShiftOverlapPct);
+  W.key("hotEdges");
+  W.value(static_cast<uint64_t>(Params.HotEdges));
+  W.key("phaseShifts");
+  W.value(PhaseShifts);
+  W.key("windows");
+  W.beginArray();
+  for (const QualityWindow &Win : History) {
+    W.beginObject();
+    W.key("window");
+    W.value(Win.Index);
+    W.key("tick");
+    W.value(Win.Tick);
+    W.key("cycles");
+    W.value(Win.Cycles);
+    W.key("edges");
+    W.value(static_cast<uint64_t>(Win.Edges));
+    W.key("weight");
+    W.value(Win.TotalWeight);
+    W.key("overlapPct");
+    W.value(Win.OverlapPct);
+    W.key("hotNew");
+    W.value(static_cast<uint64_t>(Win.HotNew));
+    W.key("hotVanished");
+    W.value(static_cast<uint64_t>(Win.HotVanished));
+    W.key("meanConfidencePct");
+    W.value(Win.MeanConfidencePct);
+    W.key("phaseShift");
+    W.value(Win.PhaseShift);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}

@@ -63,6 +63,29 @@ uint64_t ArgParser::optionUInt(const char *Name, uint64_t Default, uint64_t Min,
   return Parsed;
 }
 
+double ArgParser::optionDouble(const char *Name, double Default, double Min,
+                               double Max) {
+  std::string V = option(Name, "");
+  if (V.empty())
+    return Default;
+  // Reject the strtod extensions (inf/nan/hex floats) up front: option
+  // values are plain decimal numbers.
+  bool Plain = !V.empty();
+  for (char C : V)
+    if (!((C >= '0' && C <= '9') || C == '.' || C == '-' || C == '+' ||
+          C == 'e' || C == 'E'))
+      Plain = false;
+  const char *Begin = V.c_str();
+  char *End = nullptr;
+  double Parsed = std::strtod(Begin, &End);
+  if (!Plain || End == Begin || *End != '\0')
+    fail(std::string(Name) + " expects a decimal number, got '" + V + "'");
+  if (Parsed < Min || Parsed > Max)
+    fail(std::string(Name) + " must be in [" + std::to_string(Min) + ", " +
+         std::to_string(Max) + "], got '" + V + "'");
+  return Parsed;
+}
+
 bool ArgParser::flag(const char *Name) {
   for (size_t I = 0; I != Args.size(); ++I)
     if (Args[I] == Name && !Consumed[I]) {

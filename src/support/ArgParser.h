@@ -59,6 +59,11 @@ public:
   uint64_t optionUInt(const char *Name, uint64_t Default, uint64_t Min,
                       uint64_t Max);
 
+  /// Strict decimal floating-point option: the whole value must lex as
+  /// a finite decimal number (no inf/nan/hex) in [Min, Max].
+  double optionDouble(const char *Name, double Default, double Min,
+                      double Max);
+
   /// True when \p Name is present (consumes it).
   bool flag(const char *Name);
 

@@ -88,6 +88,12 @@ void MetricRegistry::writeJson(json::JsonWriter &W) const {
     W.value(H.min());
     W.key("max");
     W.value(H.max());
+    W.key("p50");
+    W.value(H.quantile(0.50));
+    W.key("p90");
+    W.value(H.quantile(0.90));
+    W.key("p99");
+    W.value(H.quantile(0.99));
     W.key("buckets");
     W.beginArray();
     for (size_t I = 0; I != Histogram::NumBuckets; ++I) {

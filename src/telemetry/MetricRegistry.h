@@ -111,6 +111,36 @@ public:
   }
   uint64_t bucketCount(size_t I) const { return Buckets[I]; }
 
+  /// Approximate \p Q-quantile (Q in [0, 1]) reconstructed from the
+  /// log2 buckets: the continuous rank Q*count is located in its
+  /// bucket, the value is linearly interpolated between the bucket's
+  /// bounds [lo, 2*lo), and the result is clamped to the exact
+  /// recorded [min, max] (so single-valued and edge quantiles are
+  /// exact). 0 when empty.
+  double quantile(double Q) const {
+    if (NumSamples == 0)
+      return 0.0;
+    double Target = Q * static_cast<double>(NumSamples);
+    if (Target < 1.0)
+      Target = 1.0; // rank of the first sample
+    uint64_t Before = 0;
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      if (Buckets[I] == 0)
+        continue;
+      double InBucket = static_cast<double>(Buckets[I]);
+      if (static_cast<double>(Before) + InBucket >= Target) {
+        double Lo = static_cast<double>(bucketLow(I));
+        double Hi = I == 0 ? 1.0 : Lo * 2.0; // exclusive upper bound
+        double Frac = (Target - static_cast<double>(Before)) / InBucket;
+        double V = Lo + (Hi - Lo) * Frac;
+        return std::min(std::max(V, static_cast<double>(min())),
+                        static_cast<double>(Max));
+      }
+      Before += Buckets[I];
+    }
+    return static_cast<double>(Max);
+  }
+
 private:
   std::array<uint64_t, NumBuckets> Buckets{};
   uint64_t NumSamples = 0;

@@ -23,6 +23,14 @@
 ///                  B = site, C = 1 direct / 2 guarded)
 ///   gc             collection pause serviced (C = heap bytes allocated)
 ///   thread_switch  scheduler moved to another thread (A = new thread)
+///   phase_shift    quality-monitor window overlap fell below the
+///                  configured threshold (A = overlap in basis points,
+///                  B = window index)
+///   sample_drop    a thread's SampleBuffer rejected samples since the
+///                  last flush point (A = buffer capacity, C = dropped
+///                  sample count)
+///   trap           the VM trapped fatally (A = trapping method,
+///                  B = pc)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,9 +51,12 @@ enum class EventKind : uint8_t {
   InlineDecision,
   GC,
   ThreadSwitch,
+  PhaseShift,
+  SampleDrop,
+  Trap,
 };
 
-inline constexpr unsigned NumEventKinds = 9;
+inline constexpr unsigned NumEventKinds = 12;
 
 const char *eventKindName(EventKind K);
 
@@ -93,6 +104,19 @@ struct TraceEvent {
   static TraceEvent threadSwitch(uint64_t Cycles, uint32_t FromThread,
                                  uint32_t ToThread) {
     return {EventKind::ThreadSwitch, FromThread, Cycles, ToThread, 0, 0};
+  }
+  static TraceEvent phaseShift(uint64_t Cycles, uint32_t Thread,
+                               uint32_t OverlapBp, uint32_t Window) {
+    return {EventKind::PhaseShift, Thread, Cycles, OverlapBp, Window, 0};
+  }
+  static TraceEvent sampleDrop(uint64_t Cycles, uint32_t Thread,
+                               uint32_t Capacity, uint64_t DroppedCount) {
+    return {EventKind::SampleDrop, Thread, Cycles, Capacity, 0,
+            DroppedCount};
+  }
+  static TraceEvent trap(uint64_t Cycles, uint32_t Thread, uint32_t Method,
+                         uint32_t PC) {
+    return {EventKind::Trap, Thread, Cycles, Method, PC, 0};
   }
 };
 

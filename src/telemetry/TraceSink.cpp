@@ -31,6 +31,12 @@ const char *tel::eventKindName(EventKind K) {
     return "gc";
   case EventKind::ThreadSwitch:
     return "thread_switch";
+  case EventKind::PhaseShift:
+    return "phase_shift";
+  case EventKind::SampleDrop:
+    return "sample_drop";
+  case EventKind::Trap:
+    return "trap";
   }
   return "?";
 }
@@ -118,6 +124,23 @@ void writeArgs(json::JsonWriter &W, const TraceEvent &E,
   case EventKind::ThreadSwitch:
     W.key("to_thread");
     W.value(static_cast<uint64_t>(E.A));
+    break;
+  case EventKind::PhaseShift:
+    W.key("overlap_bp");
+    W.value(static_cast<uint64_t>(E.A));
+    W.key("window");
+    W.value(static_cast<uint64_t>(E.B));
+    break;
+  case EventKind::SampleDrop:
+    W.key("capacity");
+    W.value(static_cast<uint64_t>(E.A));
+    W.key("dropped");
+    W.value(E.C);
+    break;
+  case EventKind::Trap:
+    Method("method", "method_name", E.A);
+    W.key("pc");
+    W.value(static_cast<uint64_t>(E.B));
     break;
   }
 }

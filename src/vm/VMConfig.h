@@ -17,6 +17,7 @@
 
 #include "profiling/CodePatchingProfiler.h"
 #include "profiling/CounterBasedSampler.h"
+#include "profiling/QualityMonitor.h"
 #include "vm/CompiledMethod.h"
 #include "vm/CostModel.h"
 
@@ -28,6 +29,7 @@ class Program;
 }
 
 namespace cbs::tel {
+class FlightRecorder;
 class TraceSink;
 }
 
@@ -93,6 +95,11 @@ struct ProfilerOptions {
   /// lock-free and flushed into the repository as one atomic batch (one
   /// set of shard lock acquisitions per batch, not per sample).
   size_t SampleBufferCapacity = 256;
+
+  /// Self-observability: the online convergence/churn monitor
+  /// (Quality.EveryTicks != 0 enables it). Works best with profile
+  /// decay on — a cumulative repository's history masks phase shifts.
+  prof::QualityMonitorParams Quality;
 };
 
 struct VMConfig {
@@ -136,6 +143,14 @@ struct VMConfig {
   /// preserves the paper's free-when-disarmed property. The sink is an
   /// observer — installing one must not change what the run computes.
   tel::TraceSink *Trace = nullptr;
+
+  /// Optional flight recorder (non-owning; must outlive the VM). The
+  /// recorder receives the quality monitor's rolling window notes plus
+  /// the anomaly events (phase_shift / sample_drop / trap) even when a
+  /// different Trace sink is installed; when Trace is null the VM
+  /// installs the recorder as its trace sink so it also retains the
+  /// regular event stream. Like Trace, a pure observer.
+  tel::FlightRecorder *Recorder = nullptr;
 
   /// Optional compile pipeline (trivial inlining, the optimizer, an
   /// inline plan); when unset the VM installs straight baseline

@@ -6,6 +6,7 @@
 
 #include "vm/VirtualMachine.h"
 
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/TraceSink.h"
 #include "vm/StackWalker.h"
 
@@ -50,7 +51,15 @@ VirtualMachine::LiveStats::LiveStats(tel::MetricRegistry &R)
       DCGDropped(R.counter("dcg.dropped_samples")),
       MaxStackDepth(R.gauge("vm.max_stack_depth")),
       SampleStackDepth(R.histogram("vm.sample_stack_depth")),
-      CompileCostCycles(R.histogram("vm.compile_cost_cycles")) {}
+      CompileCostCycles(R.histogram("vm.compile_cost_cycles")),
+      OvEntryCheck(R.counter("overhead.entry_check")),
+      OvCounterUpdate(R.counter("overhead.counter_update")),
+      OvListener(R.counter("overhead.listener")),
+      OvStackWalk(R.counter("overhead.stack_walk")),
+      OvBufferFlush(R.counter("overhead.buffer_flush")),
+      OvSnapshot(R.counter("overhead.snapshot")),
+      OvYieldpoint(R.counter("overhead.yieldpoint_taken")),
+      OvShardWait(R.counter("overhead.shard_wait")) {}
 
 const VMStats &VirtualMachine::stats() const {
   Facade.Cycles = Stats.Cycles;
@@ -78,17 +87,39 @@ const tel::MetricRegistry &VirtualMachine::metrics() {
   Registry.gauge("vm.methods_executed") = methodsExecuted();
   Registry.gauge("vm.threads_live") = countRunnable();
   Registry.gauge("dcg.shard_contention") = DCG.contentionCount();
+  // The online Figure 4: all attributed profiling cycles as a fraction
+  // of the whole run, in basis points (300 = 3%).
+  Registry.gauge("overhead.total_fraction_bp") =
+      Stats.Cycles == 0 ? 0 : 10'000 * overheadCycles() / Stats.Cycles;
   return Registry;
 }
 
 VirtualMachine::VirtualMachine(const bc::Program &P, VMConfig Config)
     : P(P), Config(std::move(Config)), Stats(Registry),
-      Trace(this->Config.Trace), Cache(P), RNG(this->Config.Seed),
+      Trace(this->Config.Trace), Recorder(this->Config.Recorder),
+      Cache(P), RNG(this->Config.Seed),
       DCG(this->Config.Profiler.DCGShards),
       InvocationCounts(P.numMethods(), 0), TickSamples(P.numMethods(), 0) {
   if (this->Config.Profiler.Kind == ProfilerKind::CodePatching)
     Patching = std::make_unique<prof::CodePatchingProfiler>(
         P.numMethods(), this->Config.Profiler.Patching);
+  // A recorder with no separate trace sink doubles as the sink, so it
+  // retains the regular event stream around each anomaly.
+  if (Recorder && !Trace)
+    Trace = Recorder;
+  if (this->Config.Profiler.Quality.EveryTicks != 0)
+    Quality = std::make_unique<prof::ProfileQualityMonitor>(
+        this->Config.Profiler.Quality, Registry);
+  // Reference configurations whose profiler is free by construction
+  // (None; Exhaustive with counters uncharged — the §6.2 "perfect"
+  // baseline) must stay free: organizer costs are modelled only where
+  // the profiler itself is charged.
+  ProfilerKind Kind = this->Config.Profiler.Kind;
+  ChargedProfiling =
+      Kind == ProfilerKind::CBS || Kind == ProfilerKind::Timer ||
+      Kind == ProfilerKind::CodePatching ||
+      (Kind == ProfilerKind::Exhaustive &&
+       this->Config.Profiler.ChargeExhaustiveCounters);
   NextTimerAt = this->Config.TimerPeriodCycles;
   NextGCAt = this->Config.GCThresholdBytes;
   spawnThread(P.entryMethod());
@@ -161,6 +192,14 @@ size_t VirtualMachine::methodsExecuted() const {
   return N;
 }
 
+void VirtualMachine::emitAnomaly(const tel::TraceEvent &E) {
+  if (Trace)
+    Trace->event(E);
+  // A recorder serving as the trace sink already saw the event above.
+  if (Recorder && static_cast<tel::TraceSink *>(Recorder) != Trace)
+    Recorder->event(E);
+}
+
 void VirtualMachine::trap(const std::string &Message) {
   Thread &T = *Threads[Current];
   std::ostringstream OS;
@@ -170,6 +209,10 @@ void VirtualMachine::trap(const std::string &Message) {
        << T.top().PC;
   TrapMsg = OS.str();
   State = RunState::Trapped;
+  emitAnomaly(tel::TraceEvent::trap(
+      Stats.Cycles, T.Id,
+      T.Frames.empty() ? bc::InvalidMethodId : T.top().CM->Id,
+      T.Frames.empty() ? 0 : T.top().PC));
 }
 
 void VirtualMachine::fireTimer() {
@@ -192,6 +235,11 @@ void VirtualMachine::fireTimer() {
   ++Stats.TimerTicks;
   Stats.Cycles += Config.Costs.TimerInterrupt;
 
+  // Organizer activation: drain every listener buffer into the shared
+  // repository (one batch per thread, so one set of shard-lock
+  // acquisitions per activation rather than per sample).
+  flushAllBuffers();
+
   if (Config.Profiler.DecayEveryTicks != 0 &&
       Stats.TimerTicks % Config.Profiler.DecayEveryTicks == 0) {
     // Pending samples predate the decay point and must decay with the
@@ -199,6 +247,10 @@ void VirtualMachine::fireTimer() {
     flushAllBuffers();
     DCG.decay(Config.Profiler.DecayFactor);
   }
+
+  if (Quality &&
+      Stats.TimerTicks % Config.Profiler.Quality.EveryTicks == 0)
+    closeQualityWindow();
 
   Thread &T = *Threads[Current];
   TickPending = true;
@@ -219,6 +271,44 @@ void VirtualMachine::fireTimer() {
     if (Client)
       Client->onTimerTick(*this, Top);
   }
+}
+
+void VirtualMachine::closeQualityWindow() {
+  // Window boundary: pending samples belong to the closing window.
+  flushAllBuffers();
+  prof::DCGSnapshot Snap = DCG.snapshot();
+  if (ChargedProfiling)
+    chargeProf(static_cast<uint32_t>(Config.Costs.SnapshotPerEdge *
+                                     Snap.numEdges()),
+               Stats.OvSnapshot);
+  const prof::QualityWindow &W =
+      Quality->onWindow(Snap, Stats.TimerTicks, Stats.Cycles);
+
+  if (Recorder) {
+    tel::RecorderWindow RW;
+    RW.Index = W.Index;
+    RW.Tick = W.Tick;
+    RW.Cycles = W.Cycles;
+    RW.DeltaCycles = Stats.Cycles - WinBase.Cycles;
+    RW.DeltaSamples = Stats.SamplesTaken - WinBase.Samples;
+    RW.DeltaDrops = Stats.DCGDropped - WinBase.Drops;
+    RW.DeltaFlushes = Stats.DCGFlushes - WinBase.Flushes;
+    RW.DeltaProfilingCycles = Stats.ProfilingCycles - WinBase.ProfilingCycles;
+    RW.OverlapBp = static_cast<uint64_t>(W.OverlapPct * 100.0 + 0.5);
+    RW.OverheadBp =
+        Stats.Cycles == 0 ? 0 : 10'000 * overheadCycles() / Stats.Cycles;
+    Recorder->noteWindow(RW);
+    WinBase = {Stats.Cycles, Stats.SamplesTaken, Stats.DCGDropped,
+               Stats.DCGFlushes, Stats.ProfilingCycles};
+  }
+
+  // Emit after the window note so a dump triggered by this event
+  // carries the window that detected the shift.
+  if (W.PhaseShift)
+    emitAnomaly(tel::TraceEvent::phaseShift(
+        Stats.Cycles, Threads[Current]->Id,
+        static_cast<uint32_t>(W.OverlapPct * 100.0 + 0.5),
+        static_cast<uint32_t>(W.Index)));
 }
 
 void VirtualMachine::maybeSwitch() {
@@ -249,18 +339,22 @@ void VirtualMachine::maybeSwitch() {
 void VirtualMachine::recordEdgeSample(Thread &T) {
   ++Stats.SamplesTaken;
   Stats.SampleStackDepth.record(T.Frames.size());
-  chargeProf(Config.Costs.StackSampleBase);
+  chargeProf(Config.Costs.StackSampleBase, Stats.OvStackWalk);
   std::optional<prof::CallEdge> Edge = topEdge(T);
   if (Trace)
     Trace->event(tel::TraceEvent::sample(
         Stats.Cycles, T.Id, Edge ? Edge->Callee : bc::InvalidMethodId,
         Edge ? Edge->Site : bc::InvalidSiteId));
+  // Listener context: append only. The buffer is drained by the
+  // organizer at the next timer tick — a listener may not take
+  // repository locks, and a buffer that fills up before the organizer
+  // runs drops further samples (surfaced as sample_drop events).
   if (Edge)
-    if (T.Buffer.append(*Edge))
-      flushThreadBuffer(T);
+    T.Buffer.append(*Edge);
   if (Config.Profiler.ContextSensitive) {
     chargeProf(Config.Costs.StackSamplePerFrame *
-               static_cast<uint32_t>(T.Frames.size()));
+                   static_cast<uint32_t>(T.Frames.size()),
+               Stats.OvStackWalk);
     CCT.addPath(walkStack(T));
   }
 }
@@ -284,7 +378,10 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
 
   if (TickPending) {
     TickPending = false;
+    // Attributed but not in ProfilingCycles: servicing a tick at a
+    // yieldpoint is a base runtime service every configuration pays.
     Stats.Cycles += Config.Costs.TickService;
+    Stats.OvYieldpoint += Config.Costs.TickService;
     if (Kind == ProfilerKind::CBS) {
       // §5.1: a yieldpoint taken for a timer interrupt arms CBS by
       // setting the control word to -1; the thread switch is deferred
@@ -317,7 +414,7 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
 
   // Not a tick: a CBS invocation event, or a service-only request (GC).
   if (Kind == ProfilerKind::CBS && T.CBS.armed() && W != Where::Backedge) {
-    chargeProf(Config.Costs.ArmedEventCost);
+    chargeProf(Config.Costs.ArmedEventCost, Stats.OvEntryCheck);
     if (T.CBS.onInvocationEvent()) {
       recordEdgeSample(T);
       if (!T.CBS.armed()) {
@@ -352,7 +449,7 @@ void VirtualMachine::invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
     if (T.Buffer.append({Site, Callee}))
       flushThreadBuffer(T);
     if (Config.Profiler.ChargeExhaustiveCounters)
-      chargeProf(Config.Costs.ExhaustiveCounter);
+      chargeProf(Config.Costs.ExhaustiveCounter, Stats.OvCounterUpdate);
   }
 
   const CompiledMethod *CM = ensureCompiled(Callee);
@@ -360,7 +457,7 @@ void VirtualMachine::invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
 
   if (Patching) {
     if (Patching->isListening(Callee)) {
-      chargeProf(Config.Costs.ListenerCost);
+      chargeProf(Config.Costs.ListenerCost, Stats.OvListener);
       Patching->onListenedEntry(Callee, {Site, Callee}, Stats.Cycles, DCG);
     } else if (Count == Config.Profiler.PromoteAfterInvocations) {
       Patching->onMethodPromoted(Callee, Stats.Cycles);
@@ -380,7 +477,7 @@ void VirtualMachine::invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
 
   // Prologue yieldpoint (Jikes) / overloaded entry check (J9).
   if (Config.ExplicitEntryCheck)
-    chargeProf(Config.Costs.ExplicitEntryCheck);
+    chargeProf(Config.Costs.ExplicitEntryCheck, Stats.OvEntryCheck);
   if (T.Word != YieldWord::Clear)
     processTaken(T, Where::Prologue);
 }
@@ -395,11 +492,29 @@ prof::AllocationProfile VirtualMachine::trueAllocationProfile() const {
 }
 
 void VirtualMachine::flushThreadBuffer(Thread &T) {
-  if (uint64_t Dropped = T.Buffer.takeDroppedDelta())
+  if (uint64_t Dropped = T.Buffer.takeDroppedDelta()) {
     Stats.DCGDropped += Dropped;
-  if (T.Buffer.pendingCount() == 0)
+    emitAnomaly(tel::TraceEvent::sampleDrop(
+        Stats.Cycles, T.Id, static_cast<uint32_t>(T.Buffer.capacity()),
+        Dropped));
+  }
+  size_t Pending = T.Buffer.pendingCount();
+  if (Pending == 0)
     return;
+  // Organizer cost: modelled only while the program runs (post-run
+  // flushes are measurement) and only for charged profilers.
+  if (ChargedProfiling && State == RunState::Running)
+    chargeProf(Config.Costs.BufferFlushBase +
+                   Config.Costs.BufferFlushPerSample *
+                       static_cast<uint32_t>(Pending),
+               Stats.OvBufferFlush);
+  uint64_t ContentionBefore = DCG.contentionCount();
   T.Buffer.flushInto(DCG);
+  // Shard waits are attributed (never charged to execution time):
+  // contention is a host-schedule artifact, structurally 0 in the
+  // single-OS-thread VM, and charging it would break determinism.
+  if (uint64_t Waits = DCG.contentionCount() - ContentionBefore)
+    Stats.OvShardWait += Waits * Config.Costs.ShardLockWait;
   ++Stats.DCGFlushes;
 }
 
@@ -412,7 +527,14 @@ prof::DCGSnapshot VirtualMachine::profile() {
   flushAllBuffers();
   if (Patching && State != RunState::Running)
     Patching->flushIncomplete(Stats.Cycles, DCG);
-  return DCG.snapshot();
+  prof::DCGSnapshot Snap = DCG.snapshot();
+  // Mid-run materialization is the organizer/AOS read path and is
+  // modelled work; post-run reads are measurement and stay free.
+  if (ChargedProfiling && State == RunState::Running)
+    chargeProf(static_cast<uint32_t>(Config.Costs.SnapshotPerEdge *
+                                     Snap.numEdges()),
+               Stats.OvSnapshot);
+  return Snap;
 }
 
 RunState VirtualMachine::run(uint64_t CycleBudget) {
@@ -616,9 +738,10 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
       // §8 generalization: the allocation sampler's armed check
       // overloads the allocator's heap-frontier test.
       if (Config.Profiler.ProfileAllocations && T.Alloc.armed()) {
-        chargeProf(Costs.ArmedEventCost);
+        chargeProf(Costs.ArmedEventCost, Stats.OvEntryCheck);
         if (T.Alloc.onInvocationEvent()) {
-          chargeProf(Costs.AllocSampleCost);
+          // A histogram bump, no walk: counter-update work.
+          chargeProf(Costs.AllocSampleCost, Stats.OvCounterUpdate);
           AllocProfile.addSample(static_cast<bc::ClassId>(I.A));
           ++Stats.SamplesTaken;
           // Allocation samples have no walked call edge; the invariant

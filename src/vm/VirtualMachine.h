@@ -41,7 +41,9 @@
 #include <string>
 
 namespace cbs::tel {
+class FlightRecorder;
 class TraceSink;
+struct TraceEvent;
 }
 
 namespace cbs::vm {
@@ -118,9 +120,26 @@ public:
   Heap &heap() { return TheHeap; }
   void setClient(VMClient *C) { Client = C; }
 
+  /// The online profile-quality monitor (null unless
+  /// ProfilerOptions::Quality.EveryTicks != 0).
+  const prof::ProfileQualityMonitor *qualityMonitor() const {
+    return Quality.get();
+  }
+
+  /// Modelled cycles attributed to profiling machinery across every
+  /// overhead.* component (includes the attribute-only components —
+  /// yieldpoint servicing and shard waits — that are not part of
+  /// vm.profiling_cycles).
+  uint64_t overheadCycles() const {
+    return Stats.OvEntryCheck + Stats.OvCounterUpdate + Stats.OvListener +
+           Stats.OvStackWalk + Stats.OvBufferFlush + Stats.OvSnapshot +
+           Stats.OvYieldpoint + Stats.OvShardWait;
+  }
+
   /// The full metrics registry, with derived gauges (heap, code cache,
-  /// methods executed) refreshed to the current run state. Supersets
-  /// stats(): every VMStats field is a "vm.*" entry here.
+  /// methods executed, overhead.total_fraction_bp) refreshed to the
+  /// current run state. Supersets stats(): every VMStats field is a
+  /// "vm.*" entry here.
   const tel::MetricRegistry &metrics();
   /// Mutable registry access for cooperating components (the adaptive
   /// system registers its "aos.*" metrics here).
@@ -160,6 +179,20 @@ private:
     tel::Gauge &MaxStackDepth;
     tel::Histogram &SampleStackDepth;
     tel::Histogram &CompileCostCycles;
+
+    /// Per-component overhead attribution (the online Figure 4). The
+    /// first six partition vm.profiling_cycles exactly; the last two
+    /// are attributed but never charged to execution time (yieldpoint
+    /// tick servicing is a base runtime service, and shard waits are
+    /// host-side contention, always 0 in the single-OS-thread VM).
+    tel::Counter &OvEntryCheck;    // overhead.entry_check
+    tel::Counter &OvCounterUpdate; // overhead.counter_update
+    tel::Counter &OvListener;      // overhead.listener
+    tel::Counter &OvStackWalk;     // overhead.stack_walk
+    tel::Counter &OvBufferFlush;   // overhead.buffer_flush
+    tel::Counter &OvSnapshot;      // overhead.snapshot
+    tel::Counter &OvYieldpoint;    // overhead.yieldpoint_taken
+    tel::Counter &OvShardWait;     // overhead.shard_wait
   };
 
   void fireTimer();
@@ -171,10 +204,18 @@ private:
   /// repository, folding drop/flush counts into the dcg.* metrics.
   void flushThreadBuffer(Thread &T);
   void flushAllBuffers();
-  void chargeProf(uint32_t Cost) {
+  /// Charges \p Cost to execution time, the profiling total, and the
+  /// named overhead.* component.
+  void chargeProf(uint32_t Cost, tel::Counter &Component) {
     Stats.Cycles += Cost;
     Stats.ProfilingCycles += Cost;
+    Component += Cost;
   }
+  /// Quality-monitor window boundary (called from fireTimer).
+  void closeQualityWindow();
+  /// Routes an anomaly event to the trace sink and (when distinct) the
+  /// flight recorder.
+  void emitAnomaly(const tel::TraceEvent &E);
   const CompiledMethod *ensureCompiled(bc::MethodId Id);
   /// Pushes a frame for \p Callee consuming \p ArgCount values from the
   /// current operand stack; runs entry profiling hooks.
@@ -188,6 +229,12 @@ private:
   tel::MetricRegistry Registry;
   LiveStats Stats; ///< must follow Registry (references into it)
   tel::TraceSink *Trace = nullptr;
+  tel::FlightRecorder *Recorder = nullptr;
+  /// True when this configuration's profiling work is *charged* (CBS /
+  /// Timer / CodePatching / charged Exhaustive): gates the modelled
+  /// flush and snapshot costs so the free-exhaustive reference runs
+  /// stay cost-free.
+  bool ChargedProfiling = false;
   mutable VMStats Facade;
   CodeCache Cache;
   Heap TheHeap;
@@ -205,6 +252,15 @@ private:
   prof::CallingContextTree CCT;
   prof::AllocationProfile AllocProfile;
   std::unique_ptr<prof::CodePatchingProfiler> Patching;
+  std::unique_ptr<prof::ProfileQualityMonitor> Quality;
+  /// Counter values at the last recorder window note (delta baseline).
+  struct WindowBaseline {
+    uint64_t Cycles = 0;
+    uint64_t Samples = 0;
+    uint64_t Drops = 0;
+    uint64_t Flushes = 0;
+    uint64_t ProfilingCycles = 0;
+  } WinBase;
 
   std::vector<uint64_t> InvocationCounts;
   std::vector<uint32_t> TickSamples;

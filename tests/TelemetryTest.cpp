@@ -115,6 +115,49 @@ TEST(MetricRegistry, HistogramBucketBoundaries) {
   EXPECT_EQ(H.max(), 8u);
 }
 
+TEST(MetricRegistry, HistogramQuantilePins) {
+  // {1, 2, 4, 8}: the p50 rank (2) lands at the top of bucket [2, 4),
+  // interpolating to exactly 4; p90 and p99 interpolate past the
+  // recorded maximum and clamp to it.
+  Histogram H;
+  for (uint64_t V : {1, 2, 4, 8})
+    H.record(V);
+  EXPECT_DOUBLE_EQ(H.quantile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.90), 8.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 8.0);
+
+  // A single-valued histogram is exact at every quantile (the clamp to
+  // [min, max] collapses the bucket interpolation).
+  Histogram Single;
+  Single.record(100);
+  EXPECT_DOUBLE_EQ(Single.quantile(0.50), 100.0);
+  EXPECT_DOUBLE_EQ(Single.quantile(0.99), 100.0);
+
+  Histogram Flat;
+  for (int I = 0; I != 4; ++I)
+    Flat.record(4);
+  EXPECT_DOUBLE_EQ(Flat.quantile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(Flat.quantile(0.90), 4.0);
+
+  Histogram Empty;
+  EXPECT_DOUBLE_EQ(Empty.quantile(0.50), 0.0);
+
+  Histogram Zero;
+  Zero.record(0);
+  EXPECT_DOUBLE_EQ(Zero.quantile(0.50), 0.0);
+}
+
+TEST(MetricRegistry, HistogramJsonCarriesQuantiles) {
+  MetricRegistry R;
+  Histogram &H = R.histogram("h.values");
+  for (uint64_t V : {1, 2, 4, 8})
+    H.record(V);
+  std::string Json = R.toJson();
+  EXPECT_NE(Json.find("\"p50\":4"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p90\":8"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p99\":8"), std::string::npos) << Json;
+}
+
 TEST(MetricRegistry, SameNameSameAddress) {
   MetricRegistry R;
   Counter &C1 = R.counter("a.count");

@@ -9,7 +9,9 @@
 //
 //   cbsvm run <workload> [options]
 //     Execute a workload under a chosen profiler and report the run
-//     statistics and the hottest call edges.
+//     statistics and the hottest call edges. The workload name may also
+//     be "phased" (the two-phase program used by the convergence
+//     studies), which is not part of the Table 1 suite.
 //       --size small|large       input size            (default small)
 //       --profiler none|timer|cbs|patching|exhaustive  (default cbs)
 //       --stride N --samples N   CBS window geometry   (default 3, 16)
@@ -17,6 +19,8 @@
 //       --seed N                                       (default 1)
 //       --dcg-shards N           profile repo shards   (default 1)
 //       --buffer-capacity N      per-thread sample buf (default 256)
+//       --decay-ticks N          decay profile every N ticks (default 0)
+//       --decay-factor F         decay multiplier      (default 0.8)
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
 //       --trace FILE             write a Chrome trace_event JSON trace
@@ -28,6 +32,24 @@
 //     Execute a workload and dump the full metric registry (every
 //     counter, gauge, and histogram) as an aligned table, or as JSON
 //     when --json is given (FILE of "-" writes to stdout).
+//
+//   cbsvm report <workload> [run options] [report options]
+//     Execute a workload with the profiler self-observability stack
+//     armed — the online quality monitor, the per-component overhead
+//     attribution, and the anomaly-triggered flight recorder — then
+//     print the convergence timeline, the overhead breakdown, and any
+//     flight-recorder dumps. Accepts every `run` configuration option
+//     above, plus:
+//       --every-ticks N          quality window period (default 8)
+//       --hot-edges N            hot set size for churn (default 16)
+//       --phase-threshold PCT    overlap below this is a phase shift
+//                                (default 50)
+//       --overhead-budget PCT    overhead above this trips the budget
+//                                trigger (default 0 = disabled)
+//       --drop-spike N           dropped samples per window that count
+//                                as a spike (default 256)
+//       --ring N                 flight-recorder event ring (default 256)
+//       --json FILE              machine-readable report ("-" = stdout)
 //
 //   cbsvm disasm <workload> [--size small|large] [--method NAME]
 //     Disassemble a workload (or one method of it).
@@ -72,6 +94,8 @@
 #include "profiling/ProfileIO.h"
 #include "support/ArgParser.h"
 #include "support/Json.h"
+#include "support/TablePrinter.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/TraceSink.h"
 
@@ -90,8 +114,9 @@ namespace {
   std::fprintf(stderr, "cbsvm: %s\n", Message.c_str());
   std::fprintf(stderr,
                "usage: cbsvm list | run <workload> [options] | "
-               "stats <workload> [options] | disasm <workload> | "
-               "compare <a> <b> | jsoncheck <file> | fuzz [options]\n");
+               "stats <workload> [options] | report <workload> [options] | "
+               "disasm <workload> | compare <a> <b> | jsoncheck <file> | "
+               "fuzz [options]\n");
   std::exit(2);
 }
 
@@ -123,9 +148,9 @@ vm::Personality parsePersonality(const std::string &S) {
   usageError("unknown personality '" + S + "'");
 }
 
-/// Workload + VM configuration shared by `run` and `stats`.
+/// Workload + VM configuration shared by `run`, `stats`, and `report`.
 struct RunSetup {
-  const wl::WorkloadInfo *W = nullptr;
+  std::string Name;
   wl::InputSize Size = wl::InputSize::Small;
   vm::Personality Pers = vm::Personality::JikesRVM;
   uint64_t Seed = 1;
@@ -135,17 +160,21 @@ struct RunSetup {
 
 RunSetup parseRunSetup(ArgParser &Args) {
   RunSetup S;
-  std::string Name = Args.positional("workload name");
-  S.W = wl::findWorkload(Name);
-  if (!S.W)
-    usageError("unknown workload '" + Name + "' (try 'cbsvm list')");
+  S.Name = Args.positional("workload name");
+  // "phased" is the two-phase convergence-study program — deliberately
+  // not part of the Table 1 suite, but the natural input for the
+  // quality monitor, so the driver accepts it everywhere a workload
+  // name is expected.
+  const wl::WorkloadInfo *W = wl::findWorkload(S.Name);
+  if (!W && S.Name != "phased")
+    usageError("unknown workload '" + S.Name + "' (try 'cbsvm list')");
 
   S.Size = parseSize(Args.option("--size", "small"));
   S.Pers = parsePersonality(Args.option("--personality", "jikes"));
   S.Seed = Args.optionUInt("--seed", 1, 0, UINT64_MAX);
   std::string ProfilerName = Args.option("--profiler", "cbs");
 
-  S.P = S.W->Build(S.Size, S.Seed);
+  S.P = W ? W->Build(S.Size, S.Seed) : wl::buildPhased(S.Size, S.Seed);
   S.Config = exp::jitOnlyConfig(S.P, S.Pers, S.Seed);
   if (ProfilerName == "none")
     S.Config.Profiler.Kind = vm::ProfilerKind::None;
@@ -168,6 +197,10 @@ RunSetup parseRunSetup(ArgParser &Args) {
       "--dcg-shards", 1, 1, prof::DynamicCallGraph::MaxShards));
   S.Config.Profiler.SampleBufferCapacity =
       Args.optionUInt("--buffer-capacity", 256, 1, 1 << 20);
+  S.Config.Profiler.DecayEveryTicks = static_cast<uint32_t>(
+      Args.optionUInt("--decay-ticks", 0, 0, UINT32_MAX));
+  S.Config.Profiler.DecayFactor =
+      Args.optionDouble("--decay-factor", 0.8, 0.0, 1.0);
   return S;
 }
 
@@ -184,8 +217,9 @@ int cmdList(ArgParser &Args) {
   for (const wl::WorkloadInfo &W : wl::suite())
     std::printf("  %-10s %s\n", W.Name,
                 W.Multithreaded ? "(multithreaded)" : "");
-  std::printf("see also: figure1 / adversary / phased programs via the "
-              "library API\n");
+  std::printf("see also: the phase-shift program 'phased' (accepted by "
+              "run/stats/report), and figure1 / adversary programs via "
+              "the library API\n");
   return 0;
 }
 
@@ -212,7 +246,8 @@ int cmdRun(ArgParser &Args) {
   vm::RunState State = VM.run();
   std::printf("%s-%s: %s after %.2fM cycles (%.2fM instructions, %llu "
               "calls, %llu ticks, %llu samples)\n",
-              S.W->Name, wl::inputSizeName(S.Size), vm::runStateName(State),
+              S.Name.c_str(), wl::inputSizeName(S.Size),
+              vm::runStateName(State),
               VM.stats().Cycles / 1e6, VM.stats().Instructions / 1e6,
               static_cast<unsigned long long>(VM.stats().CallsExecuted),
               static_cast<unsigned long long>(VM.stats().TimerTicks),
@@ -266,7 +301,7 @@ int cmdStats(ArgParser &Args) {
   }
 
   if (JsonPath.empty()) {
-    std::printf("%s-%s: %s\n\n%s", S.W->Name, wl::inputSizeName(S.Size),
+    std::printf("%s-%s: %s\n\n%s", S.Name.c_str(), wl::inputSizeName(S.Size),
                 vm::runStateName(State), VM.metrics().toText().c_str());
   } else if (JsonPath == "-") {
     std::fputs(VM.metrics().toJson().c_str(), stdout);
@@ -274,6 +309,161 @@ int cmdStats(ArgParser &Args) {
   } else {
     writeFileOrDie(JsonPath, VM.metrics().toJson());
     std::printf("metrics written to %s\n", JsonPath.c_str());
+  }
+  return 0;
+}
+
+/// The overhead.* components, in registration order. The first six
+/// partition vm.profiling_cycles; the last two are attributed but never
+/// charged to execution time (see VirtualMachine::LiveStats).
+const char *const OverheadComponents[] = {
+    "overhead.entry_check", "overhead.counter_update",
+    "overhead.listener",    "overhead.stack_walk",
+    "overhead.buffer_flush", "overhead.snapshot",
+    "overhead.yieldpoint_taken", "overhead.shard_wait"};
+
+int cmdReport(ArgParser &Args) {
+  RunSetup S = parseRunSetup(Args);
+  S.Config.Profiler.Quality.EveryTicks = static_cast<uint32_t>(
+      Args.optionUInt("--every-ticks", 8, 1, UINT32_MAX));
+  S.Config.Profiler.Quality.HotEdges =
+      Args.optionUInt("--hot-edges", 16, 1, 1 << 20);
+  S.Config.Profiler.Quality.PhaseShiftOverlapPct =
+      Args.optionDouble("--phase-threshold", 50.0, 0.0, 100.0);
+
+  tel::FlightRecorderConfig RC;
+  RC.OverheadBudgetPct =
+      Args.optionDouble("--overhead-budget", 0.0, 0.0, 100.0);
+  RC.DropSpikeThreshold =
+      Args.optionUInt("--drop-spike", 256, 0, UINT64_MAX);
+  RC.EventCapacity = Args.optionUInt("--ring", 256, 1, 1 << 20);
+  std::string JsonPath = Args.option("--json", "");
+  Args.finish();
+
+  tel::FlightRecorder Recorder(RC);
+  S.Config.Recorder = &Recorder;
+
+  vm::VirtualMachine VM(S.P, S.Config);
+  vm::RunState State = VM.run();
+  Recorder.requestDump("end_of_run", VM.cycles());
+
+  const prof::ProfileQualityMonitor &Monitor = *VM.qualityMonitor();
+  const tel::MetricRegistry &Metrics = VM.metrics();
+  uint64_t VmCycles = VM.cycles();
+  uint64_t OvTotal = VM.overheadCycles();
+  auto FractionPct = [VmCycles](uint64_t Cycles) {
+    return VmCycles == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(Cycles) /
+                     static_cast<double>(VmCycles);
+  };
+
+  if (!JsonPath.empty()) {
+    json::JsonWriter W;
+    W.beginObject();
+    W.key("workload");
+    W.value(S.Name);
+    W.key("size");
+    W.value(wl::inputSizeName(S.Size));
+    W.key("seed");
+    W.value(S.Seed);
+    W.key("state");
+    W.value(vm::runStateName(State));
+    W.key("cycles");
+    W.value(VmCycles);
+    W.key("quality");
+    Monitor.writeJson(W);
+    W.key("overhead");
+    W.beginObject();
+    W.key("components");
+    W.beginArray();
+    for (const char *Name : OverheadComponents) {
+      const tel::Counter *C = Metrics.findCounter(Name);
+      uint64_t Cycles = C ? static_cast<uint64_t>(*C) : 0;
+      W.beginObject();
+      W.key("name");
+      W.value(Name);
+      W.key("cycles");
+      W.value(Cycles);
+      W.key("fractionPct");
+      W.value(FractionPct(Cycles));
+      W.endObject();
+    }
+    W.endArray();
+    W.key("totalCycles");
+    W.value(OvTotal);
+    W.key("vmCycles");
+    W.value(VmCycles);
+    W.key("totalFractionPct");
+    W.value(FractionPct(OvTotal));
+    W.endObject();
+    W.key("flightRecorder");
+    Recorder.writeJson(W);
+    W.endObject();
+    std::string Json = W.take();
+    if (JsonPath == "-") {
+      std::fputs(Json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      writeFileOrDie(JsonPath, Json);
+      std::printf("report written to %s\n", JsonPath.c_str());
+    }
+    return State == vm::RunState::Trapped ? 1 : 0;
+  }
+
+  std::printf("%s-%s: %s after %.2fM cycles (%llu windows, %llu phase "
+              "shifts, %s)\n\n",
+              S.Name.c_str(), wl::inputSizeName(S.Size),
+              vm::runStateName(State), VmCycles / 1e6,
+              static_cast<unsigned long long>(Monitor.windowCount()),
+              static_cast<unsigned long long>(Monitor.phaseShiftCount()),
+              Monitor.converged() ? "converged" : "not converged");
+
+  std::printf("profile quality timeline (window every %u ticks, phase "
+              "threshold %.0f%%):\n",
+              Monitor.params().EveryTicks,
+              Monitor.params().PhaseShiftOverlapPct);
+  TablePrinter Quality;
+  Quality.setHeader({"window", "tick", "cycles", "edges", "weight",
+                     "overlap%", "hot+", "hot-", "conf%", "shift"});
+  for (const prof::QualityWindow &QW : Monitor.history())
+    Quality.addRow({std::to_string(QW.Index), std::to_string(QW.Tick),
+                    std::to_string(QW.Cycles), std::to_string(QW.Edges),
+                    std::to_string(QW.TotalWeight),
+                    TablePrinter::formatDouble(QW.OverlapPct, 1),
+                    std::to_string(QW.HotNew), std::to_string(QW.HotVanished),
+                    TablePrinter::formatDouble(QW.MeanConfidencePct, 1),
+                    QW.PhaseShift ? "SHIFT" : ""});
+  std::fputs(Quality.render().c_str(), stdout);
+
+  std::printf("\noverhead attribution:\n");
+  TablePrinter Overhead;
+  Overhead.setHeader({"component", "cycles", "% of run"});
+  for (const char *Name : OverheadComponents) {
+    const tel::Counter *C = Metrics.findCounter(Name);
+    uint64_t Cycles = C ? static_cast<uint64_t>(*C) : 0;
+    Overhead.addRow({Name, std::to_string(Cycles),
+                     TablePrinter::formatDouble(FractionPct(Cycles), 3)});
+  }
+  Overhead.addSeparator();
+  Overhead.addRow({"total", std::to_string(OvTotal),
+                   TablePrinter::formatDouble(FractionPct(OvTotal), 3)});
+  std::fputs(Overhead.render().c_str(), stdout);
+
+  std::printf("\nflight recorder: %llu events seen, %llu anomaly "
+              "triggers, %zu dumps\n",
+              static_cast<unsigned long long>(Recorder.totalEvents()),
+              static_cast<unsigned long long>(Recorder.triggerCount()),
+              Recorder.dumps().size());
+  for (const tel::FlightRecorder::Dump &D : Recorder.dumps())
+    std::printf("  [%s] at cycle %llu: %zu events, %zu windows retained\n",
+                D.Trigger.c_str(),
+                static_cast<unsigned long long>(D.Cycles), D.Events.size(),
+                D.Windows.size());
+
+  if (State == vm::RunState::Trapped) {
+    std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
+    return 1;
   }
   return 0;
 }
@@ -423,6 +613,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(Args);
   if (Command == "stats")
     return cmdStats(Args);
+  if (Command == "report")
+    return cmdReport(Args);
   if (Command == "disasm")
     return cmdDisasm(Args);
   if (Command == "compare")
