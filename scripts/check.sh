@@ -3,10 +3,12 @@
 # fuzzing smoke stage, a self-observability report check (the quality
 # monitor must flag the phased workload's hot-set swap and the overhead
 # breakdown must sum to its total), a ThreadSanitizer pass over the
-# parallel experiment engine and the sharded profile repository, and
-# determinism checks: --jobs 8 produces byte-identical JSON to --jobs 1,
-# --dcg-shards 8 produces byte-identical profiles, metrics, and
-# self-observability reports to --dcg-shards 1.
+# parallel experiment engine, the sharded profile repository, and the
+# background compile pipeline, and determinism checks: --jobs 8
+# produces byte-identical JSON to --jobs 1, --dcg-shards 8 produces
+# byte-identical profiles, metrics, and self-observability reports to
+# --dcg-shards 1, and --compile-jobs 4 produces byte-identical
+# profiles and metrics to --compile-jobs 0.
 #
 # Usage: scripts/check.sh [build-dir]
 #
@@ -51,8 +53,17 @@ SHARD1M=$(mktemp /tmp/cbsvm-shard1m.XXXXXX.json)
 SHARD8M=$(mktemp /tmp/cbsvm-shard8m.XXXXXX.json)
 REPORTA=$(mktemp /tmp/cbsvm-reporta.XXXXXX.json)
 REPORTB=$(mktemp /tmp/cbsvm-reportb.XXXXXX.json)
+CJOBS0=$(mktemp /tmp/cbsvm-cjobs0.XXXXXX.dcg)
+CJOBS4=$(mktemp /tmp/cbsvm-cjobs4.XXXXXX.dcg)
+CJOBS0M=$(mktemp /tmp/cbsvm-cjobs0m.XXXXXX.json)
+CJOBS4M=$(mktemp /tmp/cbsvm-cjobs4m.XXXXXX.json)
+CJOBS0R=$(mktemp /tmp/cbsvm-cjobs0r.XXXXXX.json)
+CJOBS4R=$(mktemp /tmp/cbsvm-cjobs4r.XXXXXX.json)
+AOSREPORT=$(mktemp /tmp/cbsvm-aosreport.XXXXXX.json)
 trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
   "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M" "$REPORTA" "$REPORTB" \
+  "$CJOBS0" "$CJOBS4" "$CJOBS0M" "$CJOBS4M" "$CJOBS0R" "$CJOBS4R" \
+  "$AOSREPORT" \
   "${FUZZ1:-}" "${FUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
@@ -119,6 +130,42 @@ cmp "$SHARD1" "$SHARD8"
 cmp "$SHARD1M" "$SHARD8M"
 echo "dcg-shards=1 and dcg-shards=8 runs are byte-identical"
 
+echo "== background compile determinism =="
+# The deterministic-install contract: compile worker threads only
+# pre-compute pure compile results, installs stay pinned to virtual
+# time, so a 4-worker run is byte-identical to a VM-thread-only run.
+"$CBSVM" run jess --aos --compile-jobs 0 --save "$CJOBS0" --metrics-json "$CJOBS0M" >/dev/null
+"$CBSVM" run jess --aos --compile-jobs 4 --save "$CJOBS4" --metrics-json "$CJOBS4M" >/dev/null
+cmp "$CJOBS0" "$CJOBS4"
+cmp "$CJOBS0M" "$CJOBS4M"
+"$CBSVM" report jess --aos --compile-jobs 0 --json "$CJOBS0R" >/dev/null
+"$CBSVM" report jess --aos --compile-jobs 4 --json "$CJOBS4R" >/dev/null
+cmp "$CJOBS0R" "$CJOBS4R"
+echo "compile-jobs=0 and compile-jobs=4 runs are byte-identical"
+
+# Install-point re-validation: a long modelled latency on the phased
+# workload must leave plans stale by install time, and the report must
+# surface the queue traffic.
+"$CBSVM" report phased --aos --compile-latency-scale 25 \
+  --json "$AOSREPORT" >/dev/null
+"$CBSVM" jsoncheck "$AOSREPORT"
+python3 - "$AOSREPORT" "$CJOBS0M" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+queue = report["aos"]["queue"]
+assert queue["installs"] >= 1, queue
+assert queue["stale_drops"] >= 1, queue
+assert queue["enqueued"] >= queue["installs"], queue
+metrics = json.load(open(sys.argv[2]))
+gauges = metrics["gauges"]
+for name in ("depth", "enqueued", "installs", "stale_drops",
+             "coalesced", "dropped"):
+    assert f"aos.queue.{name}" in gauges, name
+assert gauges["aos.queue.installs"] >= 1, gauges
+print(f"compile queue: {queue['installs']} installs, "
+      f"{queue['stale_drops']} stale drops re-validated at install")
+EOF
+
 echo "== self-observability report =="
 # The monitored phase-shift workload: the quality monitor must see the
 # hot-set swap (>= 1 phase_shift dump), the overhead components must
@@ -147,12 +194,13 @@ print(f"report: {len(windows)} windows, {len(dumps)} dumps "
 EOF
 
 if [[ "${CBSVM_SKIP_TSAN:-}" != "1" ]]; then
-  echo "== thread sanitizer: parallel engine + sharded DCG =="
+  echo "== thread sanitizer: parallel engine + sharded DCG + compile queue =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S . -DCBSVM_SANITIZE=thread
-  cmake --build "$TSAN_BUILD" -j --target ParallelRunnerTest DCGConcurrencyTest
+  cmake --build "$TSAN_BUILD" -j \
+    --target ParallelRunnerTest DCGConcurrencyTest CompileQueueTest
   (cd "$TSAN_BUILD" && CBSVM_JOBS=8 \
-    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency)')
+    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency|CompileQueue)')
 fi
 
 echo "== all checks passed =="

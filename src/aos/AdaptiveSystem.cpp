@@ -10,13 +10,17 @@
 #include "telemetry/TraceSink.h"
 
 #include <algorithm>
+#include <utility>
 
 using namespace cbs;
 using namespace cbs::aos;
 
 AdaptiveSystem::AdaptiveSystem(const opt::InlineOracle *Oracle,
                                AOSConfig Config)
-    : Oracle(Oracle), Config(Config) {}
+    : Oracle(Oracle), Config(Config),
+      Queue(std::max<uint32_t>(1, Config.CompileQueueCapacity)) {}
+
+AdaptiveSystem::~AdaptiveSystem() = default;
 
 void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
   if (!Gauges.Ticks) {
@@ -29,6 +33,12 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
     Gauges.Reoptimizations = &R.gauge("aos.reoptimizations");
     Gauges.PhaseShiftReplans = &R.gauge("aos.phase_shift_replans");
     Gauges.PlanOverlapBp = &R.gauge("aos.plan_overlap_bp");
+    Gauges.QueueDepth = &R.gauge("aos.queue.depth");
+    Gauges.QueueEnqueued = &R.gauge("aos.queue.enqueued");
+    Gauges.QueueInstalls = &R.gauge("aos.queue.installs");
+    Gauges.QueueStaleDrops = &R.gauge("aos.queue.stale_drops");
+    Gauges.QueueCoalesced = &R.gauge("aos.queue.coalesced");
+    Gauges.QueueDropped = &R.gauge("aos.queue.dropped");
   }
   *Gauges.Ticks = Stats.Ticks;
   *Gauges.Recompilations = Stats.Recompilations;
@@ -38,9 +48,16 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
   *Gauges.Reoptimizations = Stats.Reoptimizations;
   *Gauges.PhaseShiftReplans = Stats.PhaseShiftReplans;
   *Gauges.PlanOverlapBp = PlanOverlapBp;
+  *Gauges.QueueDepth = Queue.depth();
+  *Gauges.QueueEnqueued = Stats.QueueEnqueued;
+  *Gauges.QueueInstalls = Stats.QueueInstalls;
+  *Gauges.QueueStaleDrops = Stats.QueueStaleDrops;
+  *Gauges.QueueCoalesced = Stats.QueueCoalesced;
+  *Gauges.QueueDropped = Stats.QueueDropped;
 }
 
-const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
+std::shared_ptr<const opt::InlinePlan>
+AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   // Convergence state gates plan reuse: a phase shift flagged by the
   // quality monitor means the DCG the plan was built from no longer
   // describes the program, so rebuild now instead of serving the stale
@@ -48,19 +65,21 @@ const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor();
   bool ShiftPending =
       Monitor && Monitor->phaseShiftCount() > SeenPhaseShifts;
-  if (HavePlan && !ShiftPending && PlanAgeTicks < Config.PlanRefreshTicks)
+  if (Plan && !ShiftPending && PlanAgeTicks < Config.PlanRefreshTicks)
     return Plan;
   if (Monitor)
     SeenPhaseShifts = Monitor->phaseShiftCount();
-  if (HavePlan && ShiftPending)
+  if (Plan && ShiftPending)
     ++Stats.PhaseShiftReplans;
   PlanOverlapBp = Monitor ? static_cast<uint64_t>(
                                 Monitor->lastOverlapPct() * 100.0 + 0.5)
                           : 10'000;
   static const opt::TrivialOracle Trivial;
   const opt::InlineOracle &O = Oracle ? *Oracle : Trivial;
-  Plan = O.plan(VM.program(), VM.profile());
-  HavePlan = true;
+  // A fresh allocation per generation: in-flight CompileRequests (and
+  // worker threads) keep their enqueue-time snapshot alive.
+  Plan = std::make_shared<const opt::InlinePlan>(
+      O.plan(VM.program(), VM.profile()));
   PlanAgeTicks = 0;
   ++PlanGeneration;
   ++Stats.PlansComputed;
@@ -69,8 +88,8 @@ const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   // unordered; emit in site order so traces stay byte-reproducible.
   if (tel::TraceSink *Sink = VM.traceSink()) {
     std::vector<std::pair<bc::SiteId, const opt::InlineDecision *>> Sorted;
-    Sorted.reserve(Plan.Decisions.size());
-    for (const auto &[Site, Decision] : Plan.Decisions)
+    Sorted.reserve(Plan->Decisions.size());
+    for (const auto &[Site, Decision] : Plan->Decisions)
       if (Decision.K != opt::InlineDecision::Kind::None)
         Sorted.emplace_back(Site, &Decision);
     std::sort(Sorted.begin(), Sorted.end(),
@@ -88,13 +107,59 @@ const opt::InlinePlan &AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   return Plan;
 }
 
-void AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
+uint64_t AdaptiveSystem::compileLatency(vm::VirtualMachine &VM,
+                                        bc::MethodId Method,
+                                        int Level) const {
+  // Latency is modelled on the pre-inlining size known at enqueue time
+  // (the decision point cannot see the post-inlining expansion).
+  const vm::CostModel &Costs = VM.config().Costs;
+  double L = Costs.CompileLatencyScale * Costs.CompileCostPerByte[Level] *
+             static_cast<double>(VM.program().method(Method).sizeBytes());
+  return L <= 0 ? 0 : static_cast<uint64_t>(L);
+}
+
+void AdaptiveSystem::submitRequest(vm::VirtualMachine &VM,
+                                   CompileRequest R) {
+  R.Seq = Queue.nextSeq();
+  if (Config.CompileJobs > 0) {
+    if (!Pool)
+      Pool = std::make_unique<CompileWorkerPool>(
+          VM.program(), VM.config().Costs, Config.Compile,
+          Config.CompileJobs);
+    R.Pending = Pool->submit(R.Method, R.Level, R.Plan);
+  }
+  if (tel::TraceSink *Sink = VM.traceSink())
+    Sink->event(tel::TraceEvent::compileEnqueue(VM.cycles(), 0, R.Method,
+                                                static_cast<uint32_t>(R.Level),
+                                                R.ReadyCycle));
+  std::optional<CompileRequest> Evicted;
+  switch (Queue.enqueue(std::move(R), &Evicted)) {
+  case EnqueueResult::Added:
+    ++Stats.QueueEnqueued;
+    break;
+  case EnqueueResult::Coalesced:
+    ++Stats.QueueCoalesced;
+    break;
+  case EnqueueResult::EvictedLowest:
+    ++Stats.QueueEnqueued;
+    ++Stats.QueueDropped;
+    break;
+  case EnqueueResult::Rejected:
+    ++Stats.QueueDropped;
+    break;
+  }
+}
+
+bool AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
                                   bc::MethodId Method) {
   if (PerMethod.empty())
     PerMethod.resize(VM.program().numMethods());
 
   vm::CodeCache &Cache = VM.codeCache();
-  int Level = Cache.activeLevel(Method);
+  int Pending = Queue.pendingLevel(Method);
+  // A pending compile counts as if it had installed: the tick loop can
+  // upgrade a queued L1 request to L2, but never duplicates it.
+  int Level = std::max(Cache.activeLevel(Method), Pending);
   uint32_t Samples = VM.methodTickSamples()[Method];
 
   int NextLevel;
@@ -103,7 +168,7 @@ void AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
     NextLevel = 1;
   } else if (Level < 2 && Samples >= Config.Level2Samples) {
     NextLevel = 2;
-  } else if (Level == 2 &&
+  } else if (Level == 2 && Pending < 0 &&
              PerMethod[Method].Reopts < Config.MaxReoptsPerMethod &&
              PlanGeneration >= PerMethod[Method].CompiledGeneration +
                                    Config.ReoptPlanGenerations &&
@@ -113,7 +178,7 @@ void AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
     NextLevel = 2;
     IsReopt = true;
   } else {
-    return;
+    return false;
   }
 
   // Cost-benefit check: estimated remaining time in this method,
@@ -128,22 +193,86 @@ void AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
       VM.config().Costs.CompileCostPerByte[NextLevel] *
       static_cast<double>(VM.program().method(Method).sizeBytes());
   if (EstimatedRemaining < Config.CostBenefitFactor * CompileCost)
-    return;
+    return false;
 
+  CompileRequest R;
+  R.Method = Method;
+  R.Level = NextLevel;
+  R.IsReopt = IsReopt;
+  R.Plan = currentPlan(VM);
+  R.PlanGeneration = PlanGeneration;
+  R.EnqueueCycle = VM.cycles();
+  R.ReadyCycle = VM.cycles() + compileLatency(VM, Method, NextLevel);
+  // Priority is the benefit ratio the cost-benefit rule computed: how
+  // many times over the method's estimated remaining time pays for its
+  // compile.
+  R.Priority = EstimatedRemaining / CompileCost;
+  if (const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor())
+    R.PhaseShiftsSeen = Monitor->phaseShiftCount();
+  submitRequest(VM, std::move(R));
+  return true;
+}
+
+void AdaptiveSystem::install(vm::VirtualMachine &VM, CompileRequest R) {
   vm::CompiledMethod CM =
-      opt::compileMethod(VM.program(), Method, NextLevel, currentPlan(VM),
-                         VM.config().Costs, Config.Compile);
+      R.Pending.valid()
+          ? R.Pending.get() // pre-compiled by a worker; identical result
+          : opt::compileMethod(VM.program(), R.Method, R.Level, *R.Plan,
+                               VM.config().Costs, Config.Compile);
+  uint64_t Waited = VM.cycles() - R.EnqueueCycle;
   VM.installCompiled(std::move(CM));
-  PerMethod[Method].CompiledGeneration = PlanGeneration;
+  if (tel::TraceSink *Sink = VM.traceSink())
+    Sink->event(tel::TraceEvent::compileInstall(
+        VM.cycles(), 0, R.Method, static_cast<uint32_t>(R.Level), Waited));
+  PerMethod[R.Method].CompiledGeneration = R.PlanGeneration;
+  ++Stats.QueueInstalls;
   ++Stats.Recompilations;
-  if (IsReopt) {
-    ++PerMethod[Method].Reopts;
+  if (R.IsReopt) {
+    ++PerMethod[R.Method].Reopts;
     ++Stats.Reoptimizations;
-  } else if (NextLevel == 1) {
+  } else if (R.Level == 1) {
     ++Stats.PromotionsToL1;
   } else {
     ++Stats.PromotionsToL2;
   }
+}
+
+void AdaptiveSystem::onYieldpoint(vm::VirtualMachine &VM) {
+  if (Queue.depth() == 0)
+    return;
+  uint64_t Now = VM.cycles();
+  bool Activity = false;
+  while (std::optional<CompileRequest> R = Queue.popReady(Now)) {
+    Activity = true;
+    // Install-point re-validation: the plan is `latency` cycles stale
+    // by now. If its generation was superseded, or the quality monitor
+    // declared a phase shift after the request was decided, the compile
+    // would install code specialized for a profile that no longer
+    // holds — drop it and re-enqueue against the fresh plan. Bounded by
+    // MaxReenqueues so a method that stays hot across phases still
+    // makes progress (the last re-enqueue already carries a fresh
+    // plan).
+    const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor();
+    bool Stale = R->PlanGeneration < PlanGeneration ||
+                 (Monitor &&
+                  Monitor->phaseShiftCount() > R->PhaseShiftsSeen);
+    if (Stale && R->Reenqueues < Config.MaxReenqueues) {
+      ++Stats.QueueStaleDrops;
+      R->Plan = currentPlan(VM); // rebuilds when a shift is pending
+      R->PlanGeneration = PlanGeneration;
+      if (Monitor)
+        R->PhaseShiftsSeen = Monitor->phaseShiftCount();
+      R->EnqueueCycle = Now;
+      R->ReadyCycle = Now + compileLatency(VM, R->Method, R->Level);
+      ++R->Reenqueues;
+      R->Pending = {}; // the worker result is for the dropped plan
+      submitRequest(VM, std::move(*R));
+      continue;
+    }
+    install(VM, std::move(*R));
+  }
+  if (Activity)
+    publishMetrics(VM);
 }
 
 void AdaptiveSystem::onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) {
@@ -151,12 +280,10 @@ void AdaptiveSystem::onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) {
   ++PlanAgeTicks;
   // The sampled method is the promotion candidate this tick (plus, on a
   // real system, its callers; the plan covers their sites when they in
-  // turn get hot).
-  for (uint32_t I = 0; I < Config.MaxRecompilesPerTick; ++I) {
-    uint64_t Before = Stats.Recompilations;
-    maybePromote(VM, Top);
-    if (Stats.Recompilations == Before)
+  // turn get hot). Each iteration may upgrade the previous one's
+  // request (L1 pending -> L2) until the method's state is settled.
+  for (uint32_t I = 0; I < Config.MaxRecompilesPerTick; ++I)
+    if (!maybePromote(VM, Top))
       break;
-  }
   publishMetrics(VM);
 }

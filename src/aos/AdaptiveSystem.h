@@ -20,16 +20,31 @@
 /// observed) exceeds the modelled compile cost at the next level by a
 /// configurable factor.
 ///
+/// Compilation is asynchronous, as in the paper's VMs (§6): a promotion
+/// decision enqueues a CompileRequest carrying the plan snapshot it was
+/// made against and a modelled compile latency; the compiled code
+/// installs at the first taken yieldpoint whose virtual cycle count
+/// passes enqueue + latency. Because the plan is `latency` cycles stale
+/// by then, the install point re-validates it — a request whose plan
+/// generation has been superseded (or whose enqueue-time profile the
+/// quality monitor has since declared a different phase) is dropped and
+/// re-enqueued against the fresh plan, up to MaxReenqueues times.
+/// `--compile-jobs N` adds real worker threads that pre-compute the
+/// compile result, but installs stay pinned to the same virtual-time
+/// points, so runs are byte-identical at any job count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CBSVM_AOS_ADAPTIVESYSTEM_H
 #define CBSVM_AOS_ADAPTIVESYSTEM_H
 
+#include "aos/CompileQueue.h"
 #include "opt/Compiler.h"
 #include "opt/InlineOracle.h"
 #include "vm/VirtualMachine.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace cbs::tel {
@@ -57,11 +72,24 @@ struct AOSConfig {
   uint32_t ReoptPlanGenerations = 2;
   /// Bound on same-level reoptimizations per method.
   uint32_t MaxReoptsPerMethod = 2;
+  /// Bound on requests pending in the compile queue; beyond it the
+  /// lowest-priority entry is evicted (or the newcomer rejected).
+  uint32_t CompileQueueCapacity = 16;
+  /// How many times a request found stale at its install point is
+  /// re-enqueued against a fresh plan before installing anyway (the
+  /// progress guarantee for methods that stay hot across phases).
+  uint32_t MaxReenqueues = 3;
+  /// Real compile worker threads. 0 compiles at the install point on
+  /// the VM thread; N >= 1 pre-computes results on a worker pool.
+  /// Either way installs happen at the same virtual-time points and
+  /// runs are byte-identical.
+  uint32_t CompileJobs = 0;
   opt::CompileOptions Compile;
 };
 
 struct AOSStats {
   uint64_t Ticks = 0;
+  /// Installed recompilations (counted at install, not at decision).
   uint64_t Recompilations = 0;
   uint64_t PlansComputed = 0;
   uint64_t PromotionsToL1 = 0;
@@ -71,6 +99,12 @@ struct AOSStats {
   /// shift (the profile no longer described the program the plan was
   /// built for).
   uint64_t PhaseShiftReplans = 0;
+  // Compile-queue traffic.
+  uint64_t QueueEnqueued = 0;  ///< requests admitted as new entries
+  uint64_t QueueInstalls = 0;  ///< requests that reached installCompiled
+  uint64_t QueueStaleDrops = 0; ///< installs dropped stale + re-enqueued
+  uint64_t QueueCoalesced = 0; ///< requests merged into a pending entry
+  uint64_t QueueDropped = 0;   ///< evicted by or rejected at a full queue
 };
 
 /// Attach with VirtualMachine::setClient. \p Oracle must outlive the
@@ -79,14 +113,29 @@ struct AOSStats {
 class AdaptiveSystem : public vm::VMClient {
 public:
   AdaptiveSystem(const opt::InlineOracle *Oracle, AOSConfig Config = {});
+  ~AdaptiveSystem() override;
 
   void onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) override;
+  void onYieldpoint(vm::VirtualMachine &VM) override;
 
   const AOSStats &stats() const { return Stats; }
+  /// Requests still pending (enqueued but never ready before the run
+  /// ended, mirroring compilations a real VM abandons at exit).
+  size_t queueDepth() const { return Queue.depth(); }
 
 private:
-  void maybePromote(vm::VirtualMachine &VM, bc::MethodId Method);
-  const opt::InlinePlan &currentPlan(vm::VirtualMachine &VM);
+  /// Returns true when it enqueued or upgraded a request (the tick
+  /// loop's progress signal).
+  bool maybePromote(vm::VirtualMachine &VM, bc::MethodId Method);
+  std::shared_ptr<const opt::InlinePlan>
+  currentPlan(vm::VirtualMachine &VM);
+  /// Modelled background-compile latency for \p Method at \p Level.
+  uint64_t compileLatency(vm::VirtualMachine &VM, bc::MethodId Method,
+                          int Level) const;
+  /// Builds and admits a request (fanning it to the worker pool when
+  /// --compile-jobs is on) and does the metric/event bookkeeping.
+  void submitRequest(vm::VirtualMachine &VM, CompileRequest R);
+  void install(vm::VirtualMachine &VM, CompileRequest R);
   /// Mirrors AOSStats into the VM's metric registry ("aos.*" gauges)
   /// and caches the gauge addresses on first use.
   void publishMetrics(vm::VirtualMachine &VM);
@@ -104,18 +153,30 @@ private:
     tel::Gauge *Reoptimizations = nullptr;
     tel::Gauge *PhaseShiftReplans = nullptr;
     tel::Gauge *PlanOverlapBp = nullptr;
+    tel::Gauge *QueueDepth = nullptr;
+    tel::Gauge *QueueEnqueued = nullptr;
+    tel::Gauge *QueueInstalls = nullptr;
+    tel::Gauge *QueueStaleDrops = nullptr;
+    tel::Gauge *QueueCoalesced = nullptr;
+    tel::Gauge *QueueDropped = nullptr;
   };
   GaugeSet Gauges;
 
-  opt::InlinePlan Plan;
+  /// The current whole-program inline plan, shared as an immutable
+  /// snapshot with every in-flight CompileRequest (and the worker
+  /// pool). Rebuilt in place-of-pointer: old requests keep the
+  /// generation they were decided against.
+  std::shared_ptr<const opt::InlinePlan> Plan;
   uint64_t PlanAgeTicks = 0;
   uint64_t PlanGeneration = 0;
-  bool HavePlan = false;
   /// Quality-monitor phase shifts already acted upon.
   uint64_t SeenPhaseShifts = 0;
   /// Monitor overlap (basis points) when the current plan was built;
   /// 10000 when no monitor is installed.
   uint64_t PlanOverlapBp = 10'000;
+
+  CompileQueue Queue;
+  std::unique_ptr<CompileWorkerPool> Pool;
 
   struct MethodState {
     uint64_t CompiledGeneration = 0;

@@ -1,0 +1,148 @@
+//===- aos/CompileQueue.cpp - Background compile pipeline --------------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aos/CompileQueue.h"
+
+#include "bytecode/Program.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace cbs;
+using namespace cbs::aos;
+
+//===----------------------------------------------------------------------===//
+// CompileWorkerPool
+//===----------------------------------------------------------------------===//
+
+CompileWorkerPool::CompileWorkerPool(const bc::Program &P, vm::CostModel Costs,
+                                     opt::CompileOptions Options,
+                                     unsigned NumThreads)
+    : P(P), Costs(Costs), Options(Options) {
+  if (NumThreads == 0)
+    reportFatalError("CompileWorkerPool needs at least one thread");
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileWorkerPool::~CompileWorkerPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    ShuttingDown = true;
+  }
+  CV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+std::shared_future<vm::CompiledMethod>
+CompileWorkerPool::submit(bc::MethodId Method, int Level,
+                          std::shared_ptr<const opt::InlinePlan> Plan) {
+  Job J;
+  J.Method = Method;
+  J.Level = Level;
+  J.Plan = std::move(Plan);
+  std::shared_future<vm::CompiledMethod> F =
+      J.Result.get_future().share();
+  {
+    std::lock_guard<std::mutex> L(M);
+    Jobs.push_back(std::move(J));
+  }
+  CV.notify_one();
+  return F;
+}
+
+void CompileWorkerPool::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> L(M);
+      CV.wait(L, [this] { return ShuttingDown || !Jobs.empty(); });
+      if (Jobs.empty())
+        return; // shutting down with nothing left to drain
+      J = std::move(Jobs.front());
+      Jobs.pop_front();
+    }
+    // compileMethod is a pure function of its arguments; the plan
+    // snapshot is immutable and the program is read-only for the whole
+    // run, so this races with nothing.
+    J.Result.set_value(
+        opt::compileMethod(P, J.Method, J.Level, *J.Plan, Costs, Options));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CompileQueue
+//===----------------------------------------------------------------------===//
+
+EnqueueResult CompileQueue::enqueue(CompileRequest R,
+                                    std::optional<CompileRequest> *Evicted) {
+  // Coalesce: one pending entry per method. A higher-level request
+  // supersedes the pending one wholesale (its plan, latency, and
+  // compile result are for the wrong level); an equal-or-lower request
+  // only raises the pending entry's priority.
+  for (CompileRequest &E : Entries) {
+    if (E.Method != R.Method)
+      continue;
+    if (R.Level > E.Level) {
+      uint64_t Seq = E.Seq; // keep the original queue position
+      double Priority = std::max(E.Priority, R.Priority);
+      E = std::move(R);
+      E.Seq = Seq;
+      E.Priority = Priority;
+    } else {
+      E.Priority = std::max(E.Priority, R.Priority);
+    }
+    return EnqueueResult::Coalesced;
+  }
+
+  if (Entries.size() < Capacity) {
+    Entries.push_back(std::move(R));
+    return EnqueueResult::Added;
+  }
+
+  // Full: evict the lowest-priority entry if the newcomer outranks it
+  // (ties keep the incumbent — it has seniority and possibly a compile
+  // already in flight).
+  auto Lowest = std::min_element(
+      Entries.begin(), Entries.end(),
+      [](const CompileRequest &L, const CompileRequest &R) {
+        if (L.Priority != R.Priority)
+          return L.Priority < R.Priority;
+        return L.Seq > R.Seq; // youngest of the equally-cold entries
+      });
+  if (Lowest->Priority >= R.Priority)
+    return EnqueueResult::Rejected;
+  if (Evicted)
+    *Evicted = std::move(*Lowest);
+  *Lowest = std::move(R);
+  return EnqueueResult::EvictedLowest;
+}
+
+std::optional<CompileRequest> CompileQueue::popReady(uint64_t Now) {
+  auto Best = Entries.end();
+  for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+    if (It->ReadyCycle > Now)
+      continue;
+    if (Best == Entries.end() || It->Priority > Best->Priority ||
+        (It->Priority == Best->Priority && It->Seq < Best->Seq))
+      Best = It;
+  }
+  if (Best == Entries.end())
+    return std::nullopt;
+  CompileRequest R = std::move(*Best);
+  Entries.erase(Best);
+  return R;
+}
+
+int CompileQueue::pendingLevel(bc::MethodId Method) const {
+  for (const CompileRequest &E : Entries)
+    if (E.Method == Method)
+      return E.Level;
+  return -1;
+}

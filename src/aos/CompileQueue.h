@@ -1,0 +1,174 @@
+//===- aos/CompileQueue.h - Background compile pipeline ---------*- C++ -*-===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AOS's background compilation pipeline (§6: the paper's VMs
+/// recompile hot methods on a background thread while the application
+/// keeps running). Two cooperating pieces:
+///
+///  - CompileQueue: a bounded priority queue of CompileRequests. Each
+///    request carries the cost-benefit score that justified it (the
+///    priority), the inline-plan snapshot it was decided against, and a
+///    modelled compile latency: the compiled code may install only at
+///    the first taken yieldpoint whose virtual cycle count passes
+///    `enqueue + latency`. The queue itself is single-threaded VM state
+///    — determinism lives here, in virtual time.
+///
+///  - CompileWorkerPool: optional real OS threads (`--compile-jobs N`)
+///    that run opt::compileMethod ahead of the install point.
+///    compileMethod is a pure function of (program, method, level,
+///    plan, costs, options) and installs still happen on the VM thread
+///    at the exact same virtual-time points, so worker runs are
+///    byte-identical to jobs=0 — the workers only convert wall-clock
+///    wait at the install point into overlap.
+///
+/// Backpressure: a duplicate pending method coalesces into the existing
+/// entry (upgrading its level when the new request's is higher); a full
+/// queue evicts the lowest-priority entry when the newcomer outranks
+/// it, otherwise rejects the newcomer. Both policies are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CBSVM_AOS_COMPILEQUEUE_H
+#define CBSVM_AOS_COMPILEQUEUE_H
+
+#include "opt/Compiler.h"
+#include "opt/InlinePlan.h"
+#include "vm/CompiledMethod.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace cbs::bc {
+class Program;
+}
+
+namespace cbs::aos {
+
+/// One pending background compilation.
+struct CompileRequest {
+  bc::MethodId Method = bc::InvalidMethodId;
+  int Level = 0;
+  bool IsReopt = false;
+  /// Plan generation the snapshot below was taken from; the install
+  /// point re-validates against the AOS's current generation.
+  uint64_t PlanGeneration = 0;
+  /// Immutable snapshot of the inline plan at enqueue time. Shared with
+  /// worker threads; never mutated after enqueue.
+  std::shared_ptr<const opt::InlinePlan> Plan;
+  uint64_t EnqueueCycle = 0;
+  /// First virtual cycle at which the compiled code may install:
+  /// EnqueueCycle + modelled latency.
+  uint64_t ReadyCycle = 0;
+  /// Cost-benefit score (estimated remaining cycles / compile cost).
+  double Priority = 0;
+  /// Quality-monitor phase shifts seen when the request was enqueued;
+  /// a later shift invalidates the plan snapshot.
+  uint64_t PhaseShiftsSeen = 0;
+  /// Times this request was dropped stale and re-enqueued.
+  uint32_t Reenqueues = 0;
+  /// Enqueue sequence number: FIFO tie-break among equal priorities.
+  uint64_t Seq = 0;
+  /// jobs >= 1: the worker pool's result for (Method, Level, Plan).
+  /// Invalid in jobs=0 mode (the install point compiles synchronously).
+  std::shared_future<vm::CompiledMethod> Pending;
+};
+
+/// Fixed pool of compile worker threads. submit() hands a request's
+/// (method, level, plan) to the pool and returns the future the install
+/// point will wait on. The pool only ever reads the program and the
+/// plan snapshots; it never touches VM state.
+class CompileWorkerPool {
+public:
+  CompileWorkerPool(const bc::Program &P, vm::CostModel Costs,
+                    opt::CompileOptions Options, unsigned NumThreads);
+  ~CompileWorkerPool();
+
+  CompileWorkerPool(const CompileWorkerPool &) = delete;
+  CompileWorkerPool &operator=(const CompileWorkerPool &) = delete;
+
+  std::shared_future<vm::CompiledMethod>
+  submit(bc::MethodId Method, int Level,
+         std::shared_ptr<const opt::InlinePlan> Plan);
+
+private:
+  void workerLoop();
+
+  const bc::Program &P;
+  const vm::CostModel Costs;
+  const opt::CompileOptions Options;
+
+  struct Job {
+    bc::MethodId Method;
+    int Level;
+    std::shared_ptr<const opt::InlinePlan> Plan;
+    std::promise<vm::CompiledMethod> Result;
+  };
+
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<Job> Jobs;
+  bool ShuttingDown = false;
+  std::vector<std::thread> Workers;
+};
+
+/// What enqueue() did with a request (all outcomes are counted by the
+/// caller's aos.queue.* metrics).
+enum class EnqueueResult : uint8_t {
+  Added,          ///< new entry
+  Coalesced,      ///< merged into a pending entry for the same method
+  EvictedLowest,  ///< added after evicting the lowest-priority entry
+  Rejected,       ///< queue full and the newcomer did not outrank anyone
+};
+
+/// The bounded priority queue. Single-threaded (owned by the VM
+/// thread); the only cross-thread traffic is the futures inside the
+/// requests.
+class CompileQueue {
+public:
+  explicit CompileQueue(size_t Capacity = 16) : Capacity(Capacity) {}
+
+  /// Admits \p R under the backpressure policies. On Coalesced the
+  /// pending entry absorbs \p R: its level and plan upgrade when R's
+  /// level is higher (R.Pending replaces the stale future), and its
+  /// priority rises to max(old, new). Returns what happened; on
+  /// EvictedLowest the evicted request is returned through \p Evicted.
+  EnqueueResult enqueue(CompileRequest R,
+                        std::optional<CompileRequest> *Evicted = nullptr);
+
+  /// Removes and returns the best ready request: ReadyCycle <= \p Now,
+  /// highest priority, enqueue order breaking ties. nullopt when no
+  /// request is ready.
+  std::optional<CompileRequest> popReady(uint64_t Now);
+
+  /// Pending level for \p Method (-1 when not pending): lets the
+  /// promotion logic treat an in-flight compile as if it had already
+  /// installed.
+  int pendingLevel(bc::MethodId Method) const;
+
+  size_t depth() const { return Entries.size(); }
+  size_t capacity() const { return Capacity; }
+
+  /// Enqueue sequence numbers are handed out by the owner so re-enqueued
+  /// requests keep a deterministic order.
+  uint64_t nextSeq() { return Seq++; }
+
+private:
+  size_t Capacity;
+  uint64_t Seq = 0;
+  std::vector<CompileRequest> Entries;
+};
+
+} // namespace cbs::aos
+
+#endif // CBSVM_AOS_COMPILEQUEUE_H

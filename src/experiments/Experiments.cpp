@@ -234,6 +234,7 @@ ThroughputResult exp::measureThroughput(const bc::Program &P,
   Config.Profiler = Options.Prof;
   Config.MaxCycles = UINT64_MAX;
   Config.Trace = Options.Trace;
+  Config.Costs.CompileLatencyScale = Options.CompileLatencyScale;
 
   vm::VirtualMachine VM(P, Config);
   aos::AdaptiveSystem AOS(Options.Oracle, Options.AOS);

@@ -6,6 +6,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "aos/AdaptiveSystem.h"
 #include "experiments/Experiments.h"
 #include "experiments/ParallelRunner.h"
 #include "opt/Compiler.h"
@@ -349,6 +350,97 @@ public:
 };
 
 //===----------------------------------------------------------------------===//
+// async-compile-stability
+//===----------------------------------------------------------------------===//
+
+/// runProgram with the adaptive optimization system attached: the
+/// generated program runs under CBS sampling while hot methods
+/// recompile through the background compile queue.
+RunResult runProgramWithAOS(const bc::Program &P, vm::VMConfig Config,
+                            aos::AOSConfig AC) {
+  Config.MaxCycles = std::min(Config.MaxCycles, OracleMaxCycles);
+  opt::NewJikesOracle InlineOracle;
+  aos::AdaptiveSystem AOS(&InlineOracle, AC);
+  vm::VirtualMachine VM(P, Config);
+  VM.setClient(&AOS);
+  RunResult R;
+  R.State = VM.run();
+  R.Trap = VM.trapMessage();
+  R.Output = VM.output();
+  R.HeapObjects = VM.heap().numObjects();
+  R.HeapBytes = VM.heap().bytesAllocated();
+  R.Profile = VM.profile();
+  R.Samples = VM.stats().SamplesTaken;
+  R.Calls = VM.stats().CallsExecuted;
+  return R;
+}
+
+class AsyncCompileStabilityOracle : public Oracle {
+public:
+  const char *id() const override { return "async-compile-stability"; }
+  const char *describe() const override {
+    return "the background compile pipeline preserves program "
+           "semantics at any modelled latency and is byte-identical "
+           "at any --compile-jobs count";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    RunResult Base = runProgram(In.P, plainConfig(In.Seed));
+    // A baseline that traps or runs out of budget is output-stability's
+    // finding, not a pipeline divergence.
+    if (Base.State != vm::RunState::Finished)
+      return "";
+
+    auto CbsConfig = [&](double LatencyScale) {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = vm::ProfilerKind::CBS;
+      Config.Profiler.CBS.Stride = 2;
+      Config.Profiler.CBS.SamplesPerTick = 4;
+      // Generated programs are small: tick fast enough that promotions
+      // (and thus installs) actually happen.
+      Config.TimerPeriodCycles = 2'000;
+      Config.Costs.CompileLatencyScale = LatencyScale;
+      return Config;
+    };
+    auto WithJobs = [](uint32_t Jobs) {
+      aos::AOSConfig AC;
+      AC.CompileJobs = Jobs;
+      return AC;
+    };
+
+    // Semantics: recompiling through the queue — immediately or after a
+    // long modelled latency — must not perturb output or the heap.
+    if (std::string D =
+            compareRuns("no-aos", Base, "aos-latency-0",
+                        runProgramWithAOS(In.P, CbsConfig(0), WithJobs(0)));
+        !D.empty())
+      return D;
+    if (std::string D =
+            compareRuns("no-aos", Base, "aos-latency-8",
+                        runProgramWithAOS(In.P, CbsConfig(8), WithJobs(0)));
+        !D.empty())
+      return D;
+
+    // Determinism: worker threads only pre-compute pure compile
+    // results, so jobs=2 must be byte-identical to jobs=0 down to the
+    // serialized profile.
+    RunResult Jobs0 = runProgramWithAOS(In.P, CbsConfig(1), WithJobs(0));
+    RunResult Jobs2 = runProgramWithAOS(In.P, CbsConfig(1), WithJobs(2));
+    if (std::string D = compareRuns("compile-jobs=0", Jobs0, "compile-jobs=2",
+                                    Jobs2);
+        !D.empty())
+      return D;
+    if (Jobs0.Samples != Jobs2.Samples)
+      return "compile-jobs=0 and compile-jobs=2 took different sample "
+             "counts";
+    if (prof::serializeDCG(Jobs0.Profile) != prof::serializeDCG(Jobs2.Profile))
+      return "compile-jobs=0 and compile-jobs=2 profiles serialize "
+             "differently";
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // The deliberately broken test oracle
 //===----------------------------------------------------------------------===//
 
@@ -377,6 +469,7 @@ OracleRegistry OracleRegistry::builtin() {
   R.add(std::make_unique<CbsSubsetOracle>());
   R.add(std::make_unique<ProfileRoundTripOracle>());
   R.add(std::make_unique<ShardDeterminismOracle>());
+  R.add(std::make_unique<AsyncCompileStabilityOracle>());
   return R;
 }
 

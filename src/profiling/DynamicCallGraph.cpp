@@ -98,6 +98,11 @@ void DynamicCallGraph::unlockAll() const {
 }
 
 void DynamicCallGraph::addSample(CallEdge Edge, uint64_t Count) {
+  // A zero-count sample must not create a resident weight-0 entry: it
+  // would survive until the next decay truncation and meanwhile bloat
+  // every snapshot, serialized profile, and overlap computation.
+  if (Count == 0)
+    return;
   Shard &S = shardFor(Edge);
   lockShard(S);
   S.Weights[Edge] += Count;

@@ -20,7 +20,10 @@
 /// full, further appends are *dropped and counted* (droppedCount feeds
 /// the dcg.dropped_samples metric) rather than growing the buffer or
 /// vanishing silently. An owner that flushes whenever append() returns
-/// true never drops.
+/// true never drops. Capacity must be at least 1: a zero-capacity
+/// buffer would drop every sample while telling its owner to
+/// busy-flush an always-empty buffer, so it is a fatal configuration
+/// error rather than a silent profile sink.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +31,7 @@
 #define CBSVM_PROFILING_SAMPLEBUFFER_H
 
 #include "profiling/DynamicCallGraph.h"
+#include "support/ErrorHandling.h"
 
 #include <vector>
 
@@ -36,6 +40,8 @@ namespace cbs::prof {
 class SampleBuffer {
 public:
   explicit SampleBuffer(size_t Capacity = 256) : Capacity(Capacity) {
+    if (Capacity == 0)
+      reportFatalError("SampleBuffer capacity must be at least 1");
     Pending.reserve(Capacity);
   }
 

@@ -6,8 +6,10 @@
 
 #include "support/ArgParser.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <system_error>
 
 using namespace cbs::support;
 
@@ -68,17 +70,24 @@ double ArgParser::optionDouble(const char *Name, double Default, double Min,
   std::string V = option(Name, "");
   if (V.empty())
     return Default;
-  // Reject the strtod extensions (inf/nan/hex floats) up front: option
-  // values are plain decimal numbers.
-  bool Plain = !V.empty();
+  // Reject inf/nan/hex floats up front: option values are plain decimal
+  // numbers.
+  bool Plain = true;
   for (char C : V)
     if (!((C >= '0' && C <= '9') || C == '.' || C == '-' || C == '+' ||
           C == 'e' || C == 'E'))
       Plain = false;
+  // from_chars, not strtod: the parse must not depend on the process
+  // locale (under e.g. LC_NUMERIC=de_DE, strtod("0.9") stops at the
+  // period and yields 0). from_chars rejects a leading '+', which we
+  // accept — skip exactly one.
   const char *Begin = V.c_str();
-  char *End = nullptr;
-  double Parsed = std::strtod(Begin, &End);
-  if (!Plain || End == Begin || *End != '\0')
+  const char *End = Begin + V.size();
+  if (Begin != End && *Begin == '+')
+    ++Begin;
+  double Parsed = 0.0;
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Parsed);
+  if (!Plain || Begin == End || Ec != std::errc() || Ptr != End)
     fail(std::string(Name) + " expects a decimal number, got '" + V + "'");
   if (Parsed < Min || Parsed > Max)
     fail(std::string(Name) + " must be in [" + std::to_string(Min) + ", " +

@@ -60,7 +60,9 @@ public:
                       uint64_t Max);
 
   /// Strict decimal floating-point option: the whole value must lex as
-  /// a finite decimal number (no inf/nan/hex) in [Min, Max].
+  /// a finite decimal number (no inf/nan/hex, no trailing garbage) in
+  /// [Min, Max]. Locale-independent: "0.9" parses as 0.9 regardless of
+  /// LC_NUMERIC.
   double optionDouble(const char *Name, double Default, double Min,
                       double Max);
 

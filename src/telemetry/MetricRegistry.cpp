@@ -88,12 +88,17 @@ void MetricRegistry::writeJson(json::JsonWriter &W) const {
     W.value(H.min());
     W.key("max");
     W.value(H.max());
-    W.key("p50");
-    W.value(H.quantile(0.50));
-    W.key("p90");
-    W.value(H.quantile(0.90));
-    W.key("p99");
-    W.value(H.quantile(0.99));
+    // An empty histogram has no quantiles (quantile() returns NaN,
+    // which JSON cannot represent): omit the keys instead of
+    // fabricating a 0.
+    if (H.count() != 0) {
+      W.key("p50");
+      W.value(H.quantile(0.50));
+      W.key("p90");
+      W.value(H.quantile(0.90));
+      W.key("p99");
+      W.value(H.quantile(0.99));
+    }
     W.key("buckets");
     W.beginArray();
     for (size_t I = 0; I != Histogram::NumBuckets; ++I) {

@@ -26,6 +26,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -116,10 +117,12 @@ public:
   /// bucket, the value is linearly interpolated between the bucket's
   /// bounds [lo, 2*lo), and the result is clamped to the exact
   /// recorded [min, max] (so single-valued and edge quantiles are
-  /// exact). 0 when empty.
+  /// exact). An empty histogram has no quantiles: NaN, which JSON
+  /// rendering translates to omitting the keys — a fabricated 0 would
+  /// be indistinguishable from a real all-zero distribution.
   double quantile(double Q) const {
     if (NumSamples == 0)
-      return 0.0;
+      return std::numeric_limits<double>::quiet_NaN();
     double Target = Q * static_cast<double>(NumSamples);
     if (Target < 1.0)
       Target = 1.0; // rank of the first sample

@@ -19,6 +19,12 @@
 ///                  walked edge; Invalid ids if no edge was on stack)
 ///   compile_start  method (re)compilation begins (A = method, B = level)
 ///   compile_finish compilation done (A = method, B = level, C = cost)
+///   compile_enqueue background compile request queued (A = method,
+///                  B = level, C = ready cycle — enqueue + modelled
+///                  latency)
+///   compile_install background compile installed at a yieldpoint
+///                  (A = method, B = level, C = cycles waited in the
+///                  queue since enqueue)
 ///   inline_decision oracle decision in a new inline plan (A = target,
 ///                  B = site, C = 1 direct / 2 guarded)
 ///   gc             collection pause serviced (C = heap bytes allocated)
@@ -54,9 +60,11 @@ enum class EventKind : uint8_t {
   PhaseShift,
   SampleDrop,
   Trap,
+  CompileEnqueue,
+  CompileInstall,
 };
 
-inline constexpr unsigned NumEventKinds = 12;
+inline constexpr unsigned NumEventKinds = 14;
 
 const char *eventKindName(EventKind K);
 
@@ -117,6 +125,18 @@ struct TraceEvent {
   static TraceEvent trap(uint64_t Cycles, uint32_t Thread, uint32_t Method,
                          uint32_t PC) {
     return {EventKind::Trap, Thread, Cycles, Method, PC, 0};
+  }
+  static TraceEvent compileEnqueue(uint64_t Cycles, uint32_t Thread,
+                                   uint32_t Method, uint32_t Level,
+                                   uint64_t ReadyCycle) {
+    return {EventKind::CompileEnqueue, Thread, Cycles, Method, Level,
+            ReadyCycle};
+  }
+  static TraceEvent compileInstall(uint64_t Cycles, uint32_t Thread,
+                                   uint32_t Method, uint32_t Level,
+                                   uint64_t WaitedCycles) {
+    return {EventKind::CompileInstall, Thread, Cycles, Method, Level,
+            WaitedCycles};
   }
 };
 

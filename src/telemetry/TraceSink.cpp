@@ -37,6 +37,10 @@ const char *tel::eventKindName(EventKind K) {
     return "sample_drop";
   case EventKind::Trap:
     return "trap";
+  case EventKind::CompileEnqueue:
+    return "compile_enqueue";
+  case EventKind::CompileInstall:
+    return "compile_install";
   }
   return "?";
 }
@@ -141,6 +145,20 @@ void writeArgs(json::JsonWriter &W, const TraceEvent &E,
     Method("method", "method_name", E.A);
     W.key("pc");
     W.value(static_cast<uint64_t>(E.B));
+    break;
+  case EventKind::CompileEnqueue:
+    Method("method", "method_name", E.A);
+    W.key("level");
+    W.value(static_cast<uint64_t>(E.B));
+    W.key("ready_cycle");
+    W.value(E.C);
+    break;
+  case EventKind::CompileInstall:
+    Method("method", "method_name", E.A);
+    W.key("level");
+    W.value(static_cast<uint64_t>(E.B));
+    W.key("waited_cycles");
+    W.value(E.C);
     break;
   }
 }

@@ -86,6 +86,13 @@ struct CostModel {
   double LevelScale[3] = {1.0, 0.80, 0.65};
   /// Compile cycles per modelled bytecode byte per level.
   double CompileCostPerByte[3] = {40.0, 250.0, 800.0};
+  /// Scales the modelled *latency* of a background compilation: a
+  /// request enqueued at cycle E may install no earlier than
+  /// E + Scale × CompileCostPerByte[level] × sizeBytes. 0 means
+  /// compiles install at the first taken yieldpoint after the
+  /// decision; larger values model a slower (or more contended)
+  /// compile thread consuming an ever-staler plan.
+  double CompileLatencyScale = 1.0;
 
   /// Base (unscaled) cost of one instruction.
   uint32_t cost(const bc::Instruction &I) const;

@@ -362,6 +362,13 @@ void VirtualMachine::recordEdgeSample(Thread &T) {
 void VirtualMachine::processTaken(Thread &T, Where W) {
   ++Stats.YieldpointsTaken;
 
+  // Taken yieldpoints are the deterministic virtual-time points where
+  // background compilations may install (the client checks its queue
+  // against cycles()). Before tick/GC servicing so an install and the
+  // tick that follows it order the same way at any --compile-jobs.
+  if (Client)
+    Client->onYieldpoint(*this);
+
   // Figure 4: the overloaded flag's slow path disambiguates all pending
   // conditions — original services (GC) first, then profiling.
   if (GCRequested) {

@@ -51,12 +51,18 @@ namespace cbs::vm {
 class VirtualMachine;
 
 /// Observer interface for adaptive optimization systems: the VM calls it
-/// once per timer tick with the AOS hotness sample. The client may
-/// synchronously recompile methods via installCompiled.
+/// once per timer tick with the AOS hotness sample, and once per taken
+/// yieldpoint (the deterministic virtual-time points where background
+/// compilations are allowed to install). The client may recompile
+/// methods via installCompiled from either hook.
 class VMClient {
 public:
   virtual ~VMClient();
   virtual void onTimerTick(VirtualMachine &VM, bc::MethodId TopMethod) = 0;
+  /// Called at every taken yieldpoint, before tick/GC servicing. Timer
+  /// ticks force the next yieldpoint to be taken, so with any profiler
+  /// configuration this fires at least about once per timer period.
+  virtual void onYieldpoint(VirtualMachine &VM) { (void)VM; }
 };
 
 class VirtualMachine {

@@ -1,0 +1,264 @@
+//===- tests/CompileQueueTest.cpp - background compile pipeline tests ----------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile queue's deterministic contracts: backpressure policies
+/// (coalescing, eviction, rejection), ready-cycle gating and priority
+/// ordering at popReady, and the end-to-end guarantees of the async
+/// pipeline — byte-identical runs at any --compile-jobs count, stale
+/// plans re-validated at the install point, and modelled latency
+/// actually shifting install timing in virtual time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aos/AdaptiveSystem.h"
+#include "aos/CompileQueue.h"
+#include "experiments/Experiments.h"
+#include "profiling/ProfileIO.h"
+#include "telemetry/TraceSink.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace cbs;
+using namespace cbs::aos;
+
+namespace {
+
+CompileRequest request(bc::MethodId Method, int Level, double Priority,
+                       CompileQueue &Q, uint64_t ReadyCycle = 0) {
+  CompileRequest R;
+  R.Method = Method;
+  R.Level = Level;
+  R.Priority = Priority;
+  R.ReadyCycle = ReadyCycle;
+  R.Seq = Q.nextSeq();
+  return R;
+}
+
+} // namespace
+
+TEST(CompileQueue, CoalesceUpgradesLevelAndKeepsSeq) {
+  CompileQueue Q(8);
+  CompileRequest First = request(/*Method=*/3, /*Level=*/1, /*Priority=*/5, Q);
+  uint64_t FirstSeq = First.Seq;
+  ASSERT_EQ(Q.enqueue(std::move(First)), EnqueueResult::Added);
+
+  // A higher-level request for the same method supersedes the pending
+  // entry wholesale but keeps its queue position (the original Seq).
+  EXPECT_EQ(Q.enqueue(request(3, 2, 4, Q)), EnqueueResult::Coalesced);
+  EXPECT_EQ(Q.depth(), 1u);
+  EXPECT_EQ(Q.pendingLevel(3), 2);
+
+  std::optional<CompileRequest> Popped = Q.popReady(/*Now=*/1'000);
+  ASSERT_TRUE(Popped.has_value());
+  EXPECT_EQ(Popped->Level, 2);
+  EXPECT_EQ(Popped->Seq, FirstSeq);
+  // Priority rises to max(old, new) on coalesce in either direction.
+  EXPECT_EQ(Popped->Priority, 5);
+}
+
+TEST(CompileQueue, CoalesceSameLevelRaisesPriority) {
+  CompileQueue Q(8);
+  ASSERT_EQ(Q.enqueue(request(1, 1, 2, Q)), EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(2, 1, 5, Q)), EnqueueResult::Added);
+  // Method 1 re-requested at the same level with a hotter score: no
+  // second entry, but the pending one's priority rises past method 2's.
+  EXPECT_EQ(Q.enqueue(request(1, 1, 9, Q)), EnqueueResult::Coalesced);
+  EXPECT_EQ(Q.depth(), 2u);
+
+  std::optional<CompileRequest> Popped = Q.popReady(0);
+  ASSERT_TRUE(Popped.has_value());
+  EXPECT_EQ(Popped->Method, 1u);
+  EXPECT_EQ(Popped->Priority, 9);
+}
+
+TEST(CompileQueue, OverflowEvictsLowestPriority) {
+  CompileQueue Q(2);
+  ASSERT_EQ(Q.enqueue(request(1, 1, 10, Q)), EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(2, 1, 3, Q)), EnqueueResult::Added);
+
+  std::optional<CompileRequest> Evicted;
+  EXPECT_EQ(Q.enqueue(request(3, 1, 7, Q), &Evicted),
+            EnqueueResult::EvictedLowest);
+  ASSERT_TRUE(Evicted.has_value());
+  EXPECT_EQ(Evicted->Method, 2u);
+  EXPECT_EQ(Q.depth(), 2u);
+  EXPECT_EQ(Q.pendingLevel(2), -1);
+  EXPECT_EQ(Q.pendingLevel(3), 1);
+}
+
+TEST(CompileQueue, OverflowRejectsWeakerNewcomer) {
+  CompileQueue Q(2);
+  ASSERT_EQ(Q.enqueue(request(1, 1, 10, Q)), EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(2, 1, 5, Q)), EnqueueResult::Added);
+
+  // Equal priority does not outrank the incumbent: FIFO wins ties.
+  EXPECT_EQ(Q.enqueue(request(3, 1, 5, Q)), EnqueueResult::Rejected);
+  EXPECT_EQ(Q.enqueue(request(4, 1, 1, Q)), EnqueueResult::Rejected);
+  EXPECT_EQ(Q.depth(), 2u);
+  EXPECT_EQ(Q.pendingLevel(1), 1);
+  EXPECT_EQ(Q.pendingLevel(2), 1);
+}
+
+TEST(CompileQueue, PopReadyGatesOnReadyCycle) {
+  CompileQueue Q(8);
+  ASSERT_EQ(Q.enqueue(request(1, 1, 10, Q, /*ReadyCycle=*/500)),
+            EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(2, 1, 2, Q, /*ReadyCycle=*/100)),
+            EnqueueResult::Added);
+
+  // Nothing has passed its modelled latency yet.
+  EXPECT_FALSE(Q.popReady(/*Now=*/99).has_value());
+
+  // At cycle 100 only the low-priority request is ready: ready-cycle
+  // gating comes before priority.
+  std::optional<CompileRequest> Popped = Q.popReady(100);
+  ASSERT_TRUE(Popped.has_value());
+  EXPECT_EQ(Popped->Method, 2u);
+
+  Popped = Q.popReady(100);
+  EXPECT_FALSE(Popped.has_value());
+
+  Popped = Q.popReady(500);
+  ASSERT_TRUE(Popped.has_value());
+  EXPECT_EQ(Popped->Method, 1u);
+  EXPECT_EQ(Q.depth(), 0u);
+}
+
+TEST(CompileQueue, PopReadyOrdersByPriorityThenSeq) {
+  CompileQueue Q(8);
+  ASSERT_EQ(Q.enqueue(request(1, 1, 3, Q)), EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(2, 1, 7, Q)), EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(3, 1, 7, Q)), EnqueueResult::Added);
+  ASSERT_EQ(Q.enqueue(request(4, 1, 5, Q)), EnqueueResult::Added);
+
+  std::vector<bc::MethodId> Order;
+  while (std::optional<CompileRequest> R = Q.popReady(0))
+    Order.push_back(R->Method);
+  EXPECT_EQ(Order, (std::vector<bc::MethodId>{2, 3, 4, 1}));
+}
+
+namespace {
+
+/// One full run of a Table 1 workload under the adaptive system; the
+/// byte-level artifacts are everything `cbsvm run --save --metrics-json`
+/// would write plus the AOS's own counters.
+struct AOSRunArtifacts {
+  std::string Profile;
+  std::string Metrics;
+  uint64_t Cycles = 0;
+  uint64_t Installs = 0;
+  uint64_t StaleDrops = 0;
+};
+
+AOSRunArtifacts runWorkload(const char *Name, uint32_t CompileJobs,
+                            double LatencyScale = 1.0,
+                            tel::TraceSink *Trace = nullptr) {
+  const wl::WorkloadInfo *W = wl::findWorkload(Name);
+  bc::Program P = W ? W->Build(wl::InputSize::Small, /*Seed=*/1)
+                    : wl::buildPhased(wl::InputSize::Small, /*Seed=*/1);
+  vm::VMConfig Config =
+      exp::jitOnlyConfig(P, vm::Personality::JikesRVM, /*Seed=*/1);
+  Config.Costs.CompileLatencyScale = LatencyScale;
+  Config.Trace = Trace;
+
+  AOSConfig AC;
+  AC.CompileJobs = CompileJobs;
+  opt::NewJikesOracle Oracle;
+  AdaptiveSystem AOS(&Oracle, AC);
+  vm::VirtualMachine VM(P, Config);
+  VM.setClient(&AOS);
+  EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
+
+  AOSRunArtifacts A;
+  A.Profile = prof::serializeDCG(VM.profile());
+  A.Metrics = VM.metrics().toJson();
+  A.Cycles = VM.stats().Cycles;
+  A.Installs = AOS.stats().QueueInstalls;
+  A.StaleDrops = AOS.stats().QueueStaleDrops;
+  return A;
+}
+
+} // namespace
+
+TEST(CompileQueue, WorkerThreadsAreByteIdentical) {
+  // The deterministic-install contract: worker threads only pre-compute
+  // pure compile results, installs stay pinned to virtual-time points,
+  // so every artifact of the run is byte-identical at any job count.
+  AOSRunArtifacts Jobs0 = runWorkload("jess", 0);
+  AOSRunArtifacts Jobs1 = runWorkload("jess", 1);
+  AOSRunArtifacts Jobs4 = runWorkload("jess", 4);
+
+  EXPECT_GT(Jobs0.Installs, 0u) << "workload too small to exercise the queue";
+  EXPECT_EQ(Jobs0.Profile, Jobs1.Profile);
+  EXPECT_EQ(Jobs0.Profile, Jobs4.Profile);
+  EXPECT_EQ(Jobs0.Metrics, Jobs1.Metrics);
+  EXPECT_EQ(Jobs0.Metrics, Jobs4.Metrics);
+  EXPECT_EQ(Jobs0.Cycles, Jobs4.Cycles);
+}
+
+TEST(CompileQueue, ByteIdenticalUnderLongLatency) {
+  // Same contract with requests living long enough in the queue for
+  // worker results to genuinely arrive out of order.
+  AOSRunArtifacts Jobs0 = runWorkload("phased", 0, /*LatencyScale=*/25);
+  AOSRunArtifacts Jobs4 = runWorkload("phased", 4, /*LatencyScale=*/25);
+  EXPECT_EQ(Jobs0.Profile, Jobs4.Profile);
+  EXPECT_EQ(Jobs0.Metrics, Jobs4.Metrics);
+  EXPECT_EQ(Jobs0.Cycles, Jobs4.Cycles);
+}
+
+TEST(CompileQueue, StalePlansAreReValidatedAtInstall) {
+  // With a long modelled latency on the phase-shift program, plans
+  // go stale between decision and install: the install point must
+  // drop and re-enqueue rather than install against the old phase.
+  AOSRunArtifacts A = runWorkload("phased", 0, /*LatencyScale=*/25);
+  EXPECT_GE(A.StaleDrops, 1u);
+  EXPECT_GT(A.Installs, 0u) << "re-enqueue must not starve installs";
+}
+
+TEST(CompileQueue, LatencyShiftsInstallTiming) {
+  auto FirstInstallCycle = [](const tel::CollectorSink &Sink) {
+    uint64_t First = UINT64_MAX;
+    for (const tel::TraceEvent &E : Sink.events())
+      if (E.Kind == tel::EventKind::CompileInstall)
+        First = std::min(First, E.Cycles);
+    return First;
+  };
+
+  tel::CollectorSink Fast, Slow;
+  runWorkload("jess", 0, /*LatencyScale=*/0, &Fast);
+  runWorkload("jess", 0, /*LatencyScale=*/50, &Slow);
+
+  uint64_t FastFirst = FirstInstallCycle(Fast);
+  uint64_t SlowFirst = FirstInstallCycle(Slow);
+  ASSERT_NE(FastFirst, UINT64_MAX) << "no installs at latency scale 0";
+  ASSERT_NE(SlowFirst, UINT64_MAX) << "no installs at latency scale 50";
+  EXPECT_LT(FastFirst, SlowFirst)
+      << "modelled latency must delay the first install in virtual time";
+}
+
+TEST(CompileQueue, EnqueueAndInstallEventsAreTraced) {
+  tel::CollectorSink Sink;
+  runWorkload("jess", 0, /*LatencyScale=*/1, &Sink);
+
+  uint64_t Enqueues = 0, Installs = 0;
+  for (const tel::TraceEvent &E : Sink.events()) {
+    if (E.Kind == tel::EventKind::CompileEnqueue) {
+      ++Enqueues;
+      EXPECT_GE(E.C, E.Cycles) << "ready cycle precedes the enqueue";
+    }
+    if (E.Kind == tel::EventKind::CompileInstall)
+      ++Installs;
+  }
+  EXPECT_GT(Enqueues, 0u);
+  EXPECT_GT(Installs, 0u);
+  EXPECT_GE(Enqueues, Installs);
+}

@@ -131,6 +131,46 @@ TEST(DCG, DecayHalvesAndDropsZeroEdges) {
   EXPECT_EQ(S.totalWeight(), 50u);
 }
 
+TEST(DCG, ZeroCountSampleLeavesNoResidentEdge) {
+  // Regression: addSample with Count == 0 used to create a resident
+  // weight-0 map entry that survived until the next decay truncation,
+  // bloating every snapshot, serialized profile, and overlap
+  // computation in between.
+  DynamicCallGraph DCG;
+  DCG.addSample(edge(0, 0), 0);
+  EXPECT_EQ(DCG.numEdges(), 0u);
+  EXPECT_TRUE(DCG.snapshot().empty());
+
+  DCG.addSample(edge(0, 0), 5);
+  DCG.addSample(edge(1, 1), 0);
+  EXPECT_EQ(DCG.numEdges(), 1u);
+  EXPECT_EQ(DCG.totalWeight(), 5u);
+  EXPECT_EQ(DCG.snapshot().numEdges(), 1u);
+}
+
+TEST(DCG, DecayToZeroShrinksSnapshotEdgeCount) {
+  // Long-run hygiene: edges whose weight truncates to zero must leave
+  // the shards entirely, so the snapshot edge count shrinks with every
+  // decay instead of accumulating dead entries.
+  DynamicCallGraph DCG;
+  for (uint32_t I = 0; I != 16; ++I)
+    DCG.addSample(edge(I, I), 1);
+  DCG.addSample(edge(100, 100), 1'000'000);
+  EXPECT_EQ(DCG.snapshot().numEdges(), 17u);
+
+  DCG.decay(0.5); // every weight-1 edge truncates to 0
+  DCGSnapshot S = DCG.snapshot();
+  EXPECT_EQ(S.numEdges(), 1u) << "dead edges must not stay resident";
+  EXPECT_EQ(DCG.numEdges(), 1u);
+  EXPECT_EQ(S.weight(edge(100, 100)), 500'000u);
+
+  // Decay all the way to an empty repository.
+  for (int I = 0; I != 40 && DCG.numEdges() != 0; ++I)
+    DCG.decay(0.5);
+  EXPECT_EQ(DCG.numEdges(), 0u);
+  EXPECT_TRUE(DCG.snapshot().empty());
+}
+
 TEST(DCG, DecayImmediatelyFollowedBySnapshotIsFresh) {
   // Regression guard for the snapshot epoch cache: a snapshot taken in
   // the same instant as a decay (the AOS organizer does exactly this —

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <set>
 #include <stdexcept>
 
@@ -312,6 +313,60 @@ TEST(ArgParser, OptionUIntDefaultWhenAbsent) {
   support::ArgParser P = parser({});
   EXPECT_EQ(P.optionUInt("--jobs", 7, 1, 1024), 7u);
   P.finish();
+}
+
+TEST(ArgParser, OptionDoubleStrictness) {
+  // Same contract as optionUInt: the whole value must lex as a plain
+  // decimal number — no trailing junk ("0.9x"), no inf/nan, no hex
+  // floats, no whitespace.
+  for (const char *Bad :
+       {"0.9x", "1e", "nan", "NaN", "inf", "-inf", "0x1p2", " 0.5", "0.5 ",
+        "1.2.3", "--", "e5"}) {
+    support::ArgParser P = parser({"--decay-factor", Bad});
+    EXPECT_THROW(P.optionDouble("--decay-factor", 0.5, 0.0, 1.0),
+                 std::runtime_error)
+        << "accepted '" << Bad << "'";
+  }
+}
+
+TEST(ArgParser, OptionDoubleAcceptsPlainDecimals) {
+  EXPECT_DOUBLE_EQ(
+      parser({"--f", "0.9"}).optionDouble("--f", 0.0, 0.0, 1.0), 0.9);
+  EXPECT_DOUBLE_EQ(
+      parser({"--f", "+0.25"}).optionDouble("--f", 0.0, 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(
+      parser({"--f", "-2"}).optionDouble("--f", 0.0, -10.0, 10.0), -2.0);
+  EXPECT_DOUBLE_EQ(
+      parser({"--f", "1e2"}).optionDouble("--f", 0.0, 0.0, 1000.0), 100.0);
+  EXPECT_DOUBLE_EQ(parser({}).optionDouble("--f", 0.75, 0.0, 1.0), 0.75);
+}
+
+TEST(ArgParser, OptionDoubleRangeChecked) {
+  EXPECT_THROW(
+      parser({"--f", "1.5"}).optionDouble("--f", 0.5, 0.0, 1.0),
+      std::runtime_error);
+  EXPECT_THROW(
+      parser({"--f", "-0.1"}).optionDouble("--f", 0.5, 0.0, 1.0),
+      std::runtime_error);
+  // Overflow to infinity is out of any finite range.
+  EXPECT_THROW(
+      parser({"--f", "1e999"}).optionDouble("--f", 0.5, 0.0, 1e308),
+      std::runtime_error);
+}
+
+TEST(ArgParser, OptionDoubleIsLocaleIndependent) {
+  // Under a comma-decimal locale, strtod("0.9") stops at the period and
+  // yields 0 — a silently wrong profile decay factor. The parser must
+  // read the C-locale decimal point regardless of the process locale.
+  std::string Saved = std::setlocale(LC_NUMERIC, nullptr);
+  bool HaveLocale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+                    std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  if (!HaveLocale)
+    GTEST_SKIP() << "no comma-decimal locale available in this image";
+  double Parsed =
+      parser({"--f", "0.9"}).optionDouble("--f", 0.0, 0.0, 1.0);
+  std::setlocale(LC_NUMERIC, Saved.c_str());
+  EXPECT_DOUBLE_EQ(Parsed, 0.9);
 }
 
 TEST(ArgParser, FlagConsumesAndReports) {

@@ -21,6 +21,7 @@
 #include "vm/VirtualMachine.h"
 #include "workloads/Workloads.h"
 
+#include <cmath>
 #include <gtest/gtest.h>
 
 using namespace cbs;
@@ -139,12 +140,32 @@ TEST(MetricRegistry, HistogramQuantilePins) {
   EXPECT_DOUBLE_EQ(Flat.quantile(0.50), 4.0);
   EXPECT_DOUBLE_EQ(Flat.quantile(0.90), 4.0);
 
+  // An empty histogram has no quantiles — NaN, never a fabricated 0
+  // (which a real all-zero distribution legitimately produces below).
   Histogram Empty;
-  EXPECT_DOUBLE_EQ(Empty.quantile(0.50), 0.0);
+  EXPECT_TRUE(std::isnan(Empty.quantile(0.50)));
+  EXPECT_TRUE(std::isnan(Empty.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(Empty.quantile(1.0)));
 
   Histogram Zero;
   Zero.record(0);
   EXPECT_DOUBLE_EQ(Zero.quantile(0.50), 0.0);
+
+  // count == 1 is exact at every quantile.
+  Histogram One;
+  One.record(37);
+  EXPECT_DOUBLE_EQ(One.quantile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(One.quantile(0.50), 37.0);
+  EXPECT_DOUBLE_EQ(One.quantile(1.0), 37.0);
+
+  // All samples in one bucket: interpolation stays inside the bucket
+  // and the clamp keeps the result within the recorded [min, max].
+  Histogram OneBucket;
+  for (uint64_t V : {9, 10, 11, 12})
+    OneBucket.record(V); // all in [8, 16)
+  EXPECT_GE(OneBucket.quantile(0.50), 9.0);
+  EXPECT_LE(OneBucket.quantile(0.50), 12.0);
+  EXPECT_DOUBLE_EQ(OneBucket.quantile(0.99), 12.0);
 }
 
 TEST(MetricRegistry, HistogramJsonCarriesQuantiles) {
@@ -156,6 +177,19 @@ TEST(MetricRegistry, HistogramJsonCarriesQuantiles) {
   EXPECT_NE(Json.find("\"p50\":4"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"p90\":8"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"p99\":8"), std::string::npos) << Json;
+}
+
+TEST(MetricRegistry, EmptyHistogramJsonOmitsQuantiles) {
+  // A registered-but-never-recorded histogram must not fabricate
+  // quantiles in the report: the p50/p90/p99 keys are omitted (JSON
+  // has no NaN), while count/sum/min/max stay.
+  MetricRegistry R;
+  R.histogram("h.empty");
+  std::string Json = R.toJson();
+  EXPECT_EQ(Json.find("p50"), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("p90"), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("p99"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"h.empty\":{\"count\":0"), std::string::npos) << Json;
 }
 
 TEST(MetricRegistry, SameNameSameAddress) {

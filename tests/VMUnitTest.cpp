@@ -270,16 +270,12 @@ TEST(SampleBuffer, CapacityOneSignalsFullOnEveryAppend) {
   EXPECT_EQ(Repo.snapshot().weight({1, 1}), 5u);
 }
 
-TEST(SampleBuffer, CapacityZeroDropsEverything) {
-  prof::SampleBuffer Buffer(0);
-  EXPECT_TRUE(Buffer.append({1, 1})) << "always 'full'";
-  EXPECT_TRUE(Buffer.append({2, 2}));
-  EXPECT_EQ(Buffer.pendingCount(), 0u);
-  EXPECT_EQ(Buffer.droppedCount(), 2u);
-  prof::DynamicCallGraph Repo;
-  Buffer.flushInto(Repo);
-  EXPECT_TRUE(Repo.snapshot().empty());
-  EXPECT_EQ(Buffer.flushCount(), 0u) << "empty flushes are not counted";
+TEST(SampleBufferDeathTest, CapacityZeroIsAConfigurationError) {
+  // A zero-capacity buffer would drop every sample while returning
+  // true from append (telling the owner to busy-flush an always-empty
+  // buffer); constructing one is a fatal configuration error.
+  EXPECT_DEATH({ prof::SampleBuffer Buffer(0); },
+               "SampleBuffer capacity must be at least 1");
 }
 
 TEST(SampleBuffer, AccountingAtTheExactCapacityBoundary) {

@@ -21,6 +21,18 @@
 //       --buffer-capacity N      per-thread sample buf (default 256)
 //       --decay-ticks N          decay profile every N ticks (default 0)
 //       --decay-factor F         decay multiplier      (default 0.8)
+//       --aos                    attach the adaptive optimization
+//                                system (NewJikes inline oracle): hot
+//                                methods recompile through the
+//                                background compile queue
+//       --compile-jobs N         compile worker threads (implies
+//                                --aos; 0 = compile on the VM thread
+//                                at the install point; any N is
+//                                byte-identical to 0)
+//       --compile-latency-scale F  scale the modelled compile latency
+//                                (implies --aos; 0 installs at the
+//                                first taken yieldpoint after the
+//                                promotion decision)
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
 //       --trace FILE             write a Chrome trace_event JSON trace
@@ -38,8 +50,9 @@
 //     armed — the online quality monitor, the per-component overhead
 //     attribution, and the anomaly-triggered flight recorder — then
 //     print the convergence timeline, the overhead breakdown, and any
-//     flight-recorder dumps. Accepts every `run` configuration option
-//     above, plus:
+//     flight-recorder dumps. When --aos is active the report also
+//     carries an "aos" section (recompilations and compile-queue
+//     traffic). Accepts every `run` configuration option above, plus:
 //       --every-ticks N          quality window period (default 8)
 //       --hot-edges N            hot set size for churn (default 16)
 //       --phase-threshold PCT    overlap below this is a phase shift
@@ -87,6 +100,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "aos/AdaptiveSystem.h"
 #include "bytecode/Printer.h"
 #include "experiments/Experiments.h"
 #include "fuzz/Fuzzer.h"
@@ -102,6 +116,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -156,6 +171,10 @@ struct RunSetup {
   uint64_t Seed = 1;
   bc::Program P;
   vm::VMConfig Config;
+  /// --aos (or an option implying it): attach the adaptive system so
+  /// hot methods recompile through the background compile queue.
+  bool UseAOS = false;
+  aos::AOSConfig AOS;
 };
 
 RunSetup parseRunSetup(ArgParser &Args) {
@@ -201,8 +220,43 @@ RunSetup parseRunSetup(ArgParser &Args) {
       Args.optionUInt("--decay-ticks", 0, 0, UINT32_MAX));
   S.Config.Profiler.DecayFactor =
       Args.optionDouble("--decay-factor", 0.8, 0.0, 1.0);
+
+  // --aos attaches the adaptive optimization system; the two options
+  // that only make sense with it imply it, so "--compile-jobs 4" alone
+  // does the expected thing.
+  S.UseAOS = Args.flag("--aos");
+  uint64_t CompileJobs = Args.optionUInt("--compile-jobs", 0, 0, 64);
+  if (CompileJobs > 0) {
+    S.AOS.CompileJobs = static_cast<uint32_t>(CompileJobs);
+    S.UseAOS = true;
+  }
+  // Sentinel default: the option is range-checked only when present,
+  // so -1 distinguishes "absent" from an explicit 0 (install at the
+  // first taken yieldpoint).
+  double LatencyScale =
+      Args.optionDouble("--compile-latency-scale", -1.0, 0.0, 1e9);
+  if (LatencyScale >= 0.0) {
+    S.Config.Costs.CompileLatencyScale = LatencyScale;
+    S.UseAOS = true;
+  }
   return S;
 }
+
+/// The adaptive system a command attaches when --aos was given. The
+/// oracle must outlive the system and the system must outlive the VM
+/// run, so both live together in the command's frame, declared before
+/// the VirtualMachine.
+struct DriverAOS {
+  opt::NewJikesOracle Oracle;
+  std::unique_ptr<aos::AdaptiveSystem> System;
+
+  void attach(const RunSetup &S, vm::VirtualMachine &VM) {
+    if (!S.UseAOS)
+      return;
+    System = std::make_unique<aos::AdaptiveSystem>(&Oracle, S.AOS);
+    VM.setClient(System.get());
+  }
+};
 
 void writeFileOrDie(const std::string &Path, const std::string &Contents) {
   std::ofstream Out(Path);
@@ -236,7 +290,9 @@ int cmdRun(ArgParser &Args) {
   if (!TracePath.empty())
     S.Config.Trace = &Sink;
 
+  DriverAOS AOS;
   vm::VirtualMachine VM(S.P, S.Config);
+  AOS.attach(S, VM);
   if (!TracePath.empty()) {
     const bc::Program &P = VM.program();
     Sink.setMethodNamer([&P](uint32_t M) {
@@ -255,6 +311,22 @@ int cmdRun(ArgParser &Args) {
   if (State == vm::RunState::Trapped) {
     std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
     return 1;
+  }
+
+  if (S.UseAOS) {
+    const aos::AOSStats &A = AOS.System->stats();
+    std::printf("aos: %llu installs (%llu to L1, %llu to L2, %llu reopts); "
+                "queue: %llu enqueued, %llu coalesced, %llu stale drops, "
+                "%llu dropped, depth %zu at exit\n",
+                static_cast<unsigned long long>(A.QueueInstalls),
+                static_cast<unsigned long long>(A.PromotionsToL1),
+                static_cast<unsigned long long>(A.PromotionsToL2),
+                static_cast<unsigned long long>(A.Reoptimizations),
+                static_cast<unsigned long long>(A.QueueEnqueued),
+                static_cast<unsigned long long>(A.QueueCoalesced),
+                static_cast<unsigned long long>(A.QueueStaleDrops),
+                static_cast<unsigned long long>(A.QueueDropped),
+                AOS.System->queueDepth());
   }
 
   prof::DCGSnapshot DCG = VM.profile();
@@ -293,7 +365,9 @@ int cmdStats(ArgParser &Args) {
   std::string JsonPath = Args.option("--json", "");
   Args.finish();
 
+  DriverAOS AOS;
   vm::VirtualMachine VM(S.P, S.Config);
+  AOS.attach(S, VM);
   vm::RunState State = VM.run();
   if (State == vm::RunState::Trapped) {
     std::fprintf(stderr, "trap: %s\n", VM.trapMessage().c_str());
@@ -343,7 +417,9 @@ int cmdReport(ArgParser &Args) {
   tel::FlightRecorder Recorder(RC);
   S.Config.Recorder = &Recorder;
 
+  DriverAOS AOS;
   vm::VirtualMachine VM(S.P, S.Config);
+  AOS.attach(S, VM);
   vm::RunState State = VM.run();
   Recorder.requestDump("end_of_run", VM.cycles());
 
@@ -397,6 +473,39 @@ int cmdReport(ArgParser &Args) {
     W.key("totalFractionPct");
     W.value(FractionPct(OvTotal));
     W.endObject();
+    if (S.UseAOS) {
+      const aos::AOSStats &A = AOS.System->stats();
+      W.key("aos");
+      W.beginObject();
+      W.key("recompilations");
+      W.value(A.Recompilations);
+      W.key("promotionsToL1");
+      W.value(A.PromotionsToL1);
+      W.key("promotionsToL2");
+      W.value(A.PromotionsToL2);
+      W.key("reoptimizations");
+      W.value(A.Reoptimizations);
+      W.key("plansComputed");
+      W.value(A.PlansComputed);
+      W.key("phaseShiftReplans");
+      W.value(A.PhaseShiftReplans);
+      W.key("queue");
+      W.beginObject();
+      W.key("depth");
+      W.value(static_cast<uint64_t>(AOS.System->queueDepth()));
+      W.key("enqueued");
+      W.value(A.QueueEnqueued);
+      W.key("installs");
+      W.value(A.QueueInstalls);
+      W.key("stale_drops");
+      W.value(A.QueueStaleDrops);
+      W.key("coalesced");
+      W.value(A.QueueCoalesced);
+      W.key("dropped");
+      W.value(A.QueueDropped);
+      W.endObject();
+      W.endObject();
+    }
     W.key("flightRecorder");
     Recorder.writeJson(W);
     W.endObject();
@@ -449,6 +558,24 @@ int cmdReport(ArgParser &Args) {
   Overhead.addRow({"total", std::to_string(OvTotal),
                    TablePrinter::formatDouble(FractionPct(OvTotal), 3)});
   std::fputs(Overhead.render().c_str(), stdout);
+
+  if (S.UseAOS) {
+    const aos::AOSStats &A = AOS.System->stats();
+    std::printf("\nadaptive system (compile queue):\n");
+    TablePrinter Queue;
+    Queue.setHeader({"installs", "to L1", "to L2", "reopts", "enqueued",
+                     "coalesced", "stale", "dropped", "depth"});
+    Queue.addRow({std::to_string(A.QueueInstalls),
+                  std::to_string(A.PromotionsToL1),
+                  std::to_string(A.PromotionsToL2),
+                  std::to_string(A.Reoptimizations),
+                  std::to_string(A.QueueEnqueued),
+                  std::to_string(A.QueueCoalesced),
+                  std::to_string(A.QueueStaleDrops),
+                  std::to_string(A.QueueDropped),
+                  std::to_string(AOS.System->queueDepth())});
+    std::fputs(Queue.render().c_str(), stdout);
+  }
 
   std::printf("\nflight recorder: %llu events seen, %llu anomaly "
               "triggers, %zu dumps\n",
