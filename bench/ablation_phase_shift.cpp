@@ -20,6 +20,8 @@
 
 #include "BenchUtil.h"
 
+#include "profiling/ProfilerRegistry.h"
+
 using namespace cbs;
 using namespace cbs::bench;
 
@@ -32,8 +34,7 @@ namespace {
 prof::DCGSnapshot phaseBProfile(const bc::Program &P,
                                 uint64_t &MidCycles) {
   vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
-  Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-  Config.Profiler.ChargeExhaustiveCounters = false;
+  prof::ProfilerRegistry::instance().configure("exhaustive", Config.Profiler);
   vm::VirtualMachine VM(P, Config);
   // Find total cycles first.
   VM.run();
@@ -73,12 +74,14 @@ int main(int Argc, char **Argv) {
   };
   std::vector<Config> Configs;
   {
+    const prof::ProfilerRegistry &Registry =
+        prof::ProfilerRegistry::instance();
     Config Timer{"timer", {}};
-    Timer.Prof.Kind = vm::ProfilerKind::Timer;
+    Registry.configure("timer", Timer.Prof);
     Configs.push_back(Timer);
 
     Config Patch{"code patching", {}};
-    Patch.Prof.Kind = vm::ProfilerKind::CodePatching;
+    Registry.configure("patching", Patch.Prof);
     Patch.Prof.PromoteAfterInvocations = 500;
     Configs.push_back(Patch);
 

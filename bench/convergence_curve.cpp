@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include "profiling/ProfilerRegistry.h"
+
 using namespace cbs;
 using namespace cbs::bench;
 
@@ -39,8 +41,9 @@ int main(int Argc, char **Argv) {
       {"cbs(3,16)", exp::chosenCBS(vm::Personality::JikesRVM)},
       {"patching", {}},
   };
-  Curves[0].Prof.Kind = vm::ProfilerKind::Timer;
-  Curves[2].Prof.Kind = vm::ProfilerKind::CodePatching;
+  const prof::ProfilerRegistry &Registry = prof::ProfilerRegistry::instance();
+  Registry.configure("timer", Curves[0].Prof);
+  Registry.configure("patching", Curves[2].Prof);
   Curves[2].Prof.PromoteAfterInvocations = 1000;
 
   std::vector<uint64_t> Checkpoints = {2'000'000,  5'000'000, 10'000'000,

@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include "profiling/ProfilerRegistry.h"
+
 using namespace cbs;
 using namespace cbs::bench;
 
@@ -66,7 +68,7 @@ int main(int Argc, char **Argv) {
   Report.beginTable("timer_bias", Header);
 
   vm::ProfilerOptions Timer;
-  Timer.Kind = vm::ProfilerKind::Timer;
+  prof::ProfilerRegistry::instance().configure("timer", Timer);
   vm::ProfilerOptions CBS = exp::chosenCBS(vm::Personality::JikesRVM);
 
   for (int32_t Work : {50, 200, 800, 3200, 12800}) {

@@ -23,6 +23,7 @@
 #include "BenchUtil.h"
 
 #include "profiling/Metrics.h"
+#include "profiling/ProfilerRegistry.h"
 #include "support/Statistics.h"
 
 using namespace cbs;
@@ -50,7 +51,8 @@ int main(int Argc, char **Argv) {
       if (UseCBS)
         Config.Profiler = exp::chosenCBS(vm::Personality::JikesRVM);
       else
-        Config.Profiler.Kind = vm::ProfilerKind::Timer;
+        prof::ProfilerRegistry::instance().configure("timer",
+                                                     Config.Profiler);
       vm::VirtualMachine VM(P, Config);
       VM.run();
       prof::DCGSnapshot DCG = VM.profile();

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus an observability smoke test, a differential
-# fuzzing smoke stage, a self-observability report check (the quality
-# monitor must flag the phased workload's hot-set swap and the overhead
-# breakdown must sum to its total), a ThreadSanitizer pass over the
+# fuzzing smoke stage, a deoptimization stage (guard policing must
+# repair the phased workload's stale speculation and the quality
+# timeline must recover; the forced-invalidation storm oracle must
+# come back clean over 25 seeds), a self-observability report check
+# (the quality monitor must flag the phased workload's hot-set swap
+# and the overhead breakdown must sum to its total), a
+# ThreadSanitizer pass over the
 # parallel experiment engine, the sharded profile repository, and the
 # background compile pipeline, and determinism checks: --jobs 8
 # produces byte-identical JSON to --jobs 1, --dcg-shards 8 produces
@@ -63,7 +67,7 @@ AOSREPORT=$(mktemp /tmp/cbsvm-aosreport.XXXXXX.json)
 trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
   "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M" "$REPORTA" "$REPORTB" \
   "$CJOBS0" "$CJOBS4" "$CJOBS0M" "$CJOBS4M" "$CJOBS0R" "$CJOBS4R" \
-  "$AOSREPORT" \
+  "$AOSREPORT" "${DEOPTREPORT:-}" "${DEOPTFUZZ1:-}" "${DEOPTFUZZ8:-}" \
   "${FUZZ1:-}" "${FUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
@@ -165,6 +169,43 @@ assert gauges["aos.queue.installs"] >= 1, gauges
 print(f"compile queue: {queue['installs']} installs, "
       f"{queue['stale_drops']} stale drops re-validated at install")
 EOF
+
+echo "== deoptimization =="
+# Guard policing end to end on the phased workload: the quality monitor
+# must flag the hot-set swap, the phase-shift trigger must deoptimize
+# the stale speculative versions and recompile them, and the quality
+# timeline must recover after the repair (the last window's overlap
+# beats the post-shift trough).
+DEOPTREPORT=$(mktemp /tmp/cbsvm-deopt.XXXXXX.json)
+"$CBSVM" report phased --deopt-threshold 40 --decay-ticks 8 \
+  --phase-threshold 70 --json "$DEOPTREPORT" >/dev/null
+"$CBSVM" jsoncheck "$DEOPTREPORT"
+python3 - "$DEOPTREPORT" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+deopt = report["aos"]["deopt"]
+assert report["quality"]["phaseShifts"] >= 1, report["quality"]
+assert deopt["count"] >= 1, deopt
+assert deopt["phaseShiftDeopts"] >= 1, deopt
+assert deopt["recompiles"] >= 1, deopt
+overlap = [w["overlapPct"] for w in report["quality"]["windows"]]
+trough = min(overlap)
+assert overlap[-1] > trough, overlap
+print(f"deopt: {deopt['count']} deopts ({deopt['phaseShiftDeopts']} "
+      f"phase-shift), {deopt['recompiles']} recompiles; overlap "
+      f"recovered {trough:.1f} -> {overlap[-1]:.1f}")
+EOF
+
+# The forced-invalidation storm over 25 generated programs, and the
+# campaign report must not depend on the worker count.
+DEOPTFUZZ1=$(mktemp /tmp/cbsvm-deoptfuzz1.XXXXXX.txt)
+DEOPTFUZZ8=$(mktemp /tmp/cbsvm-deoptfuzz8.XXXXXX.txt)
+"$CBSVM" fuzz --oracle deopt-storm-stability --runs 25 --seed 1 \
+  --jobs 1 | tee "$DEOPTFUZZ1"
+"$CBSVM" fuzz --oracle deopt-storm-stability --runs 25 --seed 1 \
+  --jobs 8 >"$DEOPTFUZZ8"
+cmp "$DEOPTFUZZ1" "$DEOPTFUZZ8"
+echo "deopt-storm-stability fuzz jobs=1 and jobs=8 are byte-identical"
 
 echo "== self-observability report =="
 # The monitored phase-shift workload: the quality monitor must see the

@@ -18,7 +18,10 @@ using namespace cbs::aos;
 AdaptiveSystem::AdaptiveSystem(const opt::InlineOracle *Oracle,
                                AOSConfig Config)
     : Oracle(Oracle), Config(Config),
-      Queue(std::max<uint32_t>(1, Config.CompileQueueCapacity)) {}
+      Queue(std::max<uint32_t>(1, Config.CompileQueueCapacity)) {
+  if (Config.Deopt.Enabled)
+    DeoptCtl = std::make_unique<DeoptController>(Config.Deopt);
+}
 
 AdaptiveSystem::~AdaptiveSystem() = default;
 
@@ -39,6 +42,15 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
     Gauges.QueueStaleDrops = &R.gauge("aos.queue.stale_drops");
     Gauges.QueueCoalesced = &R.gauge("aos.queue.coalesced");
     Gauges.QueueDropped = &R.gauge("aos.queue.dropped");
+    if (DeoptCtl) {
+      Gauges.DeoptGuardChecks = &R.gauge("aos.deopt.guard_checks");
+      Gauges.DeoptGuardFailures = &R.gauge("aos.deopt.guard_failures");
+      Gauges.DeoptCount = &R.gauge("aos.deopt.count");
+      Gauges.DeoptPhaseShift = &R.gauge("aos.deopt.phase_shift");
+      Gauges.DeoptPins = &R.gauge("aos.deopt.conservative_pins");
+      Gauges.DeoptStaleDropped = &R.gauge("aos.deopt.stale_requests_dropped");
+      Gauges.DeoptRecompiles = &R.gauge("aos.deopt.recompiles");
+    }
   }
   *Gauges.Ticks = Stats.Ticks;
   *Gauges.Recompilations = Stats.Recompilations;
@@ -54,6 +66,16 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
   *Gauges.QueueStaleDrops = Stats.QueueStaleDrops;
   *Gauges.QueueCoalesced = Stats.QueueCoalesced;
   *Gauges.QueueDropped = Stats.QueueDropped;
+  if (DeoptCtl) {
+    const DeoptStats &D = DeoptCtl->stats();
+    *Gauges.DeoptGuardChecks = D.GuardChecks;
+    *Gauges.DeoptGuardFailures = D.GuardFailures;
+    *Gauges.DeoptCount = D.Deopts;
+    *Gauges.DeoptPhaseShift = D.PhaseShiftDeopts;
+    *Gauges.DeoptPins = D.ConservativePins;
+    *Gauges.DeoptStaleDropped = D.StaleRequestsDropped;
+    *Gauges.DeoptRecompiles = D.Recompiles;
+  }
 }
 
 std::shared_ptr<const opt::InlinePlan>
@@ -77,9 +99,14 @@ AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
   static const opt::TrivialOracle Trivial;
   const opt::InlineOracle &O = Oracle ? *Oracle : Trivial;
   // A fresh allocation per generation: in-flight CompileRequests (and
-  // worker threads) keep their enqueue-time snapshot alive.
-  Plan = std::make_shared<const opt::InlinePlan>(
-      O.plan(VM.program(), VM.profile()));
+  // worker threads) keep their enqueue-time snapshot alive. The plan is
+  // stamped with its generation and the profile epoch it was built
+  // against (the monitor's phase-shift count) so compiled code carries
+  // its own provenance for guard policing.
+  opt::InlinePlan Fresh = O.plan(VM.program(), VM.profile());
+  Fresh.Generation = PlanGeneration + 1;
+  Fresh.ProfileEpoch = Monitor ? Monitor->phaseShiftCount() : 0;
+  Plan = std::make_shared<const opt::InlinePlan>(std::move(Fresh));
   PlanAgeTicks = 0;
   ++PlanGeneration;
   ++Stats.PlansComputed;
@@ -121,6 +148,7 @@ uint64_t AdaptiveSystem::compileLatency(vm::VirtualMachine &VM,
 void AdaptiveSystem::submitRequest(vm::VirtualMachine &VM,
                                    CompileRequest R) {
   R.Seq = Queue.nextSeq();
+  R.CacheEpoch = VM.codeCache().invalidationEpoch(R.Method);
   if (Config.CompileJobs > 0) {
     if (!Pool)
       Pool = std::make_unique<CompileWorkerPool>(
@@ -154,6 +182,12 @@ bool AdaptiveSystem::maybePromote(vm::VirtualMachine &VM,
                                   bc::MethodId Method) {
   if (PerMethod.empty())
     PerMethod.resize(VM.program().numMethods());
+
+  // A method pinned by the deopt controller already has its final
+  // (conservative) version: re-speculating it would just restart the
+  // storm the pin stopped.
+  if (DeoptCtl && DeoptCtl->isPinned(Method))
+    return false;
 
   vm::CodeCache &Cache = VM.codeCache();
   int Pending = Queue.pendingLevel(Method);
@@ -220,6 +254,8 @@ void AdaptiveSystem::install(vm::VirtualMachine &VM, CompileRequest R) {
           : opt::compileMethod(VM.program(), R.Method, R.Level, *R.Plan,
                                VM.config().Costs, Config.Compile);
   uint64_t Waited = VM.cycles() - R.EnqueueCycle;
+  if (DeoptCtl)
+    DeoptCtl->noteInstall(CM);
   VM.installCompiled(std::move(CM));
   if (tel::TraceSink *Sink = VM.traceSink())
     Sink->event(tel::TraceEvent::compileInstall(
@@ -230,20 +266,96 @@ void AdaptiveSystem::install(vm::VirtualMachine &VM, CompileRequest R) {
   if (R.IsReopt) {
     ++PerMethod[R.Method].Reopts;
     ++Stats.Reoptimizations;
+  } else if (R.DeoptRecompile) {
+    // Repairing an invalidated level, not promoting; counted in the
+    // aos.deopt.* stats at enqueue time.
   } else if (R.Level == 1) {
     ++Stats.PromotionsToL1;
   } else {
     ++Stats.PromotionsToL2;
   }
+  // "On compile_install" policing: the compile ran against a snapshot
+  // at least one latency old, so its speculation can be dead on
+  // arrival — catch that now instead of waiting out a full tick.
+  if (DeoptCtl)
+    applyDeoptDecisions(VM, DeoptCtl->policeInstall(VM, R.Method));
+}
+
+std::shared_ptr<const opt::InlinePlan>
+AdaptiveSystem::conservativePlan(vm::VirtualMachine &VM) {
+  if (!ConservativePlan) {
+    // The trivial oracle ignores the profile: this plan speculates on
+    // nothing, never goes stale, and is shared by every pinned method.
+    static const opt::TrivialOracle Trivial;
+    ConservativePlan = std::make_shared<const opt::InlinePlan>(
+        Trivial.plan(VM.program(), VM.profile()));
+  }
+  return ConservativePlan;
+}
+
+void AdaptiveSystem::applyDeoptDecisions(
+    vm::VirtualMachine &VM, const std::vector<DeoptDecision> &Decisions) {
+  if (Decisions.empty())
+    return;
+  // A failed guard is direct evidence the profile moved: expire the
+  // cached plan so the repairs compile against a plan that speculates
+  // on the *new* dominant callees, not the ones that just failed.
+  PlanAgeTicks = Config.PlanRefreshTicks;
+  for (const DeoptDecision &D : Decisions) {
+    // In-flight requests for the method were decided against plans that
+    // embed the same dead assumption; drop them before re-enqueueing.
+    DeoptCtl->stats().StaleRequestsDropped += Queue.dropMethod(D.Method);
+
+    CompileRequest R;
+    R.Method = D.Method;
+    R.Level = D.Level;
+    R.DeoptRecompile = true;
+    R.Conservative = D.Conservative;
+    R.Plan = D.Conservative ? conservativePlan(VM) : currentPlan(VM);
+    R.PlanGeneration = PlanGeneration;
+    R.EnqueueCycle = VM.cycles();
+    R.ReadyCycle = VM.cycles() + compileLatency(VM, D.Method, D.Level);
+    // Same cost-benefit score the promotion path computes, floored at
+    // 1.0: the method was running deoptimized-slow, so repairing it
+    // must not lose every eviction fight in a full queue.
+    double EstimatedRemaining =
+        static_cast<double>(VM.methodTickSamples()[D.Method]) *
+        static_cast<double>(VM.config().TimerPeriodCycles);
+    double CompileCost =
+        VM.config().Costs.CompileCostPerByte[D.Level] *
+        static_cast<double>(VM.program().method(D.Method).sizeBytes());
+    R.Priority =
+        CompileCost > 0 ? std::max(1.0, EstimatedRemaining / CompileCost) : 1.0;
+    if (const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor())
+      R.PhaseShiftsSeen = Monitor->phaseShiftCount();
+    submitRequest(VM, std::move(R));
+    ++DeoptCtl->stats().Recompiles;
+  }
 }
 
 void AdaptiveSystem::onYieldpoint(vm::VirtualMachine &VM) {
+  // The forced-invalidation storm (testing only) tears down every
+  // AOS-installed version at every taken yieldpoint — the most hostile
+  // deopt schedule expressible, which the differential fuzzer compares
+  // byte-for-byte against a no-AOS run.
+  if (DeoptCtl && Config.Deopt.ForceStormForTesting)
+    applyDeoptDecisions(VM, DeoptCtl->storm(VM));
   if (Queue.depth() == 0)
     return;
   uint64_t Now = VM.cycles();
   bool Activity = false;
   while (std::optional<CompileRequest> R = Queue.popReady(Now)) {
     Activity = true;
+    // Deopt backstop: the method was invalidated after this request was
+    // admitted (its plan embeds the dead speculation, and the deopt
+    // path has already enqueued the replacement) — drop it outright.
+    // Conservative requests are exempt: they assume nothing, and must
+    // make progress even under repeated invalidation.
+    if (DeoptCtl && !R->Conservative &&
+        R->CacheEpoch != VM.codeCache().invalidationEpoch(R->Method)) {
+      ++DeoptCtl->stats().StaleRequestsDropped;
+      continue;
+    }
     // Install-point re-validation: the plan is `latency` cycles stale
     // by now. If its generation was superseded, or the quality monitor
     // declared a phase shift after the request was decided, the compile
@@ -251,11 +363,13 @@ void AdaptiveSystem::onYieldpoint(vm::VirtualMachine &VM) {
     // holds — drop it and re-enqueue against the fresh plan. Bounded by
     // MaxReenqueues so a method that stays hot across phases still
     // makes progress (the last re-enqueue already carries a fresh
-    // plan).
+    // plan). Conservative (pinned) requests skip this too: their plan
+    // cannot go stale.
     const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor();
-    bool Stale = R->PlanGeneration < PlanGeneration ||
-                 (Monitor &&
-                  Monitor->phaseShiftCount() > R->PhaseShiftsSeen);
+    bool Stale = !R->Conservative &&
+                 (R->PlanGeneration < PlanGeneration ||
+                  (Monitor &&
+                   Monitor->phaseShiftCount() > R->PhaseShiftsSeen));
     if (Stale && R->Reenqueues < Config.MaxReenqueues) {
       ++Stats.QueueStaleDrops;
       R->Plan = currentPlan(VM); // rebuilds when a shift is pending
@@ -285,5 +399,10 @@ void AdaptiveSystem::onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) {
   for (uint32_t I = 0; I < Config.MaxRecompilesPerTick; ++I)
     if (!maybePromote(VM, Top))
       break;
+  // Guard policing rides the tick (the same cadence the quality monitor
+  // uses): every tracked speculative version is re-checked against the
+  // current profile.
+  if (DeoptCtl && DeoptCtl->tickDue())
+    applyDeoptDecisions(VM, DeoptCtl->police(VM));
   publishMetrics(VM);
 }

@@ -39,6 +39,7 @@
 #define CBSVM_AOS_ADAPTIVESYSTEM_H
 
 #include "aos/CompileQueue.h"
+#include "aos/DeoptController.h"
 #include "opt/Compiler.h"
 #include "opt/InlineOracle.h"
 #include "vm/VirtualMachine.h"
@@ -84,6 +85,9 @@ struct AOSConfig {
   /// Either way installs happen at the same virtual-time points and
   /// runs are byte-identical.
   uint32_t CompileJobs = 0;
+  /// Speculation-guard policing (off by default — enabling it changes
+  /// when plans are snapshotted, so it is a distinct configuration).
+  DeoptConfig Deopt;
   opt::CompileOptions Compile;
 };
 
@@ -122,6 +126,9 @@ public:
   /// Requests still pending (enqueued but never ready before the run
   /// ended, mirroring compilations a real VM abandons at exit).
   size_t queueDepth() const { return Queue.depth(); }
+  /// The guard-policing controller (null unless AOSConfig::Deopt is
+  /// enabled).
+  const DeoptController *deoptController() const { return DeoptCtl.get(); }
 
 private:
   /// Returns true when it enqueued or upgraded a request (the tick
@@ -136,6 +143,14 @@ private:
   /// --compile-jobs is on) and does the metric/event bookkeeping.
   void submitRequest(vm::VirtualMachine &VM, CompileRequest R);
   void install(vm::VirtualMachine &VM, CompileRequest R);
+  /// Executes the queue-side consequences of controller decisions:
+  /// drops the method's in-flight requests and enqueues the recompile
+  /// (conservative no-speculation plan when the decision pinned it).
+  void applyDeoptDecisions(vm::VirtualMachine &VM,
+                           const std::vector<DeoptDecision> &Decisions);
+  /// The cached no-speculation plan pinned methods compile against.
+  std::shared_ptr<const opt::InlinePlan>
+  conservativePlan(vm::VirtualMachine &VM);
   /// Mirrors AOSStats into the VM's metric registry ("aos.*" gauges)
   /// and caches the gauge addresses on first use.
   void publishMetrics(vm::VirtualMachine &VM);
@@ -159,6 +174,14 @@ private:
     tel::Gauge *QueueStaleDrops = nullptr;
     tel::Gauge *QueueCoalesced = nullptr;
     tel::Gauge *QueueDropped = nullptr;
+    // aos.deopt.* (registered only when the controller is on).
+    tel::Gauge *DeoptGuardChecks = nullptr;
+    tel::Gauge *DeoptGuardFailures = nullptr;
+    tel::Gauge *DeoptCount = nullptr;
+    tel::Gauge *DeoptPhaseShift = nullptr;
+    tel::Gauge *DeoptPins = nullptr;
+    tel::Gauge *DeoptStaleDropped = nullptr;
+    tel::Gauge *DeoptRecompiles = nullptr;
   };
   GaugeSet Gauges;
 
@@ -177,6 +200,8 @@ private:
 
   CompileQueue Queue;
   std::unique_ptr<CompileWorkerPool> Pool;
+  std::unique_ptr<DeoptController> DeoptCtl;
+  std::shared_ptr<const opt::InlinePlan> ConservativePlan;
 
   struct MethodState {
     uint64_t CompiledGeneration = 0;

@@ -140,6 +140,16 @@ std::optional<CompileRequest> CompileQueue::popReady(uint64_t Now) {
   return R;
 }
 
+size_t CompileQueue::dropMethod(bc::MethodId Method) {
+  size_t Before = Entries.size();
+  Entries.erase(std::remove_if(Entries.begin(), Entries.end(),
+                               [Method](const CompileRequest &E) {
+                                 return E.Method == Method;
+                               }),
+                Entries.end());
+  return Before - Entries.size();
+}
+
 int CompileQueue::pendingLevel(bc::MethodId Method) const {
   for (const CompileRequest &E : Entries)
     if (E.Method == Method)

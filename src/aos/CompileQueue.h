@@ -75,6 +75,18 @@ struct CompileRequest {
   /// Quality-monitor phase shifts seen when the request was enqueued;
   /// a later shift invalidates the plan snapshot.
   uint64_t PhaseShiftsSeen = 0;
+  /// CodeCache invalidation epoch of the method when the request was
+  /// admitted. A higher epoch at the install point means the method was
+  /// deoptimized while this compile was in flight: the pre-computed
+  /// result embeds the dead speculation and must not install.
+  uint64_t CacheEpoch = 0;
+  /// A deopt-storm pin: compiled against the no-speculation plan and
+  /// exempt from install-point plan-staleness re-validation (its plan
+  /// cannot go stale — it assumes nothing).
+  bool Conservative = false;
+  /// Enqueued by the deopt path to re-attain an invalidated level (kept
+  /// out of the promotion/reopt counters — it repairs, not promotes).
+  bool DeoptRecompile = false;
   /// Times this request was dropped stale and re-enqueued.
   uint32_t Reenqueues = 0;
   /// Enqueue sequence number: FIFO tie-break among equal priorities.
@@ -155,6 +167,11 @@ public:
   /// promotion logic treat an in-flight compile as if it had already
   /// installed.
   int pendingLevel(bc::MethodId Method) const;
+
+  /// Removes every pending request for \p Method (the deoptimization
+  /// path: queued compiles carry plan snapshots embedding the dead
+  /// speculation). Returns how many entries were dropped.
+  size_t dropMethod(bc::MethodId Method);
 
   size_t depth() const { return Entries.size(); }
   size_t capacity() const { return Capacity; }

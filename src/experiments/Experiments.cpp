@@ -9,6 +9,7 @@
 #include "opt/Compiler.h"
 #include "opt/InlineOracle.h"
 #include "profiling/OverlapMetric.h"
+#include "profiling/ProfilerRegistry.h"
 #include "support/ErrorHandling.h"
 #include "support/Statistics.h"
 
@@ -26,11 +27,7 @@ unsigned exp::envRuns(unsigned Default) {
   return Default;
 }
 
-vm::VMConfig exp::jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
-                                uint64_t Seed) {
-  vm::VMConfig Config;
-  Config.Pers = Pers;
-  Config.Seed = Seed;
+void exp::applyJitOnly(const bc::Program &P, vm::VMConfig &Config) {
   Config.JITLevel = 0;
   // Safety net: accuracy runs must terminate. Generously above any
   // benchmark's large-input run time.
@@ -44,14 +41,21 @@ vm::VMConfig exp::jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
   opt::CompileOptions CO;
   CO.RunOptimizer = false;
   Config.CompileHook = opt::makeCompileHook(std::move(Plan), Config.Costs, CO);
+}
+
+vm::VMConfig exp::jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
+                                uint64_t Seed) {
+  vm::VMConfig Config;
+  Config.Pers = Pers;
+  Config.Seed = Seed;
+  applyJitOnly(P, Config);
   return Config;
 }
 
 PerfectProfile exp::runPerfect(const bc::Program &P, vm::Personality Pers,
                                uint64_t Seed) {
   vm::VMConfig Config = jitOnlyConfig(P, Pers, Seed);
-  Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-  Config.Profiler.ChargeExhaustiveCounters = false;
+  prof::ProfilerRegistry::instance().configure("exhaustive", Config.Profiler);
 
   vm::VirtualMachine VM(P, Config);
   vm::RunState State = VM.run();
@@ -210,7 +214,7 @@ SweepResult exp::runSweep(
 
 vm::ProfilerOptions exp::chosenCBS(vm::Personality Pers) {
   vm::ProfilerOptions Prof;
-  Prof.Kind = vm::ProfilerKind::CBS;
+  prof::ProfilerRegistry::instance().configure("cbs", Prof);
   Prof.CBS.Stride = Pers == vm::Personality::JikesRVM ? 3 : 7;
   Prof.CBS.SamplesPerTick = 16;
   return Prof;
@@ -218,10 +222,13 @@ vm::ProfilerOptions exp::chosenCBS(vm::Personality Pers) {
 
 vm::ProfilerOptions exp::baseProfiler(vm::Personality Pers) {
   vm::ProfilerOptions Prof;
+  const prof::ProfilerRegistry &Registry = prof::ProfilerRegistry::instance();
   if (Pers == vm::Personality::JikesRVM) {
-    Prof.Kind = vm::ProfilerKind::Timer;
+    // The Jikes RVM base samples on the timer tick.
+    Registry.configure("timer", Prof);
   } else {
-    Prof.Kind = vm::ProfilerKind::CBS;
+    // The J9 base is modelled as a degenerate one-sample CBS window.
+    Registry.configure("cbs", Prof);
     Prof.CBS.Stride = 1;
     Prof.CBS.SamplesPerTick = 1;
   }

@@ -44,6 +44,12 @@ unsigned envRuns(unsigned Default);
 vm::VMConfig jitOnlyConfig(const bc::Program &P, vm::Personality Pers,
                            uint64_t Seed);
 
+/// Layers the JIT-only experiment pipeline (termination ceiling +
+/// trivial-inline compile hook) onto an existing \p Config — e.g. one
+/// built by vm::VMConfig::fromArgs. jitOnlyConfig is this applied to a
+/// default config.
+void applyJitOnly(const bc::Program &P, vm::VMConfig &Config);
+
 /// The exhaustive ground-truth run: perfect DCG plus baseline cycles.
 struct PerfectProfile {
   prof::DCGSnapshot DCG;

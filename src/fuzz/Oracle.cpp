@@ -13,6 +13,7 @@
 #include "opt/InlineOracle.h"
 #include "profiling/OverlapMetric.h"
 #include "profiling/ProfileIO.h"
+#include "profiling/ProfilerRegistry.h"
 #include "vm/VirtualMachine.h"
 
 #include <algorithm>
@@ -132,18 +133,19 @@ public:
     if (Base.State != vm::RunState::Finished)
       return "baseline run did not finish: " + describeRun(Base);
 
-    // Profiling on, every profiler kind.
-    for (auto [Kind, Name] :
-         {std::pair(vm::ProfilerKind::Exhaustive, "exhaustive"),
-          std::pair(vm::ProfilerKind::Timer, "timer"),
-          std::pair(vm::ProfilerKind::CBS, "cbs"),
-          std::pair(vm::ProfilerKind::CodePatching, "patching")}) {
+    // Profiling on, every registered profiler (the registry is the
+    // authority on what exists — a profiler added there is covered here
+    // with no oracle change).
+    for (const prof::ProfilerDescriptor &P :
+         prof::ProfilerRegistry::instance().all()) {
+      if (P.Kind == vm::ProfilerKind::None)
+        continue; // that IS the baseline
       vm::VMConfig Config = plainConfig(In.Seed);
-      Config.Profiler.Kind = Kind;
+      P.Configure(Config.Profiler);
       Config.Profiler.CBS.Stride = 2;
       Config.Profiler.CBS.SamplesPerTick = 4;
-      if (std::string D =
-              compareRuns("profiling-off", Base, Name, runProgram(In.P, Config));
+      if (std::string D = compareRuns("profiling-off", Base, P.Name,
+                                      runProgram(In.P, Config));
           !D.empty())
         return D;
     }
@@ -159,8 +161,8 @@ public:
 
     // Profile-directed inlining driven by the exhaustive profile.
     vm::VMConfig ExConfig = plainConfig(In.Seed);
-    ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-    ExConfig.Profiler.ChargeExhaustiveCounters = false;
+    prof::ProfilerRegistry::instance().configure("exhaustive",
+                                                 ExConfig.Profiler);
     RunResult Exhaustive = runProgram(In.P, ExConfig);
     auto Plan = std::make_shared<opt::InlinePlan>(
         opt::NewJikesOracle().plan(In.P, Exhaustive.Profile));
@@ -196,8 +198,8 @@ public:
 
   std::string check(const OracleInput &In) const override {
     vm::VMConfig ExConfig = plainConfig(In.Seed);
-    ExConfig.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-    ExConfig.Profiler.ChargeExhaustiveCounters = false;
+    prof::ProfilerRegistry::instance().configure("exhaustive",
+                                                 ExConfig.Profiler);
     RunResult Exhaustive = runProgram(In.P, ExConfig);
     if (Exhaustive.Profile.totalWeight() != Exhaustive.Calls) {
       std::ostringstream OS;
@@ -253,12 +255,11 @@ public:
   }
 
   std::string check(const OracleInput &In) const override {
-    for (auto [Kind, Name] :
-         {std::pair(vm::ProfilerKind::Exhaustive, "exhaustive"),
-          std::pair(vm::ProfilerKind::CBS, "cbs")}) {
+    // One exact and one sampled profiler, resolved through the
+    // registry.
+    for (const char *Name : {"exhaustive", "cbs"}) {
       vm::VMConfig Config = plainConfig(In.Seed);
-      Config.Profiler.Kind = Kind;
-      Config.Profiler.ChargeExhaustiveCounters = false;
+      prof::ProfilerRegistry::instance().configure(Name, Config.Profiler);
       Config.Profiler.CBS.SamplesPerTick = 64;
       Config.TimerPeriodCycles = 2'000;
       RunResult R = runProgram(In.P, Config);
@@ -441,6 +442,73 @@ public:
 };
 
 //===----------------------------------------------------------------------===//
+// deopt-storm-stability
+//===----------------------------------------------------------------------===//
+
+class DeoptStormStabilityOracle : public Oracle {
+public:
+  const char *id() const override { return "deopt-storm-stability"; }
+  const char *describe() const override {
+    return "a forced invalidation storm (every AOS install deoptimized "
+           "at every taken yieldpoint) leaves output and heap "
+           "byte-identical to the no-AOS baseline at any "
+           "--compile-jobs";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    RunResult Base = runProgram(In.P, plainConfig(In.Seed));
+    // A baseline that traps or runs out of budget is output-stability's
+    // finding, not a deopt divergence.
+    if (Base.State != vm::RunState::Finished)
+      return "";
+
+    // The worst case the controller can inflict: every version the AOS
+    // ever installs is invalidated at the very next taken yieldpoint,
+    // forever. Guarded inlining is semantically transparent, so even
+    // this must be invisible to the program — only slower.
+    auto CbsConfig = [&]() {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = vm::ProfilerKind::CBS;
+      Config.Profiler.CBS.Stride = 2;
+      Config.Profiler.CBS.SamplesPerTick = 4;
+      Config.TimerPeriodCycles = 2'000;
+      Config.Costs.CompileLatencyScale = 1;
+      return Config;
+    };
+    auto StormAOS = [](uint32_t Jobs) {
+      aos::AOSConfig AC;
+      AC.CompileJobs = Jobs;
+      AC.Deopt.Enabled = true;
+      AC.Deopt.ForceStormForTesting = true;
+      // A low cap so the storm also exercises conservative pinning.
+      AC.Deopt.MaxDeoptsPerMethod = 2;
+      return AC;
+    };
+
+    RunResult Storm0 = runProgramWithAOS(In.P, CbsConfig(), StormAOS(0));
+    if (std::string D = compareRuns("no-aos", Base, "deopt-storm", Storm0);
+        !D.empty())
+      return D;
+
+    // Invalidation decisions are made on the VM thread in virtual time,
+    // so the storm must stay byte-identical at any worker count.
+    RunResult Storm2 = runProgramWithAOS(In.P, CbsConfig(), StormAOS(2));
+    if (std::string D = compareRuns("storm-jobs=0", Storm0, "storm-jobs=2",
+                                    Storm2);
+        !D.empty())
+      return D;
+    if (Storm0.Samples != Storm2.Samples)
+      return "storm with compile-jobs=0 and compile-jobs=2 took "
+             "different sample counts";
+    if (prof::serializeDCG(Storm0.Profile) !=
+        prof::serializeDCG(Storm2.Profile))
+      return "storm with compile-jobs=0 and compile-jobs=2 profiles "
+             "serialize differently";
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // The deliberately broken test oracle
 //===----------------------------------------------------------------------===//
 
@@ -470,6 +538,7 @@ OracleRegistry OracleRegistry::builtin() {
   R.add(std::make_unique<ProfileRoundTripOracle>());
   R.add(std::make_unique<ShardDeterminismOracle>());
   R.add(std::make_unique<AsyncCompileStabilityOracle>());
+  R.add(std::make_unique<DeoptStormStabilityOracle>());
   return R;
 }
 

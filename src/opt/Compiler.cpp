@@ -43,6 +43,9 @@ vm::CompiledMethod opt::compileMethod(const bc::Program &P, bc::MethodId Id,
   CM.NumLocals = Inlined.NumLocals;
   CM.Code = std::move(Inlined.Code);
   CM.InlinedBodies = Inlined.InlinedBodies;
+  CM.Guards = std::move(Inlined.Speculations);
+  CM.PlanGeneration = Plan.Generation;
+  CM.ProfileEpoch = Plan.ProfileEpoch;
   CM.CompileCostCycles = static_cast<uint64_t>(
       std::llround(Costs.CompileCostPerByte[Level] *
                    static_cast<double>(SizeBytes)));

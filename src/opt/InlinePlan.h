@@ -48,6 +48,12 @@ struct InlineDecision {
 
 struct InlinePlan {
   std::unordered_map<bc::SiteId, InlineDecision> Decisions;
+  /// Monotone plan counter stamped by the adaptive system (0 for plans
+  /// built outside it) and the epoch of the DCG snapshot the plan was
+  /// derived from. Compiled methods carry both so stale speculation can
+  /// be detected after the fact.
+  uint64_t Generation = 0;
+  uint64_t ProfileEpoch = 0;
 
   const InlineDecision *decisionFor(bc::SiteId Site) const {
     auto It = Decisions.find(Site);

@@ -35,6 +35,7 @@ public:
     Result.NumLocals = NumLocals;
     Result.InlinedBodies = InlinedBodies;
     Result.BudgetSkips = BudgetSkips;
+    Result.Speculations = std::move(Speculations);
     return Result;
   }
 
@@ -179,6 +180,9 @@ private:
       NewCode.push_back(I);
       return;
     }
+    // The expansion speculates that the highest-priority target stays
+    // dominant at this site; record the assumption for guard policing.
+    Speculations.push_back({I.Site, Targets.front()->Id});
     expandGuarded(I, Targets, Guards, Depth);
   }
 
@@ -267,6 +271,7 @@ private:
   std::vector<MethodId> InlineStack;
   uint32_t InlinedBodies = 0;
   uint32_t BudgetSkips = 0;
+  std::vector<vm::SpeculationGuard> Speculations;
 };
 
 } // namespace

@@ -31,6 +31,7 @@
 
 #include "bytecode/Program.h"
 #include "opt/InlinePlan.h"
+#include "vm/CompiledMethod.h"
 
 namespace cbs::opt {
 
@@ -52,6 +53,10 @@ struct InlineResult {
   uint32_t InlinedBodies = 0;
   /// Expansions skipped because of the size budget.
   uint32_t BudgetSkips = 0;
+  /// One record per guarded virtual site actually expanded (at any
+  /// nesting level): the site and the highest-priority predicted
+  /// callee. These become the compiled version's speculation guards.
+  std::vector<vm::SpeculationGuard> Speculations;
 };
 
 /// Rewrites \p Root's original bytecode under \p Plan. With an empty

@@ -73,6 +73,29 @@ DCGSnapshot::siteDistribution(bc::SiteId Site) const {
   return Result;
 }
 
+bc::MethodId DCGSnapshot::dominantCallee(bc::SiteId Site, double MinSharePct,
+                                         uint64_t &SiteWeight) const {
+  SiteWeight = 0;
+  if (!D)
+    return bc::InvalidMethodId;
+  auto First = std::lower_bound(
+      D->Edges.begin(), D->Edges.end(), Site,
+      [](const Edge &L, bc::SiteId S) { return L.first.Site < S; });
+  const Edge *Best = nullptr;
+  for (auto It = First; It != D->Edges.end() && It->first.Site == Site;
+       ++It) {
+    SiteWeight += It->second;
+    if (!Best || It->second > Best->second ||
+        (It->second == Best->second && It->first < Best->first))
+      Best = &*It;
+  }
+  if (!Best || SiteWeight == 0)
+    return bc::InvalidMethodId;
+  double SharePct = 100.0 * static_cast<double>(Best->second) /
+                    static_cast<double>(SiteWeight);
+  return SharePct >= MinSharePct ? Best->first.Callee : bc::InvalidMethodId;
+}
+
 const std::vector<DCGSnapshot::Edge> &DCGSnapshot::sortedEdges() const {
   static const std::vector<Edge> Empty;
   return D ? D->Edges : Empty;

@@ -75,6 +75,16 @@ public:
   /// distribution the new inliner's 40% rule inspects.
   std::vector<Edge> siteDistribution(bc::SiteId Site) const;
 
+  /// The callee holding at least \p MinSharePct percent of \p Site's
+  /// receiver distribution, or InvalidMethodId when no callee clears
+  /// the bar (ties broken towards the canonically smaller edge, as in
+  /// siteDistribution). A site with no recorded edges also returns
+  /// InvalidMethodId: absence of evidence is not loss of dominance —
+  /// callers gate on \p SiteWeight (the site's total recorded weight,
+  /// written on return) before treating the answer as authoritative.
+  bc::MethodId dominantCallee(bc::SiteId Site, double MinSharePct,
+                              uint64_t &SiteWeight) const;
+
   /// Canonical iteration order: edges sorted by key. The returned
   /// reference is valid for the lifetime of any copy of this snapshot.
   const std::vector<Edge> &sortedEdges() const;

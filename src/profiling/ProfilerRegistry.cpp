@@ -1,0 +1,81 @@
+//===- profiling/ProfilerRegistry.cpp - Named profiler factory ---------------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/ProfilerRegistry.h"
+
+using namespace cbs;
+using namespace cbs::prof;
+
+ProfilerRegistry::ProfilerRegistry() {
+  Table = {
+      {"none", vm::ProfilerKind::None,
+       "no DCG construction (the overhead baseline)",
+       /*Sampling=*/false,
+       [](vm::ProfilerOptions &O) { O.Kind = vm::ProfilerKind::None; }},
+      {"exhaustive", vm::ProfilerKind::Exhaustive,
+       "record every call edge, counters uncharged (the free reference "
+       "profile)",
+       /*Sampling=*/false,
+       [](vm::ProfilerOptions &O) {
+         O.Kind = vm::ProfilerKind::Exhaustive;
+         // The reference profile is free by policy; the charged
+         // instrumented-VM variant is an explicit ablation.
+         O.ChargeExhaustiveCounters = false;
+       }},
+      {"timer", vm::ProfilerKind::Timer,
+       "timer-based sampling, one sample per tick (the Jikes RVM base)",
+       /*Sampling=*/true,
+       [](vm::ProfilerOptions &O) { O.Kind = vm::ProfilerKind::Timer; }},
+      {"cbs", vm::ProfilerKind::CBS,
+       "counter-based sampling (the paper's technique)",
+       /*Sampling=*/true,
+       [](vm::ProfilerOptions &O) { O.Kind = vm::ProfilerKind::CBS; }},
+      {"patching", vm::ProfilerKind::CodePatching,
+       "code-patching prologue listeners (the IBM DK base)",
+       /*Sampling=*/false,
+       [](vm::ProfilerOptions &O) {
+         O.Kind = vm::ProfilerKind::CodePatching;
+       }},
+  };
+}
+
+const ProfilerRegistry &ProfilerRegistry::instance() {
+  static const ProfilerRegistry R;
+  return R;
+}
+
+const ProfilerDescriptor *ProfilerRegistry::find(std::string_view Name) const {
+  for (const ProfilerDescriptor &D : Table)
+    if (Name == D.Name)
+      return &D;
+  return nullptr;
+}
+
+const ProfilerDescriptor *ProfilerRegistry::find(vm::ProfilerKind Kind) const {
+  for (const ProfilerDescriptor &D : Table)
+    if (Kind == D.Kind)
+      return &D;
+  return nullptr;
+}
+
+bool ProfilerRegistry::configure(std::string_view Name,
+                                 vm::ProfilerOptions &Options) const {
+  const ProfilerDescriptor *D = find(Name);
+  if (!D)
+    return false;
+  D->Configure(Options);
+  return true;
+}
+
+std::string ProfilerRegistry::names() const {
+  std::string Out;
+  for (const ProfilerDescriptor &D : Table) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += D.Name;
+  }
+  return Out;
+}

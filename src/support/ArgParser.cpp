@@ -104,6 +104,13 @@ bool ArgParser::flag(const char *Name) {
   return false;
 }
 
+bool ArgParser::present(const char *Name) const {
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (Args[I] == Name && !Consumed[I])
+      return true;
+  return false;
+}
+
 void ArgParser::finish() {
   for (size_t I = 0; I != Args.size(); ++I)
     if (!Consumed[I])

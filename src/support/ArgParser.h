@@ -69,6 +69,11 @@ public:
   /// True when \p Name is present (consumes it).
   bool flag(const char *Name);
 
+  /// True when \p Name appears among the not-yet-consumed arguments.
+  /// Does NOT consume: a validator can ask "was --stride given?" before
+  /// (or instead of) pulling its value.
+  bool present(const char *Name) const;
+
   /// Called after a command has pulled everything it understands;
   /// anything left over is a typo or an option of another command.
   void finish();

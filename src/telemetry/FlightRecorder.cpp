@@ -35,6 +35,16 @@ void FlightRecorder::event(const TraceEvent &E) {
       trigger("drop_spike", E.Cycles);
     }
     break;
+  case EventKind::Deopt:
+    ++DeoptsThisWindow;
+    if (Config.DeoptStormThreshold != 0 && !DeoptStormFired &&
+        DeoptsThisWindow >= Config.DeoptStormThreshold) {
+      // Same once-per-window rule as drop_spike: a storm by definition
+      // keeps firing, one ring copy per window is enough.
+      DeoptStormFired = true;
+      trigger("deopt_storm", E.Cycles);
+    }
+    break;
   default:
     break;
   }
@@ -50,6 +60,8 @@ void FlightRecorder::noteWindow(const RecorderWindow &W) {
   ++WindowsTotal;
   DropsThisWindow = 0;
   DropSpikeFired = false;
+  DeoptsThisWindow = 0;
+  DeoptStormFired = false;
 
   if (Config.OverheadBudgetPct > 0.0) {
     bool Over = static_cast<double>(W.OverheadBp) >

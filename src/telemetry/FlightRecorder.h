@@ -15,6 +15,9 @@
 ///                    saw the hot set move)
 ///   drop_spike       SampleDrop events accumulated more dropped
 ///                    samples than DropSpikeThreshold within one window
+///   deopt_storm      Deopt events reached DeoptStormThreshold within
+///                    one window (the adaptive system is thrashing
+///                    between plans faster than it can recompile)
 ///   overhead_budget  a window note reported profiling overhead above
 ///                    OverheadBudgetPct (fires on the crossing, not on
 ///                    every subsequent window)
@@ -55,6 +58,8 @@ struct FlightRecorderConfig {
   /// Dropped samples within one window that count as a spike (0 =
   /// trigger disabled).
   uint64_t DropSpikeThreshold = 256;
+  /// Deoptimizations within one window that count as a storm.
+  uint64_t DeoptStormThreshold = 4;
   /// Profiling overhead (percent of all cycles) above which a window
   /// note trips the budget trigger (0 = trigger disabled).
   double OverheadBudgetPct = 0.0;
@@ -121,6 +126,8 @@ private:
   uint64_t WindowsTotal = 0;
   uint64_t DropsThisWindow = 0;
   bool DropSpikeFired = false;
+  uint64_t DeoptsThisWindow = 0;
+  bool DeoptStormFired = false;
   bool OverBudget = false;
   uint64_t Triggers = 0;
   std::vector<Dump> Dumps;

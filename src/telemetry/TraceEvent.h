@@ -37,6 +37,13 @@
 ///                  sample count)
 ///   trap           the VM trapped fatally (A = trapping method,
 ///                  B = pc)
+///   guard_fail     a compiled method's speculation guard lost its
+///                  dominance backing in the current profile
+///                  (A = method, B = call site, C = assumed callee)
+///   deopt          a compiled method was invalidated; future dispatches
+///                  fall back to baseline until recompiled (A = method,
+///                  B = level of the invalidated code, C = the method's
+///                  cumulative deopt count)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,9 +69,11 @@ enum class EventKind : uint8_t {
   Trap,
   CompileEnqueue,
   CompileInstall,
+  GuardFail,
+  Deopt,
 };
 
-inline constexpr unsigned NumEventKinds = 14;
+inline constexpr unsigned NumEventKinds = 16;
 
 const char *eventKindName(EventKind K);
 
@@ -137,6 +146,16 @@ struct TraceEvent {
                                    uint64_t WaitedCycles) {
     return {EventKind::CompileInstall, Thread, Cycles, Method, Level,
             WaitedCycles};
+  }
+  static TraceEvent guardFail(uint64_t Cycles, uint32_t Thread,
+                              uint32_t Method, uint32_t Site,
+                              uint64_t AssumedCallee) {
+    return {EventKind::GuardFail, Thread, Cycles, Method, Site,
+            AssumedCallee};
+  }
+  static TraceEvent deopt(uint64_t Cycles, uint32_t Thread, uint32_t Method,
+                          uint32_t Level, uint64_t DeoptCount) {
+    return {EventKind::Deopt, Thread, Cycles, Method, Level, DeoptCount};
   }
 };
 

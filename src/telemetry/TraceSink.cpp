@@ -41,6 +41,10 @@ const char *tel::eventKindName(EventKind K) {
     return "compile_enqueue";
   case EventKind::CompileInstall:
     return "compile_install";
+  case EventKind::GuardFail:
+    return "guard_fail";
+  case EventKind::Deopt:
+    return "deopt";
   }
   return "?";
 }
@@ -158,6 +162,20 @@ void writeArgs(json::JsonWriter &W, const TraceEvent &E,
     W.key("level");
     W.value(static_cast<uint64_t>(E.B));
     W.key("waited_cycles");
+    W.value(E.C);
+    break;
+  case EventKind::GuardFail:
+    Method("method", "method_name", E.A);
+    W.key("site");
+    W.value(static_cast<uint64_t>(E.B));
+    Method("assumed_callee", "assumed_callee_name",
+           static_cast<uint32_t>(E.C));
+    break;
+  case EventKind::Deopt:
+    Method("method", "method_name", E.A);
+    W.key("level");
+    W.value(static_cast<uint64_t>(E.B));
+    W.key("deopt_count");
     W.value(E.C);
     break;
   }

@@ -7,14 +7,17 @@
 #include "vm/CodeCache.h"
 
 #include "bytecode/Program.h"
+#include "support/ErrorHandling.h"
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 using namespace cbs;
 using namespace cbs::vm;
 
-CodeCache::CodeCache(const bc::Program &P) : Active(P.numMethods()) {}
+CodeCache::CodeCache(const bc::Program &P)
+    : Active(P.numMethods()), Epochs(P.numMethods(), 0) {}
 
 const CompiledMethod *CodeCache::install(CompiledMethod CM) {
   assert(CM.Id < Active.size() && "unknown method");
@@ -22,11 +25,34 @@ const CompiledMethod *CodeCache::install(CompiledMethod CM) {
   CompileCycles += CM.CompileCostCycles;
   ++Compiles;
   if (Active[CM.Id]) {
+    if (Active[CM.Id]->Level == CM.Level &&
+        Active[CM.Id]->PlanGeneration == CM.PlanGeneration)
+      reportFatalError(
+          "double-install of method " + std::to_string(CM.Id) + " at level " +
+          std::to_string(CM.Level) + ", plan generation " +
+          std::to_string(CM.PlanGeneration) +
+          ": identical version is already active");
     ++Recompiles;
+    GraveyardInstructions += Active[CM.Id]->Code.size();
+    ActiveInstructions -= Active[CM.Id]->Code.size();
     Graveyard.push_back(std::move(Active[CM.Id]));
   }
+  ActiveInstructions += CM.Code.size();
   Active[CM.Id] = std::make_unique<CompiledMethod>(std::move(CM));
   return Active[CM.Id].get();
+}
+
+const CompiledMethod *CodeCache::invalidate(bc::MethodId Id) {
+  assert(Id < Active.size() && "unknown method");
+  if (!Active[Id])
+    return nullptr;
+  Active[Id]->Invalidated = true;
+  ++Invalidations;
+  ++Epochs[Id];
+  GraveyardInstructions += Active[Id]->Code.size();
+  ActiveInstructions -= Active[Id]->Code.size();
+  Graveyard.push_back(std::move(Active[Id]));
+  return Graveyard.back().get();
 }
 
 CompiledMethod CodeCache::compileBaseline(const bc::Program &P,
@@ -44,12 +70,4 @@ CompiledMethod CodeCache::compileBaseline(const bc::Program &P,
   CM.CompileCostCycles = static_cast<uint64_t>(
       std::llround(Costs.CompileCostPerByte[Level] * M.sizeBytes()));
   return CM;
-}
-
-uint64_t CodeCache::activeCodeInstructions() const {
-  uint64_t Total = 0;
-  for (const auto &CM : Active)
-    if (CM)
-      Total += CM->Code.size();
-  return Total;
 }

@@ -10,6 +10,19 @@
 /// frames keep raw pointers to the version they entered (no on-stack
 /// replacement).
 ///
+/// Two ways a version leaves the active set:
+///  - install() of a newer version retires it (a recompile);
+///  - invalidate() retires it with no replacement (a deoptimization):
+///    the version is marked Invalidated, the method's invalidation
+///    epoch advances, and the next invocation falls back to a fresh
+///    baseline compile via the VM's lazy ensureCompiled path.
+///
+/// Installing a version identical in (method, level, plan generation)
+/// to the active one is a checked error: such a double-install would
+/// silently leak the old version into the graveyard while changing
+/// nothing, and every legitimate compile path either raises the level
+/// or advances the plan.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CBSVM_VM_CODECACHE_H
@@ -42,8 +55,18 @@ public:
   }
 
   /// Installs a new version; the previous one (if any) is retired but
-  /// kept alive. Returns the installed version.
+  /// kept alive. Returns the installed version. Fatal error when the
+  /// new version matches the active one's (level, plan generation) —
+  /// see the file comment.
   const CompiledMethod *install(CompiledMethod CM);
+
+  /// Retires \p Id's active version with no replacement: the version is
+  /// marked Invalidated (frames pinning it fall back to baseline speed
+  /// at their next taken yieldpoint), moved to the graveyard, and the
+  /// method's invalidation epoch advances. Returns the retired version
+  /// (still alive in the graveyard), or nullptr when nothing was
+  /// active.
+  const CompiledMethod *invalidate(bc::MethodId Id);
 
   /// Straight level-\p Level translation of the original bytecode with
   /// no inlining: the default compile path when no compile hook is set.
@@ -53,15 +76,32 @@ public:
   uint64_t totalCompileCycles() const { return CompileCycles; }
   uint64_t numCompiles() const { return Compiles; }
   uint64_t numRecompiles() const { return Recompiles; }
-  /// Sum of code sizes (instruction counts) of active versions.
-  uint64_t activeCodeInstructions() const;
+  /// Total invalidate() calls that retired a version.
+  uint64_t numInvalidations() const { return Invalidations; }
+  /// Times \p Id's active version has been invalidated. In-flight
+  /// compile requests remember the epoch they were created under; a
+  /// mismatch at install time means the code they were compiled for has
+  /// since been deoptimized.
+  uint64_t invalidationEpoch(bc::MethodId Id) const { return Epochs[Id]; }
+  /// Sum of code sizes (instruction counts) of active versions,
+  /// maintained incrementally.
+  uint64_t activeCodeInstructions() const { return ActiveInstructions; }
+  /// Same accounting for retired versions still alive in the graveyard
+  /// (capacity the no-OSR model can never reclaim while frames may pin
+  /// them).
+  uint64_t graveyardCodeInstructions() const { return GraveyardInstructions; }
+  size_t graveyardSize() const { return Graveyard.size(); }
 
 private:
   std::vector<std::unique_ptr<CompiledMethod>> Active;
   std::vector<std::unique_ptr<CompiledMethod>> Graveyard;
+  std::vector<uint64_t> Epochs;
   uint64_t CompileCycles = 0;
   uint64_t Compiles = 0;
   uint64_t Recompiles = 0;
+  uint64_t Invalidations = 0;
+  uint64_t ActiveInstructions = 0;
+  uint64_t GraveyardInstructions = 0;
 };
 
 } // namespace cbs::vm

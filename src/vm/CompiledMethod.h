@@ -24,6 +24,16 @@
 
 namespace cbs::vm {
 
+/// One speculative assumption baked into a compiled version: at \p Site
+/// (a virtual call the inliner expanded with guards), the profile said
+/// \p AssumedCallee dominated the receiver distribution. If the live
+/// profile stops backing the assumption, the version is a deopt
+/// candidate (see aos::DeoptController).
+struct SpeculationGuard {
+  bc::SiteId Site = bc::InvalidSiteId;
+  bc::MethodId AssumedCallee = bc::InvalidMethodId;
+};
+
 struct CompiledMethod {
   bc::MethodId Id = bc::InvalidMethodId;
   /// Optimization level 0..2.
@@ -38,6 +48,18 @@ struct CompiledMethod {
   uint64_t CompileCostCycles = 0;
   /// Number of callee bodies the inliner spliced in (stats only).
   uint32_t InlinedBodies = 0;
+  /// The speculative assumptions this version depends on (one per
+  /// guarded-inlined virtual site; empty for unspeculated code).
+  std::vector<SpeculationGuard> Guards;
+  /// Generation of the InlinePlan this version was compiled against and
+  /// the DCG snapshot epoch that plan was built from (0 for plans built
+  /// outside the adaptive system).
+  uint64_t PlanGeneration = 0;
+  uint64_t ProfileEpoch = 0;
+  /// Set by CodeCache::invalidate when the version is retired by a
+  /// deoptimization; frames still pinning it fall back to baseline
+  /// execution speed at their next taken yieldpoint.
+  bool Invalidated = false;
 
   uint64_t scaledCost(uint32_t BaseCost) const {
     return (static_cast<uint64_t>(BaseCost) * ScaleQ8) >> 8;

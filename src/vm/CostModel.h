@@ -80,6 +80,13 @@ struct CostModel {
   /// measurement and stay free).
   uint32_t SnapshotPerEdge = 1;
 
+  // --- Deoptimization ------------------------------------------------------
+  /// One-time cost charged per active frame that transitions to the
+  /// baseline fallback path after its compiled version is invalidated
+  /// (frame-state reconstruction at the yieldpoint). Dispatches after
+  /// the transition pay only the loss of the version's LevelScale.
+  uint32_t DeoptCost = 150;
+
   // --- Compilation ---------------------------------------------------------
   /// Execution-speed multipliers per optimization level; optimized code
   /// retires modelled instructions faster.

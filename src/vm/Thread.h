@@ -34,6 +34,12 @@ struct Frame {
   uint32_t PC = 0;
   /// Index of locals[0] within the thread's value arena.
   uint32_t LocalBase = 0;
+  /// The frame's pinned version was invalidated after the frame
+  /// entered it: the frame keeps executing its code (semantics are
+  /// unchanged — guard misses fall through to the real dispatch) but at
+  /// baseline speed, the modelled stand-in for falling back to
+  /// interpreted code with no on-stack replacement.
+  bool Deopted = false;
 };
 
 /// The Jikes RVM yieldpoint control word states (§5.1): prologue and
@@ -57,6 +63,10 @@ struct Thread {
   /// honoured when the window closes (§5.1: "then ... the thread switch
   /// is allowed to occur").
   bool DeferredSwitch = false;
+  /// VM-global deopt epoch this thread last reconciled its frames
+  /// against (at a taken yieldpoint); a lower value means invalidated
+  /// versions may still be running at optimized speed in this stack.
+  uint64_t DeoptEpochSeen = 0;
 
   prof::CounterBasedSampler CBS;
   /// §8 generalization: the same state machine over allocation events.

@@ -28,6 +28,10 @@ namespace cbs::bc {
 class Program;
 }
 
+namespace cbs::support {
+class ArgParser;
+}
+
 namespace cbs::tel {
 class FlightRecorder;
 class TraceSink;
@@ -157,6 +161,19 @@ struct VMConfig {
   /// translations. Receives (program, method, level).
   std::function<CompiledMethod(const bc::Program &, bc::MethodId, int)>
       CompileHook;
+
+  /// The validated builder every command-line surface shares: parses
+  /// the common VM options (--personality, --seed, --profiler and its
+  /// per-kind knobs, --dcg-shards, --buffer-capacity, --decay-ticks,
+  /// --decay-factor) from \p Args, resolving the profiler through
+  /// prof::ProfilerRegistry. Invalid combinations are a single
+  /// diagnostic here rather than a divergent per-caller check — e.g. a
+  /// sampling-only knob (--stride, --samples, --buffer-capacity) with a
+  /// profiler the registry marks non-sampling fails with
+  ///   "<opt> requires a sampling profiler (--profiler <name> does not
+  ///    sample)".
+  /// Errors route through the parser's error handler.
+  static VMConfig fromArgs(support::ArgParser &Args);
 };
 
 } // namespace cbs::vm

@@ -47,6 +47,8 @@ VirtualMachine::LiveStats::LiveStats(tel::MetricRegistry &R)
       GCCount(R.counter("vm.gc_count")),
       ThreadSwitches(R.counter("vm.thread_switches")),
       ThreadsSpawned(R.counter("vm.threads_spawned")),
+      Deopts(R.counter("vm.deopts")),
+      FramesDeopted(R.counter("vm.frames_deopted")),
       DCGFlushes(R.counter("dcg.flushes")),
       DCGDropped(R.counter("dcg.dropped_samples")),
       MaxStackDepth(R.gauge("vm.max_stack_depth")),
@@ -83,7 +85,10 @@ const tel::MetricRegistry &VirtualMachine::metrics() {
   Registry.gauge("heap.objects") = TheHeap.numObjects();
   Registry.gauge("code.compiles") = Cache.numCompiles();
   Registry.gauge("code.recompiles") = Cache.numRecompiles();
+  Registry.gauge("code.invalidations") = Cache.numInvalidations();
   Registry.gauge("code.active_instructions") = Cache.activeCodeInstructions();
+  Registry.gauge("code.graveyard_instructions") =
+      Cache.graveyardCodeInstructions();
   Registry.gauge("vm.methods_executed") = methodsExecuted();
   Registry.gauge("vm.threads_live") = countRunnable();
   Registry.gauge("dcg.shard_contention") = DCG.contentionCount();
@@ -160,6 +165,36 @@ const CompiledMethod *VirtualMachine::ensureCompiled(bc::MethodId Id) {
     Trace->event(tel::TraceEvent::compileFinish(
         Stats.Cycles, Thr, Id, CM.Level, CM.CompileCostCycles));
   return Cache.install(std::move(CM));
+}
+
+bool VirtualMachine::deoptimize(bc::MethodId Id) {
+  const CompiledMethod *Retired = Cache.invalidate(Id);
+  if (!Retired)
+    return false;
+  // Threads reconcile lazily: each marks its own affected frames at its
+  // next taken yieldpoint (reconcileDeoptFrames), which is where the
+  // per-frame DeoptCost is charged.
+  ++DeoptEpoch;
+  ++Stats.Deopts;
+  uint32_t Thr = Threads.empty() ? 0 : Threads[Current]->Id;
+  emitAnomaly(tel::TraceEvent::deopt(Stats.Cycles, Thr, Id, Retired->Level,
+                                     Cache.invalidationEpoch(Id)));
+  return true;
+}
+
+void VirtualMachine::reconcileDeoptFrames(Thread &T) {
+  if (T.DeoptEpochSeen == DeoptEpoch)
+    return;
+  T.DeoptEpochSeen = DeoptEpoch;
+  for (Frame &F : T.Frames) {
+    if (F.Deopted || !F.CM->Invalidated)
+      continue;
+    F.Deopted = true;
+    ++Stats.FramesDeopted;
+    // Frame-state reconstruction for the baseline fallback: a base
+    // runtime service, not profiling work.
+    Stats.Cycles += Config.Costs.DeoptCost;
+  }
 }
 
 void VirtualMachine::installCompiled(CompiledMethod CM) {
@@ -369,6 +404,12 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
   if (Client)
     Client->onYieldpoint(*this);
 
+  // Deopt fallback transition: frames whose pinned version was
+  // invalidated (possibly by the client call just above) drop to
+  // baseline speed here — the earliest deterministic point after the
+  // decision.
+  reconcileDeoptFrames(T);
+
   // Figure 4: the overloaded flag's slow path disambiguates all pending
   // conditions — original services (GC) first, then profiling.
   if (GCRequested) {
@@ -567,7 +608,10 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
     Frame &F = T.top();
     const bc::Instruction &I = F.CM->Code[F.PC];
 
-    Stats.Cycles += F.CM->scaledCost(Costs.cost(I));
+    // A deopted frame runs its pinned code at baseline (unscaled)
+    // speed: the modelled interpreter fallback.
+    Stats.Cycles += F.Deopted ? Costs.cost(I)
+                              : F.CM->scaledCost(Costs.cost(I));
     Stats.Instructions += I.Op == bc::Opcode::Work
                               ? static_cast<uint64_t>(I.A)
                               : 1;

@@ -158,6 +158,15 @@ public:
   /// (compilation runs on a background thread in the modelled VMs).
   void installCompiled(CompiledMethod CM);
 
+  /// Deoptimizes \p Id: its active version is invalidated in the code
+  /// cache and every frame still pinning it falls back to baseline
+  /// execution speed at its thread's next taken yieldpoint (each such
+  /// frame is charged CostModel::DeoptCost once at that transition).
+  /// Future invocations recompile lazily through the normal baseline
+  /// path. Returns false when the method had no active version. Must be
+  /// called from the VM thread (client hooks), like installCompiled.
+  bool deoptimize(bc::MethodId Id);
+
 private:
   enum class Where : uint8_t { Prologue, Epilogue, Backedge };
 
@@ -180,6 +189,8 @@ private:
     tel::Counter &GCCount;
     tel::Counter &ThreadSwitches;
     tel::Counter &ThreadsSpawned;
+    tel::Counter &Deopts;         // vm.deopts
+    tel::Counter &FramesDeopted;  // vm.frames_deopted
     tel::Counter &DCGFlushes;
     tel::Counter &DCGDropped;
     tel::Gauge &MaxStackDepth;
@@ -222,6 +233,9 @@ private:
   /// Routes an anomaly event to the trace sink and (when distinct) the
   /// flight recorder.
   void emitAnomaly(const tel::TraceEvent &E);
+  /// Reconciles \p T's frames with the global deopt epoch: frames
+  /// pinning invalidated versions flip to the baseline fallback path.
+  void reconcileDeoptFrames(Thread &T);
   const CompiledMethod *ensureCompiled(bc::MethodId Id);
   /// Pushes a frame for \p Callee consuming \p ArgCount values from the
   /// current operand stack; runs entry profiling hooks.
@@ -253,6 +267,9 @@ private:
   bool GCRequested = false;
   uint64_t NextTimerAt = 0;
   uint64_t NextGCAt = 0;
+  /// Bumped by deoptimize(); threads reconcile their frames against it
+  /// lazily at taken yieldpoints (Thread::DeoptEpochSeen).
+  uint64_t DeoptEpoch = 0;
 
   prof::DynamicCallGraph DCG;
   prof::CallingContextTree CCT;

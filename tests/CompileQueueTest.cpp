@@ -157,11 +157,13 @@ struct AOSRunArtifacts {
   uint64_t Cycles = 0;
   uint64_t Installs = 0;
   uint64_t StaleDrops = 0;
+  uint64_t Deopts = 0;
 };
 
 AOSRunArtifacts runWorkload(const char *Name, uint32_t CompileJobs,
                             double LatencyScale = 1.0,
-                            tel::TraceSink *Trace = nullptr) {
+                            tel::TraceSink *Trace = nullptr,
+                            DeoptConfig Deopt = {}) {
   const wl::WorkloadInfo *W = wl::findWorkload(Name);
   bc::Program P = W ? W->Build(wl::InputSize::Small, /*Seed=*/1)
                     : wl::buildPhased(wl::InputSize::Small, /*Seed=*/1);
@@ -172,6 +174,7 @@ AOSRunArtifacts runWorkload(const char *Name, uint32_t CompileJobs,
 
   AOSConfig AC;
   AC.CompileJobs = CompileJobs;
+  AC.Deopt = Deopt;
   opt::NewJikesOracle Oracle;
   AdaptiveSystem AOS(&Oracle, AC);
   vm::VirtualMachine VM(P, Config);
@@ -184,6 +187,8 @@ AOSRunArtifacts runWorkload(const char *Name, uint32_t CompileJobs,
   A.Cycles = VM.stats().Cycles;
   A.Installs = AOS.stats().QueueInstalls;
   A.StaleDrops = AOS.stats().QueueStaleDrops;
+  if (AOS.deoptController())
+    A.Deopts = AOS.deoptController()->stats().Deopts;
   return A;
 }
 
@@ -213,6 +218,25 @@ TEST(CompileQueue, ByteIdenticalUnderLongLatency) {
   EXPECT_EQ(Jobs0.Profile, Jobs4.Profile);
   EXPECT_EQ(Jobs0.Metrics, Jobs4.Metrics);
   EXPECT_EQ(Jobs0.Cycles, Jobs4.Cycles);
+}
+
+TEST(CompileQueue, DeoptStormByteIdenticalAcrossJobs) {
+  // The determinism contract must survive the harshest deopt schedule:
+  // under the forced-invalidation storm every install is invalidated at
+  // the next taken yieldpoint and recompiled, with requests dropped
+  // stale along the way. Worker threads still may not move any install
+  // or invalidation in virtual time.
+  DeoptConfig Storm;
+  Storm.Enabled = true;
+  Storm.ForceStormForTesting = true;
+  AOSRunArtifacts Jobs0 = runWorkload("jess", 0, 1.0, nullptr, Storm);
+  AOSRunArtifacts Jobs4 = runWorkload("jess", 4, 1.0, nullptr, Storm);
+
+  EXPECT_GT(Jobs0.Deopts, 0u) << "storm produced no deopts to schedule";
+  EXPECT_EQ(Jobs0.Profile, Jobs4.Profile);
+  EXPECT_EQ(Jobs0.Metrics, Jobs4.Metrics);
+  EXPECT_EQ(Jobs0.Cycles, Jobs4.Cycles);
+  EXPECT_EQ(Jobs0.Deopts, Jobs4.Deopts);
 }
 
 TEST(CompileQueue, StalePlansAreReValidatedAtInstall) {

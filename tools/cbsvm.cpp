@@ -13,7 +13,9 @@
 //     be "phased" (the two-phase program used by the convergence
 //     studies), which is not part of the Table 1 suite.
 //       --size small|large       input size            (default small)
-//       --profiler none|timer|cbs|patching|exhaustive  (default cbs)
+//       --profiler NAME          profiler from the registry
+//                                (default cbs; `cbsvm --list-profilers`
+//                                or `cbsvm list --profilers` to list)
 //       --stride N --samples N   CBS window geometry   (default 3, 16)
 //       --personality jikes|j9                         (default jikes)
 //       --seed N                                       (default 1)
@@ -33,6 +35,15 @@
 //                                (implies --aos; 0 installs at the
 //                                first taken yieldpoint after the
 //                                promotion decision)
+//       --deopt-threshold PCT    police speculation guards: deoptimize
+//                                a method whose assumed callee falls
+//                                below PCT of its site's current
+//                                profile weight (implies --aos and
+//                                enables deoptimization; plain --aos
+//                                leaves it off)
+//       --max-deopts N           deopts per method before it is pinned
+//                                to the conservative no-speculation
+//                                plan (implies --aos + deopt; default 3)
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
 //       --trace FILE             write a Chrome trace_event JSON trace
@@ -52,7 +63,9 @@
 //     print the convergence timeline, the overhead breakdown, and any
 //     flight-recorder dumps. When --aos is active the report also
 //     carries an "aos" section (recompilations and compile-queue
-//     traffic). Accepts every `run` configuration option above, plus:
+//     traffic), and with deoptimization enabled a "deopt" subsection
+//     (guard checks/failures, deopt count, pins, recompiles).
+//     Accepts every `run` configuration option above, plus:
 //       --every-ticks N          quality window period (default 8)
 //       --hot-edges N            hot set size for churn (default 16)
 //       --phase-threshold PCT    overlap below this is a phase shift
@@ -106,6 +119,7 @@
 #include "fuzz/Fuzzer.h"
 #include "profiling/OverlapMetric.h"
 #include "profiling/ProfileIO.h"
+#include "profiling/ProfilerRegistry.h"
 #include "support/ArgParser.h"
 #include "support/Json.h"
 #include "support/TablePrinter.h"
@@ -155,14 +169,6 @@ wl::InputSize parseSize(const std::string &S) {
   usageError("unknown size '" + S + "'");
 }
 
-vm::Personality parsePersonality(const std::string &S) {
-  if (S == "jikes")
-    return vm::Personality::JikesRVM;
-  if (S == "j9")
-    return vm::Personality::J9;
-  usageError("unknown personality '" + S + "'");
-}
-
 /// Workload + VM configuration shared by `run`, `stats`, and `report`.
 struct RunSetup {
   std::string Name;
@@ -189,41 +195,18 @@ RunSetup parseRunSetup(ArgParser &Args) {
     usageError("unknown workload '" + S.Name + "' (try 'cbsvm list')");
 
   S.Size = parseSize(Args.option("--size", "small"));
-  S.Pers = parsePersonality(Args.option("--personality", "jikes"));
-  S.Seed = Args.optionUInt("--seed", 1, 0, UINT64_MAX);
-  std::string ProfilerName = Args.option("--profiler", "cbs");
+  // The shared VM options (--personality, --seed, --profiler and its
+  // knobs) all parse and validate inside the config builder.
+  S.Config = vm::VMConfig::fromArgs(Args);
+  S.Pers = S.Config.Pers;
+  S.Seed = S.Config.Seed;
 
   S.P = W ? W->Build(S.Size, S.Seed) : wl::buildPhased(S.Size, S.Seed);
-  S.Config = exp::jitOnlyConfig(S.P, S.Pers, S.Seed);
-  if (ProfilerName == "none")
-    S.Config.Profiler.Kind = vm::ProfilerKind::None;
-  else if (ProfilerName == "timer")
-    S.Config.Profiler.Kind = vm::ProfilerKind::Timer;
-  else if (ProfilerName == "cbs")
-    S.Config.Profiler.Kind = vm::ProfilerKind::CBS;
-  else if (ProfilerName == "patching")
-    S.Config.Profiler.Kind = vm::ProfilerKind::CodePatching;
-  else if (ProfilerName == "exhaustive") {
-    S.Config.Profiler.Kind = vm::ProfilerKind::Exhaustive;
-    S.Config.Profiler.ChargeExhaustiveCounters = false;
-  } else
-    usageError("unknown profiler '" + ProfilerName + "'");
-  S.Config.Profiler.CBS.Stride =
-      static_cast<uint32_t>(Args.optionUInt("--stride", 3, 1, UINT32_MAX));
-  S.Config.Profiler.CBS.SamplesPerTick = static_cast<uint32_t>(
-      Args.optionUInt("--samples", 16, 1, UINT32_MAX));
-  S.Config.Profiler.DCGShards = static_cast<unsigned>(Args.optionUInt(
-      "--dcg-shards", 1, 1, prof::DynamicCallGraph::MaxShards));
-  S.Config.Profiler.SampleBufferCapacity =
-      Args.optionUInt("--buffer-capacity", 256, 1, 1 << 20);
-  S.Config.Profiler.DecayEveryTicks = static_cast<uint32_t>(
-      Args.optionUInt("--decay-ticks", 0, 0, UINT32_MAX));
-  S.Config.Profiler.DecayFactor =
-      Args.optionDouble("--decay-factor", 0.8, 0.0, 1.0);
+  exp::applyJitOnly(S.P, S.Config);
 
-  // --aos attaches the adaptive optimization system; the two options
-  // that only make sense with it imply it, so "--compile-jobs 4" alone
-  // does the expected thing.
+  // --aos attaches the adaptive optimization system; the options that
+  // only make sense with it imply it, so "--compile-jobs 4" alone does
+  // the expected thing.
   S.UseAOS = Args.flag("--aos");
   uint64_t CompileJobs = Args.optionUInt("--compile-jobs", 0, 0, 64);
   if (CompileJobs > 0) {
@@ -237,6 +220,22 @@ RunSetup parseRunSetup(ArgParser &Args) {
       Args.optionDouble("--compile-latency-scale", -1.0, 0.0, 1e9);
   if (LatencyScale >= 0.0) {
     S.Config.Costs.CompileLatencyScale = LatencyScale;
+    S.UseAOS = true;
+  }
+  // Deoptimization: either option switches guard policing on (and
+  // implies --aos). Plain --aos keeps deopt off, so pre-deopt runs stay
+  // byte-identical.
+  double DeoptThreshold =
+      Args.optionDouble("--deopt-threshold", -1.0, 0.0, 100.0);
+  if (DeoptThreshold >= 0.0) {
+    S.AOS.Deopt.Enabled = true;
+    S.AOS.Deopt.DominanceThresholdPct = DeoptThreshold;
+    S.UseAOS = true;
+  }
+  uint64_t MaxDeopts = Args.optionUInt("--max-deopts", 0, 1, 1u << 20);
+  if (MaxDeopts > 0) {
+    S.AOS.Deopt.Enabled = true;
+    S.AOS.Deopt.MaxDeoptsPerMethod = static_cast<uint32_t>(MaxDeopts);
     S.UseAOS = true;
   }
   return S;
@@ -265,7 +264,20 @@ void writeFileOrDie(const std::string &Path, const std::string &Contents) {
   Out << Contents;
 }
 
+int listProfilers() {
+  std::printf("profilers (--profiler NAME):\n");
+  for (const prof::ProfilerDescriptor &D :
+       prof::ProfilerRegistry::instance().all())
+    std::printf("  %-12s %s%s\n", D.Name, D.Summary,
+                D.Sampling ? " [--stride/--samples apply]" : "");
+  return 0;
+}
+
 int cmdList(ArgParser &Args) {
+  if (Args.flag("--profilers")) {
+    Args.finish();
+    return listProfilers();
+  }
   Args.finish();
   std::printf("built-in workloads (Table 1 suite):\n");
   for (const wl::WorkloadInfo &W : wl::suite())
@@ -327,6 +339,19 @@ int cmdRun(ArgParser &Args) {
                 static_cast<unsigned long long>(A.QueueStaleDrops),
                 static_cast<unsigned long long>(A.QueueDropped),
                 AOS.System->queueDepth());
+    if (const aos::DeoptController *DC = AOS.System->deoptController()) {
+      const aos::DeoptStats &D = DC->stats();
+      std::printf("deopt: %llu guard checks, %llu guard failures, %llu "
+                  "deopts (%llu phase-shift), %llu pins, %llu stale "
+                  "drops, %llu recompiles\n",
+                  static_cast<unsigned long long>(D.GuardChecks),
+                  static_cast<unsigned long long>(D.GuardFailures),
+                  static_cast<unsigned long long>(D.Deopts),
+                  static_cast<unsigned long long>(D.PhaseShiftDeopts),
+                  static_cast<unsigned long long>(D.ConservativePins),
+                  static_cast<unsigned long long>(D.StaleRequestsDropped),
+                  static_cast<unsigned long long>(D.Recompiles));
+    }
   }
 
   prof::DCGSnapshot DCG = VM.profile();
@@ -504,6 +529,26 @@ int cmdReport(ArgParser &Args) {
       W.key("dropped");
       W.value(A.QueueDropped);
       W.endObject();
+      if (const aos::DeoptController *DC = AOS.System->deoptController()) {
+        const aos::DeoptStats &D = DC->stats();
+        W.key("deopt");
+        W.beginObject();
+        W.key("guardChecks");
+        W.value(D.GuardChecks);
+        W.key("guardFailures");
+        W.value(D.GuardFailures);
+        W.key("count");
+        W.value(D.Deopts);
+        W.key("phaseShiftDeopts");
+        W.value(D.PhaseShiftDeopts);
+        W.key("conservativePins");
+        W.value(D.ConservativePins);
+        W.key("staleRequestsDropped");
+        W.value(D.StaleRequestsDropped);
+        W.key("recompiles");
+        W.value(D.Recompiles);
+        W.endObject();
+      }
       W.endObject();
     }
     W.key("flightRecorder");
@@ -575,6 +620,21 @@ int cmdReport(ArgParser &Args) {
                   std::to_string(A.QueueDropped),
                   std::to_string(AOS.System->queueDepth())});
     std::fputs(Queue.render().c_str(), stdout);
+    if (const aos::DeoptController *DC = AOS.System->deoptController()) {
+      const aos::DeoptStats &D = DC->stats();
+      std::printf("\ndeoptimization (guard policing):\n");
+      TablePrinter Deopt;
+      Deopt.setHeader({"guard checks", "failures", "deopts", "phase-shift",
+                       "pins", "stale drops", "recompiles"});
+      Deopt.addRow({std::to_string(D.GuardChecks),
+                    std::to_string(D.GuardFailures),
+                    std::to_string(D.Deopts),
+                    std::to_string(D.PhaseShiftDeopts),
+                    std::to_string(D.ConservativePins),
+                    std::to_string(D.StaleRequestsDropped),
+                    std::to_string(D.Recompiles)});
+      std::fputs(Deopt.render().c_str(), stdout);
+    }
   }
 
   std::printf("\nflight recorder: %llu events seen, %llu anomaly "
@@ -733,6 +793,8 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     usageError("missing command");
   std::string Command = Argv[1];
+  if (Command == "--list-profilers")
+    return listProfilers();
   ArgParser Args = makeParser(Argc - 1, Argv + 1);
   if (Command == "list")
     return cmdList(Args);
