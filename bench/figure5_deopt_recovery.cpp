@@ -37,15 +37,13 @@ namespace {
 /// guard tests and the fallback dispatch on every call — the cost
 /// dominance-loss policing exists to recover.
 ///
-/// The hot method is invoked repeatedly with a short per-call count
-/// rather than once per phase: the VM models deoptimization without
-/// on-stack replacement (a deopted frame runs at baseline speed until
-/// it returns), so a method whose one frame spans the whole phase
-/// would turn a deopt into a pure loss — the recompiled version would
-/// never be entered. Short-lived frames are the shape OSR-less
-/// deoptimization is designed for.
-bc::Program receiverFlipProgram(int64_t PerPhase) {
-  constexpr int64_t PerCall = 500;
+/// \p PerCall sets the frame lifetime: each loop() invocation runs that
+/// many iterations, so PerCall == PerPhase means one frame spans an
+/// entire phase. Without OSR a deopted frame runs at baseline speed
+/// until it returns, so short-lived frames (small PerCall) are the
+/// only shape plain deoptimization repairs; the long-lived rows below
+/// measure what the OSR arm buys back for the other shape.
+bc::Program receiverFlipProgram(int64_t PerPhase, int64_t PerCall) {
   const int64_t Calls = PerPhase / PerCall;
   bc::ProgramBuilder PB;
   wl::ClassFamily Family = wl::makeClassFamily(PB, "FlipHandler", 2);
@@ -123,10 +121,11 @@ ArmResult runInterpreter(const bc::Program &P, uint64_t Seed) {
   return {VM.stats().Cycles, {}, 0};
 }
 
-ArmResult runAdaptive(const bc::Program &P, bool DeoptOn, double LatencyScale,
-                      uint64_t Seed) {
+ArmResult runAdaptive(const bc::Program &P, bool DeoptOn, bool OsrOn,
+                      double LatencyScale, uint64_t Seed) {
   vm::VMConfig Config = phasedConfig(P, Seed);
   Config.Costs.CompileLatencyScale = LatencyScale;
+  Config.EnableOSR = OsrOn;
 
   aos::AOSConfig AC;
   // Isolate the mechanism under test: with same-level reoptimization
@@ -160,10 +159,47 @@ int main(int Argc, char **Argv) {
   printHeader("Figure 5 (deopt recovery)",
               "Phased workload: stale speculative code vs guard policing");
 
-  TablePrinter TP;
   std::vector<std::string> Header{
-      "input/latency", "interp Mcyc", "stale Mcyc", "deopt Mcyc",
-      "recovery %",    "deopts",      "guard fails", "recompiles"};
+      "input/latency", "interp Mcyc", "stale Mcyc",  "deopt Mcyc",
+      "osr Mcyc",      "recovery %",  "osr rec %",   "deopts",
+      "guard fails",   "recompiles"};
+
+  // Four arms per row: no AOS, AOS without policing (stale), policing
+  // alone (deopt), and policing plus on-stack replacement (osr). The
+  // recovery columns are the cycle saving of the deopt and osr arms
+  // relative to running phase B through phase-A speculation.
+  auto emitRow = [&](TablePrinter &Table, const char *Label,
+                     const bc::Program &P, double Latency) {
+    ArmResult Interp = runInterpreter(P, Seed);
+    ArmResult Stale =
+        runAdaptive(P, /*DeoptOn=*/false, /*OsrOn=*/false, Latency, Seed);
+    ArmResult Deopt =
+        runAdaptive(P, /*DeoptOn=*/true, /*OsrOn=*/false, Latency, Seed);
+    ArmResult Osr =
+        runAdaptive(P, /*DeoptOn=*/true, /*OsrOn=*/true, Latency, Seed);
+    auto RecoveryPct = [&Stale](uint64_t ArmCycles) {
+      return Stale.Cycles ? 100.0 *
+                                (static_cast<double>(Stale.Cycles) -
+                                 static_cast<double>(ArmCycles)) /
+                                static_cast<double>(Stale.Cycles)
+                          : 0.0;
+    };
+    std::vector<std::string> Cells{
+        Label,
+        TablePrinter::formatDouble(Interp.Cycles / 1e6, 1),
+        TablePrinter::formatDouble(Stale.Cycles / 1e6, 1),
+        TablePrinter::formatDouble(Deopt.Cycles / 1e6, 1),
+        TablePrinter::formatDouble(Osr.Cycles / 1e6, 1),
+        TablePrinter::formatDouble(RecoveryPct(Deopt.Cycles), 2),
+        TablePrinter::formatDouble(RecoveryPct(Osr.Cycles), 2),
+        std::to_string(Deopt.Deopt.Deopts),
+        std::to_string(Deopt.Deopt.GuardFailures),
+        std::to_string(Deopt.Deopt.Recompiles)};
+    Table.addRow(Cells);
+    Report.addRow(Cells);
+  };
+
+  TablePrinter TP;
   TP.setHeader(Header);
   Report.beginTable("phased_recovery", Header);
 
@@ -177,77 +213,57 @@ int main(int Argc, char **Argv) {
       {"small/25x", wl::InputSize::Small, 25.0},
       {"large/1x", wl::InputSize::Large, 1.0},
   };
-
-  for (const Row &R : Rows) {
-    bc::Program P = wl::buildPhased(R.Size, Seed);
-    ArmResult Interp = runInterpreter(P, Seed);
-    ArmResult Stale = runAdaptive(P, /*DeoptOn=*/false, R.Latency, Seed);
-    ArmResult Deopt = runAdaptive(P, /*DeoptOn=*/true, R.Latency, Seed);
-
-    // Positive: cycles the deopt arm saved relative to running phase B
-    // through phase-A speculation.
-    double RecoveryPct =
-        Stale.Cycles
-            ? 100.0 * (static_cast<double>(Stale.Cycles) - Deopt.Cycles) /
-                  Stale.Cycles
-            : 0.0;
-    std::vector<std::string> Cells{
-        R.Label,
-        TablePrinter::formatDouble(Interp.Cycles / 1e6, 1),
-        TablePrinter::formatDouble(Stale.Cycles / 1e6, 1),
-        TablePrinter::formatDouble(Deopt.Cycles / 1e6, 1),
-        TablePrinter::formatDouble(RecoveryPct, 2),
-        std::to_string(Deopt.Deopt.Deopts),
-        std::to_string(Deopt.Deopt.GuardFailures),
-        std::to_string(Deopt.Deopt.Recompiles)};
-    TP.addRow(Cells);
-    Report.addRow(Cells);
-  }
-
+  for (const Row &R : Rows)
+    emitRow(TP, R.Label, wl::buildPhased(R.Size, Seed), R.Latency);
   std::fputs(TP.render().c_str(), stdout);
+
   std::printf("\n--- receiver flip: one hot site whose dominant callee "
               "changes mid-run ---\n");
-  TablePrinter FlipTP;
-  FlipTP.setHeader(Header);
-  Report.beginTable("receiver_flip", Header);
   struct FlipRow {
     const char *Label;
     int64_t PerPhase;
+    int64_t PerCall;
     double Latency;
   };
+  // Short-lived frames: each loop() frame covers 500 iterations, so the
+  // recompiled version is re-entered a few calls after the deopt.
+  TablePrinter FlipTP;
+  FlipTP.setHeader(Header);
+  Report.beginTable("receiver_flip", Header);
   const FlipRow FlipRows[] = {
-      {"60k/1x", 60'000, 1.0},
-      {"300k/1x", 300'000, 1.0},
-      {"300k/25x", 300'000, 25.0},
+      {"60k/1x", 60'000, 500, 1.0},
+      {"300k/1x", 300'000, 500, 1.0},
+      {"300k/25x", 300'000, 500, 25.0},
   };
-  for (const FlipRow &R : FlipRows) {
-    bc::Program P = receiverFlipProgram(R.PerPhase);
-    ArmResult Interp = runInterpreter(P, Seed);
-    ArmResult Stale = runAdaptive(P, /*DeoptOn=*/false, R.Latency, Seed);
-    ArmResult Deopt = runAdaptive(P, /*DeoptOn=*/true, R.Latency, Seed);
-    double RecoveryPct =
-        Stale.Cycles
-            ? 100.0 * (static_cast<double>(Stale.Cycles) - Deopt.Cycles) /
-                  Stale.Cycles
-            : 0.0;
-    std::vector<std::string> Cells{
-        R.Label,
-        TablePrinter::formatDouble(Interp.Cycles / 1e6, 1),
-        TablePrinter::formatDouble(Stale.Cycles / 1e6, 1),
-        TablePrinter::formatDouble(Deopt.Cycles / 1e6, 1),
-        TablePrinter::formatDouble(RecoveryPct, 2),
-        std::to_string(Deopt.Deopt.Deopts),
-        std::to_string(Deopt.Deopt.GuardFailures),
-        std::to_string(Deopt.Deopt.Recompiles)};
-    FlipTP.addRow(Cells);
-    Report.addRow(Cells);
-  }
+  for (const FlipRow &R : FlipRows)
+    emitRow(FlipTP, R.Label, receiverFlipProgram(R.PerPhase, R.PerCall),
+            R.Latency);
   std::fputs(FlipTP.render().c_str(), stdout);
 
+  std::printf("\n--- receiver flip, long-lived frames: one loop() frame "
+              "spans an entire phase ---\n");
+  // The shape plain deoptimization cannot repair: the deopted frame
+  // never returns inside the phase, so without OSR it limps to the end
+  // at baseline speed and the recompiled version is never entered. The
+  // osr arm transfers the live frame at the next backedge yieldpoint.
+  TablePrinter LongTP;
+  LongTP.setHeader(Header);
+  Report.beginTable("receiver_flip_long", Header);
+  const FlipRow LongRows[] = {
+      {"60k/1x", 60'000, 60'000, 1.0},
+      {"300k/1x", 300'000, 300'000, 1.0},
+      {"300k/25x", 300'000, 300'000, 25.0},
+  };
+  for (const FlipRow &R : LongRows)
+    emitRow(LongTP, R.Label, receiverFlipProgram(R.PerPhase, R.PerCall),
+            R.Latency);
+  std::fputs(LongTP.render().c_str(), stdout);
+
   std::printf("\nrecovery %% is the cycle saving of guard policing over the "
-              "stale-plan arm;\nboth arms run with same-level "
-              "reoptimization disabled, so policing is the\nonly repair "
-              "channel. Runs are virtual-time exact (no repetition "
-              "needed).\n");
+              "stale-plan arm,\nosr rec %% the saving when policing can also "
+              "transfer live frames at\nbackedge yieldpoints; both arms run "
+              "with same-level reoptimization\ndisabled, so policing is the "
+              "only repair channel. Runs are virtual-time\nexact (no "
+              "repetition needed).\n");
   return 0;
 }

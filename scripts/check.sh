@@ -5,7 +5,12 @@
 # timeline must recover; the forced-invalidation storm oracle must
 # come back clean over 25 seeds), a self-observability report check
 # (the quality monitor must flag the phased workload's hot-set swap
-# and the overhead breakdown must sum to its total), a
+# and the overhead breakdown must sum to its total), an on-stack
+# replacement stage (frames must transfer onto replacement versions at
+# backedge yieldpoints, the code-cache graveyard must be fully
+# reclaimed by end of run, --osr runs must stay byte-identical across
+# compile worker counts, and the osr-stability oracle must come back
+# clean over 25 long-loop seeds), a
 # ThreadSanitizer pass over the
 # parallel experiment engine, the sharded profile repository, and the
 # background compile pipeline, and determinism checks: --jobs 8
@@ -68,7 +73,9 @@ trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
   "$SHARD1" "$SHARD8" "$SHARD1M" "$SHARD8M" "$REPORTA" "$REPORTB" \
   "$CJOBS0" "$CJOBS4" "$CJOBS0M" "$CJOBS4M" "$CJOBS0R" "$CJOBS4R" \
   "$AOSREPORT" "${DEOPTREPORT:-}" "${DEOPTFUZZ1:-}" "${DEOPTFUZZ8:-}" \
-  "${FUZZ1:-}" "${FUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
+  "${FUZZ1:-}" "${FUZZ8:-}" "${OSRREPORT:-}" "${OSRJOBS1:-}" \
+  "${OSRJOBS8:-}" "${OSRJOBS1M:-}" "${OSRJOBS8M:-}" "${OSRFUZZ1:-}" \
+  "${OSRFUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
 "$CBSVM" run compress --trace "$TRACE" --metrics-json "$METRICS"
@@ -207,6 +214,57 @@ DEOPTFUZZ8=$(mktemp /tmp/cbsvm-deoptfuzz8.XXXXXX.txt)
 cmp "$DEOPTFUZZ1" "$DEOPTFUZZ8"
 echo "deopt-storm-stability fuzz jobs=1 and jobs=8 are byte-identical"
 
+echo "== on-stack replacement =="
+# OSR end to end on the phased workload: a fast compile pipeline plus a
+# policing threshold that kills mid-loop speculation makes frames
+# transfer onto replacement versions at backedge yieldpoints, and the
+# pin-tracked graveyard must be fully reclaimed once the last pinned
+# frame leaves (the report runs the VM to completion, so zero retained
+# graveyard instructions is an exact end-of-run invariant).
+OSRREPORT=$(mktemp /tmp/cbsvm-osr.XXXXXX.json)
+OSR_ARGS=(phased --osr --compile-latency-scale 0.2 --deopt-threshold 60)
+"$CBSVM" report "${OSR_ARGS[@]}" --json "$OSRREPORT" >/dev/null
+"$CBSVM" jsoncheck "$OSRREPORT"
+python3 - "$OSRREPORT" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+osr = report["osr"]
+assert osr["entries"] >= 1, osr
+assert osr["graveyardReclaimedInstructions"] > 0, osr
+assert osr["graveyardReclaims"] >= 1, osr
+assert osr["graveyardInstructions"] == 0, osr
+print(f"osr: {osr['entries']} promotions, {osr['exits']} deopt exits; "
+      f"{osr['graveyardReclaimedInstructions']} graveyard instructions "
+      f"reclaimed across {osr['graveyardReclaims']} frees, none retained")
+EOF
+
+# Frame transfer decisions happen on the VM thread at taken yieldpoints
+# in virtual time, so --osr runs must stay byte-identical across
+# compile worker counts.
+OSRJOBS1=$(mktemp /tmp/cbsvm-osrjobs1.XXXXXX.dcg)
+OSRJOBS8=$(mktemp /tmp/cbsvm-osrjobs8.XXXXXX.dcg)
+OSRJOBS1M=$(mktemp /tmp/cbsvm-osrjobs1m.XXXXXX.json)
+OSRJOBS8M=$(mktemp /tmp/cbsvm-osrjobs8m.XXXXXX.json)
+"$CBSVM" run "${OSR_ARGS[@]}" --compile-jobs 1 \
+  --save "$OSRJOBS1" --metrics-json "$OSRJOBS1M" >/dev/null
+"$CBSVM" run "${OSR_ARGS[@]}" --compile-jobs 8 \
+  --save "$OSRJOBS8" --metrics-json "$OSRJOBS8M" >/dev/null
+cmp "$OSRJOBS1" "$OSRJOBS8"
+cmp "$OSRJOBS1M" "$OSRJOBS8M"
+echo "osr compile-jobs=1 and compile-jobs=8 runs are byte-identical"
+
+# The osr-stability oracle over 25 long-loop programs (loops long
+# enough for installs to land mid-frame), and the campaign report must
+# not depend on the worker count.
+OSRFUZZ1=$(mktemp /tmp/cbsvm-osrfuzz1.XXXXXX.txt)
+OSRFUZZ8=$(mktemp /tmp/cbsvm-osrfuzz8.XXXXXX.txt)
+"$CBSVM" fuzz --oracle osr-stability --long-loops --runs 25 --seed 1 \
+  --jobs 1 | tee "$OSRFUZZ1"
+"$CBSVM" fuzz --oracle osr-stability --long-loops --runs 25 --seed 1 \
+  --jobs 8 >"$OSRFUZZ8"
+cmp "$OSRFUZZ1" "$OSRFUZZ8"
+echo "osr-stability fuzz jobs=1 and jobs=8 are byte-identical"
+
 echo "== self-observability report =="
 # The monitored phase-shift workload: the quality monitor must see the
 # hot-set swap (>= 1 phase_shift dump), the overhead components must
@@ -235,13 +293,13 @@ print(f"report: {len(windows)} windows, {len(dumps)} dumps "
 EOF
 
 if [[ "${CBSVM_SKIP_TSAN:-}" != "1" ]]; then
-  echo "== thread sanitizer: parallel engine + sharded DCG + compile queue =="
+  echo "== thread sanitizer: parallel engine + sharded DCG + compile queue + OSR =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S . -DCBSVM_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j \
-    --target ParallelRunnerTest DCGConcurrencyTest CompileQueueTest
+    --target ParallelRunnerTest DCGConcurrencyTest CompileQueueTest OSRTest
   (cd "$TSAN_BUILD" && CBSVM_JOBS=8 \
-    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency|CompileQueue)')
+    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency|CompileQueue|Osr)')
 fi
 
 echo "== all checks passed =="

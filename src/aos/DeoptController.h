@@ -16,7 +16,9 @@
 ///
 ///  - its active version is invalidated in the code cache (frames
 ///    pinning it fall back to baseline speed at their next taken
-///    yieldpoint — see VirtualMachine::deoptimize);
+///    yieldpoint, and with VMConfig::EnableOSR transfer off the dead
+///    code entirely at their next loop-header backedge — see
+///    VirtualMachine::deoptimize);
 ///  - in-flight compile requests for it are dropped (their plan
 ///    snapshot embeds the same dead assumption);
 ///  - a recompile against the fresh plan is enqueued through the normal

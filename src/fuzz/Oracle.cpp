@@ -509,6 +509,101 @@ public:
 };
 
 //===----------------------------------------------------------------------===//
+// osr-stability
+//===----------------------------------------------------------------------===//
+
+class OsrStabilityOracle : public Oracle {
+public:
+  const char *id() const override { return "osr-stability"; }
+  const char *describe() const override {
+    return "on-stack replacement (promotion and deopt-exit transfers at "
+           "loop-header yieldpoints) preserves output and heap and is "
+           "byte-identical at any --compile-jobs";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    RunResult Base = runProgram(In.P, plainConfig(In.Seed));
+    // A baseline that traps or runs out of budget is output-stability's
+    // finding, not an OSR divergence.
+    if (Base.State != vm::RunState::Finished)
+      return "";
+
+    auto OsrConfig = [&](double LatencyScale) {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = vm::ProfilerKind::CBS;
+      Config.Profiler.CBS.Stride = 2;
+      Config.Profiler.CBS.SamplesPerTick = 4;
+      Config.TimerPeriodCycles = 2'000;
+      Config.Costs.CompileLatencyScale = LatencyScale;
+      Config.EnableOSR = true;
+      return Config;
+    };
+    auto WithJobs = [](uint32_t Jobs) {
+      aos::AOSConfig AC;
+      AC.CompileJobs = Jobs;
+      return AC;
+    };
+
+    // Semantics: a frame transferring mid-loop between versions must not
+    // perturb output or the heap, whether the install lands immediately
+    // (latency 0: promotion OSR fires at the very next backedge) or
+    // after a long modelled latency.
+    if (std::string D =
+            compareRuns("no-aos", Base, "osr-latency-0",
+                        runProgramWithAOS(In.P, OsrConfig(0), WithJobs(0)));
+        !D.empty())
+      return D;
+    if (std::string D =
+            compareRuns("no-aos", Base, "osr-latency-8",
+                        runProgramWithAOS(In.P, OsrConfig(8), WithJobs(0)));
+        !D.empty())
+      return D;
+
+    // Determinism: OSR transfers happen on the VM thread at taken
+    // backedge yieldpoints in virtual time, so any worker count must be
+    // byte-identical down to the serialized profile.
+    RunResult Jobs0 = runProgramWithAOS(In.P, OsrConfig(1), WithJobs(0));
+    RunResult Jobs2 = runProgramWithAOS(In.P, OsrConfig(1), WithJobs(2));
+    if (std::string D =
+            compareRuns("osr-jobs=0", Jobs0, "osr-jobs=2", Jobs2);
+        !D.empty())
+      return D;
+    if (Jobs0.Samples != Jobs2.Samples)
+      return "osr with compile-jobs=0 and compile-jobs=2 took different "
+             "sample counts";
+    if (prof::serializeDCG(Jobs0.Profile) != prof::serializeDCG(Jobs2.Profile))
+      return "osr with compile-jobs=0 and compile-jobs=2 profiles "
+             "serialize differently";
+
+    // Deopt-exit path: under the forced invalidation storm every frame
+    // on retired code reconciles to Deopted, and with OSR on it must
+    // transfer off that code at its next loop header — still invisibly.
+    auto StormAOS = [](uint32_t Jobs) {
+      aos::AOSConfig AC;
+      AC.CompileJobs = Jobs;
+      AC.Deopt.Enabled = true;
+      AC.Deopt.ForceStormForTesting = true;
+      AC.Deopt.MaxDeoptsPerMethod = 2;
+      return AC;
+    };
+    RunResult Storm = runProgramWithAOS(In.P, OsrConfig(1), StormAOS(0));
+    if (std::string D = compareRuns("no-aos", Base, "osr-deopt-storm", Storm);
+        !D.empty())
+      return D;
+    RunResult Storm2 = runProgramWithAOS(In.P, OsrConfig(1), StormAOS(2));
+    if (std::string D = compareRuns("osr-storm-jobs=0", Storm,
+                                    "osr-storm-jobs=2", Storm2);
+        !D.empty())
+      return D;
+    if (prof::serializeDCG(Storm.Profile) !=
+        prof::serializeDCG(Storm2.Profile))
+      return "osr storm with compile-jobs=0 and compile-jobs=2 profiles "
+             "serialize differently";
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // The deliberately broken test oracle
 //===----------------------------------------------------------------------===//
 
@@ -539,6 +634,7 @@ OracleRegistry OracleRegistry::builtin() {
   R.add(std::make_unique<ShardDeterminismOracle>());
   R.add(std::make_unique<AsyncCompileStabilityOracle>());
   R.add(std::make_unique<DeoptStormStabilityOracle>());
+  R.add(std::make_unique<OsrStabilityOracle>());
   return R;
 }
 

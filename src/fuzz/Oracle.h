@@ -31,6 +31,15 @@
 ///    profile is byte-identical and validates against the program.
 ///  - shard-determinism: DCG snapshots are bitwise equal across
 ///    --dcg-shards 1/8 and across ParallelRunner --jobs 1/4.
+///  - async-compile-stability: the background compile pipeline preserves
+///    semantics at any modelled latency and is byte-identical at any
+///    --compile-jobs count.
+///  - deopt-storm-stability: a forced invalidation storm leaves output
+///    and heap byte-identical to the no-AOS baseline.
+///  - osr-stability: on-stack replacement (promotion and deopt-exit
+///    transfers at loop-header yieldpoints) preserves output and heap
+///    and is byte-identical at any --compile-jobs count, including
+///    under the forced invalidation storm.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -78,7 +87,7 @@ public:
   const Oracle *find(std::string_view Id) const;
   const std::vector<std::unique_ptr<Oracle>> &all() const { return Oracles; }
 
-  /// The four built-in differential invariants.
+  /// The seven built-in differential invariants.
   static OracleRegistry builtin();
 
 private:

@@ -19,6 +19,13 @@ ShapeConfig ShapeConfig::threaded() {
   return Shape;
 }
 
+ShapeConfig ShapeConfig::longLoops() {
+  ShapeConfig Shape;
+  Shape.MaxLoopTrip = 40;
+  Shape.MaxCallRepeat = 8;
+  return Shape;
+}
+
 namespace {
 
 /// Inclusive uniform draw in [Lo, Hi] (degenerates gracefully when the

@@ -70,6 +70,13 @@ struct ShapeConfig {
 
   /// A multi-threaded, phase-shifting variant of the defaults.
   static ShapeConfig threaded();
+
+  /// A long-loop variant of the defaults: high trip counts and repeated
+  /// main call loops, so frames sit inside loops long enough for
+  /// installs (and invalidations) to land mid-loop. The shape the
+  /// osr-stability oracle favours — on-stack replacement never fires in
+  /// a program whose loops finish before the compile queue does.
+  static ShapeConfig longLoops();
 };
 
 /// Serialization of the knobs (embedded in replay artifacts so a

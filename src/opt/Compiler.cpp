@@ -9,6 +9,7 @@
 #include "bytecode/Program.h"
 #include "opt/Optimizer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -32,10 +33,38 @@ vm::CompiledMethod opt::compileMethod(const bc::Program &P, bc::MethodId Id,
   for (const bc::Instruction &I : Inlined.Code)
     SizeBytes += bc::opcodeSizeBytes(I.Op);
 
+  // OSR points: the root method's loop headers (original-bytecode PCs),
+  // projected through the inliner's root map into this version's code,
+  // then tracked through the optimizer as passes move instructions.
+  // Always emitted — the table is inert data unless VMConfig::EnableOSR
+  // turns transfers on.
+  std::vector<uint32_t> Headers = vm::loopHeaderPCs(P.method(Id).Code);
+  std::vector<uint32_t> HeaderCodePCs;
+  HeaderCodePCs.reserve(Headers.size());
+  for (uint32_t H : Headers)
+    HeaderCodePCs.push_back(Inlined.RootMap[H]);
+
   if (Options.RunOptimizer)
-    optimizeCode(P, Inlined.Code, Level);
+    optimizeCode(P, Inlined.Code, Level, &HeaderCodePCs);
 
   vm::CompiledMethod CM;
+  // A header whose instruction dissolved maps (first-kept-at-or-after)
+  // to whatever now sits there — which is only a loop entry if some
+  // backward branch in the *final* code still targets it. Keep an entry
+  // only when its code PC is a surviving loop header claimed by exactly
+  // one original header; an ambiguous or dead entry would let a
+  // transfer remap through the wrong loop.
+  std::vector<uint32_t> FinalHeaders = vm::loopHeaderPCs(Inlined.Code);
+  CM.OsrPoints.reserve(Headers.size());
+  for (size_t I = 0; I != Headers.size(); ++I) {
+    uint32_t CodePC = HeaderCodePCs[I];
+    bool Live = std::find(FinalHeaders.begin(), FinalHeaders.end(), CodePC) !=
+                FinalHeaders.end();
+    bool Unique = std::count(HeaderCodePCs.begin(), HeaderCodePCs.end(),
+                             CodePC) == 1;
+    if (Live && Unique)
+      CM.OsrPoints.push_back({Headers[I], CodePC});
+  }
   CM.Id = Id;
   CM.Level = static_cast<uint8_t>(Level);
   CM.ScaleQ8 =

@@ -36,6 +36,7 @@ public:
     Result.InlinedBodies = InlinedBodies;
     Result.BudgetSkips = BudgetSkips;
     Result.Speculations = std::move(Speculations);
+    Result.RootMap = std::move(RootMap);
     return Result;
   }
 
@@ -260,6 +261,11 @@ private:
       NewCode[Idx].A = static_cast<int32_t>(End);
     for (auto [Idx, OldTarget] : BranchFixups)
       NewCode[Idx].A = static_cast<int32_t>(Map[OldTarget]);
+
+    // The root body's orig->rewritten map is the OSR-point source: the
+    // compiler projects the root's loop headers through it.
+    if (Depth == 0)
+      RootMap = std::move(Map);
   }
 
   const Program &P;
@@ -272,6 +278,7 @@ private:
   uint32_t InlinedBodies = 0;
   uint32_t BudgetSkips = 0;
   std::vector<vm::SpeculationGuard> Speculations;
+  std::vector<uint32_t> RootMap;
 };
 
 } // namespace

@@ -57,6 +57,12 @@ struct InlineResult {
   /// nesting level): the site and the highest-priority predicted
   /// callee. These become the compiled version's speculation guards.
   std::vector<vm::SpeculationGuard> Speculations;
+  /// RootMap[PC] = where the root method's original instruction at
+  /// \p PC landed in Code. Every original instruction begins exactly
+  /// one region of the rewritten code (calls expand in place), so the
+  /// map is total. The compiler projects the root's loop headers
+  /// through it to build the version's OSR-point table.
+  std::vector<uint32_t> RootMap;
 };
 
 /// Rewrites \p Root's original bytecode under \p Plan. With an empty

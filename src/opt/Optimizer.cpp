@@ -15,7 +15,8 @@ using namespace cbs::opt;
 
 OptimizerStats opt::optimizeCode(const bc::Program &P,
                                  std::vector<bc::Instruction> &Code,
-                                 int Level) {
+                                 int Level,
+                                 std::vector<uint32_t> *TrackedPCs) {
   assert(Level >= 0 && Level <= 2 && "optimization level out of range");
   OptimizerStats Stats;
   if (Level == 0)
@@ -31,7 +32,7 @@ OptimizerStats opt::optimizeCode(const bc::Program &P,
     Changed |= simplifyBranches(P, Code);
     Changed |= removeUnreachable(P, Code);
     Changed |= fuseWork(P, Code);
-    Changed |= removeNops(P, Code);
+    Changed |= removeNops(P, Code, TrackedPCs);
     ++Stats.RoundsRun;
     Stats.AnyChange |= Changed;
     if (!Changed)

@@ -27,8 +27,11 @@ struct OptimizerStats {
 };
 
 /// Optimizes \p Code (a body of a method of \p P) in place at \p Level.
+/// \p TrackedPCs, when given, is a side table of code-space PCs (OSR
+/// points) kept in sync as passes move instructions.
 OptimizerStats optimizeCode(const bc::Program &P,
-                            std::vector<bc::Instruction> &Code, int Level);
+                            std::vector<bc::Instruction> &Code, int Level,
+                            std::vector<uint32_t> *TrackedPCs = nullptr);
 
 } // namespace cbs::opt
 

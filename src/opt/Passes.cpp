@@ -8,6 +8,7 @@
 
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <optional>
@@ -527,7 +528,8 @@ bool opt::removeDeadStores(const Program &P,
   return Changed;
 }
 
-bool opt::removeNops(const Program &P, std::vector<Instruction> &Code) {
+bool opt::removeNops(const Program &P, std::vector<Instruction> &Code,
+                     std::vector<uint32_t> *TrackedPCs) {
   (void)P;
   size_t NumNops = 0;
   for (const Instruction &I : Code)
@@ -556,6 +558,12 @@ bool opt::removeNops(const Program &P, std::vector<Instruction> &Code) {
              "branch target dissolved into trailing nops");
       I.A = static_cast<int32_t>(Remapped);
     }
+  // Side tables ride along under the same first-kept-at-or-after rule
+  // as branch targets (a tracked instruction that was nopped maps to
+  // whatever executes in its place — for loop headers, the new header).
+  if (TrackedPCs)
+    for (uint32_t &PC : *TrackedPCs)
+      PC = NewIndex[std::min<size_t>(PC, Code.size())];
   Code = std::move(Kept);
   return true;
 }

@@ -23,7 +23,8 @@
 ///  - removeUnreachable: nops out instructions no path reaches.
 ///  - fuseWork: merges adjacent Work instructions (code-size, not
 ///    cycle, savings).
-///  - removeNops: compacts nops away, remapping branch targets.
+///  - removeNops: compacts nops away, remapping branch targets (and
+///    any caller-supplied tracked-PC side table, e.g. OSR points).
 ///
 /// All passes return true if they changed the code.
 ///
@@ -46,7 +47,15 @@ bool simplifyBranches(const bc::Program &P,
 bool removeUnreachable(const bc::Program &P,
                        std::vector<bc::Instruction> &Code);
 bool fuseWork(const bc::Program &P, std::vector<bc::Instruction> &Code);
-bool removeNops(const bc::Program &P, std::vector<bc::Instruction> &Code);
+
+/// Compacts nops away. \p TrackedPCs, when given, is a side table of
+/// code-space PCs remapped in place under the same
+/// first-kept-at-or-after rule as branch targets (the compiler tracks
+/// OSR-point locations through the pipeline this way). removeNops is
+/// the only pass that moves instructions; every other pass rewrites in
+/// place, so a side table stays valid across them for free.
+bool removeNops(const bc::Program &P, std::vector<bc::Instruction> &Code,
+                std::vector<uint32_t> *TrackedPCs = nullptr);
 
 /// Removes stores to locals that are never read anywhere in the method,
 /// when the stored value comes from an adjacent side-effect-free

@@ -44,6 +44,10 @@
 ///                  fall back to baseline until recompiled (A = method,
 ///                  B = level of the invalidated code, C = the method's
 ///                  cumulative deopt count)
+///   osr            a live frame transferred between versions at a
+///                  loop-header yieldpoint (A = method, B = level of
+///                  the version entered, C = 1 promotion / 2 deopt
+///                  exit)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,9 +75,10 @@ enum class EventKind : uint8_t {
   CompileInstall,
   GuardFail,
   Deopt,
+  Osr,
 };
 
-inline constexpr unsigned NumEventKinds = 16;
+inline constexpr unsigned NumEventKinds = 17;
 
 const char *eventKindName(EventKind K);
 
@@ -156,6 +161,10 @@ struct TraceEvent {
   static TraceEvent deopt(uint64_t Cycles, uint32_t Thread, uint32_t Method,
                           uint32_t Level, uint64_t DeoptCount) {
     return {EventKind::Deopt, Thread, Cycles, Method, Level, DeoptCount};
+  }
+  static TraceEvent osr(uint64_t Cycles, uint32_t Thread, uint32_t Method,
+                        uint32_t ToLevel, uint64_t TransferKind) {
+    return {EventKind::Osr, Thread, Cycles, Method, ToLevel, TransferKind};
   }
 };
 

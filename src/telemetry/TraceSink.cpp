@@ -45,6 +45,8 @@ const char *tel::eventKindName(EventKind K) {
     return "guard_fail";
   case EventKind::Deopt:
     return "deopt";
+  case EventKind::Osr:
+    return "osr";
   }
   return "?";
 }
@@ -177,6 +179,13 @@ void writeArgs(json::JsonWriter &W, const TraceEvent &E,
     W.value(static_cast<uint64_t>(E.B));
     W.key("deopt_count");
     W.value(E.C);
+    break;
+  case EventKind::Osr:
+    Method("method", "method_name", E.A);
+    W.key("to_level");
+    W.value(static_cast<uint64_t>(E.B));
+    W.key("direction");
+    W.value(E.C == 1 ? "promotion" : "deopt_exit");
     break;
   }
 }

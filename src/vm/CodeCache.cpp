@@ -36,6 +36,9 @@ const CompiledMethod *CodeCache::install(CompiledMethod CM) {
     GraveyardInstructions += Active[CM.Id]->Code.size();
     ActiveInstructions -= Active[CM.Id]->Code.size();
     Graveyard.push_back(std::move(Active[CM.Id]));
+    // A version retired with no live frames never gets another unpin;
+    // free it here rather than letting it linger forever.
+    reclaimIfUnpinned(Graveyard.back().get());
   }
   ActiveInstructions += CM.Code.size();
   Active[CM.Id] = std::make_unique<CompiledMethod>(std::move(CM));
@@ -55,6 +58,38 @@ const CompiledMethod *CodeCache::invalidate(bc::MethodId Id) {
   return Graveyard.back().get();
 }
 
+void CodeCache::pinFrame(const CompiledMethod *CM) {
+  if (!PinTracking || !CM)
+    return;
+  // The cache owns every version it hands out; frames hold const
+  // pointers, so the pin count is adjusted through the owner.
+  ++const_cast<CompiledMethod *>(CM)->PinnedFrames;
+}
+
+void CodeCache::unpinFrame(const CompiledMethod *CM) {
+  if (!PinTracking || !CM)
+    return;
+  CompiledMethod *M = const_cast<CompiledMethod *>(CM);
+  assert(M->PinnedFrames > 0 && "unpin without a matching pin");
+  if (--M->PinnedFrames == 0)
+    reclaimIfUnpinned(CM); // frees it only if it is already retired
+}
+
+bool CodeCache::reclaimIfUnpinned(const CompiledMethod *CM) {
+  if (!PinTracking || !CM || CM->PinnedFrames != 0)
+    return false;
+  for (size_t I = 0, E = Graveyard.size(); I != E; ++I) {
+    if (Graveyard[I].get() != CM)
+      continue;
+    GraveyardInstructions -= CM->Code.size();
+    ReclaimedInstructions += CM->Code.size();
+    ++Reclaims;
+    Graveyard.erase(Graveyard.begin() + static_cast<ptrdiff_t>(I));
+    return true;
+  }
+  return false;
+}
+
 CompiledMethod CodeCache::compileBaseline(const bc::Program &P,
                                           bc::MethodId Id, int Level,
                                           const CostModel &Costs) {
@@ -67,6 +102,10 @@ CompiledMethod CodeCache::compileBaseline(const bc::Program &P,
       static_cast<uint16_t>(std::lround(Costs.LevelScale[Level] * 256.0));
   CM.NumLocals = M.NumLocals;
   CM.Code = M.Code;
+  // The identity translation keeps every loop header where it was, so
+  // its OSR table is the identity map over the method's headers.
+  for (uint32_t H : loopHeaderPCs(M.Code))
+    CM.OsrPoints.push_back({H, H});
   CM.CompileCostCycles = static_cast<uint64_t>(
       std::llround(Costs.CompileCostPerByte[Level] * M.sizeBytes()));
   return CM;

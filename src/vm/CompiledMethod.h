@@ -9,8 +9,12 @@
 /// code, its optimization level, and the execution-speed scale the
 /// interpreter applies. The original bytecode in the Program is never
 /// mutated; the code cache maps each method to its active version, and
-/// stack frames pin the version they started in (no on-stack
-/// replacement, matching the paper's VMs for already-active frames).
+/// stack frames pin the version they started in. With on-stack
+/// replacement enabled (VMConfig::EnableOSR) a pinned frame transfers
+/// to the active version at the next taken backedge yieldpoint whose
+/// target is a recorded OSR point; with it disabled the frame runs its
+/// pinned version to completion, matching the paper's VMs for
+/// already-active frames.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +23,7 @@
 
 #include "bytecode/Instruction.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +37,23 @@ namespace cbs::vm {
 struct SpeculationGuard {
   bc::SiteId Site = bc::InvalidSiteId;
   bc::MethodId AssumedCallee = bc::InvalidMethodId;
+};
+
+/// One loop-entry location where a frame may transfer between versions
+/// of the same method. OSR points are the root method's loop headers
+/// (targets of backward branches in the *original* bytecode); every
+/// version of a method records where each surviving header landed in
+/// its own code, so two versions agree on a transfer location exactly
+/// when they share the header's original-bytecode PC. At a loop header
+/// the operand stack is empty and the root method's locals occupy the
+/// same slots in every version (the inliner appends callee locals past
+/// them), which is what makes the transfer a pure PC/locals remap.
+struct OsrPoint {
+  /// Loop-header PC in the method's original bytecode.
+  uint32_t BytecodePC = 0;
+  /// Where that header landed in this version's (inlined, optimized)
+  /// code.
+  uint32_t CodePC = 0;
 };
 
 struct CompiledMethod {
@@ -58,13 +80,65 @@ struct CompiledMethod {
   uint64_t ProfileEpoch = 0;
   /// Set by CodeCache::invalidate when the version is retired by a
   /// deoptimization; frames still pinning it fall back to baseline
-  /// execution speed at their next taken yieldpoint.
+  /// execution speed at their next taken yieldpoint (and, with OSR
+  /// enabled, transfer off it at the next mapped loop header).
   bool Invalidated = false;
+  /// Loop-entry transfer locations, sorted by BytecodePC. Always
+  /// emitted (the table is inert data when OSR is off); identity
+  /// entries for baseline compiles.
+  std::vector<OsrPoint> OsrPoints;
+  /// Live frames currently executing this version. Maintained only
+  /// when VMConfig::EnableOSR pin tracking is on; the code cache uses
+  /// it to reclaim graveyard versions once the last frame leaves.
+  uint32_t PinnedFrames = 0;
 
   uint64_t scaledCost(uint32_t BaseCost) const {
     return (static_cast<uint64_t>(BaseCost) * ScaleQ8) >> 8;
   }
+
+  /// The OSR point whose code-space PC is \p CodePC, or nullptr.
+  const OsrPoint *osrPointAtCode(uint32_t CodePC) const {
+    for (const OsrPoint &P : OsrPoints)
+      if (P.CodePC == CodePC)
+        return &P;
+    return nullptr;
+  }
+
+  /// The OSR point for original-bytecode loop header \p BytecodePC, or
+  /// nullptr if this version did not keep that header.
+  const OsrPoint *osrPointAtBytecode(uint32_t BytecodePC) const {
+    for (const OsrPoint &P : OsrPoints)
+      if (P.BytecodePC == BytecodePC)
+        return &P;
+    return nullptr;
+  }
 };
+
+/// Loop-header PCs of \p Code: targets of backward branches (the
+/// interpreter treats a taken branch with Target <= PC as a backedge).
+/// Sorted, unique. Both the baseline identity compile and the
+/// optimizing pipeline derive their OSR tables from this over the
+/// method's *original* bytecode, so all versions agree on the set of
+/// candidate headers.
+inline std::vector<uint32_t>
+loopHeaderPCs(const std::vector<bc::Instruction> &Code) {
+  std::vector<uint32_t> Headers;
+  for (uint32_t PC = 0; PC < Code.size(); ++PC) {
+    const bc::Instruction &I = Code[PC];
+    if (!bc::isBranch(I.Op))
+      continue;
+    uint32_t Target = static_cast<uint32_t>(I.A);
+    if (Target > PC)
+      continue;
+    bool Seen = false;
+    for (uint32_t H : Headers)
+      Seen |= (H == Target);
+    if (!Seen)
+      Headers.push_back(Target);
+  }
+  std::sort(Headers.begin(), Headers.end());
+  return Headers;
+}
 
 } // namespace cbs::vm
 

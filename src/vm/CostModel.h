@@ -87,6 +87,16 @@ struct CostModel {
   /// the transition pay only the loss of the version's LevelScale.
   uint32_t DeoptCost = 150;
 
+  // --- On-stack replacement ------------------------------------------------
+  /// One-time cost of transferring a live frame between versions of its
+  /// method at a loop-header yieldpoint (extract the frame state from
+  /// the old version, rebuild it for the new one, redirect the PC).
+  /// Charged for both promotion OSR (entering newer optimized code
+  /// mid-activation) and deopt OSR (a Frame::Deopted frame reconciling
+  /// to baseline). Deliberately pricier than DeoptCost: OSR rebuilds
+  /// the frame for *different* code rather than reusing it.
+  uint32_t OsrCost = 220;
+
   // --- Compilation ---------------------------------------------------------
   /// Execution-speed multipliers per optimization level; optimized code
   /// retires modelled instructions faster.

@@ -38,7 +38,10 @@ struct Frame {
   /// entered it: the frame keeps executing its code (semantics are
   /// unchanged — guard misses fall through to the real dispatch) but at
   /// baseline speed, the modelled stand-in for falling back to
-  /// interpreted code with no on-stack replacement.
+  /// interpreted code. With VMConfig::EnableOSR the frame additionally
+  /// transfers to a fresh baseline version at the next loop-header
+  /// yieldpoint (deopt OSR), clearing this flag; without OSR it limps
+  /// on its pinned code until it returns.
   bool Deopted = false;
 };
 

@@ -63,5 +63,6 @@ VMConfig VMConfig::fromArgs(support::ArgParser &Args) {
       Args.optionUInt("--decay-ticks", 0, 0, UINT32_MAX));
   Config.Profiler.DecayFactor =
       Args.optionDouble("--decay-factor", 0.8, 0.0, 1.0);
+  Config.EnableOSR = Args.flag("--osr");
   return Config;
 }

@@ -139,6 +139,18 @@ struct VMConfig {
   /// charging CostModel::ExplicitEntryCheck on every method entry.
   bool ExplicitEntryCheck = false;
 
+  /// On-stack replacement at taken backedge yieldpoints: a frame whose
+  /// method has a different active version transfers to it at the next
+  /// loop header both versions kept (promotion OSR), and a
+  /// Frame::Deopted frame transfers to a fresh baseline instead of
+  /// limping on its pinned invalidated code (deopt OSR). Each transfer
+  /// charges CostModel::OsrCost. Off by default: the no-OSR trajectory
+  /// is byte-identical to previous releases, matching the paper's VMs,
+  /// which never replace already-active frames. All OSR decisions
+  /// happen on the VM thread in virtual time, so runs stay
+  /// byte-identical at any --compile-jobs/--dcg-shards count.
+  bool EnableOSR = false;
+
   uint64_t Seed = 1;
 
   /// Optional structured-event tracer (non-owning; must outlive the
@@ -165,7 +177,7 @@ struct VMConfig {
   /// The validated builder every command-line surface shares: parses
   /// the common VM options (--personality, --seed, --profiler and its
   /// per-kind knobs, --dcg-shards, --buffer-capacity, --decay-ticks,
-  /// --decay-factor) from \p Args, resolving the profiler through
+  /// --decay-factor, --osr) from \p Args, resolving the profiler through
   /// prof::ProfilerRegistry. Invalid combinations are a single
   /// diagnostic here rather than a divergent per-caller check — e.g. a
   /// sampling-only knob (--stride, --samples, --buffer-capacity) with a

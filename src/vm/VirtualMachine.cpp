@@ -49,6 +49,8 @@ VirtualMachine::LiveStats::LiveStats(tel::MetricRegistry &R)
       ThreadsSpawned(R.counter("vm.threads_spawned")),
       Deopts(R.counter("vm.deopts")),
       FramesDeopted(R.counter("vm.frames_deopted")),
+      OsrEntries(R.counter("vm.osr_entries")),
+      OsrExits(R.counter("vm.osr_exits")),
       DCGFlushes(R.counter("dcg.flushes")),
       DCGDropped(R.counter("dcg.dropped_samples")),
       MaxStackDepth(R.gauge("vm.max_stack_depth")),
@@ -89,6 +91,9 @@ const tel::MetricRegistry &VirtualMachine::metrics() {
   Registry.gauge("code.active_instructions") = Cache.activeCodeInstructions();
   Registry.gauge("code.graveyard_instructions") =
       Cache.graveyardCodeInstructions();
+  Registry.gauge("code.graveyard_reclaimed_instructions") =
+      Cache.reclaimedCodeInstructions();
+  Registry.gauge("code.graveyard_reclaims") = Cache.numReclaims();
   Registry.gauge("vm.methods_executed") = methodsExecuted();
   Registry.gauge("vm.threads_live") = countRunnable();
   Registry.gauge("dcg.shard_contention") = DCG.contentionCount();
@@ -127,6 +132,10 @@ VirtualMachine::VirtualMachine(const bc::Program &P, VMConfig Config)
        this->Config.Profiler.ChargeExhaustiveCounters);
   NextTimerAt = this->Config.TimerPeriodCycles;
   NextGCAt = this->Config.GCThresholdBytes;
+  // Frame pin counting exists only for OSR's graveyard reclamation;
+  // with OSR off the cache (and the whole run) behaves exactly as
+  // before.
+  Cache.setPinTracking(this->Config.EnableOSR);
   spawnThread(P.entryMethod());
 }
 
@@ -141,6 +150,7 @@ Thread &VirtualMachine::spawnThread(bc::MethodId Entry) {
   T->Buffer = prof::SampleBuffer(Config.Profiler.SampleBufferCapacity);
   T->Values.resize(CM->NumLocals, 0);
   T->Frames.push_back({CM, 0, 0});
+  Cache.pinFrame(CM);
   ++InvocationCounts[Entry];
   Threads.push_back(std::move(T));
   ++Stats.ThreadsSpawned;
@@ -179,6 +189,9 @@ bool VirtualMachine::deoptimize(bc::MethodId Id) {
   uint32_t Thr = Threads.empty() ? 0 : Threads[Current]->Id;
   emitAnomaly(tel::TraceEvent::deopt(Stats.Cycles, Thr, Id, Retired->Level,
                                      Cache.invalidationEpoch(Id)));
+  // A version invalidated while no frame runs it would never see
+  // another unpin; with pin tracking on, free it now.
+  Cache.reclaimIfUnpinned(Retired);
   return true;
 }
 
@@ -195,6 +208,61 @@ void VirtualMachine::reconcileDeoptFrames(Thread &T) {
     // runtime service, not profiling work.
     Stats.Cycles += Config.Costs.DeoptCost;
   }
+}
+
+void VirtualMachine::maybeOSR(Thread &T, uint32_t BackedgeTarget) {
+  if (T.Frames.empty())
+    return;
+  Frame &F = T.top();
+  const CompiledMethod *From = F.CM;
+  // The backedge's target must be a mapped OSR point of the running
+  // version — otherwise we are not at a transferable loop entry.
+  const OsrPoint *FromPt = From->osrPointAtCode(BackedgeTarget);
+  if (!FromPt)
+    return;
+
+  const CompiledMethod *To = Cache.active(From->Id);
+  if (To == From)
+    return; // already running the newest code
+  bool DeoptExit = F.Deopted;
+  if (!To) {
+    // Invalidated with no replacement: only a deopted frame has a
+    // reason to move — it reconciles to the fresh baseline the lazy
+    // compile path would hand the next invocation anyway.
+    if (!DeoptExit)
+      return;
+    To = ensureCompiled(From->Id);
+  }
+  const OsrPoint *ToPt = To->osrPointAtBytecode(FromPt->BytecodePC);
+  if (!ToPt)
+    return; // the new version dissolved this loop header
+
+  // Transfer is a pure locals remap only when the operand stack is
+  // empty. At a loop header of structured code it always is; checked,
+  // not assumed, because generated programs are only verifier-clean.
+  if (T.Values.size() != F.LocalBase + From->NumLocals)
+    return;
+
+  // Root locals occupy the same leading slots in every version;
+  // inlined-callee temps beyond them are dead at a root loop header
+  // (each spliced region spills its values before reading them), so
+  // grow-with-zeros / shrink is safe.
+  T.Values.resize(F.LocalBase + To->NumLocals, 0);
+  Cache.unpinFrame(From); // may reclaim From's graveyard slot
+  Cache.pinFrame(To);
+  F.CM = To;
+  F.PC = ToPt->CodePC;
+  F.Deopted = false;
+
+  // Frame-state extraction + rebuild for the other version's code.
+  Stats.Cycles += Config.Costs.OsrCost;
+  if (DeoptExit)
+    ++Stats.OsrExits;
+  else
+    ++Stats.OsrEntries;
+  if (Trace)
+    Trace->event(tel::TraceEvent::osr(Stats.Cycles, T.Id, To->Id, To->Level,
+                                      DeoptExit ? 2 : 1));
 }
 
 void VirtualMachine::installCompiled(CompiledMethod CM) {
@@ -394,7 +462,8 @@ void VirtualMachine::recordEdgeSample(Thread &T) {
   }
 }
 
-void VirtualMachine::processTaken(Thread &T, Where W) {
+void VirtualMachine::processTaken(Thread &T, Where W,
+                                  uint32_t BackedgeTarget) {
   ++Stats.YieldpointsTaken;
 
   // Taken yieldpoints are the deterministic virtual-time points where
@@ -409,6 +478,14 @@ void VirtualMachine::processTaken(Thread &T, Where W) {
   // baseline speed here — the earliest deterministic point after the
   // decision.
   reconcileDeoptFrames(T);
+
+  // On-stack replacement happens only here: after installs and deopt
+  // reconciliation (so the frame transfers to whatever just became
+  // active), before tick servicing, and only at backedges — the one
+  // yieldpoint flavour where the interpreter is at a loop entry with an
+  // empty operand stack.
+  if (Config.EnableOSR && W == Where::Backedge)
+    maybeOSR(T, BackedgeTarget);
 
   // Figure 4: the overloaded flag's slow path disambiguates all pending
   // conditions — original services (GC) first, then profiling.
@@ -519,6 +596,7 @@ void VirtualMachine::invoke(Thread &T, bc::MethodId Callee, uint32_t ArgCount,
   uint32_t LocalBase = static_cast<uint32_t>(T.Values.size() - ArgCount);
   T.Values.resize(LocalBase + CM->NumLocals, 0);
   T.Frames.push_back({CM, 0, LocalBase});
+  Cache.pinFrame(CM);
   ++Stats.CallsExecuted;
   Stats.MaxStackDepth = std::max<uint64_t>(Stats.MaxStackDepth,
                                            T.Frames.size());
@@ -772,8 +850,16 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
         // Backedge yieldpoint: taken only when the word is positive
         // (the Jikes 3-state encoding; the J9 personality services
         // switch/GC requests here too).
-        if (Target <= F.PC && T.Word == YieldWord::TakeAll)
-          processTaken(T, Where::Backedge);
+        if (Target <= F.PC && T.Word == YieldWord::TakeAll) {
+          const CompiledMethod *Before = F.CM;
+          processTaken(T, Where::Backedge, Target);
+          // An OSR transfer redirected the frame into another version
+          // and already set its PC; Target is a PC of the old code.
+          // (The old version may even have been reclaimed — I must not
+          // be touched past this point.)
+          if (F.CM != Before)
+            continue;
+        }
         F.PC = Target;
         continue;
       }
@@ -882,6 +968,9 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
       bool HasResult = I.Op != Opcode::Return;
       int64_t Result = HasResult ? pop() : 0;
       uint32_t LocalBase = F.LocalBase;
+      // The pop may reclaim a retired version this frame was the last
+      // to pin; I and F must not be touched afterwards.
+      Cache.unpinFrame(F.CM);
       T.Frames.pop_back();
       T.Values.resize(LocalBase);
       if (T.Frames.empty()) {

@@ -163,8 +163,12 @@ public:
   /// execution speed at its thread's next taken yieldpoint (each such
   /// frame is charged CostModel::DeoptCost once at that transition).
   /// Future invocations recompile lazily through the normal baseline
-  /// path. Returns false when the method had no active version. Must be
-  /// called from the VM thread (client hooks), like installCompiled.
+  /// path. With VMConfig::EnableOSR a deopted frame additionally
+  /// transfers to a fresh baseline version at its next loop-header
+  /// backedge yieldpoint (deopt OSR) instead of limping on the
+  /// invalidated code until it returns. Returns false when the method
+  /// had no active version. Must be called from the VM thread (client
+  /// hooks), like installCompiled.
   bool deoptimize(bc::MethodId Id);
 
 private:
@@ -191,6 +195,8 @@ private:
     tel::Counter &ThreadsSpawned;
     tel::Counter &Deopts;         // vm.deopts
     tel::Counter &FramesDeopted;  // vm.frames_deopted
+    tel::Counter &OsrEntries;     // vm.osr_entries (promotion transfers)
+    tel::Counter &OsrExits;       // vm.osr_exits (deopt-frame transfers)
     tel::Counter &DCGFlushes;
     tel::Counter &DCGDropped;
     tel::Gauge &MaxStackDepth;
@@ -213,7 +219,9 @@ private:
   };
 
   void fireTimer();
-  void processTaken(Thread &T, Where W);
+  /// \p BackedgeTarget is the taken backward branch's target when
+  /// W == Backedge (the candidate OSR point); unused otherwise.
+  void processTaken(Thread &T, Where W, uint32_t BackedgeTarget = 0);
   void maybeSwitch();
   size_t countRunnable() const;
   void recordEdgeSample(Thread &T);
@@ -236,6 +244,14 @@ private:
   /// Reconciles \p T's frames with the global deopt epoch: frames
   /// pinning invalidated versions flip to the baseline fallback path.
   void reconcileDeoptFrames(Thread &T);
+  /// On-stack replacement (VMConfig::EnableOSR, taken backedge
+  /// yieldpoints only): if \p T's top frame runs a version that is no
+  /// longer its method's active one and both versions kept the loop
+  /// header the backedge jumps to, the frame transfers to the active
+  /// version (a Deopted frame with no active version transfers to a
+  /// fresh baseline). Charges CostModel::OsrCost per transfer. Runs on
+  /// the VM thread in virtual time — determinism-neutral.
+  void maybeOSR(Thread &T, uint32_t BackedgeTarget);
   const CompiledMethod *ensureCompiled(bc::MethodId Id);
   /// Pushes a frame for \p Callee consuming \p ArgCount values from the
   /// current operand stack; runs entry profiling hooks.

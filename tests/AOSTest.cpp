@@ -38,8 +38,8 @@ Program hotColdProgram() {
   }
   MethodId Main = PB.declareStatic("main");
   {
-    // Call hotLoop repeatedly: recompiled versions only take effect on
-    // fresh invocations (no on-stack replacement), as in the paper's
+    // Call hotLoop repeatedly: these runs leave OSR off, so recompiled
+    // versions only take effect on fresh invocations, as in the paper's
     // VMs.
     MethodBuilder MB = PB.defineMethod(Main);
     MB.invokeStatic(Cold).istore(0);

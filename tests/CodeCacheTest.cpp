@@ -8,7 +8,10 @@
 // capacity accounting must stay exact through every transition, the
 // invalidation epoch must advance exactly when a version is retired
 // without replacement, and a double-install of an identical version is
-// a checked error rather than a silent graveyard leak.
+// a checked error rather than a silent graveyard leak. With pin
+// tracking on (the OSR configuration) the accounting extends to
+// reclamation: a retired version is freed exactly when its last pinned
+// frame leaves, and never before.
 //
 //===----------------------------------------------------------------------===//
 
@@ -185,4 +188,79 @@ TEST(CodeCache, HigherLevelOrNewerPlanIsNotADoubleInstall) {
   Cache.install(CodeCache::compileBaseline(P, 0, 2, Costs));
   EXPECT_EQ(Cache.activeLevel(0), 2);
   EXPECT_EQ(Cache.numRecompiles(), 2u);
+}
+
+TEST(CodeCache, PinnedRetiredVersionReclaimedAtLastUnpin) {
+  // The regression pin tracking exists for: a version invalidated while
+  // a live frame still executes it must survive exactly until that
+  // frame transfers out (OSR) or returns, then be reclaimed with exact
+  // capacity accounting. Pre-OSR the cache documented this case as
+  // unreclaimable and the graveyard only grew.
+  Program P = twoMethodProgram();
+  CodeCache Cache(P);
+  CostModel Costs;
+  Cache.setPinTracking(true);
+
+  const CompiledMethod *V1 =
+      Cache.install(CodeCache::compileBaseline(P, 0, 0, Costs));
+  size_t V1Size = V1->Code.size();
+  Cache.pinFrame(V1); // a frame enters the version
+  Cache.pinFrame(V1); // ...and a second one
+
+  // Retired while pinned: kept alive, fully accounted in the graveyard.
+  Cache.invalidate(0);
+  EXPECT_EQ(Cache.graveyardCodeInstructions(), V1Size);
+  EXPECT_EQ(Cache.graveyardSize(), 1u);
+  EXPECT_EQ(Cache.reclaimedCodeInstructions(), 0u);
+  EXPECT_EQ(Cache.numReclaims(), 0u);
+
+  // First frame leaves: still pinned by the second, still alive.
+  Cache.unpinFrame(V1);
+  EXPECT_EQ(Cache.graveyardCodeInstructions(), V1Size);
+  EXPECT_EQ(Cache.numReclaims(), 0u);
+
+  // Last frame transfers out: reclaimed on the spot, books exact.
+  Cache.unpinFrame(V1);
+  EXPECT_EQ(Cache.graveyardCodeInstructions(), 0u);
+  EXPECT_EQ(Cache.graveyardSize(), 0u);
+  EXPECT_EQ(Cache.reclaimedCodeInstructions(), V1Size);
+  EXPECT_EQ(Cache.numReclaims(), 1u);
+}
+
+TEST(CodeCache, UnpinnedRetireeReclaimedImmediatelyOnRecompile) {
+  // install() retiring a version with no pinned frames frees it right
+  // away — no frame will ever report an unpin for it.
+  Program P = twoMethodProgram();
+  CodeCache Cache(P);
+  CostModel Costs;
+  Cache.setPinTracking(true);
+
+  const CompiledMethod *V1 =
+      Cache.install(CodeCache::compileBaseline(P, 0, 0, Costs));
+  size_t V1Size = V1->Code.size();
+  Cache.install(CodeCache::compileBaseline(P, 0, 1, Costs));
+  EXPECT_EQ(Cache.graveyardCodeInstructions(), 0u);
+  EXPECT_EQ(Cache.graveyardSize(), 0u);
+  EXPECT_EQ(Cache.reclaimedCodeInstructions(), V1Size);
+  EXPECT_EQ(Cache.numReclaims(), 1u);
+}
+
+TEST(CodeCache, PinTrackingOffKeepsGraveyardBehaviour) {
+  // Without setPinTracking the pre-OSR contract holds bit for bit: the
+  // graveyard only grows, and pin/unpin/reclaim are no-ops.
+  Program P = twoMethodProgram();
+  CodeCache Cache(P);
+  CostModel Costs;
+
+  const CompiledMethod *V1 =
+      Cache.install(CodeCache::compileBaseline(P, 0, 0, Costs));
+  size_t V1Size = V1->Code.size();
+  Cache.pinFrame(V1);
+  Cache.install(CodeCache::compileBaseline(P, 0, 1, Costs));
+  Cache.unpinFrame(V1);
+  EXPECT_FALSE(Cache.reclaimIfUnpinned(V1));
+  EXPECT_EQ(Cache.graveyardCodeInstructions(), V1Size);
+  EXPECT_EQ(Cache.graveyardSize(), 1u);
+  EXPECT_EQ(Cache.reclaimedCodeInstructions(), 0u);
+  EXPECT_EQ(Cache.numReclaims(), 0u);
 }

@@ -87,3 +87,24 @@ TEST_P(ThreadedProgramTest, ThreadedShapesVerifyAndHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedProgramTest,
                          ::testing::Range<uint64_t>(1, 26));
+
+class LongLoopProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The long-loop shape keeps frames inside loops long enough for
+// installs and invalidations to land mid-loop — the programs where
+// on-stack replacement actually fires. Verify the shape and hold the
+// OSR invariant on every seed; the full oracle set would mostly re-run
+// what RandomProgramTest already covers, only slower.
+TEST_P(LongLoopProgramTest, LongLoopShapesVerifyAndOsrHolds) {
+  fuzz::ProgramGenerator Gen(fuzz::ShapeConfig::longLoops());
+  Program P = Gen.generate(GetParam());
+  VerifyResult V = verifyProgram(P);
+  ASSERT_TRUE(V.ok()) << V.str();
+  fuzz::OracleRegistry Registry = fuzz::OracleRegistry::builtin();
+  const fuzz::Oracle *Osr = Registry.find("osr-stability");
+  ASSERT_NE(Osr, nullptr);
+  EXPECT_EQ(Osr->check({P, GetParam()}), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LongLoopProgramTest,
+                         ::testing::Range<uint64_t>(1, 16));

@@ -152,8 +152,8 @@ TEST(CodeCache, InstallRetiresButKeepsOldVersionsAlive) {
       Cache.install(vm::CodeCache::compileBaseline(P, 0, 2, Costs));
   EXPECT_EQ(Cache.activeLevel(0), 2);
   EXPECT_NE(V0, V2);
-  // The retired version's storage must still be readable (frames pin
-  // old versions; no on-stack replacement).
+  // The retired version's storage must still be readable: frames may
+  // keep executing it until they return or OSR-transfer off.
   EXPECT_EQ(V0->Level, 0);
   EXPECT_FALSE(V0->Code.empty());
   EXPECT_EQ(Cache.numCompiles(), 2u);

@@ -44,6 +44,13 @@
 //       --max-deopts N           deopts per method before it is pinned
 //                                to the conservative no-speculation
 //                                plan (implies --aos + deopt; default 3)
+//       --osr                    on-stack replacement at yieldpoints
+//                                (implies --aos): frames on stale
+//                                versions transfer to the newest
+//                                installed version at their next taken
+//                                loop-header backedge, and deopted
+//                                frames transfer off invalidated code
+//                                instead of limping at baseline speed
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
 //       --trace FILE             write a Chrome trace_event JSON trace
@@ -64,7 +71,9 @@
 //     flight-recorder dumps. When --aos is active the report also
 //     carries an "aos" section (recompilations and compile-queue
 //     traffic), and with deoptimization enabled a "deopt" subsection
-//     (guard checks/failures, deopt count, pins, recompiles).
+//     (guard checks/failures, deopt count, pins, recompiles). With
+//     --osr the report adds a top-level "osr" section (transfer counts
+//     and graveyard reclamation).
 //     Accepts every `run` configuration option above, plus:
 //       --every-ticks N          quality window period (default 8)
 //       --hot-edges N            hot set size for churn (default 16)
@@ -98,6 +107,8 @@
 //       --artifact-dir DIR       where violation artifacts go
 //       --no-reduce              skip delta-debugging of violations
 //       --threads                multi-threaded program shape
+//       --long-loops             long-loop program shape (the preset
+//                                the osr-stability oracle favours)
 //       --max-methods N          method-DAG ceiling
 //       --max-steps N            per-method body-step ceiling
 //       --max-call-repeat N      main-call repeat ceiling (phase shift)
@@ -114,6 +125,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "aos/AdaptiveSystem.h"
+#include "aos/ReportJson.h"
 #include "bytecode/Printer.h"
 #include "experiments/Experiments.h"
 #include "fuzz/Fuzzer.h"
@@ -238,6 +250,10 @@ RunSetup parseRunSetup(ArgParser &Args) {
     S.AOS.Deopt.MaxDeoptsPerMethod = static_cast<uint32_t>(MaxDeopts);
     S.UseAOS = true;
   }
+  // --osr was consumed by VMConfig::fromArgs; it only does anything
+  // when versions actually get replaced, so it implies --aos too.
+  if (S.Config.EnableOSR)
+    S.UseAOS = true;
   return S;
 }
 
@@ -354,6 +370,24 @@ int cmdRun(ArgParser &Args) {
     }
   }
 
+  if (S.Config.EnableOSR) {
+    const tel::MetricRegistry &M = VM.metrics();
+    auto Counter = [&M](const char *Name) {
+      const tel::Counter *C = M.findCounter(Name);
+      return C ? static_cast<unsigned long long>(*C) : 0ull;
+    };
+    auto Gauge = [&M](const char *Name) {
+      const tel::Gauge *G = M.findGauge(Name);
+      return G ? static_cast<unsigned long long>(*G) : 0ull;
+    };
+    std::printf("osr: %llu promotions, %llu deopt exits; graveyard: %llu "
+                "instructions reclaimed across %llu frees, %llu retained\n",
+                Counter("vm.osr_entries"), Counter("vm.osr_exits"),
+                Gauge("code.graveyard_reclaimed_instructions"),
+                Gauge("code.graveyard_reclaims"),
+                Gauge("code.graveyard_instructions"));
+  }
+
   prof::DCGSnapshot DCG = VM.profile();
   std::printf("\n%s", DCG.str(S.P, Edges).c_str());
 
@@ -412,15 +446,6 @@ int cmdStats(ArgParser &Args) {
   return 0;
 }
 
-/// The overhead.* components, in registration order. The first six
-/// partition vm.profiling_cycles; the last two are attributed but never
-/// charged to execution time (see VirtualMachine::LiveStats).
-const char *const OverheadComponents[] = {
-    "overhead.entry_check", "overhead.counter_update",
-    "overhead.listener",    "overhead.stack_walk",
-    "overhead.buffer_flush", "overhead.snapshot",
-    "overhead.yieldpoint_taken", "overhead.shard_wait"};
-
 int cmdReport(ArgParser &Args) {
   RunSetup S = parseRunSetup(Args);
   S.Config.Profiler.Quality.EveryTicks = static_cast<uint32_t>(
@@ -460,101 +485,15 @@ int cmdReport(ArgParser &Args) {
   };
 
   if (!JsonPath.empty()) {
-    json::JsonWriter W;
-    W.beginObject();
-    W.key("workload");
-    W.value(S.Name);
-    W.key("size");
-    W.value(wl::inputSizeName(S.Size));
-    W.key("seed");
-    W.value(S.Seed);
-    W.key("state");
-    W.value(vm::runStateName(State));
-    W.key("cycles");
-    W.value(VmCycles);
-    W.key("quality");
-    Monitor.writeJson(W);
-    W.key("overhead");
-    W.beginObject();
-    W.key("components");
-    W.beginArray();
-    for (const char *Name : OverheadComponents) {
-      const tel::Counter *C = Metrics.findCounter(Name);
-      uint64_t Cycles = C ? static_cast<uint64_t>(*C) : 0;
-      W.beginObject();
-      W.key("name");
-      W.value(Name);
-      W.key("cycles");
-      W.value(Cycles);
-      W.key("fractionPct");
-      W.value(FractionPct(Cycles));
-      W.endObject();
-    }
-    W.endArray();
-    W.key("totalCycles");
-    W.value(OvTotal);
-    W.key("vmCycles");
-    W.value(VmCycles);
-    W.key("totalFractionPct");
-    W.value(FractionPct(OvTotal));
-    W.endObject();
-    if (S.UseAOS) {
-      const aos::AOSStats &A = AOS.System->stats();
-      W.key("aos");
-      W.beginObject();
-      W.key("recompilations");
-      W.value(A.Recompilations);
-      W.key("promotionsToL1");
-      W.value(A.PromotionsToL1);
-      W.key("promotionsToL2");
-      W.value(A.PromotionsToL2);
-      W.key("reoptimizations");
-      W.value(A.Reoptimizations);
-      W.key("plansComputed");
-      W.value(A.PlansComputed);
-      W.key("phaseShiftReplans");
-      W.value(A.PhaseShiftReplans);
-      W.key("queue");
-      W.beginObject();
-      W.key("depth");
-      W.value(static_cast<uint64_t>(AOS.System->queueDepth()));
-      W.key("enqueued");
-      W.value(A.QueueEnqueued);
-      W.key("installs");
-      W.value(A.QueueInstalls);
-      W.key("stale_drops");
-      W.value(A.QueueStaleDrops);
-      W.key("coalesced");
-      W.value(A.QueueCoalesced);
-      W.key("dropped");
-      W.value(A.QueueDropped);
-      W.endObject();
-      if (const aos::DeoptController *DC = AOS.System->deoptController()) {
-        const aos::DeoptStats &D = DC->stats();
-        W.key("deopt");
-        W.beginObject();
-        W.key("guardChecks");
-        W.value(D.GuardChecks);
-        W.key("guardFailures");
-        W.value(D.GuardFailures);
-        W.key("count");
-        W.value(D.Deopts);
-        W.key("phaseShiftDeopts");
-        W.value(D.PhaseShiftDeopts);
-        W.key("conservativePins");
-        W.value(D.ConservativePins);
-        W.key("staleRequestsDropped");
-        W.value(D.StaleRequestsDropped);
-        W.key("recompiles");
-        W.value(D.Recompiles);
-        W.endObject();
-      }
-      W.endObject();
-    }
-    W.key("flightRecorder");
-    Recorder.writeJson(W);
-    W.endObject();
-    std::string Json = W.take();
+    aos::ReportInputs In;
+    In.Workload = S.Name;
+    In.Size = wl::inputSizeName(S.Size);
+    In.Seed = S.Seed;
+    In.State = vm::runStateName(State);
+    In.VM = &VM;
+    In.AOS = S.UseAOS ? AOS.System.get() : nullptr;
+    In.Recorder = &Recorder;
+    std::string Json = aos::buildReportJson(In);
     if (JsonPath == "-") {
       std::fputs(Json.c_str(), stdout);
       std::fputc('\n', stdout);
@@ -593,7 +532,7 @@ int cmdReport(ArgParser &Args) {
   std::printf("\noverhead attribution:\n");
   TablePrinter Overhead;
   Overhead.setHeader({"component", "cycles", "% of run"});
-  for (const char *Name : OverheadComponents) {
+  for (const char *Name : aos::OverheadComponentNames) {
     const tel::Counter *C = Metrics.findCounter(Name);
     uint64_t Cycles = C ? static_cast<uint64_t>(*C) : 0;
     Overhead.addRow({Name, std::to_string(Cycles),
@@ -635,6 +574,27 @@ int cmdReport(ArgParser &Args) {
                     std::to_string(D.Recompiles)});
       std::fputs(Deopt.render().c_str(), stdout);
     }
+  }
+
+  if (S.Config.EnableOSR) {
+    auto Counter = [&Metrics](const char *Name) {
+      const tel::Counter *C = Metrics.findCounter(Name);
+      return C ? static_cast<uint64_t>(*C) : 0;
+    };
+    auto Gauge = [&Metrics](const char *Name) {
+      const tel::Gauge *G = Metrics.findGauge(Name);
+      return G ? static_cast<uint64_t>(*G) : 0;
+    };
+    std::printf("\non-stack replacement:\n");
+    TablePrinter Osr;
+    Osr.setHeader({"promotions", "deopt exits", "reclaimed insns",
+                   "reclaims", "graveyard insns"});
+    Osr.addRow({std::to_string(Counter("vm.osr_entries")),
+                std::to_string(Counter("vm.osr_exits")),
+                std::to_string(Gauge("code.graveyard_reclaimed_instructions")),
+                std::to_string(Gauge("code.graveyard_reclaims")),
+                std::to_string(Gauge("code.graveyard_instructions"))});
+    std::fputs(Osr.render().c_str(), stdout);
   }
 
   std::printf("\nflight recorder: %llu events seen, %llu anomaly "
@@ -713,6 +673,8 @@ int cmdFuzz(ArgParser &Args) {
   Options.Reduce = !Args.flag("--no-reduce");
   if (Args.flag("--threads"))
     Options.Shape = fuzz::ShapeConfig::threaded();
+  if (Args.flag("--long-loops"))
+    Options.Shape = fuzz::ShapeConfig::longLoops();
   Options.Shape.MaxMethods = static_cast<uint32_t>(Args.optionUInt(
       "--max-methods", Options.Shape.MaxMethods, 1, 1u << 10));
   Options.Shape.MaxSteps = static_cast<uint32_t>(
