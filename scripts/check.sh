@@ -10,7 +10,11 @@
 # backedge yieldpoints, the code-cache graveyard must be fully
 # reclaimed by end of run, --osr runs must stay byte-identical across
 # compile worker counts, and the osr-stability oracle must come back
-# clean over 25 long-loop seeds), a
+# clean over 25 long-loop seeds), a profile-repository warm-start
+# stage (a second run over the same repository must load the first
+# run's committed entry and reach its first optimized install strictly
+# earlier, and repository bytes plus metrics must not depend on the
+# compile worker count), a
 # ThreadSanitizer pass over the
 # parallel experiment engine, the sharded profile repository, and the
 # background compile pipeline, and determinism checks: --jobs 8
@@ -75,7 +79,9 @@ trap 'rm -f "$TRACE" "$METRICS" "$STATS" "$JOBS1" "$JOBS8" \
   "$AOSREPORT" "${DEOPTREPORT:-}" "${DEOPTFUZZ1:-}" "${DEOPTFUZZ8:-}" \
   "${FUZZ1:-}" "${FUZZ8:-}" "${OSRREPORT:-}" "${OSRJOBS1:-}" \
   "${OSRJOBS8:-}" "${OSRJOBS1M:-}" "${OSRJOBS8M:-}" "${OSRFUZZ1:-}" \
-  "${OSRFUZZ8:-}"; rm -rf "${FUZZDIR:-}"' EXIT
+  "${OSRFUZZ8:-}" "${WARM1:-}" "${WARM2:-}" "${RJ1A:-}" "${RJ1B:-}" \
+  "${RJ8A:-}" "${RJ8B:-}"; \
+  rm -rf "${FUZZDIR:-}" "${REPODIR:-}" "${REPOJOBS1:-}" "${REPOJOBS8:-}"' EXIT
 
 CBSVM="$BUILD/tools/cbsvm"
 "$CBSVM" run compress --trace "$TRACE" --metrics-json "$METRICS"
@@ -292,14 +298,71 @@ print(f"report: {len(windows)} windows, {len(dumps)} dumps "
       f"({', '.join(dumps)}), overhead {total:.3f}% fully attributed")
 EOF
 
+echo "== profile repository warm start =="
+# The persistent repository end to end: the first monitored run over a
+# fresh repository is a miss that commits its profile; the second run
+# warm-starts from that entry and must reach its first optimized
+# install strictly earlier than the cold run did (the time-to-peak
+# benefit the repository exists to buy).
+REPODIR=$(mktemp -d /tmp/cbsvm-repo.XXXXXX)
+WARM1=$(mktemp /tmp/cbsvm-warm1.XXXXXX.json)
+WARM2=$(mktemp /tmp/cbsvm-warm2.XXXXXX.json)
+"$CBSVM" report phased --aos --profile-repo "$REPODIR" --json "$WARM1" >/dev/null
+"$CBSVM" report phased --aos --profile-repo "$REPODIR" --json "$WARM2" >/dev/null
+"$CBSVM" jsoncheck "$WARM1"
+"$CBSVM" jsoncheck "$WARM2"
+python3 - "$WARM1" "$WARM2" <<'EOF'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert cold["repo"]["loaded"] == 0, cold["repo"]
+assert cold["repo"]["committed"] == 1, cold["repo"]
+assert warm["repo"]["loaded"] == 1, warm["repo"]
+assert warm["repo"]["rejected"] == 0, warm["repo"]
+assert warm["repo"]["runs"] == 1, warm["repo"]
+assert warm["repo"]["committed"] == 1, warm["repo"]
+cold_first = cold["aos"]["queue"]["firstInstallCycle"]
+warm_first = warm["aos"]["queue"]["firstInstallCycle"]
+assert cold_first > 0, cold["aos"]["queue"]
+assert 0 < warm_first < cold_first, (cold_first, warm_first)
+assert "warm" not in cold["aos"], cold["aos"].keys()
+assert warm["aos"]["warm"]["enqueued"] >= 1, warm["aos"]["warm"]
+print(f"warm start: first install {cold_first} -> {warm_first} cycles "
+      f"({warm['aos']['warm']['enqueued']} methods pre-enqueued)")
+EOF
+
+# Repository bytes are part of the determinism contract: two cold+warm
+# run pairs through separate fresh repositories — one at --compile-jobs
+# 1, one at --compile-jobs 8 — must leave byte-identical repository
+# entries and byte-identical metrics at every step.
+REPOJOBS1=$(mktemp -d /tmp/cbsvm-repojobs1.XXXXXX)
+REPOJOBS8=$(mktemp -d /tmp/cbsvm-repojobs8.XXXXXX)
+RJ1A=$(mktemp /tmp/cbsvm-rj1a.XXXXXX.json)
+RJ1B=$(mktemp /tmp/cbsvm-rj1b.XXXXXX.json)
+RJ8A=$(mktemp /tmp/cbsvm-rj8a.XXXXXX.json)
+RJ8B=$(mktemp /tmp/cbsvm-rj8b.XXXXXX.json)
+"$CBSVM" run jess --profile-repo "$REPOJOBS1" --compile-jobs 1 \
+  --metrics-json "$RJ1A" >/dev/null
+"$CBSVM" run jess --profile-repo "$REPOJOBS1" --compile-jobs 1 \
+  --metrics-json "$RJ1B" >/dev/null
+"$CBSVM" run jess --profile-repo "$REPOJOBS8" --compile-jobs 8 \
+  --metrics-json "$RJ8A" >/dev/null
+"$CBSVM" run jess --profile-repo "$REPOJOBS8" --compile-jobs 8 \
+  --metrics-json "$RJ8B" >/dev/null
+cmp "$REPOJOBS1"/jess.dcg "$REPOJOBS8"/jess.dcg
+cmp "$RJ1A" "$RJ8A"
+cmp "$RJ1B" "$RJ8B"
+echo "profile-repo compile-jobs=1 and compile-jobs=8 runs are byte-identical"
+
 if [[ "${CBSVM_SKIP_TSAN:-}" != "1" ]]; then
-  echo "== thread sanitizer: parallel engine + sharded DCG + compile queue + OSR =="
+  echo "== thread sanitizer: parallel engine + sharded DCG + compile queue + OSR + repository =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S . -DCBSVM_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j \
-    --target ParallelRunnerTest DCGConcurrencyTest CompileQueueTest OSRTest
+    --target ParallelRunnerTest DCGConcurrencyTest CompileQueueTest OSRTest \
+             ProfileRepositoryTest
   (cd "$TSAN_BUILD" && CBSVM_JOBS=8 \
-    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency|CompileQueue|Osr)')
+    ctest --output-on-failure -R '^(ParallelRunner|DCGConcurrency|CompileQueue|Osr|ProfileRepository)')
 fi
 
 echo "== all checks passed =="

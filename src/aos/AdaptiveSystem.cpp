@@ -42,6 +42,11 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
     Gauges.QueueStaleDrops = &R.gauge("aos.queue.stale_drops");
     Gauges.QueueCoalesced = &R.gauge("aos.queue.coalesced");
     Gauges.QueueDropped = &R.gauge("aos.queue.dropped");
+    Gauges.FirstInstallCycle = &R.gauge("aos.queue.first_install_cycle");
+    if (warmStarted()) {
+      Gauges.WarmEnqueued = &R.gauge("aos.warm.enqueued");
+      Gauges.WarmInstalls = &R.gauge("aos.warm.installs");
+    }
     if (DeoptCtl) {
       Gauges.DeoptGuardChecks = &R.gauge("aos.deopt.guard_checks");
       Gauges.DeoptGuardFailures = &R.gauge("aos.deopt.guard_failures");
@@ -66,6 +71,11 @@ void AdaptiveSystem::publishMetrics(vm::VirtualMachine &VM) {
   *Gauges.QueueStaleDrops = Stats.QueueStaleDrops;
   *Gauges.QueueCoalesced = Stats.QueueCoalesced;
   *Gauges.QueueDropped = Stats.QueueDropped;
+  *Gauges.FirstInstallCycle = Stats.FirstInstallCycle;
+  if (warmStarted()) {
+    *Gauges.WarmEnqueued = Stats.WarmEnqueued;
+    *Gauges.WarmInstalls = Stats.WarmInstalls;
+  }
   if (DeoptCtl) {
     const DeoptStats &D = DeoptCtl->stats();
     *Gauges.DeoptGuardChecks = D.GuardChecks;
@@ -98,14 +108,20 @@ AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
                           : 10'000;
   static const opt::TrivialOracle Trivial;
   const opt::InlineOracle &O = Oracle ? *Oracle : Trivial;
+  adoptPlan(VM, O.plan(VM.program(), VM.profile()),
+            Monitor ? Monitor->phaseShiftCount() : 0);
+  return Plan;
+}
+
+void AdaptiveSystem::adoptPlan(vm::VirtualMachine &VM, opt::InlinePlan Fresh,
+                               uint64_t ProfileEpoch) {
   // A fresh allocation per generation: in-flight CompileRequests (and
   // worker threads) keep their enqueue-time snapshot alive. The plan is
   // stamped with its generation and the profile epoch it was built
   // against (the monitor's phase-shift count) so compiled code carries
   // its own provenance for guard policing.
-  opt::InlinePlan Fresh = O.plan(VM.program(), VM.profile());
   Fresh.Generation = PlanGeneration + 1;
-  Fresh.ProfileEpoch = Monitor ? Monitor->phaseShiftCount() : 0;
+  Fresh.ProfileEpoch = ProfileEpoch;
   Plan = std::make_shared<const opt::InlinePlan>(std::move(Fresh));
   PlanAgeTicks = 0;
   ++PlanGeneration;
@@ -131,7 +147,62 @@ AdaptiveSystem::currentPlan(vm::VirtualMachine &VM) {
                                                   Direct ? 1 : 2));
     }
   }
-  return Plan;
+}
+
+void AdaptiveSystem::onStartup(vm::VirtualMachine &VM) {
+  if (!Config.WarmStart.Profile)
+    return;
+  const prof::DCGSnapshot &Snap = *Config.WarmStart.Profile;
+  publishMetrics(VM); // register the aos.* gauges even if nothing fires
+  if (Snap.numEdges() == 0)
+    return;
+  if (PerMethod.empty())
+    PerMethod.resize(VM.program().numMethods());
+
+  // The persisted profile plays the role the converged sampler profile
+  // plays mid-run: the oracle builds the startup inline plan from it.
+  // It becomes the current plan, so warm compiles and the first few
+  // sampler promotions share one coherent view until the live profile
+  // matures and the regular refresh supersedes it.
+  static const opt::TrivialOracle Trivial;
+  const opt::InlineOracle &O = Oracle ? *Oracle : Trivial;
+  adoptPlan(VM, O.plan(VM.program(), Snap), /*ProfileEpoch=*/0);
+
+  // Rank methods by their accumulated callee weight in the persisted
+  // profile; ties break toward the lower id so the pre-enqueue order is
+  // deterministic.
+  std::vector<uint64_t> PerCallee(VM.program().numMethods(), 0);
+  Snap.forEachEdge([&](prof::CallEdge E, uint64_t W) {
+    if (E.Callee < PerCallee.size())
+      PerCallee[E.Callee] += W;
+  });
+  std::vector<std::pair<uint64_t, bc::MethodId>> Hot;
+  for (bc::MethodId M = 0; M < PerCallee.size(); ++M)
+    if (PerCallee[M] >= Config.WarmStart.MinMethodWeight &&
+        PerCallee[M] > 0)
+      Hot.emplace_back(PerCallee[M], M);
+  std::sort(Hot.begin(), Hot.end(), [](const auto &L, const auto &R) {
+    return L.first != R.first ? L.first > R.first : L.second < R.second;
+  });
+  if (Hot.size() > Config.WarmStart.MaxMethods)
+    Hot.resize(Config.WarmStart.MaxMethods);
+
+  for (const auto &[Weight, Method] : Hot) {
+    CompileRequest R;
+    R.Method = Method;
+    R.Level = Config.WarmStart.Level;
+    R.Warm = true;
+    R.Plan = Plan;
+    R.PlanGeneration = PlanGeneration;
+    R.EnqueueCycle = VM.cycles();
+    R.ReadyCycle = VM.cycles() + compileLatency(VM, Method, R.Level);
+    // Priority is the persisted weight: heavier history compiles first
+    // when the queue has to choose.
+    R.Priority = static_cast<double>(Weight);
+    submitRequest(VM, std::move(R));
+    ++Stats.WarmEnqueued;
+  }
+  publishMetrics(VM);
 }
 
 uint64_t AdaptiveSystem::compileLatency(vm::VirtualMachine &VM,
@@ -261,8 +332,12 @@ void AdaptiveSystem::install(vm::VirtualMachine &VM, CompileRequest R) {
     Sink->event(tel::TraceEvent::compileInstall(
         VM.cycles(), 0, R.Method, static_cast<uint32_t>(R.Level), Waited));
   PerMethod[R.Method].CompiledGeneration = R.PlanGeneration;
+  if (Stats.QueueInstalls == 0)
+    Stats.FirstInstallCycle = VM.cycles();
   ++Stats.QueueInstalls;
   ++Stats.Recompilations;
+  if (R.Warm)
+    ++Stats.WarmInstalls;
   if (R.IsReopt) {
     ++PerMethod[R.Method].Reopts;
     ++Stats.Reoptimizations;
@@ -364,9 +439,12 @@ void AdaptiveSystem::onYieldpoint(vm::VirtualMachine &VM) {
     // MaxReenqueues so a method that stays hot across phases still
     // makes progress (the last re-enqueue already carries a fresh
     // plan). Conservative (pinned) requests skip this too: their plan
-    // cannot go stale.
+    // cannot go stale. Warm requests are likewise exempt — their plan
+    // is *supposed* to predate the live profile; if the persisted
+    // history was wrong, deopt/quality policing corrects the installed
+    // code rather than the queue starving it.
     const prof::ProfileQualityMonitor *Monitor = VM.qualityMonitor();
-    bool Stale = !R->Conservative &&
+    bool Stale = !R->Conservative && !R->Warm &&
                  (R->PlanGeneration < PlanGeneration ||
                   (Monitor &&
                    Monitor->phaseShiftCount() > R->PhaseShiftsSeen));
@@ -405,4 +483,41 @@ void AdaptiveSystem::onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) {
   if (DeoptCtl && DeoptCtl->tickDue())
     applyDeoptDecisions(VM, DeoptCtl->police(VM));
   publishMetrics(VM);
+}
+
+void AOSOptionGroup::parse(support::ArgParser &Args) {
+  UseAOS = Args.flag("--aos");
+  uint64_t CompileJobs = Args.optionUInt("--compile-jobs", 0, 0, 64);
+  if (CompileJobs > 0) {
+    Config.CompileJobs = static_cast<uint32_t>(CompileJobs);
+    UseAOS = true;
+  }
+  LatencyScale = Args.optionDouble("--compile-latency-scale", -1.0, 0.0, 1e9);
+  if (LatencyScale >= 0.0)
+    UseAOS = true;
+  // Deoptimization: either option switches guard policing on (and
+  // implies --aos). Plain --aos keeps deopt off, so pre-deopt runs stay
+  // byte-identical.
+  double DeoptThreshold =
+      Args.optionDouble("--deopt-threshold", -1.0, 0.0, 100.0);
+  if (DeoptThreshold >= 0.0) {
+    Config.Deopt.Enabled = true;
+    Config.Deopt.DominanceThresholdPct = DeoptThreshold;
+    UseAOS = true;
+  }
+  uint64_t MaxDeopts = Args.optionUInt("--max-deopts", 0, 1, 1u << 20);
+  if (MaxDeopts > 0) {
+    Config.Deopt.Enabled = true;
+    Config.Deopt.MaxDeoptsPerMethod = static_cast<uint32_t>(MaxDeopts);
+    UseAOS = true;
+  }
+}
+
+void AOSOptionGroup::finalize(vm::VMConfig &VMC) {
+  if (LatencyScale >= 0.0)
+    VMC.Costs.CompileLatencyScale = LatencyScale;
+  // --osr was consumed by VMConfig::fromArgs; it only does anything
+  // when versions actually get replaced, so it implies --aos too.
+  if (VMC.EnableOSR)
+    UseAOS = true;
 }

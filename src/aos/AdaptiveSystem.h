@@ -42,6 +42,8 @@
 #include "aos/DeoptController.h"
 #include "opt/Compiler.h"
 #include "opt/InlineOracle.h"
+#include "profiling/DCGSnapshot.h"
+#include "support/ArgParser.h"
 #include "vm/VirtualMachine.h"
 
 #include <cstdint>
@@ -89,6 +91,22 @@ struct AOSConfig {
   /// when plans are snapshotted, so it is a distinct configuration).
   DeoptConfig Deopt;
   opt::CompileOptions Compile;
+
+  /// Warm start from a persisted cross-run profile (ProfileRepository).
+  struct WarmStartConfig {
+    /// The persisted profile to warm-start from; null = cold start
+    /// (byte-identical to previous releases). Callers must only set
+    /// this after the repository verified the program hash and
+    /// personality.
+    std::shared_ptr<const prof::DCGSnapshot> Profile;
+    /// At most this many hot methods are pre-enqueued at startup.
+    uint32_t MaxMethods = 8;
+    /// Minimum accumulated callee weight for a method to qualify.
+    uint64_t MinMethodWeight = 1;
+    /// Optimization level the warm compiles target.
+    int Level = 2;
+  };
+  WarmStartConfig WarmStart;
 };
 
 struct AOSStats {
@@ -109,6 +127,12 @@ struct AOSStats {
   uint64_t QueueStaleDrops = 0; ///< installs dropped stale + re-enqueued
   uint64_t QueueCoalesced = 0; ///< requests merged into a pending entry
   uint64_t QueueDropped = 0;   ///< evicted by or rejected at a full queue
+  /// Virtual cycle of the first install (0 until one happens): the
+  /// time-to-first-optimized-code figure warm starts exist to lower.
+  uint64_t FirstInstallCycle = 0;
+  // Warm start (all 0 on a cold run).
+  uint64_t WarmEnqueued = 0; ///< startup pre-enqueues from the repository
+  uint64_t WarmInstalls = 0; ///< warm requests that reached install
 };
 
 /// Attach with VirtualMachine::setClient. \p Oracle must outlive the
@@ -119,10 +143,14 @@ public:
   AdaptiveSystem(const opt::InlineOracle *Oracle, AOSConfig Config = {});
   ~AdaptiveSystem() override;
 
+  void onStartup(vm::VirtualMachine &VM) override;
   void onTimerTick(vm::VirtualMachine &VM, bc::MethodId Top) override;
   void onYieldpoint(vm::VirtualMachine &VM) override;
 
   const AOSStats &stats() const { return Stats; }
+  /// True when this run was configured with a persisted warm-start
+  /// profile (the report's warm subsection is emitted only then).
+  bool warmStarted() const { return Config.WarmStart.Profile != nullptr; }
   /// Requests still pending (enqueued but never ready before the run
   /// ended, mirroring compilations a real VM abandons at exit).
   size_t queueDepth() const { return Queue.depth(); }
@@ -136,6 +164,12 @@ private:
   bool maybePromote(vm::VirtualMachine &VM, bc::MethodId Method);
   std::shared_ptr<const opt::InlinePlan>
   currentPlan(vm::VirtualMachine &VM);
+  /// Installs \p Fresh as the current plan: stamps generation and
+  /// profile epoch, bumps the counters, and traces its non-trivial
+  /// decisions. Shared by the tick-path rebuild (currentPlan) and the
+  /// startup warm plan.
+  void adoptPlan(vm::VirtualMachine &VM, opt::InlinePlan Fresh,
+                 uint64_t ProfileEpoch);
   /// Modelled background-compile latency for \p Method at \p Level.
   uint64_t compileLatency(vm::VirtualMachine &VM, bc::MethodId Method,
                           int Level) const;
@@ -174,6 +208,10 @@ private:
     tel::Gauge *QueueStaleDrops = nullptr;
     tel::Gauge *QueueCoalesced = nullptr;
     tel::Gauge *QueueDropped = nullptr;
+    tel::Gauge *FirstInstallCycle = nullptr;
+    // aos.warm.* (registered only on warm-started runs).
+    tel::Gauge *WarmEnqueued = nullptr;
+    tel::Gauge *WarmInstalls = nullptr;
     // aos.deopt.* (registered only when the controller is on).
     tel::Gauge *DeoptGuardChecks = nullptr;
     tel::Gauge *DeoptGuardFailures = nullptr;
@@ -208,6 +246,33 @@ private:
     uint32_t Reopts = 0;
   };
   std::vector<MethodState> PerMethod;
+};
+
+/// The cbsvm AOS option group: --aos, --compile-jobs,
+/// --compile-latency-scale, --deopt-threshold, --max-deopts. Options
+/// that only make sense with the adaptive system imply it, so
+/// "--compile-jobs 4" alone does the expected thing; finalize() applies
+/// the cross-cutting implications onto the VM config after every group
+/// has parsed.
+class AOSOptionGroup : public support::OptionGroup {
+public:
+  /// --aos, or any option above that implies it (or EnableOSR, applied
+  /// in finalize()).
+  bool UseAOS = false;
+  AOSConfig Config;
+
+  const char *name() const override { return "aos"; }
+  void parse(support::ArgParser &Args) override;
+
+  /// Applies --compile-latency-scale onto \p VMC's cost model and lets
+  /// VMConfig::EnableOSR (parsed by the VM group) imply --aos.
+  void finalize(vm::VMConfig &VMC);
+
+private:
+  /// Sentinel default: the option is range-checked only when present,
+  /// so -1 distinguishes "absent" from an explicit 0 (install at the
+  /// first taken yieldpoint).
+  double LatencyScale = -1.0;
 };
 
 } // namespace cbs::aos

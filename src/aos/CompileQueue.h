@@ -87,6 +87,13 @@ struct CompileRequest {
   /// Enqueued by the deopt path to re-attain an invalidated level (kept
   /// out of the promotion/reopt counters — it repairs, not promotes).
   bool DeoptRecompile = false;
+  /// A warm-start pre-enqueue decided against a persisted cross-run
+  /// profile (cycle 0, before the sampler exists). Exempt from
+  /// install-point plan-staleness re-validation: its plan is *expected*
+  /// to predate the live profile — that is the whole point — and stale
+  /// warm code is corrected by deopt/quality policing after install,
+  /// not by re-enqueueing it forever behind an always-fresher plan.
+  bool Warm = false;
   /// Times this request was dropped stale and re-enqueued.
   uint32_t Reenqueues = 0;
   /// Enqueue sequence number: FIFO tie-break among equal priorities.

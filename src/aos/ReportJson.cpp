@@ -122,7 +122,18 @@ std::string aos::buildReportJson(const ReportInputs &In) {
     W.value(A.QueueCoalesced);
     W.key("dropped");
     W.value(A.QueueDropped);
+    W.key("firstInstallCycle");
+    W.value(A.FirstInstallCycle);
     W.endObject();
+    if (In.AOS->warmStarted()) {
+      W.key("warm");
+      W.beginObject();
+      W.key("enqueued");
+      W.value(A.WarmEnqueued);
+      W.key("installs");
+      W.value(A.WarmInstalls);
+      W.endObject();
+    }
     if (const DeoptController *DC = In.AOS->deoptController()) {
       const DeoptStats &D = DC->stats();
       W.key("deopt");
@@ -159,6 +170,24 @@ std::string aos::buildReportJson(const ReportInputs &In) {
     W.value(gaugeOrZero(Metrics, "code.graveyard_reclaimed_instructions"));
     W.key("graveyardReclaims");
     W.value(gaugeOrZero(Metrics, "code.graveyard_reclaims"));
+    W.endObject();
+  }
+
+  if (In.Repo.Present) {
+    W.key("repo");
+    W.beginObject();
+    W.key("dir");
+    W.value(In.Repo.Dir);
+    W.key("loaded");
+    W.value(In.Repo.Loaded);
+    W.key("rejected");
+    W.value(In.Repo.Rejected);
+    W.key("runs");
+    W.value(In.Repo.Runs);
+    W.key("committed");
+    W.value(In.Repo.Committed);
+    W.key("diagnostic");
+    W.value(In.Repo.Diagnostic);
     W.endObject();
   }
 

@@ -44,6 +44,20 @@ inline constexpr const char *OverheadComponentNames[] = {
     "overhead.buffer_flush", "overhead.snapshot",
     "overhead.yieldpoint_taken", "overhead.shard_wait"};
 
+/// Profile-repository interaction of the run (`--profile-repo`): did a
+/// persisted entry load, was one rejected (and why), and what the
+/// shutdown commit did. Filled by the driver; the section is emitted
+/// only when Present.
+struct RepoReport {
+  bool Present = false;
+  std::string Dir;
+  uint64_t Loaded = 0;    ///< 1 when a usable entry seeded the warm start
+  uint64_t Rejected = 0;  ///< 1 when an entry existed but was unusable
+  uint64_t Runs = 0;      ///< run counter of the loaded entry (0 on miss)
+  uint64_t Committed = 0; ///< 1 when the shutdown commit succeeded
+  std::string Diagnostic; ///< rejection/commit diagnostic ("" when clean)
+};
+
 /// Everything the report builder reads. \p VM is required; \p AOS and
 /// \p Recorder may be null (their sections are omitted / emitted empty).
 struct ReportInputs {
@@ -54,12 +68,14 @@ struct ReportInputs {
   vm::VirtualMachine *VM = nullptr; ///< non-const: metrics() refreshes gauges
   const AdaptiveSystem *AOS = nullptr;
   const tel::FlightRecorder *Recorder = nullptr;
+  RepoReport Repo;
 };
 
 /// Serializes the full report as one compact JSON object. Top-level keys,
 /// in order: workload, size, seed, state, cycles, quality, overhead,
-/// [aos], [osr], flightRecorder — aos only when an adaptive system was
-/// attached, osr only when the run had VMConfig::EnableOSR.
+/// [aos], [osr], [repo], flightRecorder — aos only when an adaptive
+/// system was attached, osr only when the run had VMConfig::EnableOSR,
+/// repo only when the run used --profile-repo.
 std::string buildReportJson(const ReportInputs &In);
 
 } // namespace cbs::aos

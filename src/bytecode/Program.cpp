@@ -22,3 +22,74 @@ uint64_t Program::totalSizeBytes() const {
     Total += M.sizeBytes();
   return Total;
 }
+
+namespace {
+
+/// FNV-1a 64. Every multi-byte value is folded byte-at-a-time in a
+/// fixed little-endian order, so the hash is identical across hosts.
+struct Fnv1a {
+  uint64_t H = 0xcbf29ce484222325ull;
+
+  void byte(uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u32(uint32_t V) { u64(V); }
+  void str(const std::string &S) {
+    u64(S.size());
+    for (char C : S)
+      byte(static_cast<uint8_t>(C));
+  }
+};
+
+} // namespace
+
+uint64_t Program::contentHash() const {
+  Fnv1a H;
+  H.u64(Methods.size());
+  for (const Method &M : Methods) {
+    H.str(M.Name);
+    H.u32(M.Owner);
+    H.u32(M.Selector);
+    H.u64(M.ArgKinds.size());
+    for (ValKind K : M.ArgKinds)
+      H.byte(static_cast<uint8_t>(K));
+    H.byte(M.HasResult ? 1 : 0);
+    H.byte(static_cast<uint8_t>(M.ResultKind));
+    H.u32(M.NumLocals);
+    H.u64(M.Code.size());
+    for (const Instruction &I : M.Code) {
+      H.byte(static_cast<uint8_t>(I.Op));
+      H.u32(static_cast<uint32_t>(I.A));
+      H.u32(static_cast<uint32_t>(I.B));
+      H.u32(I.Site);
+    }
+  }
+  H.u64(Sites.size());
+  for (const SiteInfo &S : Sites) {
+    H.u32(S.Caller);
+    H.u32(S.PC);
+  }
+  const ClassHierarchy &CH = Hierarchy;
+  H.u64(CH.numClasses());
+  for (ClassId C = 0; C < CH.numClasses(); ++C) {
+    const ClassType &CT = CH.classOf(C);
+    H.str(CT.Name);
+    H.u32(CT.Super);
+    H.u32(CT.NumFields);
+    H.u64(CT.VTable.size());
+    for (MethodId M : CT.VTable)
+      H.u32(M);
+  }
+  H.u64(CH.numSelectors());
+  for (SelectorId S = 0; S < CH.numSelectors(); ++S) {
+    H.str(CH.selectorName(S));
+    H.u32(CH.selectorNumArgs(S));
+  }
+  H.u32(Entry);
+  return H.H;
+}

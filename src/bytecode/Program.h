@@ -55,6 +55,14 @@ public:
   /// Total modelled bytecode bytes over all methods.
   uint64_t totalSizeBytes() const;
 
+  /// Deterministic FNV-1a 64 hash of the whole program: every method
+  /// (signature and bytecode), every call site, the resolved class
+  /// hierarchy, and the entry point. Two programs hash equal iff the VM
+  /// would execute them identically, so a persisted profile stamped
+  /// with this hash can be rejected when the program changed (the
+  /// profile's numeric ids would silently point at different code).
+  uint64_t contentHash() const;
+
 private:
   friend class ProgramBuilder;
 

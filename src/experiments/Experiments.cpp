@@ -276,3 +276,32 @@ double exp::speedupPercent(const ThroughputResult &Test,
     return 0;
   return 100.0 * (Test.Throughput / Base.Throughput - 1.0);
 }
+
+exp::WarmStartRun exp::runWarmStart(
+    const bc::Program &P, vm::Personality Pers,
+    const opt::InlineOracle *Oracle,
+    std::shared_ptr<const prof::DCGSnapshot> Warm, uint64_t Seed,
+    uint32_t CompileJobs) {
+  vm::VMConfig Config = jitOnlyConfig(P, Pers, Seed);
+  Config.Profiler = chosenCBS(Pers);
+
+  aos::AOSConfig AC;
+  AC.CompileJobs = CompileJobs;
+  AC.WarmStart.Profile = std::move(Warm);
+  aos::AdaptiveSystem AOS(Oracle, AC);
+
+  vm::VirtualMachine VM(P, Config);
+  VM.setClient(&AOS);
+  vm::RunState State = VM.run();
+  if (State == vm::RunState::Trapped)
+    reportFatalError("warm-start run trapped: " + VM.trapMessage());
+
+  WarmStartRun R;
+  R.Cycles = VM.cycles();
+  R.FirstInstallCycle = AOS.stats().FirstInstallCycle;
+  R.Installs = AOS.stats().QueueInstalls;
+  R.WarmEnqueued = AOS.stats().WarmEnqueued;
+  R.WarmInstalls = AOS.stats().WarmInstalls;
+  R.Profile = VM.profile();
+  return R;
+}

@@ -150,6 +150,34 @@ ThroughputResult measureThroughput(const bc::Program &P,
 double speedupPercent(const ThroughputResult &Test,
                       const ThroughputResult &Base);
 
+//===----------------------------------------------------------------------===//
+// Warm-start time-to-peak (profile repository)
+//===----------------------------------------------------------------------===//
+
+/// One complete adaptive run for the warm-start experiment: the
+/// install-timing stats plus the profile the run would commit to a
+/// ProfileRepository (i.e. the snapshot a subsequent run warm-starts
+/// from).
+struct WarmStartRun {
+  uint64_t Cycles = 0;
+  /// Virtual cycle of the first optimized install; 0 when nothing
+  /// installed.
+  uint64_t FirstInstallCycle = 0;
+  uint64_t Installs = 0;
+  uint64_t WarmEnqueued = 0;
+  uint64_t WarmInstalls = 0;
+  prof::DCGSnapshot Profile;
+};
+
+/// Runs \p P to completion under the adaptive system with the chosen
+/// CBS profiler for \p Pers. A null \p Warm is a cold start; a non-null
+/// snapshot takes the repository warm-start path (pre-enqueued hot
+/// methods at cycle 0). Byte-identical at any \p CompileJobs value.
+WarmStartRun runWarmStart(const bc::Program &P, vm::Personality Pers,
+                          const opt::InlineOracle *Oracle,
+                          std::shared_ptr<const prof::DCGSnapshot> Warm,
+                          uint64_t Seed, uint32_t CompileJobs = 0);
+
 } // namespace cbs::exp
 
 #endif // CBSVM_EXPERIMENTS_EXPERIMENTS_H

@@ -12,6 +12,7 @@
 #include "opt/Compiler.h"
 #include "opt/InlineOracle.h"
 #include "profiling/OverlapMetric.h"
+#include "profiling/ProfileCodec.h"
 #include "profiling/ProfileIO.h"
 #include "profiling/ProfilerRegistry.h"
 #include "vm/VirtualMachine.h"
@@ -268,17 +269,37 @@ public:
           !Problem.empty())
         return std::string(Name) + " profile fails validation: " + Problem;
 
-      std::string First = prof::serializeDCG(R.Profile);
-      prof::ParseResult Parsed = prof::parseDCG(First);
+      std::string First = prof::ProfileCodec::encode(R.Profile);
+      prof::ProfileCodec::Decoded Parsed = prof::ProfileCodec::decode(First);
       if (!Parsed.ok())
         return std::string(Name) +
                " profile does not parse back: " + Parsed.Error;
-      std::string Second = prof::serializeDCG(*Parsed.Graph);
+      std::string Second = prof::ProfileCodec::encode(*Parsed.Graph);
       if (First != Second)
         return std::string(Name) +
                " profile round-trip is not byte-identical (" +
                std::to_string(First.size()) + " vs " +
                std::to_string(Second.size()) + " bytes)";
+
+      // The v2 (repository) envelope must round-trip metadata exactly.
+      prof::ProfileMeta Meta;
+      Meta.ProgramHash = 0x0123456789abcdefull ^ In.Seed;
+      Meta.Personality = "jikes";
+      Meta.Runs = 3;
+      Meta.Cycles = 1'000'000 + In.Seed;
+      std::string V2 = prof::ProfileCodec::encode(R.Profile, Meta);
+      prof::ProfileCodec::Decoded P2 = prof::ProfileCodec::decode(V2);
+      if (!P2.ok())
+        return std::string(Name) +
+               " v2 profile does not parse back: " + P2.Error;
+      if (P2.Version != prof::ProfileCodec::V2 ||
+          P2.Meta.ProgramHash != Meta.ProgramHash ||
+          P2.Meta.Personality != Meta.Personality ||
+          P2.Meta.Runs != Meta.Runs || P2.Meta.Cycles != Meta.Cycles)
+        return std::string(Name) + " v2 metadata did not round-trip";
+      if (prof::ProfileCodec::encode(*P2.Graph, P2.Meta) != V2)
+        return std::string(Name) +
+               " v2 profile round-trip is not byte-identical";
     }
     return "";
   }
@@ -312,8 +333,8 @@ public:
             compareRuns("dcg-shards=1", OneShard, "dcg-shards=8", EightShards);
         !D.empty())
       return D;
-    if (prof::serializeDCG(OneShard.Profile) !=
-        prof::serializeDCG(EightShards.Profile))
+    if (prof::ProfileCodec::encode(OneShard.Profile) !=
+        prof::ProfileCodec::encode(EightShards.Profile))
       return "dcg-shards=1 and dcg-shards=8 profiles serialize "
              "differently";
 
@@ -334,7 +355,7 @@ public:
             Config.Profiler.CBS.SamplesPerTick = 64;
             Config.TimerPeriodCycles = 2'000;
             Serialized[Ctx.Index] =
-                prof::serializeDCG(runProgram(In.P, Config).Profile);
+                prof::ProfileCodec::encode(runProgram(In.P, Config).Profile);
           },
           [&](exp::ParallelRunner::TaskContext &Ctx) {
             Committed += Serialized[Ctx.Index];
@@ -434,7 +455,7 @@ public:
     if (Jobs0.Samples != Jobs2.Samples)
       return "compile-jobs=0 and compile-jobs=2 took different sample "
              "counts";
-    if (prof::serializeDCG(Jobs0.Profile) != prof::serializeDCG(Jobs2.Profile))
+    if (prof::ProfileCodec::encode(Jobs0.Profile) != prof::ProfileCodec::encode(Jobs2.Profile))
       return "compile-jobs=0 and compile-jobs=2 profiles serialize "
              "differently";
     return "";
@@ -500,8 +521,8 @@ public:
     if (Storm0.Samples != Storm2.Samples)
       return "storm with compile-jobs=0 and compile-jobs=2 took "
              "different sample counts";
-    if (prof::serializeDCG(Storm0.Profile) !=
-        prof::serializeDCG(Storm2.Profile))
+    if (prof::ProfileCodec::encode(Storm0.Profile) !=
+        prof::ProfileCodec::encode(Storm2.Profile))
       return "storm with compile-jobs=0 and compile-jobs=2 profiles "
              "serialize differently";
     return "";
@@ -571,7 +592,7 @@ public:
     if (Jobs0.Samples != Jobs2.Samples)
       return "osr with compile-jobs=0 and compile-jobs=2 took different "
              "sample counts";
-    if (prof::serializeDCG(Jobs0.Profile) != prof::serializeDCG(Jobs2.Profile))
+    if (prof::ProfileCodec::encode(Jobs0.Profile) != prof::ProfileCodec::encode(Jobs2.Profile))
       return "osr with compile-jobs=0 and compile-jobs=2 profiles "
              "serialize differently";
 
@@ -595,10 +616,76 @@ public:
                                     "osr-storm-jobs=2", Storm2);
         !D.empty())
       return D;
-    if (prof::serializeDCG(Storm.Profile) !=
-        prof::serializeDCG(Storm2.Profile))
+    if (prof::ProfileCodec::encode(Storm.Profile) !=
+        prof::ProfileCodec::encode(Storm2.Profile))
       return "osr storm with compile-jobs=0 and compile-jobs=2 profiles "
              "serialize differently";
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// warm-start-stability
+//===----------------------------------------------------------------------===//
+
+class WarmStartStabilityOracle : public Oracle {
+public:
+  const char *id() const override { return "warm-start-stability"; }
+  const char *describe() const override {
+    return "warm-starting the AOS from a prior run's profile preserves "
+           "output and heap and is byte-identical at any "
+           "--compile-jobs";
+  }
+
+  std::string check(const OracleInput &In) const override {
+    RunResult Base = runProgram(In.P, plainConfig(In.Seed));
+    // A baseline that traps or runs out of budget is output-stability's
+    // finding, not a warm-start divergence.
+    if (Base.State != vm::RunState::Finished)
+      return "";
+
+    auto CbsConfig = [&]() {
+      vm::VMConfig Config = plainConfig(In.Seed);
+      Config.Profiler.Kind = vm::ProfilerKind::CBS;
+      Config.Profiler.CBS.Stride = 2;
+      Config.Profiler.CBS.SamplesPerTick = 4;
+      Config.TimerPeriodCycles = 2'000;
+      Config.Costs.CompileLatencyScale = 1;
+      return Config;
+    };
+
+    // The cold run collects the profile a repository would persist.
+    RunResult Cold = runProgramWithAOS(In.P, CbsConfig(), aos::AOSConfig());
+    auto Persisted = std::make_shared<const prof::DCGSnapshot>(Cold.Profile);
+
+    // The warm run pre-enqueues hot methods from it at cycle 0. Advice
+    // only changes *when* code installs, never what the program does.
+    auto WarmAOS = [&](uint32_t Jobs) {
+      aos::AOSConfig AC;
+      AC.CompileJobs = Jobs;
+      AC.WarmStart.Profile = Persisted;
+      return AC;
+    };
+    RunResult Warm0 = runProgramWithAOS(In.P, CbsConfig(), WarmAOS(0));
+    if (std::string D = compareRuns("no-aos", Base, "warm-start", Warm0);
+        !D.empty())
+      return D;
+
+    // Warm pre-enqueues happen at cycle 0 on the VM thread, so any
+    // worker count must be byte-identical down to the serialized
+    // profile.
+    RunResult Warm2 = runProgramWithAOS(In.P, CbsConfig(), WarmAOS(2));
+    if (std::string D =
+            compareRuns("warm-jobs=0", Warm0, "warm-jobs=2", Warm2);
+        !D.empty())
+      return D;
+    if (Warm0.Samples != Warm2.Samples)
+      return "warm start with compile-jobs=0 and compile-jobs=2 took "
+             "different sample counts";
+    if (prof::ProfileCodec::encode(Warm0.Profile) !=
+        prof::ProfileCodec::encode(Warm2.Profile))
+      return "warm start with compile-jobs=0 and compile-jobs=2 "
+             "profiles serialize differently";
     return "";
   }
 };
@@ -635,6 +722,7 @@ OracleRegistry OracleRegistry::builtin() {
   R.add(std::make_unique<AsyncCompileStabilityOracle>());
   R.add(std::make_unique<DeoptStormStabilityOracle>());
   R.add(std::make_unique<OsrStabilityOracle>());
+  R.add(std::make_unique<WarmStartStabilityOracle>());
   return R;
 }
 

@@ -87,7 +87,7 @@ public:
   const Oracle *find(std::string_view Id) const;
   const std::vector<std::unique_ptr<Oracle>> &all() const { return Oracles; }
 
-  /// The seven built-in differential invariants.
+  /// The eight built-in differential invariants.
   static OracleRegistry builtin();
 
 private:

@@ -1,4 +1,4 @@
-//===- profiling/ProfileIO.cpp - profile serialization -------------------------===//
+//===- profiling/ProfileIO.cpp - profile validation ----------------------------===//
 //
 // Part of the CBSVM project.
 //
@@ -8,101 +8,8 @@
 
 #include "bytecode/Program.h"
 
-#include <sstream>
-#include <unordered_set>
-
 using namespace cbs;
 using namespace cbs::prof;
-
-static constexpr const char *Magic = "cbsvm-dcg";
-static constexpr int Version = 1;
-
-std::string prof::serializeDCG(const DCGSnapshot &DCG) {
-  std::ostringstream OS;
-  OS << Magic << ' ' << Version << '\n';
-  OS << "# edges: " << DCG.numEdges() << ", total weight: "
-     << DCG.totalWeight() << '\n';
-  DCG.forEachEdge([&](CallEdge E, uint64_t W) {
-    OS << E.Site << ' ' << E.Callee << ' ' << W << '\n';
-  });
-  return OS.str();
-}
-
-ParseResult prof::parseDCG(const std::string &Text) {
-  ParseResult Result;
-  std::istringstream IS(Text);
-  std::string Line;
-
-  if (!std::getline(IS, Line)) {
-    Result.Error = "empty input";
-    return Result;
-  }
-  {
-    std::istringstream Header(Line);
-    std::string Word;
-    int V = -1;
-    Header >> Word >> V;
-    if (Word != Magic) {
-      Result.Error = "bad magic: expected '" + std::string(Magic) + "'";
-      return Result;
-    }
-    if (V != Version) {
-      Result.Error = "unsupported version " + std::to_string(V);
-      return Result;
-    }
-  }
-
-  std::vector<DCGSnapshot::Edge> Edges;
-  std::unordered_set<CallEdge, CallEdgeHash> Seen;
-  size_t LineNo = 1;
-  while (std::getline(IS, Line)) {
-    ++LineNo;
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    std::istringstream LS(Line);
-    uint64_t Site, Callee, Weight;
-    if (!(LS >> Site >> Callee >> Weight)) {
-      Result.Error =
-          "line " + std::to_string(LineNo) + ": malformed edge";
-      return Result;
-    }
-    std::string Trailing;
-    if (LS >> Trailing) {
-      Result.Error =
-          "line " + std::to_string(LineNo) + ": trailing tokens";
-      return Result;
-    }
-    if (Weight == 0) {
-      Result.Error =
-          "line " + std::to_string(LineNo) + ": zero weight edge";
-      return Result;
-    }
-    // Ids are 32-bit; range-check before narrowing so an oversized (or
-    // negative, which istream wraps to huge) id errors instead of
-    // silently truncating to some unrelated valid edge. The all-ones
-    // values are the Invalid sentinels and equally unusable.
-    if (Site >= bc::InvalidSiteId) {
-      Result.Error = "line " + std::to_string(LineNo) +
-                     ": site id out of range: " + std::to_string(Site);
-      return Result;
-    }
-    if (Callee >= bc::InvalidMethodId) {
-      Result.Error = "line " + std::to_string(LineNo) +
-                     ": callee id out of range: " + std::to_string(Callee);
-      return Result;
-    }
-    CallEdge E{static_cast<bc::SiteId>(Site),
-               static_cast<bc::MethodId>(Callee)};
-    if (!Seen.insert(E).second) {
-      Result.Error =
-          "line " + std::to_string(LineNo) + ": duplicate edge";
-      return Result;
-    }
-    Edges.emplace_back(E, Weight);
-  }
-  Result.Graph = DCGSnapshot::fromEdges(std::move(Edges));
-  return Result;
-}
 
 std::string prof::validateAgainst(const DCGSnapshot &DCG,
                                   const bc::Program &P) {

@@ -1,30 +1,17 @@
-//===- profiling/ProfileIO.h - profile serialization -------------*- C++ -*-===//
+//===- profiling/ProfileIO.h - profile validation ---------------*- C++ -*-===//
 //
 // Part of the CBSVM project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Text serialization for dynamic call graphs: lets a profile collected
-/// in one run be saved, inspected, diffed, and replayed into an offline
-/// inlining plan (the workflow the paper's §3.2 baseline used with its
-/// "offline profile data" validation, and what any adopter of the
-/// library needs to regression-track profiles).
-///
-/// Serialization operates on DCGSnapshot — the immutable,
-/// canonically-ordered view — so equal profiles serialize
-/// byte-identically regardless of how (or how concurrently) they were
-/// collected.
-///
-/// Format (line-oriented, versioned):
-///
-///   cbsvm-dcg 1
-///   # optional comments
-///   <site> <callee> <weight>
-///
-/// Sites and callees are numeric ids, valid relative to the program the
-/// profile was collected from; validateAgainst() can sanity-check a
-/// loaded profile against a Program.
+/// Semantic validation of a loaded profile against a Program. The text
+/// serialization itself lives in ProfileCodec (versioned: v1 bare edge
+/// lists, v2 with run provenance metadata); this file keeps the one
+/// check the codec cannot do — whether the edges make sense for a
+/// *particular* program — because the codec is deliberately
+/// program-agnostic (a repository can decode entries for programs it
+/// has never seen).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +20,6 @@
 
 #include "profiling/DCGSnapshot.h"
 
-#include <optional>
 #include <string>
 
 namespace cbs::bc {
@@ -41,22 +27,6 @@ class Program;
 }
 
 namespace cbs::prof {
-
-/// Serializes \p DCG. Edges are emitted in the snapshot's canonical
-/// (sorted key) order so equal profiles serialize identically.
-std::string serializeDCG(const DCGSnapshot &DCG);
-
-/// Parse result: the profile snapshot, or an error description.
-struct ParseResult {
-  std::optional<DCGSnapshot> Graph;
-  std::string Error;
-
-  bool ok() const { return Graph.has_value(); }
-};
-
-/// Parses the serializeDCG format. Unknown versions, malformed lines,
-/// and duplicate edges are errors.
-ParseResult parseDCG(const std::string &Text);
 
 /// Checks that every edge of \p DCG refers to a valid site/method of
 /// \p P and that the callee is plausible for the site (static target

@@ -18,6 +18,7 @@
 #include "profiling/CodePatchingProfiler.h"
 #include "profiling/CounterBasedSampler.h"
 #include "profiling/QualityMonitor.h"
+#include "support/ArgParser.h"
 #include "vm/CompiledMethod.h"
 #include "vm/CostModel.h"
 
@@ -28,16 +29,14 @@ namespace cbs::bc {
 class Program;
 }
 
-namespace cbs::support {
-class ArgParser;
-}
-
 namespace cbs::tel {
 class FlightRecorder;
 class TraceSink;
 }
 
 namespace cbs::vm {
+
+class VirtualMachine;
 
 /// Which of the paper's two VM implementations to model (§5).
 enum class Personality : uint8_t {
@@ -174,6 +173,14 @@ struct VMConfig {
   std::function<CompiledMethod(const bc::Program &, bc::MethodId, int)>
       CompileHook;
 
+  /// Called once, from inside run(), when the run first reaches a
+  /// terminal state (Finished / Halted / Trapped / CycleLimit) — the
+  /// profile-persistence hook: the VM and its profile are still fully
+  /// alive, so a driver can snapshot and commit to a ProfileRepository
+  /// here without keeping the VM around. Not called when a bounded
+  /// run() merely exhausts its cycle budget (the run is resumable).
+  std::function<void(VirtualMachine &)> OnShutdown;
+
   /// The validated builder every command-line surface shares: parses
   /// the common VM options (--personality, --seed, --profiler and its
   /// per-kind knobs, --dcg-shards, --buffer-capacity, --decay-ticks,
@@ -186,6 +193,17 @@ struct VMConfig {
   ///    sample)".
   /// Errors route through the parser's error handler.
   static VMConfig fromArgs(support::ArgParser &Args);
+};
+
+/// fromArgs as a composable option group: commands that mix VM options
+/// with other groups (AOS, profile repository, ...) register this one
+/// alongside them in a single support::applyGroups call.
+class VMOptionGroup : public support::OptionGroup {
+public:
+  VMConfig Config;
+
+  const char *name() const override { return "vm"; }
+  void parse(support::ArgParser &Args) override;
 };
 
 } // namespace cbs::vm

@@ -666,6 +666,14 @@ prof::DCGSnapshot VirtualMachine::profile() {
 RunState VirtualMachine::run(uint64_t CycleBudget) {
   if (State != RunState::Running)
     return State;
+  // Startup notification: once, before the first instruction, at
+  // virtual cycle 0 — the client's chance to act on persisted profile
+  // knowledge (warm-start enqueues) before the sampler exists.
+  if (!StartupNotified) {
+    StartupNotified = true;
+    if (Client)
+      Client->onStartup(*this);
+  }
   uint64_t Limit = CycleBudget == UINT64_MAX
                        ? UINT64_MAX
                        : Stats.Cycles + CycleBudget;
@@ -1006,6 +1014,15 @@ RunState VirtualMachine::run(uint64_t CycleBudget) {
     }
 
     ++F.PC;
+  }
+  // Shutdown notification: once, when the run first reaches a terminal
+  // state (a budget break leaves State == Running and does not fire).
+  // The VM is still fully alive here, so the hook can snapshot the
+  // profile for persistence.
+  if (State != RunState::Running && !ShutdownNotified) {
+    ShutdownNotified = true;
+    if (Config.OnShutdown)
+      Config.OnShutdown(*this);
   }
   return State;
 }

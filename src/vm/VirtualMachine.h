@@ -58,6 +58,12 @@ class VirtualMachine;
 class VMClient {
 public:
   virtual ~VMClient();
+  /// Called once, at the start of the first run() call, before any
+  /// instruction executes (virtual cycle 0). The warm-start hook: a
+  /// client holding a persisted profile can pre-enqueue compilations
+  /// here so optimized code is in flight before the sampler has seen a
+  /// single tick.
+  virtual void onStartup(VirtualMachine &VM) { (void)VM; }
   virtual void onTimerTick(VirtualMachine &VM, bc::MethodId TopMethod) = 0;
   /// Called at every taken yieldpoint, before tick/GC servicing. Timer
   /// ticks force the next yieldpoint to be taken, so with any profiler
@@ -306,6 +312,12 @@ private:
   VMClient *Client = nullptr;
 
   RunState State = RunState::Running;
+  /// Client->onStartup has fired (it fires once, at the start of the
+  /// first run() call).
+  bool StartupNotified = false;
+  /// VMConfig::OnShutdown has fired (once, when run() first reaches a
+  /// terminal state).
+  bool ShutdownNotified = false;
   std::string TrapMsg;
   std::vector<int64_t> Output;
 };

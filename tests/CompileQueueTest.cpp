@@ -17,7 +17,7 @@
 #include "aos/AdaptiveSystem.h"
 #include "aos/CompileQueue.h"
 #include "experiments/Experiments.h"
-#include "profiling/ProfileIO.h"
+#include "profiling/ProfileCodec.h"
 #include "telemetry/TraceSink.h"
 #include "workloads/Workloads.h"
 
@@ -182,7 +182,7 @@ AOSRunArtifacts runWorkload(const char *Name, uint32_t CompileJobs,
   EXPECT_EQ(VM.run(), vm::RunState::Finished) << VM.trapMessage();
 
   AOSRunArtifacts A;
-  A.Profile = prof::serializeDCG(VM.profile());
+  A.Profile = prof::ProfileCodec::encode(VM.profile());
   A.Metrics = VM.metrics().toJson();
   A.Cycles = VM.stats().Cycles;
   A.Installs = AOS.stats().QueueInstalls;

@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "profiling/DynamicCallGraph.h"
-#include "profiling/ProfileIO.h"
+#include "profiling/ProfileCodec.h"
 #include "profiling/SampleBuffer.h"
 
 #include <gtest/gtest.h>
@@ -156,7 +156,8 @@ TEST(DCGConcurrency, ShardedConcurrentMatchesSerialBitwise) {
   for (std::thread &T : Threads)
     T.join();
 
-  EXPECT_EQ(serializeDCG(Sharded.snapshot()), serializeDCG(Serial.snapshot()));
+  EXPECT_EQ(ProfileCodec::encode(Sharded.snapshot()),
+            ProfileCodec::encode(Serial.snapshot()));
 }
 
 TEST(DCGConcurrency, ConcurrentSnapshotsSeeMonotoneTotals) {

@@ -273,10 +273,10 @@ TEST(Fuzzer, CleanCampaignOnBuiltinOracles) {
       runFuzz(Options, OracleRegistry::builtin(), &Metrics, &Log);
   EXPECT_TRUE(Report.clean()) << Log.str();
   EXPECT_EQ(Report.Runs, 10u);
-  // 10 runs x the 7 builtin oracles.
-  EXPECT_EQ(Report.OracleChecks, 70u);
+  // 10 runs x the 8 builtin oracles.
+  EXPECT_EQ(Report.OracleChecks, 80u);
   EXPECT_EQ(Metrics.counter("fuzz.runs").Value, 10u);
-  EXPECT_EQ(Metrics.counter("fuzz.oracle_checks").Value, 70u);
+  EXPECT_EQ(Metrics.counter("fuzz.oracle_checks").Value, 80u);
   EXPECT_EQ(Metrics.counter("fuzz.violations").Value, 0u);
 }
 

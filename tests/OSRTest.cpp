@@ -20,7 +20,7 @@
 #include "aos/AdaptiveSystem.h"
 #include "experiments/Experiments.h"
 #include "opt/InlineOracle.h"
-#include "profiling/ProfileIO.h"
+#include "profiling/ProfileCodec.h"
 #include "telemetry/MetricRegistry.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/Patterns.h"
@@ -141,7 +141,7 @@ OsrRun runWithOsr(const Program &P, bool EnableOSR,
   R.Reclaims = gauge(VM, "code.graveyard_reclaims");
   R.RetiredVersions =
       gauge(VM, "code.recompiles") + gauge(VM, "code.invalidations");
-  R.Profile = prof::serializeDCG(VM.profile());
+  R.Profile = prof::ProfileCodec::encode(VM.profile());
   if (AOS.deoptController())
     R.Deopt = AOS.deoptController()->stats();
   return R;

@@ -7,6 +7,7 @@
 #include "fuzz/ProgramGenerator.h"
 
 #include "profiling/OverlapMetric.h"
+#include "profiling/ProfileCodec.h"
 #include "profiling/ProfileIO.h"
 #include "support/Random.h"
 #include "vm/VirtualMachine.h"
@@ -33,7 +34,7 @@ DCGSnapshot sampleGraph() {
 
 TEST(ProfileIO, RoundTripPreservesEverything) {
   DCGSnapshot DCG = sampleGraph();
-  ParseResult R = parseDCG(serializeDCG(DCG));
+  ProfileCodec::Decoded R = ProfileCodec::decode(ProfileCodec::encode(DCG));
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Graph->numEdges(), DCG.numEdges());
   EXPECT_EQ(R.Graph->totalWeight(), DCG.totalWeight());
@@ -48,28 +49,29 @@ TEST(ProfileIO, SerializationIsDeterministic) {
   A.addSample({2, 2}, 7);
   B.addSample({2, 2}, 7);
   B.addSample({1, 1}, 5);
-  EXPECT_EQ(serializeDCG(A.snapshot()), serializeDCG(B.snapshot()));
+  EXPECT_EQ(ProfileCodec::encode(A.snapshot()),
+            ProfileCodec::encode(B.snapshot()));
 }
 
 TEST(ProfileIO, EmptyGraphRoundTrips) {
   DCGSnapshot Empty;
-  ParseResult R = parseDCG(serializeDCG(Empty));
+  ProfileCodec::Decoded R = ProfileCodec::decode(ProfileCodec::encode(Empty));
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_TRUE(R.Graph->empty());
 }
 
 TEST(ProfileIO, RejectsBadMagic) {
-  EXPECT_FALSE(parseDCG("").ok());
-  EXPECT_FALSE(parseDCG("not-a-profile 1\n").ok());
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 999\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("").ok());
+  EXPECT_FALSE(ProfileCodec::decode("not-a-profile 1\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 999\n").ok());
 }
 
 TEST(ProfileIO, RejectsMalformedLines) {
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2\n").ok());
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 x\n").ok());
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 3 4\n").ok());
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 0\n").ok()) << "zero weight";
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 2 3\n1 2 4\n").ok())
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n1 2\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n1 2 x\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n1 2 3 4\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n1 2 0\n").ok()) << "zero weight";
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n1 2 3\n1 2 4\n").ok())
       << "duplicate edge";
 }
 
@@ -77,13 +79,13 @@ TEST(ProfileIO, RejectsOutOfRangeIds) {
   // Regression: ids are 32-bit, but the parser read them as uint64 and
   // silently truncated on the narrowing cast — an id of 2^32 + 5
   // became edge (5, ...) and corrupted the profile instead of failing.
-  ParseResult Site = parseDCG("cbsvm-dcg 1\n4294967301 2 3\n");
+  ProfileCodec::Decoded Site = ProfileCodec::decode("cbsvm-dcg 1\n4294967301 2 3\n");
   ASSERT_FALSE(Site.ok());
   EXPECT_NE(Site.Error.find("line 2"), std::string::npos) << Site.Error;
   EXPECT_NE(Site.Error.find("site id out of range"), std::string::npos)
       << Site.Error;
 
-  ParseResult Callee = parseDCG("cbsvm-dcg 1\n1 4294967301 3\n");
+  ProfileCodec::Decoded Callee = ProfileCodec::decode("cbsvm-dcg 1\n1 4294967301 3\n");
   ASSERT_FALSE(Callee.ok());
   EXPECT_NE(Callee.Error.find("callee id out of range"), std::string::npos)
       << Callee.Error;
@@ -91,26 +93,101 @@ TEST(ProfileIO, RejectsOutOfRangeIds) {
 
 TEST(ProfileIO, RejectsInvalidSentinelAndNegativeIds) {
   // The all-ones value is the Invalid sentinel — never a legal edge.
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n4294967295 2 3\n").ok());
-  EXPECT_FALSE(parseDCG("cbsvm-dcg 1\n1 4294967295 3\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n4294967295 2 3\n").ok());
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n1 4294967295 3\n").ok());
   // A negative id wraps to a huge uint64 in istream extraction and must
   // hit the same range check, not truncate to a plausible small id.
-  ParseResult Neg = parseDCG("cbsvm-dcg 1\n-1 2 3\n");
+  ProfileCodec::Decoded Neg = ProfileCodec::decode("cbsvm-dcg 1\n-1 2 3\n");
   ASSERT_FALSE(Neg.ok());
   EXPECT_NE(Neg.Error.find("out of range"), std::string::npos) << Neg.Error;
 }
 
 TEST(ProfileIO, AcceptsMaximalValidIds) {
   // One below the sentinels is still a legal id and must parse.
-  ParseResult R = parseDCG("cbsvm-dcg 1\n4294967294 4294967294 3\n");
+  ProfileCodec::Decoded R = ProfileCodec::decode("cbsvm-dcg 1\n4294967294 4294967294 3\n");
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Graph->weight({4294967294u, 4294967294u}), 3u);
 }
 
 TEST(ProfileIO, SkipsCommentsAndBlankLines) {
-  ParseResult R = parseDCG("cbsvm-dcg 1\n# hello\n\n1 2 3\n");
+  ProfileCodec::Decoded R =
+      ProfileCodec::decode("cbsvm-dcg 1\n# hello\n\n1 2 3\n");
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Graph->weight({1, 2}), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// The v2 envelope: run metadata for the profile repository.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileCodecV2, RoundTripsMetadata) {
+  ProfileMeta Meta;
+  Meta.ProgramHash = 0xdeadbeefcafef00dull;
+  Meta.Personality = "jikes";
+  Meta.Runs = 7;
+  Meta.Cycles = 123'456'789;
+  std::string Text = ProfileCodec::encode(sampleGraph(), Meta);
+  ProfileCodec::Decoded R = ProfileCodec::decode(Text);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Version, ProfileCodec::V2);
+  EXPECT_EQ(R.Meta.ProgramHash, Meta.ProgramHash);
+  EXPECT_EQ(R.Meta.Personality, Meta.Personality);
+  EXPECT_EQ(R.Meta.Runs, Meta.Runs);
+  EXPECT_EQ(R.Meta.Cycles, Meta.Cycles);
+  EXPECT_EQ(R.Graph->totalWeight(), sampleGraph().totalWeight());
+  // And the re-encode is byte-identical.
+  EXPECT_EQ(ProfileCodec::encode(*R.Graph, R.Meta), Text);
+}
+
+TEST(ProfileCodecV2, V1ReadsWithDefaultMeta) {
+  ProfileCodec::Decoded R = ProfileCodec::decode("cbsvm-dcg 1\n1 2 3\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Version, ProfileCodec::V1);
+  EXPECT_EQ(R.Meta.ProgramHash, 0u);
+  EXPECT_TRUE(R.Meta.Personality.empty());
+  EXPECT_EQ(R.Meta.Runs, 0u);
+  EXPECT_EQ(R.Meta.Cycles, 0u);
+}
+
+TEST(ProfileCodecV2, UnknownVersionHasExactMessage) {
+  ProfileCodec::Decoded R = ProfileCodec::decode("cbsvm-dcg 3\n1 2 3\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error, "unsupported version 3 (supported: 1, 2)");
+}
+
+TEST(ProfileCodecV2, RejectsMalformedMetadata) {
+  // Every metadata error names its line and shape.
+  ProfileCodec::Decoded Dup = ProfileCodec::decode(
+      "cbsvm-dcg 2\n!runs 1\n!runs 2\n1 2 3\n");
+  ASSERT_FALSE(Dup.ok());
+  EXPECT_NE(Dup.Error.find("duplicate metadata key 'runs'"),
+            std::string::npos)
+      << Dup.Error;
+
+  ProfileCodec::Decoded Unknown =
+      ProfileCodec::decode("cbsvm-dcg 2\n!bogus 1\n1 2 3\n");
+  ASSERT_FALSE(Unknown.ok());
+  EXPECT_NE(Unknown.Error.find("unknown metadata key 'bogus'"),
+            std::string::npos)
+      << Unknown.Error;
+
+  ProfileCodec::Decoded BadHash =
+      ProfileCodec::decode("cbsvm-dcg 2\n!program xyz\n1 2 3\n");
+  ASSERT_FALSE(BadHash.ok());
+  EXPECT_NE(BadHash.Error.find("bad program hash 'xyz'"), std::string::npos)
+      << BadHash.Error;
+
+  // A v1 file must not smuggle metadata lines: '!' is not a comment
+  // there, so it falls through to the edge parser and fails.
+  EXPECT_FALSE(ProfileCodec::decode("cbsvm-dcg 1\n!runs 1\n1 2 3\n").ok());
+}
+
+TEST(ProfileCodecV2, LegacyEncodeIsV1ByteCompatible) {
+  // encode(DCG) with no metadata still writes the v1 format, so every
+  // pre-repository byte-equality check and golden fixture still holds.
+  std::string Text = ProfileCodec::encode(sampleGraph());
+  EXPECT_EQ(Text.rfind("cbsvm-dcg 1\n", 0), 0u) << Text;
+  EXPECT_EQ(Text.find('!'), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -137,16 +214,16 @@ TEST(ProfileIO, GoldenFixtureMatchesSerializer) {
   DCG.addSample({1, 2}, 40);
   DCG.addSample({9, 0}, 1);
   DCG.addSample({4294967294u, 4294967294u}, 12);
-  EXPECT_EQ(serializeDCG(DCG.snapshot()), readFixture("profile_v1.dcg"));
+  EXPECT_EQ(ProfileCodec::encode(DCG.snapshot()), readFixture("profile_v1.dcg"));
 }
 
 TEST(ProfileIO, GoldenFixtureRoundTripsByteExactly) {
   std::string Golden = readFixture("profile_v1.dcg");
-  ParseResult R = parseDCG(Golden);
+  ProfileCodec::Decoded R = ProfileCodec::decode(Golden);
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Graph->numEdges(), 4u);
   EXPECT_EQ(R.Graph->totalWeight(), 153u);
-  EXPECT_EQ(serializeDCG(*R.Graph), Golden);
+  EXPECT_EQ(ProfileCodec::encode(*R.Graph), Golden);
 }
 
 TEST(ProfileIO, ValidatesRealProfilesAgainstTheirProgram) {
@@ -199,7 +276,7 @@ TEST(ProfileIO, CollectedProfileSurvivesRoundTripAndValidates) {
   Config.TimerPeriodCycles = 2'000;
   vm::VirtualMachine VM(P, Config);
   VM.run();
-  ParseResult R = parseDCG(serializeDCG(VM.profile()));
+  ProfileCodec::Decoded R = ProfileCodec::decode(ProfileCodec::encode(VM.profile()));
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(validateAgainst(*R.Graph, P), "");
   EXPECT_NEAR(overlap(*R.Graph, VM.profile()), 100.0, 1e-9);

@@ -1,0 +1,357 @@
+//===- tests/ProfileRepositoryTest.cpp - cross-run profile store tests ---------===//
+//
+// Part of the CBSVM project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aos/AdaptiveSystem.h"
+#include "fuzz/ProgramGenerator.h"
+#include "opt/InlineOracle.h"
+#include "profiling/ProfileCodec.h"
+#include "profiling/ProfileRepository.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cbs;
+using namespace cbs::prof;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh empty directory under the test temp root, wiped on entry so
+/// reruns are hermetic.
+std::string freshDir(const char *Name) {
+  fs::path P = fs::path(testing::TempDir()) /
+               (std::string("cbsvm-repo-") + Name);
+  fs::remove_all(P);
+  fs::create_directories(P);
+  return P.string();
+}
+
+DCGSnapshot graphOf(std::initializer_list<DCGSnapshot::Edge> Edges) {
+  return DCGSnapshot::fromEdges(std::vector<DCGSnapshot::Edge>(Edges));
+}
+
+RepoKey keyFor(const char *Workload, uint64_t Hash = 0xabcdef0011223344ull,
+               const char *Pers = "jikes") {
+  RepoKey K;
+  K.Workload = Workload;
+  K.ProgramHash = Hash;
+  K.Personality = Pers;
+  return K;
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(Out.good());
+  Out << Contents;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Merge math — pinned. The merge is a documented integer formula; if
+// these numbers change, the repository format effectively changed.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileRepository, MergeMathIsPinned) {
+  // New run: total weight W = 600, so
+  //   conf = 10000 * 600 / (600 + 1024) = 3694   (integer division)
+  // and with AgeDecayBp = 5000:
+  //   merged(1,2) = 1000 * 5000/10000 + 500 * 3694/10000 = 500 + 184 = 684
+  //   merged(3,4) = 0 + 100 * 3694/10000 = 36
+  DCGSnapshot Old = graphOf({{{1, 2}, 1000}});
+  DCGSnapshot New = graphOf({{{1, 2}, 500}, {{3, 4}, 100}});
+  DCGSnapshot Merged = ProfileRepository::merge(Old, New);
+  EXPECT_EQ(Merged.numEdges(), 2u);
+  EXPECT_EQ(Merged.weight({1, 2}), 684u);
+  EXPECT_EQ(Merged.weight({3, 4}), 36u);
+}
+
+TEST(ProfileRepository, MergeDropsZeroRoundedEdges) {
+  // An old weight-1 edge decays to 0 (1 * 5000/10000), and a new edge
+  // from a near-zero-confidence run rounds to 0 too: neither survives.
+  DCGSnapshot Old = graphOf({{{1, 1}, 1}, {{2, 2}, 100}});
+  DCGSnapshot New = graphOf({{{9, 9}, 1}}); // W=1 -> conf = 10000/1025 = 9
+  DCGSnapshot Merged = ProfileRepository::merge(Old, New);
+  EXPECT_EQ(Merged.weight({1, 1}), 0u);
+  EXPECT_EQ(Merged.weight({9, 9}), 0u);
+  EXPECT_EQ(Merged.weight({2, 2}), 50u);
+  EXPECT_EQ(Merged.numEdges(), 1u);
+}
+
+TEST(ProfileRepository, RepeatedCommitsAgeDecayOldEvidence) {
+  std::string Dir = freshDir("age-decay");
+  ProfileRepository Repo(Dir);
+  RepoKey Key = keyFor("w");
+
+  // First commit is verbatim; an edge the program then never exercises
+  // again halves (decays) on every later commit.
+  DCGSnapshot First = graphOf({{{1, 2}, 4096}});
+  DCGSnapshot Later = graphOf({{{3, 4}, 1'000'000}}); // conf ~ 9989
+  ASSERT_TRUE(Repo.commit(Key, First, 100).Committed);
+  uint64_t Prev = 4096;
+  for (int I = 0; I != 3; ++I) {
+    ASSERT_TRUE(Repo.commit(Key, Later, 100).Committed);
+    RepoLoadResult L = Repo.load(Key);
+    ASSERT_TRUE(L.ok()) << L.Diagnostic;
+    uint64_t Now = L.Entry->Graph.weight({1, 2});
+    EXPECT_EQ(Now, Prev / 2) << "commit " << I;
+    Prev = Now;
+  }
+  RepoLoadResult L = Repo.load(Key);
+  ASSERT_TRUE(L.ok());
+  EXPECT_EQ(L.Entry->Meta.Runs, 4u);
+  EXPECT_EQ(L.Entry->Meta.Cycles, 400u);
+}
+
+TEST(ProfileRepository, FirstCommitStoresRunVerbatim) {
+  std::string Dir = freshDir("first-commit");
+  ProfileRepository Repo(Dir);
+  RepoKey Key = keyFor("phased");
+
+  DCGSnapshot Run = graphOf({{{5, 6}, 77}, {{7, 8}, 3}});
+  RepoCommitResult C = Repo.commit(Key, Run, 12345);
+  ASSERT_TRUE(C.Committed) << C.Error;
+  EXPECT_EQ(C.Runs, 1u);
+
+  RepoLoadResult L = Repo.load(Key);
+  ASSERT_TRUE(L.ok()) << L.Diagnostic;
+  EXPECT_EQ(ProfileCodec::encode(L.Entry->Graph), ProfileCodec::encode(Run));
+  EXPECT_EQ(L.Entry->Meta.Runs, 1u);
+  EXPECT_EQ(L.Entry->Meta.Cycles, 12345u);
+  EXPECT_EQ(L.Entry->Meta.ProgramHash, Key.ProgramHash);
+  EXPECT_EQ(L.Entry->Meta.Personality, Key.Personality);
+}
+
+//===----------------------------------------------------------------------===//
+// Rejection paths: a bad entry is a clean skip with a diagnostic,
+// never a crash and never a silently-seeded profile.
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileRepository, MissingEntryIsAPlainMiss) {
+  ProfileRepository Repo(freshDir("miss"));
+  RepoLoadResult L = Repo.load(keyFor("nothing-here"));
+  EXPECT_FALSE(L.ok());
+  EXPECT_FALSE(L.Rejected);
+  EXPECT_TRUE(L.Diagnostic.empty());
+}
+
+TEST(ProfileRepository, RejectsCorruptTruncatedAndWrongVersionEntries) {
+  std::string Dir = freshDir("reject");
+  ProfileRepository Repo(Dir);
+  RepoKey Key = keyFor("w");
+  std::string Path = Repo.pathFor("w");
+
+  writeFile(Path, "complete garbage\n");
+  RepoLoadResult Garbage = Repo.load(Key);
+  EXPECT_FALSE(Garbage.ok());
+  EXPECT_TRUE(Garbage.Rejected);
+  EXPECT_NE(Garbage.Diagnostic.find("corrupt repository entry"),
+            std::string::npos)
+      << Garbage.Diagnostic;
+
+  // Truncated mid-edge: decodes as a malformed line.
+  writeFile(Path, "cbsvm-dcg 2\n!program 00000000000000aa\n!personality "
+                  "jikes\n!runs 1\n!cycles 5\n1 2");
+  RepoLoadResult Truncated = Repo.load(Key);
+  EXPECT_FALSE(Truncated.ok());
+  EXPECT_TRUE(Truncated.Rejected);
+  EXPECT_NE(Truncated.Diagnostic.find("malformed edge"), std::string::npos)
+      << Truncated.Diagnostic;
+
+  writeFile(Path, "cbsvm-dcg 3\n1 2 3\n");
+  RepoLoadResult Future = Repo.load(Key);
+  EXPECT_FALSE(Future.ok());
+  EXPECT_TRUE(Future.Rejected);
+  EXPECT_NE(Future.Diagnostic.find("unsupported version 3 (supported: 1, 2)"),
+            std::string::npos)
+      << Future.Diagnostic;
+
+  // v1 decodes but has no provenance — unusable as repository advice.
+  writeFile(Path, "cbsvm-dcg 1\n1 2 3\n");
+  RepoLoadResult V1 = Repo.load(Key);
+  EXPECT_FALSE(V1.ok());
+  EXPECT_TRUE(V1.Rejected);
+  EXPECT_NE(V1.Diagnostic.find("is v1 (no provenance metadata)"),
+            std::string::npos)
+      << V1.Diagnostic;
+}
+
+TEST(ProfileRepository, RejectsHashAndPersonalityMismatches) {
+  std::string Dir = freshDir("mismatch");
+  ProfileRepository Repo(Dir);
+  DCGSnapshot Run = graphOf({{{1, 2}, 10}});
+  ASSERT_TRUE(Repo.commit(keyFor("w", 0xaa, "jikes"), Run, 1).Committed);
+
+  RepoLoadResult Hash = Repo.load(keyFor("w", 0xbb, "jikes"));
+  EXPECT_FALSE(Hash.ok());
+  EXPECT_TRUE(Hash.Rejected);
+  EXPECT_NE(Hash.Diagnostic.find("program hash mismatch for 'w'"),
+            std::string::npos)
+      << Hash.Diagnostic;
+
+  RepoLoadResult Pers = Repo.load(keyFor("w", 0xaa, "j9"));
+  EXPECT_FALSE(Pers.ok());
+  EXPECT_TRUE(Pers.Rejected);
+  EXPECT_NE(Pers.Diagnostic.find("personality mismatch for 'w'"),
+            std::string::npos)
+      << Pers.Diagnostic;
+}
+
+TEST(ProfileRepository, CommitOverRejectedEntryUpgradesIt) {
+  // A v1 (or foreign-program) file is treated as absent: the commit
+  // replaces it with a fresh v2 entry, Runs restarting at 1.
+  std::string Dir = freshDir("upgrade");
+  ProfileRepository Repo(Dir);
+  RepoKey Key = keyFor("w");
+  writeFile(Repo.pathFor("w"), "cbsvm-dcg 1\n1 2 3\n");
+
+  DCGSnapshot Run = graphOf({{{1, 2}, 10}});
+  RepoCommitResult C = Repo.commit(Key, Run, 7);
+  ASSERT_TRUE(C.Committed) << C.Error;
+  EXPECT_EQ(C.Runs, 1u);
+  RepoLoadResult L = Repo.load(Key);
+  ASSERT_TRUE(L.ok()) << L.Diagnostic;
+  EXPECT_EQ(L.Entry->Graph.weight({1, 2}), 10u);
+}
+
+TEST(ProfileRepository, ConcurrentStyleCommitsAreLastWriterWinsAndClean) {
+  // Two repository handles on the same directory (two "processes").
+  // Each commit re-reads the file it is merging over and renames its
+  // temp file into place, so the final file is always one writer's
+  // complete output — decodable, with no temp droppings left behind.
+  std::string Dir = freshDir("last-writer");
+  ProfileRepository A(Dir), B(Dir);
+  RepoKey Key = keyFor("w");
+  ASSERT_TRUE(A.commit(Key, graphOf({{{1, 2}, 100}}), 10).Committed);
+  ASSERT_TRUE(B.commit(Key, graphOf({{{3, 4}, 200}}), 20).Committed);
+
+  RepoLoadResult L = A.load(Key);
+  ASSERT_TRUE(L.ok()) << L.Diagnostic;
+  EXPECT_EQ(L.Entry->Meta.Runs, 2u);
+  EXPECT_EQ(L.Entry->Meta.Cycles, 30u);
+
+  size_t Files = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    ++Files;
+    EXPECT_EQ(E.path().extension(), ".dcg") << E.path();
+  }
+  EXPECT_EQ(Files, 1u);
+}
+
+TEST(ProfileRepository, PathForSanitizesWorkloadNames) {
+  ProfileRepository Repo("repo");
+  EXPECT_EQ(Repo.pathFor("jess"), "repo/jess.dcg");
+  EXPECT_EQ(Repo.pathFor("../../etc/passwd"), "repo/______etc_passwd.dcg");
+  EXPECT_EQ(Repo.pathFor(""), "repo/_.dcg");
+}
+
+//===----------------------------------------------------------------------===//
+// Warm start end to end: the repository entry pre-enqueues compiles at
+// cycle 0, the run stays semantically identical, and both the run and
+// the repository bytes are identical at any --compile-jobs count.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct WarmRun {
+  vm::RunState State = vm::RunState::Running;
+  std::vector<int64_t> Output;
+  std::string Profile;
+  uint64_t FirstInstallCycle = 0;
+  uint64_t WarmEnqueued = 0;
+  std::string RepoBytes;
+};
+
+/// One AOS run of \p P against repository directory \p Dir (load +
+/// shutdown commit, exactly like the driver wires it).
+WarmRun runWithRepo(const bc::Program &P, const std::string &Dir,
+                    uint32_t CompileJobs) {
+  ProfileRepository Repo(Dir);
+  RepoKey Key = keyFor("gen", 0x1234, "jikes");
+
+  vm::VMConfig Config;
+  Config.Seed = 11;
+  Config.Profiler.Kind = vm::ProfilerKind::CBS;
+  Config.Profiler.CBS.Stride = 2;
+  Config.Profiler.CBS.SamplesPerTick = 4;
+  Config.TimerPeriodCycles = 2'000;
+  Config.Costs.CompileLatencyScale = 1;
+
+  aos::AOSConfig AC;
+  AC.CompileJobs = CompileJobs;
+  RepoLoadResult L = Repo.load(Key);
+  if (L.ok())
+    AC.WarmStart.Profile =
+        std::make_shared<const prof::DCGSnapshot>(L.Entry->Graph);
+
+  Config.OnShutdown = [&](vm::VirtualMachine &VM) {
+    if (VM.state() == vm::RunState::Finished)
+      Repo.commit(Key, VM.profile(), VM.cycles());
+  };
+
+  opt::NewJikesOracle Oracle;
+  aos::AdaptiveSystem AOS(&Oracle, AC);
+  vm::VirtualMachine VM(P, Config);
+  VM.setClient(&AOS);
+
+  WarmRun R;
+  R.State = VM.run();
+  R.Output = VM.output();
+  R.Profile = ProfileCodec::encode(VM.profile());
+  R.FirstInstallCycle = AOS.stats().FirstInstallCycle;
+  R.WarmEnqueued = AOS.stats().WarmEnqueued;
+  std::ifstream In(Repo.pathFor("gen"), std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  R.RepoBytes = SS.str();
+  return R;
+}
+
+} // namespace
+
+TEST(ProfileRepository, WarmStartIsDeterministicAcrossCompileJobs) {
+  bc::Program P = fuzz::generateRandomProgram(42);
+
+  // Cold pass populates one repository per jobs count; warm pass reads
+  // it back. Byte-identity at jobs 1-vs-8 must hold for the run output,
+  // the collected profile, and the repository file itself.
+  std::string Dir1 = freshDir("warm-jobs1");
+  std::string Dir8 = freshDir("warm-jobs8");
+
+  WarmRun Cold1 = runWithRepo(P, Dir1, 1);
+  WarmRun Cold8 = runWithRepo(P, Dir8, 8);
+  ASSERT_EQ(Cold1.State, vm::RunState::Finished);
+  EXPECT_EQ(Cold1.Output, Cold8.Output);
+  EXPECT_EQ(Cold1.Profile, Cold8.Profile);
+  EXPECT_EQ(Cold1.RepoBytes, Cold8.RepoBytes);
+  EXPECT_FALSE(Cold1.RepoBytes.empty());
+  EXPECT_EQ(Cold1.WarmEnqueued, 0u);
+
+  WarmRun Warm1 = runWithRepo(P, Dir1, 1);
+  WarmRun Warm8 = runWithRepo(P, Dir8, 8);
+  EXPECT_EQ(Warm1.Output, Warm8.Output);
+  EXPECT_EQ(Warm1.Profile, Warm8.Profile);
+  EXPECT_EQ(Warm1.RepoBytes, Warm8.RepoBytes);
+  EXPECT_EQ(Warm1.FirstInstallCycle, Warm8.FirstInstallCycle);
+  EXPECT_EQ(Warm1.WarmEnqueued, Warm8.WarmEnqueued);
+
+  // Warm semantics match cold semantics: advice changes scheduling,
+  // never results.
+  EXPECT_EQ(Warm1.Output, Cold1.Output);
+
+  // And the warm start actually happened: methods were pre-enqueued,
+  // and when the cold run installed anything at all, the warm run's
+  // first install lands strictly earlier.
+  if (Cold1.FirstInstallCycle > 0) {
+    EXPECT_GT(Warm1.WarmEnqueued, 0u);
+    EXPECT_LT(Warm1.FirstInstallCycle, Cold1.FirstInstallCycle);
+  }
+}

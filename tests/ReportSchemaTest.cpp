@@ -17,6 +17,7 @@
 #include "aos/ReportJson.h"
 #include "experiments/Experiments.h"
 #include "opt/InlineOracle.h"
+#include "profiling/DynamicCallGraph.h"
 #include "support/Json.h"
 #include "telemetry/FlightRecorder.h"
 #include "vm/VirtualMachine.h"
@@ -46,8 +47,10 @@ struct BuiltReport {
 /// Runs the phased workload under the full self-observability stack and
 /// returns the parsed report. \p WithAOS attaches the adaptive system
 /// (with deopt policing on); \p WithOSR additionally enables on-stack
-/// replacement.
-BuiltReport buildReport(bool WithAOS, bool WithOSR) {
+/// replacement; \p WithWarm warm-starts the AOS from a prior run's
+/// profile; \p WithRepo fills the driver's repo section.
+BuiltReport buildReport(bool WithAOS, bool WithOSR, bool WithWarm = false,
+                        bool WithRepo = false) {
   bc::Program P = wl::buildPhased(wl::InputSize::Small, 1);
   vm::VMConfig Config = exp::jitOnlyConfig(P, vm::Personality::JikesRVM, 1);
   Config.Profiler.Kind = vm::ProfilerKind::CBS;
@@ -59,6 +62,13 @@ BuiltReport buildReport(bool WithAOS, bool WithOSR) {
 
   aos::AOSConfig AC;
   AC.Deopt.Enabled = true;
+  if (WithWarm) {
+    // Any non-null snapshot marks the system warm-started.
+    prof::DynamicCallGraph Seeded;
+    Seeded.addSample({0, 0}, 100);
+    AC.WarmStart.Profile =
+        std::make_shared<const prof::DCGSnapshot>(Seeded.snapshot());
+  }
   opt::NewJikesOracle Oracle;
   aos::AdaptiveSystem AOS(&Oracle, AC);
   vm::VirtualMachine VM(P, Config);
@@ -75,6 +85,13 @@ BuiltReport buildReport(bool WithAOS, bool WithOSR) {
   In.VM = &VM;
   In.AOS = WithAOS ? &AOS : nullptr;
   In.Recorder = &Recorder;
+  if (WithRepo) {
+    In.Repo.Present = true;
+    In.Repo.Dir = "some/repo";
+    In.Repo.Loaded = 1;
+    In.Repo.Runs = 2;
+    In.Repo.Committed = 1;
+  }
   std::string Json = aos::buildReportJson(In);
 
   json::JsonParseResult R = json::parseJson(Json);
@@ -157,13 +174,53 @@ TEST(ReportSchema, AosAndDeoptSectionKeys) {
   ASSERT_NE(Queue, nullptr);
   EXPECT_EQ(keysOf(*Queue),
             (std::vector<std::string>{"depth", "enqueued", "installs",
-                                      "stale_drops", "coalesced", "dropped"}));
+                                      "stale_drops", "coalesced", "dropped",
+                                      "firstInstallCycle"}));
   const json::JsonValue *Deopt = Aos->find("deopt");
   ASSERT_NE(Deopt, nullptr);
   EXPECT_EQ(keysOf(*Deopt),
             (std::vector<std::string>{"guardChecks", "guardFailures", "count",
                                       "phaseShiftDeopts", "conservativePins",
                                       "staleRequestsDropped", "recompiles"}));
+}
+
+TEST(ReportSchema, WarmSectionPresentOnlyWhenWarmStarted) {
+  // Without a warm-start profile there is no "warm" subsection at all —
+  // a cold run's aos section is byte-compatible with pre-repository
+  // releases (modulo the queue's firstInstallCycle key).
+  BuiltReport Cold = buildReport(/*WithAOS=*/true, /*WithOSR=*/false);
+  const json::JsonValue *ColdAos = Cold.Doc.find("aos");
+  ASSERT_NE(ColdAos, nullptr);
+  EXPECT_EQ(ColdAos->find("warm"), nullptr);
+
+  BuiltReport Warm = buildReport(/*WithAOS=*/true, /*WithOSR=*/false,
+                                 /*WithWarm=*/true);
+  const json::JsonValue *Aos = Warm.Doc.find("aos");
+  ASSERT_NE(Aos, nullptr);
+  EXPECT_EQ(keysOf(*Aos),
+            (std::vector<std::string>{"recompilations", "promotionsToL1",
+                                      "promotionsToL2", "reoptimizations",
+                                      "plansComputed", "phaseShiftReplans",
+                                      "queue", "warm", "deopt"}));
+  const json::JsonValue *WarmSec = Aos->find("warm");
+  ASSERT_NE(WarmSec, nullptr);
+  EXPECT_EQ(keysOf(*WarmSec),
+            (std::vector<std::string>{"enqueued", "installs"}));
+}
+
+TEST(ReportSchema, RepoSectionKeysAndPlacement) {
+  BuiltReport R = buildReport(/*WithAOS=*/true, /*WithOSR=*/true,
+                              /*WithWarm=*/false, /*WithRepo=*/true);
+  ASSERT_TRUE(R.Doc.isObject());
+  EXPECT_EQ(keysOf(R.Doc),
+            (std::vector<std::string>{"workload", "size", "seed", "state",
+                                      "cycles", "quality", "overhead", "aos",
+                                      "osr", "repo", "flightRecorder"}));
+  const json::JsonValue *Repo = R.Doc.find("repo");
+  ASSERT_NE(Repo, nullptr);
+  EXPECT_EQ(keysOf(*Repo),
+            (std::vector<std::string>{"dir", "loaded", "rejected", "runs",
+                                      "committed", "diagnostic"}));
 }
 
 TEST(ReportSchema, OsrSectionKeys) {

@@ -51,6 +51,17 @@
 //                                loop-header backedge, and deopted
 //                                frames transfer off invalidated code
 //                                instead of limping at baseline speed
+//       --profile-repo DIR       persistent cross-run profile
+//                                repository (implies --aos): load the
+//                                workload's merged profile from DIR to
+//                                warm-start the adaptive system (inline
+//                                plan + pre-enqueued hot-method
+//                                compiles at cycle 0), and commit this
+//                                run's profile back at shutdown. An
+//                                entry whose program hash or profiler
+//                                personality mismatches is skipped with
+//                                a diagnostic (repo.rejected gauge),
+//                                never trusted
 //       --edges N                top edges to print    (default 15)
 //       --save FILE              write the profile (cbsvm-dcg format)
 //       --trace FILE             write a Chrome trace_event JSON trace
@@ -73,7 +84,8 @@
 //     traffic), and with deoptimization enabled a "deopt" subsection
 //     (guard checks/failures, deopt count, pins, recompiles). With
 //     --osr the report adds a top-level "osr" section (transfer counts
-//     and graveyard reclamation).
+//     and graveyard reclamation); with --profile-repo a top-level
+//     "repo" section (loaded/rejected/runs/committed + diagnostic).
 //     Accepts every `run` configuration option above, plus:
 //       --every-ticks N          quality window period (default 8)
 //       --hot-edges N            hot set size for churn (default 16)
@@ -130,7 +142,9 @@
 #include "experiments/Experiments.h"
 #include "fuzz/Fuzzer.h"
 #include "profiling/OverlapMetric.h"
+#include "profiling/ProfileCodec.h"
 #include "profiling/ProfileIO.h"
+#include "profiling/ProfileRepository.h"
 #include "profiling/ProfilerRegistry.h"
 #include "support/ArgParser.h"
 #include "support/Json.h"
@@ -181,6 +195,18 @@ wl::InputSize parseSize(const std::string &S) {
   usageError("unknown size '" + S + "'");
 }
 
+/// --metrics-json FILE, shared by `run` and `fuzz`: where to dump the
+/// metric registry as JSON ("" = don't).
+class MetricsJsonOptionGroup : public support::OptionGroup {
+public:
+  std::string Path;
+
+  const char *name() const override { return "metrics-json"; }
+  void parse(ArgParser &Args) override {
+    Path = Args.option("--metrics-json", "");
+  }
+};
+
 /// Workload + VM configuration shared by `run`, `stats`, and `report`.
 struct RunSetup {
   std::string Name;
@@ -193,6 +219,9 @@ struct RunSetup {
   /// hot methods recompile through the background compile queue.
   bool UseAOS = false;
   aos::AOSConfig AOS;
+  /// --profile-repo DIR: warm-start from (and commit to) the
+  /// cross-run profile repository. Empty = disabled.
+  std::string RepoDir;
 };
 
 RunSetup parseRunSetup(ArgParser &Args) {
@@ -207,52 +236,29 @@ RunSetup parseRunSetup(ArgParser &Args) {
     usageError("unknown workload '" + S.Name + "' (try 'cbsvm list')");
 
   S.Size = parseSize(Args.option("--size", "small"));
-  // The shared VM options (--personality, --seed, --profiler and its
-  // knobs) all parse and validate inside the config builder.
-  S.Config = vm::VMConfig::fromArgs(Args);
+  // The shared option groups: the VM group (--personality, --seed,
+  // --profiler and its knobs, --osr), the AOS group (--aos,
+  // --compile-jobs, --compile-latency-scale, --deopt-threshold,
+  // --max-deopts), and the profile repository (--profile-repo). Each
+  // option is declared once, in its group, for every subcommand.
+  vm::VMOptionGroup VMOpts;
+  aos::AOSOptionGroup AOSOpts;
+  prof::ProfileRepoOptionGroup RepoOpts;
+  support::applyGroups(Args, {&VMOpts, &AOSOpts, &RepoOpts});
+
+  S.Config = std::move(VMOpts.Config);
   S.Pers = S.Config.Pers;
   S.Seed = S.Config.Seed;
 
   S.P = W ? W->Build(S.Size, S.Seed) : wl::buildPhased(S.Size, S.Seed);
   exp::applyJitOnly(S.P, S.Config);
 
-  // --aos attaches the adaptive optimization system; the options that
-  // only make sense with it imply it, so "--compile-jobs 4" alone does
-  // the expected thing.
-  S.UseAOS = Args.flag("--aos");
-  uint64_t CompileJobs = Args.optionUInt("--compile-jobs", 0, 0, 64);
-  if (CompileJobs > 0) {
-    S.AOS.CompileJobs = static_cast<uint32_t>(CompileJobs);
-    S.UseAOS = true;
-  }
-  // Sentinel default: the option is range-checked only when present,
-  // so -1 distinguishes "absent" from an explicit 0 (install at the
-  // first taken yieldpoint).
-  double LatencyScale =
-      Args.optionDouble("--compile-latency-scale", -1.0, 0.0, 1e9);
-  if (LatencyScale >= 0.0) {
-    S.Config.Costs.CompileLatencyScale = LatencyScale;
-    S.UseAOS = true;
-  }
-  // Deoptimization: either option switches guard policing on (and
-  // implies --aos). Plain --aos keeps deopt off, so pre-deopt runs stay
-  // byte-identical.
-  double DeoptThreshold =
-      Args.optionDouble("--deopt-threshold", -1.0, 0.0, 100.0);
-  if (DeoptThreshold >= 0.0) {
-    S.AOS.Deopt.Enabled = true;
-    S.AOS.Deopt.DominanceThresholdPct = DeoptThreshold;
-    S.UseAOS = true;
-  }
-  uint64_t MaxDeopts = Args.optionUInt("--max-deopts", 0, 1, 1u << 20);
-  if (MaxDeopts > 0) {
-    S.AOS.Deopt.Enabled = true;
-    S.AOS.Deopt.MaxDeoptsPerMethod = static_cast<uint32_t>(MaxDeopts);
-    S.UseAOS = true;
-  }
-  // --osr was consumed by VMConfig::fromArgs; it only does anything
-  // when versions actually get replaced, so it implies --aos too.
-  if (S.Config.EnableOSR)
+  AOSOpts.finalize(S.Config);
+  S.UseAOS = AOSOpts.UseAOS;
+  S.AOS = AOSOpts.Config;
+  // Warm start is an AOS feature, so the repository implies --aos.
+  S.RepoDir = RepoOpts.Dir;
+  if (!S.RepoDir.empty())
     S.UseAOS = true;
   return S;
 }
@@ -270,6 +276,73 @@ struct DriverAOS {
       return;
     System = std::make_unique<aos::AdaptiveSystem>(&Oracle, S.AOS);
     VM.setClient(System.get());
+  }
+};
+
+/// Driver-side profile-repository wiring shared by run/stats/report.
+/// setup() must run before the VirtualMachine is constructed (it plants
+/// VMConfig::OnShutdown and the warm-start profile), and the object must
+/// outlive the run (the shutdown hook points back into it).
+struct DriverRepo {
+  std::unique_ptr<prof::ProfileRepository> Repo;
+  prof::RepoKey Key;
+  prof::RepoLoadResult Load;
+  prof::RepoCommitResult Commit;
+  bool Enabled = false;
+
+  /// Loads the run's entry (warm-starting the AOS on a hit, printing
+  /// the diagnostic on a rejection) and plants the shutdown hook that
+  /// commits the run's profile and publishes the repo.* gauges.
+  void setup(RunSetup &S) {
+    if (S.RepoDir.empty())
+      return;
+    Enabled = true;
+    Repo = std::make_unique<prof::ProfileRepository>(S.RepoDir);
+    Key.Workload = S.Name;
+    Key.ProgramHash = S.P.contentHash();
+    Key.Personality = S.Pers == vm::Personality::JikesRVM ? "jikes" : "j9";
+    Load = Repo->load(Key);
+    if (Load.ok())
+      S.AOS.WarmStart.Profile =
+          std::make_shared<const prof::DCGSnapshot>(Load.Entry->Graph);
+    else if (Load.Rejected)
+      std::fprintf(stderr, "cbsvm: profile-repo: %s\n",
+                   Load.Diagnostic.c_str());
+    S.Config.OnShutdown = [this](vm::VirtualMachine &VM) {
+      // Commit only a cleanly finished run: a trapped/halted/limited
+      // run's profile is partial evidence of a program that didn't
+      // complete, and persisting it would poison later warm starts.
+      if (VM.state() == vm::RunState::Finished) {
+        Commit = Repo->commit(Key, VM.profile(), VM.cycles());
+        if (!Commit.Error.empty())
+          std::fprintf(stderr, "cbsvm: profile-repo: %s\n",
+                       Commit.Error.c_str());
+      }
+      publishGauges(VM);
+    };
+  }
+
+  /// repo.* gauges, registered at shutdown so every metrics surface
+  /// (--metrics-json, stats --json) reports the repository interaction.
+  void publishGauges(vm::VirtualMachine &VM) {
+    tel::MetricRegistry &R = VM.metricsRegistry();
+    R.gauge("repo.loaded") = Load.ok() ? 1 : 0;
+    R.gauge("repo.rejected") = Load.Rejected ? 1 : 0;
+    R.gauge("repo.runs") = Load.ok() ? Load.Entry->Meta.Runs : 0;
+    R.gauge("repo.committed") = Commit.Committed ? 1 : 0;
+  }
+
+  /// The report section (emitted only when --profile-repo was given).
+  aos::RepoReport report(const RunSetup &S) const {
+    aos::RepoReport R;
+    R.Present = Enabled;
+    R.Dir = S.RepoDir;
+    R.Loaded = Load.ok() ? 1 : 0;
+    R.Rejected = Load.Rejected ? 1 : 0;
+    R.Runs = Load.ok() ? Load.Entry->Meta.Runs : 0;
+    R.Committed = Commit.Committed ? 1 : 0;
+    R.Diagnostic = Load.Rejected ? Load.Diagnostic : Commit.Error;
+    return R;
   }
 };
 
@@ -311,13 +384,17 @@ int cmdRun(ArgParser &Args) {
   bool WantAccuracy = Args.flag("--accuracy");
   std::string SavePath = Args.option("--save", "");
   std::string TracePath = Args.option("--trace", "");
-  std::string MetricsPath = Args.option("--metrics-json", "");
+  MetricsJsonOptionGroup MetricsOpt;
+  support::applyGroups(Args, {&MetricsOpt});
+  std::string MetricsPath = MetricsOpt.Path;
   Args.finish();
 
   tel::ChromeTraceSink Sink;
   if (!TracePath.empty())
     S.Config.Trace = &Sink;
 
+  DriverRepo Repo;
+  Repo.setup(S);
   DriverAOS AOS;
   vm::VirtualMachine VM(S.P, S.Config);
   AOS.attach(S, VM);
@@ -355,6 +432,12 @@ int cmdRun(ArgParser &Args) {
                 static_cast<unsigned long long>(A.QueueStaleDrops),
                 static_cast<unsigned long long>(A.QueueDropped),
                 AOS.System->queueDepth());
+    if (AOS.System->warmStarted())
+      std::printf("warm start: %llu pre-enqueued, %llu installed; first "
+                  "install at cycle %llu\n",
+                  static_cast<unsigned long long>(A.WarmEnqueued),
+                  static_cast<unsigned long long>(A.WarmInstalls),
+                  static_cast<unsigned long long>(A.FirstInstallCycle));
     if (const aos::DeoptController *DC = AOS.System->deoptController()) {
       const aos::DeoptStats &D = DC->stats();
       std::printf("deopt: %llu guard checks, %llu guard failures, %llu "
@@ -403,8 +486,19 @@ int cmdRun(ArgParser &Args) {
                 prof::accuracy(DCG, Perfect.DCG), Overhead);
   }
 
+  if (Repo.Enabled) {
+    aos::RepoReport RR = Repo.report(S);
+    std::printf("repo: loaded=%llu rejected=%llu runs=%llu committed=%llu "
+                "(%s)\n",
+                static_cast<unsigned long long>(RR.Loaded),
+                static_cast<unsigned long long>(RR.Rejected),
+                static_cast<unsigned long long>(RR.Runs),
+                static_cast<unsigned long long>(RR.Committed),
+                S.RepoDir.c_str());
+  }
+
   if (!SavePath.empty()) {
-    writeFileOrDie(SavePath, prof::serializeDCG(DCG));
+    writeFileOrDie(SavePath, prof::ProfileCodec::encode(DCG));
     std::printf("\nprofile written to %s\n", SavePath.c_str());
   }
   if (!TracePath.empty()) {
@@ -424,6 +518,8 @@ int cmdStats(ArgParser &Args) {
   std::string JsonPath = Args.option("--json", "");
   Args.finish();
 
+  DriverRepo Repo;
+  Repo.setup(S);
   DriverAOS AOS;
   vm::VirtualMachine VM(S.P, S.Config);
   AOS.attach(S, VM);
@@ -467,6 +563,8 @@ int cmdReport(ArgParser &Args) {
   tel::FlightRecorder Recorder(RC);
   S.Config.Recorder = &Recorder;
 
+  DriverRepo Repo;
+  Repo.setup(S);
   DriverAOS AOS;
   vm::VirtualMachine VM(S.P, S.Config);
   AOS.attach(S, VM);
@@ -493,6 +591,7 @@ int cmdReport(ArgParser &Args) {
     In.VM = &VM;
     In.AOS = S.UseAOS ? AOS.System.get() : nullptr;
     In.Recorder = &Recorder;
+    In.Repo = Repo.report(S);
     std::string Json = aos::buildReportJson(In);
     if (JsonPath == "-") {
       std::fputs(Json.c_str(), stdout);
@@ -559,6 +658,12 @@ int cmdReport(ArgParser &Args) {
                   std::to_string(A.QueueDropped),
                   std::to_string(AOS.System->queueDepth())});
     std::fputs(Queue.render().c_str(), stdout);
+    if (AOS.System->warmStarted())
+      std::printf("warm start: %llu pre-enqueued, %llu installed; first "
+                  "install at cycle %llu\n",
+                  static_cast<unsigned long long>(A.WarmEnqueued),
+                  static_cast<unsigned long long>(A.WarmInstalls),
+                  static_cast<unsigned long long>(A.FirstInstallCycle));
     if (const aos::DeoptController *DC = AOS.System->deoptController()) {
       const aos::DeoptStats &D = DC->stats();
       std::printf("\ndeoptimization (guard policing):\n");
@@ -595,6 +700,19 @@ int cmdReport(ArgParser &Args) {
                 std::to_string(Gauge("code.graveyard_reclaims")),
                 std::to_string(Gauge("code.graveyard_instructions"))});
     std::fputs(Osr.render().c_str(), stdout);
+  }
+
+  if (Repo.Enabled) {
+    aos::RepoReport RR = Repo.report(S);
+    std::printf("\nprofile repository (%s):\n"
+                "  loaded=%llu rejected=%llu runs=%llu committed=%llu%s%s\n",
+                S.RepoDir.c_str(),
+                static_cast<unsigned long long>(RR.Loaded),
+                static_cast<unsigned long long>(RR.Rejected),
+                static_cast<unsigned long long>(RR.Runs),
+                static_cast<unsigned long long>(RR.Committed),
+                RR.Diagnostic.empty() ? "" : "\n  ",
+                RR.Diagnostic.c_str());
   }
 
   std::printf("\nflight recorder: %llu events seen, %llu anomaly "
@@ -643,7 +761,9 @@ int cmdCompare(ArgParser &Args) {
       usageError("cannot read '" + Path + "'");
     std::ostringstream SS;
     SS << In.rdbuf();
-    prof::ParseResult R = prof::parseDCG(SS.str());
+    // The codec accepts v1 saves and v2 repository entries alike, so
+    // `compare` works on anything the tool ever wrote.
+    prof::ProfileCodec::Decoded R = prof::ProfileCodec::decode(SS.str());
     if (!R.ok())
       usageError(Path + ": " + R.Error);
     return *R.Graph;
@@ -683,7 +803,9 @@ int cmdFuzz(ArgParser &Args) {
       "--max-call-repeat", Options.Shape.MaxCallRepeat, 1, 1u << 10));
   bool WithBroken = Args.flag("--broken-oracle");
   bool ListOracles = Args.flag("--list-oracles");
-  std::string MetricsPath = Args.option("--metrics-json", "");
+  MetricsJsonOptionGroup MetricsOpt;
+  support::applyGroups(Args, {&MetricsOpt});
+  std::string MetricsPath = MetricsOpt.Path;
   std::string ReplayPath = Args.option("--replay", "");
   Args.finish();
 
